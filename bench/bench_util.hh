@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benches: cached model-bundle
+ * loading and common formatting.
+ *
+ * Every bench is a standalone binary that regenerates one table or
+ * figure of the paper and prints it as an aligned text table (plus a
+ * CSV next to the working directory when DORA_BENCH_CSV=1).
+ */
+
+#ifndef DORA_BENCH_BENCH_UTIL_HH
+#define DORA_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hh"
+#include "harness/bundle_cache.hh"
+
+namespace dora
+{
+
+/**
+ * Load (or train + cache) the model bundle, announcing what happened.
+ * First call in a fresh checkout trains for a minute or two; later
+ * benches reuse the cache file.
+ */
+inline std::shared_ptr<const ModelBundle>
+benchBundle()
+{
+    std::cerr << "[bench] loading DORA models (cache: "
+              << defaultBundleCachePath() << ")\n";
+    return loadOrTrainBundle();
+}
+
+/** Emit @p table under @p title; also CSV when DORA_BENCH_CSV=1. */
+inline void
+emitTable(const std::string &bench, const std::string &title,
+          const TextTable &table)
+{
+    printBanner(std::cout, title);
+    table.print(std::cout);
+    if (const char *env = std::getenv("DORA_BENCH_CSV");
+        env && std::string(env) == "1") {
+        const std::string path = bench + ".csv";
+        if (table.writeCsv(path))
+            std::cerr << "[bench] wrote " << path << "\n";
+    }
+}
+
+} // namespace dora
+
+#endif // DORA_BENCH_BENCH_UTIL_HH

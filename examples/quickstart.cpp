@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end use of the library.
+ *
+ * 1. Pick a web page and a co-scheduled kernel.
+ * 2. Sweep the pinned core frequency and watch load time, device power,
+ *    and energy efficiency (PPW) — reproducing the paper's core
+ *    observation that an interior frequency maximizes PPW, and that the
+ *    deadline-meeting frequency moves with interference.
+ * 3. Print the co-run kernel catalog with measured solo L2 MPKI.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "browser/page_corpus.hh"
+#include "common/table.hh"
+#include "runner/experiment.hh"
+#include "workloads/kernel.hh"
+
+using namespace dora;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    const FreqTable &table = runner.freqTable();
+
+    // --- Frequency sweep: Amazon + medium-intensity interference. ---
+    const WebPage &page = PageCorpus::byName("amazon");
+    const WorkloadSpec workload =
+        WorkloadSets::combo(page, MemIntensity::Medium);
+
+    printBanner(std::cout, "Sweep: " + workload.label() +
+                " (deadline 3 s)");
+    TextTable sweep({"core GHz", "bus MHz", "load time s", "power W",
+                     "PPW 1/J", "meets 3s"});
+    for (size_t f : table.paperSweepIndices()) {
+        const RunMeasurement m = runner.runAtFrequency(workload, f);
+        sweep.beginRow();
+        sweep.add(table.opp(f).coreMhz / 1000.0, 2);
+        sweep.add(table.opp(f).busMhz, 0);
+        sweep.add(m.loadTimeSec, 3);
+        sweep.add(m.meanPowerW, 3);
+        sweep.add(m.ppw, 4);
+        sweep.add(std::string(m.meetsDeadline ? "yes" : "no"));
+    }
+    sweep.print(std::cout);
+
+    // --- Kernel catalog with measured solo MPKI. ---
+    printBanner(std::cout, "Co-run kernel catalog (solo @ 2.27 GHz)");
+    TextTable kernels({"kernel", "domain", "expected", "measured MPKI",
+                       "class ok"});
+    for (const auto &spec : KernelCatalog::all()) {
+        const RunMeasurement m = runner.runAtFrequency(
+            WorkloadSets::kernelOnly(spec), table.maxIndex());
+        kernels.beginRow();
+        kernels.add(spec.name);
+        kernels.add(spec.domain);
+        kernels.add(std::string(memIntensityName(spec.expectedClass)));
+        kernels.add(m.meanL2Mpki, 2);
+        kernels.add(std::string(
+            classifyMpki(m.meanL2Mpki) == spec.expectedClass ? "yes"
+                                                             : "no"));
+    }
+    kernels.print(std::cout);
+    return 0;
+}

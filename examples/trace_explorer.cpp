@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace explorer: run any workload under any governor and dump what
+ * the governor saw and did — the decision trace (time, MPKI, co-runner
+ * utilization, chosen OPP), the per-OPP residency histogram, and the
+ * mean device power breakdown.
+ *
+ * Usage: trace_explorer [page] [low|medium|high|none] [governor]
+ * Governors: interactive, performance, powersave, ondemand, DL, EE,
+ *            DORA, DORA_no_lkg.
+ * Defaults: espn medium DORA.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "browser/page_corpus.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "harness/bundle_cache.hh"
+#include "harness/comparison.hh"
+
+using namespace dora;
+
+int
+main(int argc, char **argv)
+{
+    const std::string page_name = argc > 1 ? argv[1] : "espn";
+    const std::string intensity = argc > 2 ? argv[2] : "medium";
+    const std::string governor = argc > 3 ? argv[3] : "DORA";
+
+    const WebPage &page = PageCorpus::byName(page_name);
+    WorkloadSpec workload;
+    if (intensity == "none") {
+        workload = WorkloadSets::alone(page);
+    } else if (intensity == "low") {
+        workload = WorkloadSets::combo(page, MemIntensity::Low);
+    } else if (intensity == "medium") {
+        workload = WorkloadSets::combo(page, MemIntensity::Medium);
+    } else if (intensity == "high") {
+        workload = WorkloadSets::combo(page, MemIntensity::High);
+    } else {
+        fatal("unknown intensity '%s'", intensity.c_str());
+    }
+
+    auto bundle = loadOrTrainBundle();
+    ComparisonHarness harness(ExperimentConfig{}, bundle);
+    const RunMeasurement m = harness.runOne(workload, governor);
+    const FreqTable table = FreqTable::msm8974();
+
+    printBanner(std::cout, workload.label() + " under " + governor);
+    std::cout << "load time " << formatFixed(m.loadTimeSec, 3)
+              << " s (deadline "
+              << (m.meetsDeadline ? "met" : "missed") << "), power "
+              << formatFixed(m.meanPowerW, 3) << " W, PPW "
+              << formatFixed(m.ppw, 4) << ", "
+              << m.freqSwitches << " switches\n";
+
+    printBanner(std::cout, "Decision trace");
+    TextTable trace({"t s", "L2 MPKI", "corun util", "die degC",
+                     "chosen GHz"});
+    const double t0 = m.decisions.empty() ? 0.0 : m.decisions[0].tSec;
+    for (const auto &d : m.decisions) {
+        trace.beginRow();
+        trace.add(d.tSec - t0, 2);
+        trace.add(d.l2Mpki, 2);
+        trace.add(d.corunUtil, 2);
+        trace.add(d.temperatureC, 1);
+        trace.add(table.opp(d.freqIndex).coreMhz / 1000.0, 2);
+    }
+    trace.print(std::cout);
+
+    printBanner(std::cout, "Frequency residency");
+    TextTable res({"core GHz", "seconds", "share %"});
+    for (size_t f = 0; f < m.freqResidencySec.size(); ++f) {
+        if (m.freqResidencySec[f] <= 0.0)
+            continue;
+        res.beginRow();
+        res.add(table.opp(f).coreMhz / 1000.0, 2);
+        res.add(m.freqResidencySec[f], 3);
+        res.add(100.0 * m.freqResidencySec[f] / m.loadTimeSec, 1);
+    }
+    res.print(std::cout);
+
+    printBanner(std::cout, "Mean power breakdown (W)");
+    TextTable brk({"baseline", "core dyn", "L2 traffic", "DRAM",
+                   "leakage", "switch", "total"});
+    brk.beginRow();
+    brk.add(m.meanBreakdown.baseline, 3);
+    brk.add(m.meanBreakdown.coreDynamic, 3);
+    brk.add(m.meanBreakdown.l2Traffic, 3);
+    brk.add(m.meanBreakdown.dram, 3);
+    brk.add(m.meanBreakdown.leakage, 3);
+    brk.add(m.meanBreakdown.dvfsSwitch, 3);
+    brk.add(m.meanBreakdown.total(), 3);
+    brk.print(std::cout);
+    return 0;
+}

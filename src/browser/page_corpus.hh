@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The 18-page browsing corpus.
+ *
+ * Stand-ins for the paper's "Alexa top 500" pages (Section IV-B),
+ * with feature vectors spanning the complexity range the paper reports
+ * (load times from a few hundred milliseconds to ~4 s when run alone)
+ * and the Table III low/high classification. Fourteen pages form the
+ * model-training set; four (Twitter, Alibaba, Firefox, Imgur) are held
+ * out to build the Webpage-Neutral test workloads.
+ */
+
+#ifndef DORA_BROWSER_PAGE_CORPUS_HH
+#define DORA_BROWSER_PAGE_CORPUS_HH
+
+#include <vector>
+
+#include "browser/web_page.hh"
+
+namespace dora
+{
+
+/**
+ * Accessors for the fixed page corpus. All functions return references
+ * into a process-lifetime table.
+ */
+class PageCorpus
+{
+  public:
+    /** All 18 pages, ordered roughly by complexity. */
+    static const std::vector<WebPage> &all();
+
+    /** Page by name; fatal() if unknown. */
+    static const WebPage &byName(const std::string &name);
+
+    /** The 14 training-set pages. */
+    static std::vector<const WebPage *> trainingSet();
+
+    /** The 4 held-out test pages. */
+    static std::vector<const WebPage *> testSet();
+};
+
+} // namespace dora
+
+#endif // DORA_BROWSER_PAGE_CORPUS_HH

@@ -1,0 +1,168 @@
+#include "browser/page_load.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace dora
+{
+
+const std::string PageLoad::kDoneName = "done";
+
+RenderThreadTask::RenderThreadTask(PageLoad &owner, Role role)
+    : owner_(owner), role_(role),
+      name_(owner.page().name +
+            (role == Role::Main ? ":render-main" : ":render-helper"))
+{
+}
+
+TaskDemand
+RenderThreadTask::demand(double now_sec)
+{
+    (void)now_sec;
+    return owner_.demandFor(role_);
+}
+
+void
+RenderThreadTask::advance(const TickResult &result, double dt_sec)
+{
+    owner_.advanceFor(role_, result, dt_sec);
+}
+
+bool
+RenderThreadTask::finished() const
+{
+    return owner_.finished();
+}
+
+void
+RenderThreadTask::reset()
+{
+    // PageLoad::reset() restores both facades; individual facade resets
+    // are idempotent via the owner.
+    owner_.reset();
+}
+
+PageLoad::PageLoad(const WebPage &page, const RenderCostModel &cost,
+                   uint64_t stream_salt)
+    : page_(page), cost_(cost), streamSalt_(stream_salt),
+      phases_(cost.phases(page)),
+      main_(*this, RenderThreadTask::Role::Main),
+      helper_(*this, RenderThreadTask::Role::Helper)
+{
+    if (phases_.empty())
+        fatal("PageLoad: page '%s' produced no phases", page.name.c_str());
+    reset();
+}
+
+void
+PageLoad::rebuildStreams()
+{
+    // Both browser threads reference the same data region (shared DOM,
+    // style structures, layer buffers), so they share lines in the L2.
+    const uint64_t base_line = (1 + streamSalt_) << 28;
+    const AddressStreamSpec &spec = phases_[std::min(
+        phase_, phases_.size() - 1)].stream;
+    Rng seed("page:" + page_.name + "/salt:" +
+             std::to_string(streamSalt_));
+    mainStream_ = std::make_unique<AddressStream>(spec, base_line,
+                                                  seed.fork("main"));
+    helperStream_ = std::make_unique<AddressStream>(spec, base_line,
+                                                    seed.fork("helper"));
+}
+
+void
+PageLoad::reset()
+{
+    phase_ = 0;
+    elapsedSec_ = 0.0;
+    remainMain_.resize(phases_.size());
+    remainHelper_.resize(phases_.size());
+    for (size_t p = 0; p < phases_.size(); ++p) {
+        const double work = phases_[p].instructions;
+        const double parallel = work * phases_[p].parallelFraction;
+        remainMain_[p] = (work - parallel) + parallel / 2.0;
+        remainHelper_[p] = parallel / 2.0;
+    }
+    rebuildStreams();
+}
+
+bool
+PageLoad::finished() const
+{
+    return phase_ >= phases_.size();
+}
+
+double
+PageLoad::loadTimeSec() const
+{
+    if (!finished())
+        panic("PageLoad::loadTimeSec: page '%s' still loading",
+              page_.name.c_str());
+    return elapsedSec_;
+}
+
+const std::string &
+PageLoad::currentPhaseName() const
+{
+    return finished() ? kDoneName : phases_[phase_].name;
+}
+
+TaskDemand
+PageLoad::demandFor(RenderThreadTask::Role role)
+{
+    TaskDemand d;
+    if (finished())
+        return d;
+
+    const bool is_main = role == RenderThreadTask::Role::Main;
+    const double remaining =
+        is_main ? remainMain_[phase_] : remainHelper_[phase_];
+    if (remaining <= 0.0)
+        return d;  // waiting at the phase barrier
+
+    const RenderPhase &phase = phases_[phase_];
+    d.active = true;
+    d.baseCpi = phase.baseCpi;
+    d.memRefsPerInstr = phase.refsPerInstr;
+    d.mlp = phase.mlp;
+    d.dutyCycle = 1.0;
+    d.instrBudget = remaining;
+    d.activityFactor = phase.activityFactor;
+    d.stream = is_main ? mainStream_.get() : helperStream_.get();
+    return d;
+}
+
+void
+PageLoad::advanceFor(RenderThreadTask::Role role, const TickResult &result,
+                     double dt_sec)
+{
+    if (finished())
+        return;
+    const bool is_main = role == RenderThreadTask::Role::Main;
+    if (is_main)
+        elapsedSec_ += dt_sec;
+
+    double &remaining = is_main ? remainMain_[phase_]
+                                : remainHelper_[phase_];
+    remaining = std::max(0.0, remaining - result.instructions);
+    maybeAdvancePhase();
+}
+
+void
+PageLoad::maybeAdvancePhase()
+{
+    while (!finished() && remainMain_[phase_] <= 0.0 &&
+           remainHelper_[phase_] <= 0.0) {
+        ++phase_;
+        if (!finished()) {
+            // Same data region, new locality shape for the new phase.
+            mainStream_->reshape(phases_[phase_].stream);
+            helperStream_->reshape(phases_[phase_].stream);
+        }
+    }
+}
+
+} // namespace dora

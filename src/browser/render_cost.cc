@@ -1,0 +1,144 @@
+#include "browser/render_cost.hh"
+
+#include <algorithm>
+
+#include "common/units.hh"
+
+namespace dora
+{
+
+double
+htmlBytes(const WebPageFeatures &f)
+{
+    // Rough-but-monotone document size: tag + attribute text.
+    return 40.0 * f.domNodes + 24.0 * (f.classAttrs + f.hrefAttrs) +
+        16.0 * (f.aTags + f.divTags);
+}
+
+RenderCostModel::RenderCostModel(const RenderCostConfig &config)
+    : config_(config)
+{
+}
+
+std::vector<RenderPhase>
+RenderCostModel::phases(const WebPage &page) const
+{
+    const WebPageFeatures &f = page.features;
+    const RenderCostConfig &c = config_;
+    std::vector<RenderPhase> out;
+
+    // Parse: streaming pass over the HTML text; mostly sequential, small
+    // working set, largely serial (speculative tokenization caps TLP).
+    {
+        RenderPhase p;
+        p.name = "parse";
+        p.instructions = c.parsePerNode * f.domNodes +
+            c.parsePerTag * (f.aTags + f.divTags);
+        p.parallelFraction = 0.30;
+        p.baseCpi = 0.9;
+        p.refsPerInstr = 0.25;
+        p.mlp = 2.0;
+        p.activityFactor = 0.55;
+        p.stream.workingSetBytes =
+            std::max(64.0 * 1024, htmlBytes(f)) * 2.0;
+        p.stream.hotFraction = 0.95;
+        p.stream.hotSetFraction = 0.03;
+        p.stream.burstContinueProb = 0.85;
+        out.push_back(p);
+    }
+
+    // Style: selector matching over the DOM — pointer chasing with an
+    // interaction cost in nodes x classAttrs.
+    {
+        RenderPhase p;
+        p.name = "style";
+        p.instructions = c.stylePerNode * f.domNodes +
+            c.stylePerClass * f.classAttrs +
+            c.styleNodeClass * f.domNodes * f.classAttrs;
+        p.parallelFraction = 0.70;
+        p.baseCpi = 1.1;
+        p.refsPerInstr = 0.30;
+        p.mlp = 1.4;
+        p.activityFactor = 0.50;
+        p.stream.workingSetBytes = 96.0 * f.domNodes +
+            64.0 * f.classAttrs + 128.0 * 1024;
+        p.stream.hotFraction = 0.94;
+        p.stream.hotSetFraction = 0.08;
+        p.stream.burstContinueProb = 0.15;
+        out.push_back(p);
+    }
+
+    // Script: branchy JS execution over a heap sized by page weight.
+    {
+        RenderPhase p;
+        p.name = "script";
+        p.instructions = page.scriptWeight * c.scriptPerLink *
+            (f.aTags + f.hrefAttrs);
+        p.parallelFraction = 0.35;
+        p.baseCpi = 1.3;
+        p.refsPerInstr = 0.22;
+        p.mlp = 1.3;
+        p.activityFactor = 0.60;
+        p.stream.workingSetBytes = 0.9e6 * page.scriptWeight + 256e3;
+        p.stream.hotFraction = 0.93;
+        p.stream.hotSetFraction = 0.006;
+        p.stream.burstContinueProb = 0.30;
+        out.push_back(p);
+    }
+
+    // Layout: box-tree traversal; moderately parallel.
+    {
+        RenderPhase p;
+        p.name = "layout";
+        p.instructions = c.layoutPerDiv * f.divTags +
+            c.layoutPerNode * f.domNodes +
+            c.layoutNodeDiv * f.domNodes * f.divTags;
+        p.parallelFraction = 0.50;
+        p.baseCpi = 1.0;
+        p.refsPerInstr = 0.28;
+        p.mlp = 1.3;
+        p.activityFactor = 0.50;
+        p.stream.workingSetBytes = 200.0 * f.domNodes + 256e3;
+        p.stream.hotFraction = 0.94;
+        p.stream.hotSetFraction = 0.025;
+        p.stream.burstContinueProb = 0.40;
+        out.push_back(p);
+    }
+
+    // Paint: rasterization — streaming over decoded content; SIMD-like
+    // IPC and deep MLP, big working set that thrashes the L2.
+    {
+        RenderPhase p;
+        p.name = "paint";
+        p.instructions = c.paintPerNode * f.domNodes +
+            c.paintPerByte * page.contentBytes;
+        p.parallelFraction = 0.80;
+        p.baseCpi = 0.7;
+        p.refsPerInstr = 0.35;
+        p.mlp = 6.0;
+        p.activityFactor = 0.65;
+        // Tiled rasterization: the active working set is a window over
+        // the decoded content, sized to be L2-resident when alone --
+        // which is exactly what makes it vulnerable to co-runner
+        // eviction.
+        p.stream.workingSetBytes = clampTo(
+            0.35 * page.contentBytes, 0.8e6, 1.6e6);
+        p.stream.hotFraction = 0.93;
+        p.stream.hotSetFraction = 0.004;
+        p.stream.burstContinueProb = 0.90;
+        out.push_back(p);
+    }
+
+    return out;
+}
+
+double
+RenderCostModel::totalInstructions(const WebPage &page) const
+{
+    double total = 0.0;
+    for (const auto &phase : phases(page))
+        total += phase.instructions;
+    return total;
+}
+
+} // namespace dora

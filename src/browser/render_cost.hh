@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Rendering-engine cost model: converts a WebPage into the sequence of
+ * render phases (parse -> style -> script -> layout -> paint) that the
+ * browser task executes.
+ *
+ * Per Section II-A of the paper, the rendering engine parses the HTML
+ * into a DOM tree (cost scales with tags/nodes), resolves CSS (cost
+ * scales with class attributes per node — giving the interaction term
+ * that makes the paper's interaction response surface win), runs
+ * scripts, computes layout, and paints. Each phase carries its own
+ * instruction mix and working set, producing the phase behaviour that
+ * motivates DORA's 100 ms decision interval (Section IV-C).
+ */
+
+#ifndef DORA_BROWSER_RENDER_COST_HH
+#define DORA_BROWSER_RENDER_COST_HH
+
+#include <string>
+#include <vector>
+
+#include "browser/web_page.hh"
+#include "mem/address_stream.hh"
+
+namespace dora
+{
+
+/** One render phase of a page load. */
+struct RenderPhase
+{
+    std::string name;
+    double instructions = 0.0;      //!< total work for the phase
+    double parallelFraction = 0.5;  //!< share splittable to the helper
+    double baseCpi = 1.0;
+    double refsPerInstr = 0.25;
+    double mlp = 1.5;
+    double activityFactor = 0.5;
+    AddressStreamSpec stream;
+};
+
+/** Tunable coefficients of the phase cost model. */
+struct RenderCostConfig
+{
+    // Instruction-cost coefficients (instructions per feature unit).
+    double parsePerNode = 0.22e6;
+    double parsePerTag = 0.12e6;
+    double stylePerNode = 0.18e6;
+    double stylePerClass = 0.30e6;
+    double styleNodeClass = 0.15;   //!< interaction: nodes x classAttrs
+    double scriptPerLink = 0.50e6;  //!< scaled by page scriptWeight
+    double layoutPerDiv = 0.25e6;
+    double layoutPerNode = 0.10e6;
+    double layoutNodeDiv = 0.08;    //!< interaction: nodes x divTags
+    double paintPerNode = 0.09e6;
+    double paintPerByte = 55.0;
+};
+
+/**
+ * Builds the phase list for a page.
+ */
+class RenderCostModel
+{
+  public:
+    explicit RenderCostModel(const RenderCostConfig &config = {});
+
+    /** Phase sequence, in execution order. */
+    std::vector<RenderPhase> phases(const WebPage &page) const;
+
+    /** Sum of phase instruction costs. */
+    double totalInstructions(const WebPage &page) const;
+
+    const RenderCostConfig &config() const { return config_; }
+
+  private:
+    RenderCostConfig config_;
+};
+
+} // namespace dora
+
+#endif // DORA_BROWSER_RENDER_COST_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Web-page description: the five complexity features the paper's models
+ * consume (Table I, X1-X5) plus payload properties that drive the
+ * rendering workload.
+ *
+ * Following Zhu et al. (HPCA'13), the paper identifies the number of DOM
+ * tree nodes, class and href attributes, and a and div tags as the page
+ * properties that best predict load time; all are known *before* the
+ * page renders, which is what makes ahead-of-time load-time prediction
+ * possible.
+ */
+
+#ifndef DORA_BROWSER_WEB_PAGE_HH
+#define DORA_BROWSER_WEB_PAGE_HH
+
+#include <string>
+
+namespace dora
+{
+
+/** The paper's five static page-complexity features (Table I X1-X5). */
+struct WebPageFeatures
+{
+    double domNodes = 0.0;    //!< X1: number of DOM tree nodes
+    double classAttrs = 0.0;  //!< X2: number of class attributes
+    double hrefAttrs = 0.0;   //!< X3: number of href attributes
+    double aTags = 0.0;       //!< X4: number of <a> tags
+    double divTags = 0.0;     //!< X5: number of <div> tags
+};
+
+/** Table III load-time class when rendered alone. */
+enum class PageComplexity
+{
+    Low,  //!< loads in < 2 s alone
+    High  //!< loads in > 2 s alone
+};
+
+/**
+ * A page in the corpus: features plus payload properties used by the
+ * rendering-engine model (not visible to the predictors).
+ */
+struct WebPage
+{
+    std::string name;
+    WebPageFeatures features;
+
+    /** Decoded image/CSS payload bytes (drives the paint working set). */
+    double contentBytes = 1.0e6;
+
+    /** Relative script-execution weight (drives the script phase). */
+    double scriptWeight = 1.0;
+
+    /** Table III class (ground truth; verified by tab03 bench). */
+    PageComplexity expectedClass = PageComplexity::Low;
+
+    /** True if the page belongs to the model-training set (14 of 18). */
+    bool trainingSet = true;
+};
+
+/** Approximate raw HTML size in bytes, derived from the features. */
+double htmlBytes(const WebPageFeatures &f);
+
+} // namespace dora
+
+#endif // DORA_BROWSER_WEB_PAGE_HH

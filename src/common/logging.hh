@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 spirit.
+ *
+ * fatal() is for user errors (bad configuration, impossible request) and
+ * exits with status 1; panic() is for internal invariant violations and
+ * aborts. inform()/warn() report status without stopping the run.
+ */
+
+#ifndef DORA_COMMON_LOGGING_HH
+#define DORA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dora
+{
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel
+{
+    Quiet,   //!< suppress inform(); warnings still shown
+    Normal,  //!< default: inform() and warn() shown
+    Verbose  //!< additionally show debugLog() messages
+};
+
+/** Set the process-wide verbosity. Thread-compatible, not thread-safe. */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+/** Informative status message (printf-style). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning about questionable conditions (printf-style). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Extra-chatty diagnostics, only shown at LogLevel::Verbose. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable user error: print the message and exit(1).
+ * Use for bad configuration or arguments, not for library bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal invariant violation: print the message and abort().
+ * Use only for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace dora
+
+#endif // DORA_COMMON_LOGGING_HH

@@ -1,0 +1,133 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+uint64_t
+hashLabel(std::string_view label)
+{
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (unsigned char c : label) {
+        h ^= c;
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+Rng::Rng(std::string_view label)
+    : Rng(hashLabel(label))
+{
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    if (lo > hi)
+        panic("Rng::uniform: lo (%g) > hi (%g)", lo, hi);
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    if (n == 0)
+        panic("Rng::below: n must be positive");
+    // Modulo bias is negligible for the simulator's n << 2^64.
+    return next() % n;
+}
+
+double
+Rng::gaussian()
+{
+    // Box-Muller; discard the second value for simplicity.
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double sd)
+{
+    return mean + sd * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+uint64_t
+Rng::burstLength(double continue_prob, uint64_t cap)
+{
+    uint64_t len = 1;
+    while (len < cap && chance(continue_prob))
+        ++len;
+    return len;
+}
+
+Rng
+Rng::fork(std::string_view salt)
+{
+    return Rng(next() ^ hashLabel(salt));
+}
+
+} // namespace dora

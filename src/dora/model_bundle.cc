@@ -1,0 +1,142 @@
+#include "dora/model_bundle.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "dora/features.hh"
+#include "power/leakage.hh"
+
+namespace dora
+{
+
+ModelBundle::ModelBundle()
+    : timeModel(SurfaceKind::Interaction, kNumFeatures),
+      powerModel(SurfaceKind::Linear, kNumFeatures)
+{
+}
+
+bool
+ModelBundle::ready() const
+{
+    return timeModel.trained() && powerModel.trained();
+}
+
+double
+ModelBundle::predictLoadTime(const std::vector<double> &x,
+                             double bus_mhz) const
+{
+    // A regression surface can dip non-physical at the edges of the
+    // training envelope; clamp to a millisecond floor.
+    return std::max(1e-3, timeModel.predict(x, bus_mhz));
+}
+
+double
+ModelBundle::fittedLeakage(double voltage, double temp_c) const
+{
+    if (!leakageFitted)
+        return 0.0;
+    return LeakageModel(leakage).power(voltage, temp_c);
+}
+
+double
+ModelBundle::predictTotalPower(const std::vector<double> &x,
+                               double bus_mhz, double voltage,
+                               double temp_c, bool include_leakage) const
+{
+    const double surface = powerModel.predict(x, bus_mhz);
+    const double leak =
+        include_leakage ? fittedLeakage(voltage, temp_c) : 0.0;
+    return std::max(1e-3, surface + leak);
+}
+
+std::string
+ModelBundle::serialize() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "dora-model-bundle " << kFormatVersion << "\n";
+    out << "leakage " << (leakageFitted ? 1 : 0);
+    for (double p : leakage.toArray())
+        out << " " << p;
+    out << "\n";
+    out << timeModel.serialize();
+    out << powerModel.serialize();
+    return out.str();
+}
+
+ModelBundle
+ModelBundle::deserialize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string tag;
+    int version = 0;
+    in >> tag >> version;
+    if (tag != "dora-model-bundle")
+        fatal("ModelBundle::deserialize: bad magic");
+    if (version != kFormatVersion)
+        fatal("ModelBundle::deserialize: version %d != %d", version,
+              kFormatVersion);
+
+    ModelBundle bundle;
+    int fitted = 0;
+    in >> tag >> fitted;
+    if (tag != "leakage")
+        fatal("ModelBundle::deserialize: expected 'leakage'");
+    std::array<double, 6> params{};
+    for (double &p : params)
+        in >> p;
+    bundle.leakage = LeakageParams::fromArray(params);
+    bundle.leakageFitted = fitted != 0;
+    std::string line;
+    std::getline(in, line);  // end of leakage line
+
+    // The rest of the stream is two piecewise blocks; split on the
+    // second "piecewise" header.
+    std::string rest, second;
+    bool in_second = false;
+    while (std::getline(in, line)) {
+        if (line.rfind("piecewise ", 0) == 0 && !rest.empty())
+            in_second = true;
+        (in_second ? second : rest) += line + "\n";
+    }
+    bundle.timeModel = PiecewiseSurface::deserialize(rest);
+    bundle.powerModel = PiecewiseSurface::deserialize(second);
+    return bundle;
+}
+
+bool
+ModelBundle::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("ModelBundle::save: cannot open %s", path.c_str());
+        return false;
+    }
+    out << serialize();
+    return static_cast<bool>(out);
+}
+
+ModelBundle
+ModelBundle::tryLoad(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return ModelBundle();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    // Cheap version gate before committing to a full parse.
+    std::istringstream head(text);
+    std::string tag;
+    int version = 0;
+    head >> tag >> version;
+    if (tag != "dora-model-bundle" || version != kFormatVersion) {
+        inform("ModelBundle: %s is stale (version %d); retraining",
+               path.c_str(), version);
+        return ModelBundle();
+    }
+    return deserialize(text);
+}
+
+} // namespace dora

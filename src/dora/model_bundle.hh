@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The trained-model bundle DORA carries at runtime: the piece-wise
+ * interaction surface for web-page load time, the piece-wise linear
+ * surface for non-leakage device power, and the fitted Liao leakage
+ * parameters (plus the idle constant absorbed during the leakage fit).
+ *
+ * predictTotalPower() recomposes total device power as
+ *   surface(X) + Liao(v, T)
+ * where the surface was trained on (measured power - fitted leakage),
+ * so leakage's temperature dependence stays explicit — that is what
+ * lets DORA react to die temperature (Section V-F / Fig. 10).
+ */
+
+#ifndef DORA_DORA_MODEL_BUNDLE_HH
+#define DORA_DORA_MODEL_BUNDLE_HH
+
+#include <string>
+
+#include "model/piecewise.hh"
+#include "power/leakage.hh"
+
+namespace dora
+{
+
+/**
+ * Serializable container for DORA's trained predictors.
+ */
+struct ModelBundle
+{
+    /** Bump when the on-disk format or training semantics change. */
+    static constexpr int kFormatVersion = 4;
+
+    PiecewiseSurface timeModel;   //!< load time (s) ~ X (interaction)
+    PiecewiseSurface powerModel;  //!< non-leakage power (W) ~ X (linear)
+    LeakageParams leakage;        //!< fitted Liao parameters
+    bool leakageFitted = false;
+
+    ModelBundle();
+
+    /** True when both surfaces trained. */
+    bool ready() const;
+
+    /** Predicted whole-page load time (s) at feature vector @p x. */
+    double predictLoadTime(const std::vector<double> &x,
+                           double bus_mhz) const;
+
+    /**
+     * Predicted total device power (W).
+     * @param include_leakage false reproduces the DORA_no_lkg ablation
+     *        (decision from the non-leakage component only)
+     */
+    double predictTotalPower(const std::vector<double> &x, double bus_mhz,
+                             double voltage, double temp_c,
+                             bool include_leakage = true) const;
+
+    /** Leakage power (W) under the fitted parameters. */
+    double fittedLeakage(double voltage, double temp_c) const;
+
+    /** Serialize to a version-stamped text blob. */
+    std::string serialize() const;
+
+    /** Parse a blob; fatal() on malformed/mismatched version. */
+    static ModelBundle deserialize(const std::string &text);
+
+    /** Write to @p path; warns and returns false on failure. */
+    bool save(const std::string &path) const;
+
+    /**
+     * Load from @p path. Returns empty optional-like flag via ready():
+     * returns a default bundle (not ready()) when the file is missing
+     * or has a stale version.
+     */
+    static ModelBundle tryLoad(const std::string &path);
+};
+
+} // namespace dora
+
+#endif // DORA_DORA_MODEL_BUNDLE_HH

@@ -1,0 +1,167 @@
+#include "dora/predictive_governor.hh"
+
+#include "common/logging.hh"
+#include "dora/features.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+std::string
+modeName(const PredictiveConfig &config)
+{
+    switch (config.mode) {
+      case PredictiveMode::Dora:
+        return config.includeLeakage ? "DORA" : "DORA_no_lkg";
+      case PredictiveMode::DeadlineOnly:
+        return "DL";
+      case PredictiveMode::EnergyOnly:
+        return "EE";
+    }
+    return "?";
+}
+
+} // namespace
+
+PredictiveGovernor::PredictiveGovernor(
+    std::shared_ptr<const ModelBundle> models,
+    const PredictiveConfig &config)
+    : models_(std::move(models)), config_(config),
+      name_(modeName(config))
+{
+    if (!models_)
+        fatal("PredictiveGovernor: null model bundle");
+    if (!models_->ready())
+        fatal("PredictiveGovernor '%s': model bundle is not trained",
+              name_.c_str());
+}
+
+void
+PredictiveGovernor::reset()
+{
+    idleFallback_.reset();
+    lastEval_.clear();
+}
+
+size_t
+PredictiveGovernor::decideFrequencyIndex(const GovernorView &view)
+{
+    const FreqTable &table = *view.freqTable;
+    if (view.page == nullptr) {
+        // No page in flight: nothing to predict for. Track utilization
+        // like the stock governor so background work (and the die
+        // temperature entering the next load) matches how a deployed
+        // daemon behaves between page loads.
+        return idleFallback_.decideFrequencyIndex(view);
+    }
+
+    // Algorithm 1: explore every frequency setting with the current
+    // runtime signals plugged into the models.
+    lastEval_.clear();
+    lastEval_.reserve(table.size());
+    for (size_t f = 0; f < table.size(); ++f) {
+        const OperatingPoint &opp = table.opp(f);
+        const auto x = buildFeatureVector(
+            *view.page, view.l2Mpki, opp.coreMhz, opp.busMhz,
+            view.corunUtilization);
+
+        CandidateEval eval;
+        eval.freqIndex = f;
+        eval.predLoadTimeSec =
+            models_->predictLoadTime(x, opp.busMhz);
+        eval.predPowerW = models_->predictTotalPower(
+            x, opp.busMhz, opp.voltage, view.temperatureC,
+            config_.includeLeakage);
+        eval.predPpw =
+            1.0 / (eval.predLoadTimeSec * eval.predPowerW);
+        eval.meetsDeadline = eval.predLoadTimeSec <= view.deadlineSec;
+        lastEval_.push_back(eval);
+    }
+
+    return selectFrequency(lastEval_, config_.mode, table.maxIndex());
+}
+
+size_t
+PredictiveGovernor::selectFrequency(
+    const std::vector<CandidateEval> &evals, PredictiveMode mode,
+    size_t max_index)
+{
+    if (evals.empty())
+        return max_index;
+
+    switch (mode) {
+      case PredictiveMode::Dora: {
+          double best_ppw = 0.0;
+          size_t best = max_index;  // QoS priority when nothing meets
+          bool any = false;
+          for (const auto &e : evals) {
+              if (!e.meetsDeadline)
+                  continue;
+              if (!any || e.predPpw > best_ppw) {
+                  best_ppw = e.predPpw;
+                  best = e.freqIndex;
+                  any = true;
+              }
+          }
+          return best;
+      }
+      case PredictiveMode::DeadlineOnly: {
+          // Lowest OPP predicted to meet the deadline (fD).
+          for (const auto &e : evals)
+              if (e.meetsDeadline)
+                  return e.freqIndex;
+          return max_index;
+      }
+      case PredictiveMode::EnergyOnly: {
+          // Global PPW maximum, deadline-oblivious (fE).
+          double best_ppw = 0.0;
+          size_t best = evals.front().freqIndex;
+          for (const auto &e : evals) {
+              if (e.predPpw > best_ppw) {
+                  best_ppw = e.predPpw;
+                  best = e.freqIndex;
+              }
+          }
+          return best;
+      }
+    }
+    return max_index;
+}
+
+PredictiveGovernor
+makeDora(std::shared_ptr<const ModelBundle> models, double interval_sec)
+{
+    PredictiveConfig config;
+    config.mode = PredictiveMode::Dora;
+    config.decisionIntervalSec = interval_sec;
+    return PredictiveGovernor(std::move(models), config);
+}
+
+PredictiveGovernor
+makeDl(std::shared_ptr<const ModelBundle> models)
+{
+    PredictiveConfig config;
+    config.mode = PredictiveMode::DeadlineOnly;
+    return PredictiveGovernor(std::move(models), config);
+}
+
+PredictiveGovernor
+makeEe(std::shared_ptr<const ModelBundle> models)
+{
+    PredictiveConfig config;
+    config.mode = PredictiveMode::EnergyOnly;
+    return PredictiveGovernor(std::move(models), config);
+}
+
+PredictiveGovernor
+makeDoraNoLeakage(std::shared_ptr<const ModelBundle> models)
+{
+    PredictiveConfig config;
+    config.mode = PredictiveMode::Dora;
+    config.includeLeakage = false;
+    return PredictiveGovernor(std::move(models), config);
+}
+
+} // namespace dora

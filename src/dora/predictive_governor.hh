@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The model-predictive governors: DORA itself (Algorithm 1 of the
+ * paper) and the two hypothetical comparison policies built from the
+ * same predictors (Section V-C):
+ *
+ *   DORA — among OPPs whose predicted load time meets the QoS target,
+ *          pick the one maximizing predicted PPW = 1/(time x power);
+ *          if none meets the target, run flat out (QoS priority).
+ *   DL   — Deadline: the lowest OPP whose predicted load time meets
+ *          the target, disregarding energy; flat out if none.
+ *   EE   — Energy Efficient: the OPP maximizing predicted PPW,
+ *          disregarding the deadline entirely.
+ *
+ * All three re-evaluate every decision interval with fresh runtime
+ * signals (L2 MPKI, co-runner utilization, die temperature), which is
+ * what makes them interference-aware.
+ */
+
+#ifndef DORA_DORA_PREDICTIVE_GOVERNOR_HH
+#define DORA_DORA_PREDICTIVE_GOVERNOR_HH
+
+#include <memory>
+
+#include "dora/model_bundle.hh"
+#include "governor/governor.hh"
+
+namespace dora
+{
+
+/** Policy variants sharing the predictive machinery. */
+enum class PredictiveMode
+{
+    Dora,          //!< Algorithm 1
+    DeadlineOnly,  //!< DL
+    EnergyOnly     //!< EE
+};
+
+/** Options for a predictive governor. */
+struct PredictiveConfig
+{
+    PredictiveMode mode = PredictiveMode::Dora;
+    double decisionIntervalSec = 0.1;  //!< paper Section IV-C
+    bool includeLeakage = true;        //!< false = DORA_no_lkg ablation
+};
+
+/** One row of the frequency-exploration loop (for introspection). */
+struct CandidateEval
+{
+    size_t freqIndex = 0;
+    double predLoadTimeSec = 0.0;
+    double predPowerW = 0.0;
+    double predPpw = 0.0;
+    bool meetsDeadline = false;
+};
+
+/**
+ * DORA / DL / EE governor over a trained ModelBundle.
+ */
+class PredictiveGovernor : public Governor
+{
+  public:
+    /**
+     * @param models  trained bundle (shared; must outlive the governor)
+     * @param config  policy variant and tunables
+     */
+    PredictiveGovernor(std::shared_ptr<const ModelBundle> models,
+                       const PredictiveConfig &config = {});
+
+    const std::string &name() const override { return name_; }
+    double decisionIntervalSec() const override
+    {
+        return config_.decisionIntervalSec;
+    }
+    size_t decideFrequencyIndex(const GovernorView &view) override;
+    void reset() override;
+
+    /**
+     * The per-OPP evaluation table from the most recent decision
+     * (empty before the first page-context decision). Exposed for the
+     * fig06/fig11 benches and tests.
+     */
+    const std::vector<CandidateEval> &lastEvaluation() const
+    {
+        return lastEval_;
+    }
+
+    const PredictiveConfig &config() const { return config_; }
+
+    /**
+     * Stateless core of Algorithm 1: evaluate every OPP and pick the
+     * winner for @p mode. Exposed for unit tests.
+     */
+    static size_t selectFrequency(const std::vector<CandidateEval> &evals,
+                                  PredictiveMode mode, size_t max_index);
+
+  private:
+    std::shared_ptr<const ModelBundle> models_;
+    PredictiveConfig config_;
+    std::string name_;
+    std::vector<CandidateEval> lastEval_;
+    /** Utilization-tracking fallback for page-less intervals. */
+    InteractiveGovernor idleFallback_;
+};
+
+/** Convenience factories matching the paper's governor names. */
+PredictiveGovernor makeDora(std::shared_ptr<const ModelBundle> models,
+                            double interval_sec = 0.1);
+PredictiveGovernor makeDl(std::shared_ptr<const ModelBundle> models);
+PredictiveGovernor makeEe(std::shared_ptr<const ModelBundle> models);
+PredictiveGovernor makeDoraNoLeakage(
+    std::shared_ptr<const ModelBundle> models);
+
+} // namespace dora
+
+#endif // DORA_DORA_PREDICTIVE_GOVERNOR_HH

@@ -1,0 +1,91 @@
+#include "dora/sample_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "dora/features.hh"
+
+namespace dora
+{
+
+std::string
+samplesToCsv(const std::vector<TrainingSample> &samples)
+{
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto &name : featureNames())
+        out << name << ",";
+    out << "bus_mhz,voltage,load_time_s,mean_power_w,mean_temp_c\n";
+    for (const auto &s : samples) {
+        if (s.x.size() != kNumFeatures)
+            fatal("samplesToCsv: sample with %zu features", s.x.size());
+        for (double v : s.x)
+            out << v << ",";
+        out << s.busMhz << "," << s.voltage << "," << s.loadTimeSec
+            << "," << s.meanPowerW << "," << s.meanTempC << "\n";
+    }
+    return out.str();
+}
+
+std::vector<TrainingSample>
+samplesFromCsv(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("samplesFromCsv: empty input");
+
+    const size_t expected_cols = kNumFeatures + 5;
+    std::vector<TrainingSample> samples;
+    size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::vector<double> cols;
+        std::string cell;
+        while (std::getline(row, cell, ','))
+            cols.push_back(std::stod(cell));
+        if (cols.size() != expected_cols)
+            fatal("samplesFromCsv: line %zu has %zu columns, expected "
+                  "%zu", line_no, cols.size(), expected_cols);
+        TrainingSample s;
+        s.x.assign(cols.begin(),
+                   cols.begin() + static_cast<long>(kNumFeatures));
+        s.busMhz = cols[kNumFeatures + 0];
+        s.voltage = cols[kNumFeatures + 1];
+        s.loadTimeSec = cols[kNumFeatures + 2];
+        s.meanPowerW = cols[kNumFeatures + 3];
+        s.meanTempC = cols[kNumFeatures + 4];
+        samples.push_back(std::move(s));
+    }
+    return samples;
+}
+
+bool
+saveSamples(const std::vector<TrainingSample> &samples,
+            const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("saveSamples: cannot open %s", path.c_str());
+        return false;
+    }
+    out << samplesToCsv(samples);
+    return static_cast<bool>(out);
+}
+
+std::vector<TrainingSample>
+loadSamples(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return samplesFromCsv(buf.str());
+}
+
+} // namespace dora

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CSV export/import for measurement samples.
+ *
+ * The trainer's measurement campaign is the expensive part of the
+ * pipeline; persisting the raw (features, targets) samples lets model
+ * studies (e.g. the fig05 response-surface comparison, or offline
+ * experimentation in a spreadsheet/notebook) re-fit without re-running
+ * hundreds of simulated page loads.
+ */
+
+#ifndef DORA_DORA_SAMPLE_IO_HH
+#define DORA_DORA_SAMPLE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "dora/trainer.hh"
+
+namespace dora
+{
+
+/** Serialize samples as CSV (header + one row per sample). */
+std::string samplesToCsv(const std::vector<TrainingSample> &samples);
+
+/**
+ * Parse samples from CSV text produced by samplesToCsv().
+ * fatal() on malformed input.
+ */
+std::vector<TrainingSample> samplesFromCsv(const std::string &text);
+
+/** Write samples to @p path; warns and returns false on failure. */
+bool saveSamples(const std::vector<TrainingSample> &samples,
+                 const std::string &path);
+
+/**
+ * Load samples from @p path; returns an empty vector when the file is
+ * missing (callers treat that as "collect fresh").
+ */
+std::vector<TrainingSample> loadSamples(const std::string &path);
+
+} // namespace dora
+
+#endif // DORA_DORA_SAMPLE_IO_HH

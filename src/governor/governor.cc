@@ -1,0 +1,122 @@
+#include "governor/governor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+PerformanceGovernor::PerformanceGovernor()
+    : name_("performance")
+{
+}
+
+size_t
+PerformanceGovernor::decideFrequencyIndex(const GovernorView &view)
+{
+    return view.freqTable->maxIndex();
+}
+
+PowersaveGovernor::PowersaveGovernor()
+    : name_("powersave")
+{
+}
+
+size_t
+PowersaveGovernor::decideFrequencyIndex(const GovernorView &view)
+{
+    return view.freqTable->minIndex();
+}
+
+FixedGovernor::FixedGovernor(size_t freq_index)
+    : freqIndex_(freq_index), name_("fixed")
+{
+}
+
+size_t
+FixedGovernor::decideFrequencyIndex(const GovernorView &view)
+{
+    if (freqIndex_ >= view.freqTable->size())
+        panic("FixedGovernor: index %zu out of table", freqIndex_);
+    return freqIndex_;
+}
+
+void
+FixedGovernor::setFrequencyIndex(size_t freq_index)
+{
+    freqIndex_ = freq_index;
+}
+
+InteractiveGovernor::InteractiveGovernor(const InteractiveConfig &config)
+    : config_(config), name_("interactive")
+{
+}
+
+void
+InteractiveGovernor::reset()
+{
+    lastHighLoadSec_ = -1.0;
+}
+
+size_t
+InteractiveGovernor::decideFrequencyIndex(const GovernorView &view)
+{
+    const FreqTable &table = *view.freqTable;
+    const double util = view.totalUtilization;
+    const double cur_mhz = table.opp(view.freqIndex).coreMhz;
+
+    // Target frequency tracking the utilization setpoint.
+    double target_mhz = cur_mhz * util / config_.targetLoad;
+
+    // hispeed jump: a saturated core pulls the clock at least up to
+    // hispeed_freq immediately.
+    if (util >= config_.hispeedLoad)
+        target_mhz = std::max(target_mhz, config_.hispeedFreqMhz);
+
+    size_t target_idx = table.nearestIndex(target_mhz);
+    // Round up if the nearest OPP cannot serve the target.
+    if (table.opp(target_idx).coreMhz < target_mhz &&
+        target_idx < table.maxIndex())
+        ++target_idx;
+
+    if (target_idx > view.freqIndex) {
+        // Ramping up is immediate.
+        lastHighLoadSec_ = view.nowSec;
+        return target_idx;
+    }
+
+    // Ramping down requires min_sample_time of sustained low load.
+    if (util >= config_.targetLoad)
+        lastHighLoadSec_ = view.nowSec;
+    if (lastHighLoadSec_ >= 0.0 &&
+        view.nowSec - lastHighLoadSec_ < config_.minSampleTimeSec)
+        return view.freqIndex;
+    return target_idx;
+}
+
+OndemandGovernor::OndemandGovernor(const OndemandConfig &config)
+    : config_(config), name_("ondemand")
+{
+}
+
+size_t
+OndemandGovernor::decideFrequencyIndex(const GovernorView &view)
+{
+    const FreqTable &table = *view.freqTable;
+    const double util = view.totalUtilization;
+    if (util >= config_.upThreshold)
+        return table.maxIndex();
+
+    // Step down: the lowest frequency that would still keep the
+    // equivalent load under (up_threshold - down_differential).
+    const double cur_mhz = table.opp(view.freqIndex).coreMhz;
+    const double needed_mhz = cur_mhz * util /
+        std::max(0.05, config_.upThreshold - config_.downDifferential);
+    size_t idx = table.nearestIndex(needed_mhz);
+    if (table.opp(idx).coreMhz < needed_mhz && idx < table.maxIndex())
+        ++idx;
+    return idx;
+}
+
+} // namespace dora

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Frequency-governor interface.
+ *
+ * A governor is a userspace policy invoked at its own decision interval
+ * with a snapshot of runtime state (the GovernorView) and returns the
+ * operating-point index the SoC should run at. The experiment harness
+ * owns the invocation loop, mirroring how DORA is deployed on Android:
+ * a daemon reading perf counters and writing sysfs cpufreq knobs.
+ */
+
+#ifndef DORA_GOVERNOR_GOVERNOR_HH
+#define DORA_GOVERNOR_GOVERNOR_HH
+
+#include <cstddef>
+#include <string>
+
+#include "browser/web_page.hh"
+#include "soc/freq_table.hh"
+
+namespace dora
+{
+
+/**
+ * Snapshot of runtime state handed to a governor at each decision.
+ * All windowed quantities cover the interval since the previous
+ * decision.
+ */
+struct GovernorView
+{
+    double nowSec = 0.0;
+    size_t freqIndex = 0;              //!< current operating point
+    const FreqTable *freqTable = nullptr;
+
+    double totalUtilization = 0.0;     //!< max core busy fraction
+    double browserUtilization = 0.0;   //!< busy fraction of browser cores
+    double corunUtilization = 0.0;     //!< X9: co-scheduled task core util
+    double l2Mpki = 0.0;               //!< X6: shared L2 MPKI (all cores)
+    double temperatureC = 0.0;         //!< die temperature
+
+    const WebPageFeatures *page = nullptr;  //!< page loading, if any
+    double deadlineSec = 3.0;          //!< QoS target for the page load
+    double elapsedLoadSec = 0.0;       //!< time since the load started
+};
+
+/**
+ * Abstract frequency governor.
+ */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /** Governor name for tables ("interactive", "DORA", ...). */
+    virtual const std::string &name() const = 0;
+
+    /** Seconds between decisions (harness calls at this cadence). */
+    virtual double decisionIntervalSec() const = 0;
+
+    /** Pick the operating-point index for the next interval. */
+    virtual size_t decideFrequencyIndex(const GovernorView &view) = 0;
+
+    /** Clear internal state for a fresh run. */
+    virtual void reset() {}
+};
+
+/**
+ * Always runs at the highest OPP — Android's `performance` governor.
+ */
+class PerformanceGovernor : public Governor
+{
+  public:
+    PerformanceGovernor();
+    const std::string &name() const override { return name_; }
+    double decisionIntervalSec() const override { return 0.1; }
+    size_t decideFrequencyIndex(const GovernorView &view) override;
+
+  private:
+    std::string name_;
+};
+
+/**
+ * Always runs at the lowest OPP — Android's `powersave` governor.
+ * (The paper excludes it from comparisons for its 7-26 s load times;
+ * the tab03 bench demonstrates why.)
+ */
+class PowersaveGovernor : public Governor
+{
+  public:
+    PowersaveGovernor();
+    const std::string &name() const override { return name_; }
+    double decisionIntervalSec() const override { return 0.1; }
+    size_t decideFrequencyIndex(const GovernorView &view) override;
+
+  private:
+    std::string name_;
+};
+
+/**
+ * Pins a single OPP for a whole run: used for frequency sweeps (Figs.
+ * 1, 3, 6, 10b), model training, and the Offline_opt search.
+ */
+class FixedGovernor : public Governor
+{
+  public:
+    explicit FixedGovernor(size_t freq_index);
+
+    const std::string &name() const override { return name_; }
+    double decisionIntervalSec() const override { return 0.1; }
+    size_t decideFrequencyIndex(const GovernorView &view) override;
+
+    /** Change the pinned OPP (takes effect at the next decision). */
+    void setFrequencyIndex(size_t freq_index);
+
+  private:
+    size_t freqIndex_;
+    std::string name_;
+};
+
+/** Tunables of the interactive-governor reimplementation. */
+struct InteractiveConfig
+{
+    double intervalSec = 0.02;       //!< timer rate (20 ms)
+    double targetLoad = 0.90;        //!< utilization setpoint
+    double hispeedLoad = 0.85;       //!< jump threshold
+    double hispeedFreqMhz = 1190.4;  //!< jump target
+    double minSampleTimeSec = 0.08;  //!< dwell before ramping down
+};
+
+/**
+ * Reimplementation of Android's default `interactive` governor — the
+ * paper's baseline. Utilization-driven: jumps to hispeed_freq when a
+ * core saturates, tracks cur*util/target_load above it, and refuses to
+ * ramp down until the load has stayed low for min_sample_time.
+ */
+class InteractiveGovernor : public Governor
+{
+  public:
+    explicit InteractiveGovernor(const InteractiveConfig &config = {});
+
+    const std::string &name() const override { return name_; }
+    double decisionIntervalSec() const override
+    {
+        return config_.intervalSec;
+    }
+    size_t decideFrequencyIndex(const GovernorView &view) override;
+    void reset() override;
+
+    const InteractiveConfig &config() const { return config_; }
+
+  private:
+    InteractiveConfig config_;
+    std::string name_;
+    double lastHighLoadSec_ = -1.0;  //!< last time load was above target
+};
+
+/** Tunables of the ondemand-governor reimplementation. */
+struct OndemandConfig
+{
+    double intervalSec = 0.05;   //!< sampling rate
+    double upThreshold = 0.80;   //!< jump-to-max load threshold
+    /** Relative load headroom targeted when stepping down. */
+    double downDifferential = 0.10;
+};
+
+/**
+ * Reimplementation of the classic Linux `ondemand` governor, included
+ * as an additional baseline beyond the paper's comparisons: jump to
+ * the maximum OPP when utilization crosses up_threshold, otherwise
+ * step down proportionally to the observed load.
+ */
+class OndemandGovernor : public Governor
+{
+  public:
+    explicit OndemandGovernor(const OndemandConfig &config = {});
+
+    const std::string &name() const override { return name_; }
+    double decisionIntervalSec() const override
+    {
+        return config_.intervalSec;
+    }
+    size_t decideFrequencyIndex(const GovernorView &view) override;
+
+    const OndemandConfig &config() const { return config_; }
+
+  private:
+    OndemandConfig config_;
+    std::string name_;
+};
+
+} // namespace dora
+
+#endif // DORA_GOVERNOR_GOVERNOR_HH

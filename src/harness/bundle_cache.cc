@@ -1,0 +1,26 @@
+#include "harness/bundle_cache.hh"
+
+#include <cstdlib>
+
+#include "dora/trainer.hh"
+
+namespace dora
+{
+
+std::string
+defaultBundleCachePath()
+{
+    if (const char *env = std::getenv("DORA_MODEL_CACHE"))
+        return env;
+    return "dora_models.cache";
+}
+
+std::shared_ptr<const ModelBundle>
+loadOrTrainBundle()
+{
+    Trainer trainer;
+    return std::make_shared<const ModelBundle>(
+        trainer.trainCached(defaultBundleCachePath()));
+}
+
+} // namespace dora

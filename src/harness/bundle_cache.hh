@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared access to the trained model bundle for benches and examples.
+ *
+ * Training takes a few minutes of simulation, so the first binary that
+ * needs the models trains and caches them; later binaries reuse the
+ * cache. Set DORA_MODEL_CACHE to relocate the cache file, or delete it
+ * to force retraining.
+ */
+
+#ifndef DORA_HARNESS_BUNDLE_CACHE_HH
+#define DORA_HARNESS_BUNDLE_CACHE_HH
+
+#include <memory>
+#include <string>
+
+#include "dora/model_bundle.hh"
+
+namespace dora
+{
+
+/** Cache path: $DORA_MODEL_CACHE or "dora_models.cache" in the cwd. */
+std::string defaultBundleCachePath();
+
+/** Load the cached bundle or train one (and cache it). */
+std::shared_ptr<const ModelBundle> loadOrTrainBundle();
+
+} // namespace dora
+
+#endif // DORA_HARNESS_BUNDLE_CACHE_HH

@@ -1,0 +1,148 @@
+#include "harness/comparison.hh"
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+double
+ComparisonRecord::normalizedPpw(const std::string &governor) const
+{
+    const RunMeasurement &base = measurement("interactive");
+    const RunMeasurement &m = measurement(governor);
+    if (base.ppw <= 0.0)
+        panic("ComparisonRecord: zero baseline PPW for %s",
+              workload.label().c_str());
+    return m.ppw / base.ppw;
+}
+
+const RunMeasurement &
+ComparisonRecord::measurement(const std::string &governor) const
+{
+    auto it = byGovernor.find(governor);
+    if (it == byGovernor.end())
+        panic("ComparisonRecord: no measurement for governor '%s'",
+              governor.c_str());
+    return it->second;
+}
+
+ComparisonHarness::ComparisonHarness(
+    const ExperimentConfig &config,
+    std::shared_ptr<const ModelBundle> models)
+    : runner_(config), models_(std::move(models))
+{
+}
+
+const std::vector<std::string> &
+ComparisonHarness::paperGovernors()
+{
+    static const std::vector<std::string> names = {
+        "interactive", "performance", "DL", "EE", "DORA",
+    };
+    return names;
+}
+
+RunMeasurement
+ComparisonHarness::runOne(const WorkloadSpec &workload,
+                          const std::string &governor)
+{
+    if (governor == "interactive") {
+        InteractiveGovernor g;
+        return runner_.run(workload, g);
+    }
+    if (governor == "performance") {
+        PerformanceGovernor g;
+        return runner_.run(workload, g);
+    }
+    if (governor == "powersave") {
+        PowersaveGovernor g;
+        return runner_.run(workload, g);
+    }
+    if (governor == "ondemand") {
+        OndemandGovernor g;
+        return runner_.run(workload, g);
+    }
+    if (governor == "DL") {
+        PredictiveGovernor g = makeDl(models_);
+        return runner_.run(workload, g);
+    }
+    if (governor == "EE") {
+        PredictiveGovernor g = makeEe(models_);
+        return runner_.run(workload, g);
+    }
+    if (governor == "DORA") {
+        PredictiveGovernor g = makeDora(models_);
+        return runner_.run(workload, g);
+    }
+    if (governor == "DORA_no_lkg") {
+        PredictiveGovernor g = makeDoraNoLeakage(models_);
+        return runner_.run(workload, g);
+    }
+    fatal("ComparisonHarness: unknown governor '%s'", governor.c_str());
+}
+
+std::vector<ComparisonRecord>
+ComparisonHarness::runAll(const std::vector<WorkloadSpec> &workloads,
+                          const std::vector<std::string> &governors)
+{
+    const auto &names = governors.empty() ? paperGovernors() : governors;
+    std::vector<ComparisonRecord> records;
+    records.reserve(workloads.size());
+    for (const auto &workload : workloads) {
+        ComparisonRecord record;
+        record.workload = workload;
+        for (const auto &name : names)
+            record.byGovernor[name] = runOne(workload, name);
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+RunMeasurement
+ComparisonHarness::offlineOpt(const WorkloadSpec &workload)
+{
+    const FreqTable &table = runner_.freqTable();
+    RunMeasurement best;
+    RunMeasurement fastest;
+    bool have_meeting = false;
+    for (size_t f = 0; f < table.size(); ++f) {
+        RunMeasurement m = runner_.runAtFrequency(workload, f);
+        m.governor = "offline_opt";
+        if (f == table.maxIndex())
+            fastest = m;
+        if (m.meetsDeadline &&
+            (!have_meeting || m.ppw > best.ppw)) {
+            best = m;
+            have_meeting = true;
+        }
+    }
+    // Like DORA, fall back to flat-out when no OPP meets the deadline.
+    return have_meeting ? best : fastest;
+}
+
+double
+meanNormalizedPpw(const std::vector<ComparisonRecord> &records,
+                  const std::string &governor)
+{
+    if (records.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records)
+        sum += r.normalizedPpw(governor);
+    return sum / static_cast<double>(records.size());
+}
+
+double
+deadlineMeetRate(const std::vector<ComparisonRecord> &records,
+                 const std::string &governor)
+{
+    if (records.empty())
+        return 0.0;
+    double met = 0.0;
+    for (const auto &r : records)
+        if (r.measurement(governor).meetsDeadline)
+            met += 1.0;
+    return met / static_cast<double>(records.size());
+}
+
+} // namespace dora

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Governor-comparison harness behind Figures 7, 8, and 9: runs a set of
+ * workloads under every governor the paper compares (interactive,
+ * performance, DL, EE, DORA) and normalizes energy efficiency to the
+ * interactive baseline.
+ */
+
+#ifndef DORA_HARNESS_COMPARISON_HH
+#define DORA_HARNESS_COMPARISON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dora/model_bundle.hh"
+#include "dora/predictive_governor.hh"
+#include "runner/experiment.hh"
+
+namespace dora
+{
+
+/** Results of one workload under every compared governor. */
+struct ComparisonRecord
+{
+    WorkloadSpec workload;
+    std::map<std::string, RunMeasurement> byGovernor;
+
+    /** PPW of @p governor normalized to the interactive baseline. */
+    double normalizedPpw(const std::string &governor) const;
+
+    /** Measurement for @p governor; fatal() if missing. */
+    const RunMeasurement &measurement(const std::string &governor) const;
+};
+
+/**
+ * Owns the governor set and runs comparisons.
+ */
+class ComparisonHarness
+{
+  public:
+    /**
+     * @param config  per-run configuration (deadline etc.)
+     * @param models  trained bundle for the predictive governors
+     */
+    ComparisonHarness(const ExperimentConfig &config,
+                      std::shared_ptr<const ModelBundle> models);
+
+    /**
+     * Run @p workloads under every governor in the comparison set.
+     * @param governors subset of {"interactive", "performance", "DL",
+     *        "EE", "DORA", "DORA_no_lkg", "powersave"}; empty = the
+     *        paper's five.
+     */
+    std::vector<ComparisonRecord>
+    runAll(const std::vector<WorkloadSpec> &workloads,
+           const std::vector<std::string> &governors = {});
+
+    /** Run one workload under one named governor. */
+    RunMeasurement runOne(const WorkloadSpec &workload,
+                          const std::string &governor);
+
+    /**
+     * Offline-optimal search: the single pinned OPP maximizing PPW
+     * subject to the deadline (the paper's Offline_opt reference).
+     * @return the best measurement (pinned-frequency run)
+     */
+    RunMeasurement offlineOpt(const WorkloadSpec &workload);
+
+    /** The underlying runner (for config access). */
+    ExperimentRunner &runner() { return runner_; }
+
+    /** Default governor list used when runAll() gets an empty set. */
+    static const std::vector<std::string> &paperGovernors();
+
+  private:
+    ExperimentRunner runner_;
+    std::shared_ptr<const ModelBundle> models_;
+};
+
+/** Mean of normalized PPW for @p governor over @p records. */
+double meanNormalizedPpw(const std::vector<ComparisonRecord> &records,
+                         const std::string &governor);
+
+/** Fraction of records whose @p governor run met the deadline. */
+double deadlineMeetRate(const std::vector<ComparisonRecord> &records,
+                        const std::string &governor);
+
+} // namespace dora
+
+#endif // DORA_HARNESS_COMPARISON_HH

@@ -1,0 +1,51 @@
+#include "mem/address_stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace dora
+{
+
+AddressStream::AddressStream(const AddressStreamSpec &spec,
+                             uint64_t base_line, Rng rng)
+    : spec_(spec), baseLine_(base_line), rng_(rng)
+{
+    reshape(spec);
+}
+
+void
+AddressStream::reshape(const AddressStreamSpec &spec)
+{
+    if (spec.workingSetBytes < kCacheLineBytes)
+        panic("AddressStream: working set smaller than one line");
+    if (spec.hotSetFraction <= 0.0 || spec.hotSetFraction > 1.0)
+        panic("AddressStream: hotSetFraction %g out of (0,1]",
+              spec.hotSetFraction);
+    spec_ = spec;
+    wsLines_ = std::max<uint64_t>(1, spec.workingSetBytes / kCacheLineBytes);
+    hotLines_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(wsLines_) * spec.hotSetFraction));
+    burstLeft_ = 0;
+}
+
+uint64_t
+AddressStream::next()
+{
+    if (burstLeft_ == 0) {
+        // Start a new burst: pick a region, then a random line within it.
+        const bool hot = rng_.chance(spec_.hotFraction);
+        const uint64_t span = hot ? hotLines_ : wsLines_;
+        cursor_ = rng_.below(span);
+        burstLeft_ = rng_.burstLength(spec_.burstContinueProb,
+                                      spec_.burstCap);
+    }
+    --burstLeft_;
+    const uint64_t line = baseLine_ + (cursor_ % wsLines_);
+    ++cursor_;
+    return line;
+}
+
+} // namespace dora

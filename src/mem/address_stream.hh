@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Synthetic memory address stream generation.
+ *
+ * Tasks in the simulator (browser render phases, co-scheduled kernels) do
+ * not execute real instructions; instead each task owns an AddressStream
+ * that reproduces the *statistical* shape of its memory reference stream:
+ * working-set size, spatial locality (sequential bursts), and temporal
+ * locality (a hot subset that absorbs a configurable fraction of
+ * references). Streams from different tasks are disjoint in the address
+ * space, so all interaction between tasks happens where it does on real
+ * hardware: capacity/conflict contention in the shared L2 and bandwidth
+ * contention at the memory controller.
+ */
+
+#ifndef DORA_MEM_ADDRESS_STREAM_HH
+#define DORA_MEM_ADDRESS_STREAM_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace dora
+{
+
+/**
+ * Statistical description of a reference stream.
+ *
+ * The generator draws, per access, either from a small "hot" region
+ * (temporal locality; mostly cache-resident) or from the full working
+ * set, and extends each draw into a sequential burst (spatial locality).
+ */
+struct AddressStreamSpec
+{
+    /** Total working-set size in bytes (span of generated addresses). */
+    uint64_t workingSetBytes = 1 << 20;
+
+    /** Fraction of region draws that target the hot subset [0,1]. */
+    double hotFraction = 0.6;
+
+    /** Hot subset size as a fraction of the working set (0,1]. */
+    double hotSetFraction = 0.05;
+
+    /**
+     * Probability that a burst continues to the next sequential line;
+     * expected burst length is 1/(1-p).
+     */
+    double burstContinueProb = 0.5;
+
+    /** Maximum burst length in lines (safety cap). */
+    uint64_t burstCap = 64;
+};
+
+/**
+ * Generates 64-bit line addresses according to an AddressStreamSpec.
+ *
+ * Addresses are line-granular (already divided by the cache line size)
+ * and offset by a caller-provided base so concurrent streams never alias.
+ */
+class AddressStream
+{
+  public:
+    /**
+     * @param spec  statistical shape of the stream
+     * @param base_line  address-space base, in line units; choose bases
+     *                   at least workingSetBytes/64 apart across streams
+     * @param rng   deterministic generator owned by the stream
+     */
+    AddressStream(const AddressStreamSpec &spec, uint64_t base_line,
+                  Rng rng);
+
+    /** Next line address in the stream. */
+    uint64_t next();
+
+    /** The spec this stream was built from. */
+    const AddressStreamSpec &spec() const { return spec_; }
+
+    /**
+     * Replace the statistical shape mid-stream (used when a render task
+     * transitions between phases with different locality).
+     */
+    void reshape(const AddressStreamSpec &spec);
+
+  private:
+    AddressStreamSpec spec_;
+    uint64_t baseLine_;
+    uint64_t wsLines_;
+    uint64_t hotLines_;
+    Rng rng_;
+
+    // Current burst state.
+    uint64_t cursor_ = 0;
+    uint64_t burstLeft_ = 0;
+};
+
+} // namespace dora
+
+#endif // DORA_MEM_ADDRESS_STREAM_HH

@@ -1,0 +1,224 @@
+#include "mem/cache_model.hh"
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(uint64_t x)
+{
+    return x && !(x & (x - 1));
+}
+
+} // namespace
+
+const char *
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Lru:
+        return "lru";
+      case ReplacementPolicy::TreePlru:
+        return "tree-plru";
+      case ReplacementPolicy::Random:
+        return "random";
+    }
+    return "?";
+}
+
+CacheModel::CacheModel(const CacheConfig &config)
+    : config_(config)
+{
+    if (config.lineBytes == 0 || config.associativity == 0)
+        fatal("CacheModel %s: zero line size or associativity",
+              config.name.c_str());
+    const uint64_t lines = config.sizeBytes / config.lineBytes;
+    if (lines == 0 || lines % config.associativity != 0)
+        fatal("CacheModel %s: size %llu not divisible into %u-way sets",
+              config.name.c_str(),
+              static_cast<unsigned long long>(config.sizeBytes),
+              config.associativity);
+    numSets_ = static_cast<uint32_t>(lines / config.associativity);
+    if (!isPowerOfTwo(numSets_))
+        fatal("CacheModel %s: %u sets is not a power of two",
+              config.name.c_str(), numSets_);
+    if (config.numRequestors == 0)
+        fatal("CacheModel %s: need at least one requestor",
+              config.name.c_str());
+    if (config.policy == ReplacementPolicy::TreePlru &&
+        (!isPowerOfTwo(config.associativity) ||
+         config.associativity > 32))
+        fatal("CacheModel %s: tree-PLRU needs a power-of-two "
+              "associativity <= 32", config.name.c_str());
+    ways_.assign(static_cast<size_t>(numSets_) * config.associativity,
+                 Way());
+    stats_.assign(config.numRequestors, CacheStats());
+    if (config.policy == ReplacementPolicy::TreePlru)
+        plruBits_.assign(numSets_, 0);
+}
+
+void
+CacheModel::touch(uint32_t set, uint32_t way, Way &entry)
+{
+    entry.lastUse = accessClock_;
+    if (config_.policy != ReplacementPolicy::TreePlru)
+        return;
+    // Walk the PLRU tree from the root to the touched leaf, pointing
+    // every node on the path *away* from it.
+    uint32_t &bits = plruBits_[set];
+    const uint32_t assoc = config_.associativity;
+    uint32_t node = 1;  // heap-indexed internal nodes, root = 1
+    uint32_t lo = 0, hi = assoc;
+    while (hi - lo > 1) {
+        const uint32_t mid = (lo + hi) / 2;
+        if (way < mid) {
+            bits |= (1u << node);  // next victim: right subtree
+            node = node * 2;
+            hi = mid;
+        } else {
+            bits &= ~(1u << node);  // next victim: left subtree
+            node = node * 2 + 1;
+            lo = mid;
+        }
+    }
+}
+
+uint32_t
+CacheModel::chooseVictim(uint32_t set, const Way *base)
+{
+    const uint32_t assoc = config_.associativity;
+    // Invalid ways first, regardless of policy.
+    for (uint32_t w = 0; w < assoc; ++w)
+        if (!base[w].valid)
+            return w;
+
+    switch (config_.policy) {
+      case ReplacementPolicy::Lru: {
+          uint32_t victim = 0;
+          for (uint32_t w = 1; w < assoc; ++w)
+              if (base[w].lastUse < base[victim].lastUse)
+                  victim = w;
+          return victim;
+      }
+      case ReplacementPolicy::TreePlru: {
+          const uint32_t bits = plruBits_[set];
+          uint32_t node = 1;
+          uint32_t lo = 0, hi = assoc;
+          while (hi - lo > 1) {
+              const uint32_t mid = (lo + hi) / 2;
+              if (bits & (1u << node)) {
+                  node = node * 2 + 1;  // right subtree is older
+                  lo = mid;
+              } else {
+                  node = node * 2;
+                  hi = mid;
+              }
+          }
+          return lo;
+      }
+      case ReplacementPolicy::Random: {
+          // xorshift64*: deterministic, independent of the RNG library
+          // so cache behaviour is reproducible in isolation.
+          randState_ ^= randState_ >> 12;
+          randState_ ^= randState_ << 25;
+          randState_ ^= randState_ >> 27;
+          return static_cast<uint32_t>(
+              (randState_ * 0x2545F4914F6CDD1Dull) % assoc);
+      }
+    }
+    return 0;
+}
+
+bool
+CacheModel::access(uint64_t line_addr, uint32_t requestor)
+{
+    if (requestor >= stats_.size())
+        panic("CacheModel %s: requestor %u out of range",
+              config_.name.c_str(), requestor);
+
+    ++accessClock_;
+    auto &st = stats_[requestor];
+    ++st.accesses;
+
+    const uint32_t set = static_cast<uint32_t>(line_addr) & (numSets_ - 1);
+    const uint64_t tag = line_addr;  // full line address as tag is fine
+    Way *base = &ways_[static_cast<size_t>(set) * config_.associativity];
+
+    for (uint32_t w = 0; w < config_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.owner = requestor;
+            touch(set, w, way);
+            return true;
+        }
+    }
+
+    ++st.misses;
+    const uint32_t victim_idx = chooseVictim(set, base);
+    Way &victim = base[victim_idx];
+    if (victim.valid) {
+        auto &victim_st = stats_[victim.owner];
+        if (victim.owner == requestor)
+            ++victim_st.selfEvictions;
+        else
+            ++victim_st.interferenceEvictions;
+    }
+    victim.valid = true;
+    victim.tag = tag;
+    victim.owner = requestor;
+    touch(set, victim_idx, victim);
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &way : ways_)
+        way.valid = false;
+}
+
+void
+CacheModel::resetStats()
+{
+    for (auto &st : stats_)
+        st = CacheStats();
+}
+
+const CacheStats &
+CacheModel::stats(uint32_t requestor) const
+{
+    if (requestor >= stats_.size())
+        panic("CacheModel %s: requestor %u out of range",
+              config_.name.c_str(), requestor);
+    return stats_[requestor];
+}
+
+CacheStats
+CacheModel::totalStats() const
+{
+    CacheStats total;
+    for (const auto &st : stats_) {
+        total.accesses += st.accesses;
+        total.misses += st.misses;
+        total.interferenceEvictions += st.interferenceEvictions;
+        total.selfEvictions += st.selfEvictions;
+    }
+    return total;
+}
+
+double
+CacheModel::occupancyFraction(uint32_t requestor) const
+{
+    uint64_t owned = 0;
+    for (const auto &way : ways_)
+        if (way.valid && way.owner == requestor)
+            ++owned;
+    // Fraction of total capacity (not of currently-valid lines).
+    return static_cast<double>(owned) / static_cast<double>(ways_.size());
+}
+
+} // namespace dora

@@ -1,0 +1,63 @@
+#include "mem/dram_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+DramModel::DramModel(const DramConfig &config)
+    : config_(config), effectiveLatencyNs_(config.baseLatencyNs)
+{
+    if (config.baseLatencyNs <= 0.0 || config.bytesPerBusCycle <= 0.0 ||
+        config.efficiency <= 0.0 || config.efficiency > 1.0)
+        fatal("DramModel: invalid configuration");
+}
+
+void
+DramModel::addDemand(double bytes)
+{
+    if (bytes < 0.0)
+        panic("DramModel::addDemand: negative bytes %g", bytes);
+    pendingBytes_ += bytes;
+}
+
+double
+DramModel::capacityBytesPerSec(double bus_mhz) const
+{
+    return bus_mhz * 1e6 * config_.bytesPerBusCycle * config_.efficiency;
+}
+
+void
+DramModel::endTick(double dt_sec, double bus_mhz)
+{
+    if (dt_sec <= 0.0 || bus_mhz <= 0.0)
+        panic("DramModel::endTick: dt %g s, bus %g MHz", dt_sec, bus_mhz);
+
+    const double capacity = capacityBytesPerSec(bus_mhz) * dt_sec;
+    utilization_ = std::min(pendingBytes_ / capacity,
+                            config_.maxUtilization);
+
+    // M/D/1-flavored queueing inflation: latency grows slowly at low
+    // utilization and sharply as the bus saturates.
+    effectiveLatencyNs_ = config_.baseLatencyNs *
+        (1.0 + 0.9 * utilization_ / (1.0 - utilization_));
+
+    lastTickEnergyJ_ = pendingBytes_ * config_.energyPerByteNj * 1e-9 +
+        config_.backgroundPowerW * dt_sec;
+    totalBytes_ += pendingBytes_;
+    pendingBytes_ = 0.0;
+}
+
+void
+DramModel::reset()
+{
+    pendingBytes_ = 0.0;
+    utilization_ = 0.0;
+    effectiveLatencyNs_ = config_.baseLatencyNs;
+    lastTickEnergyJ_ = 0.0;
+    totalBytes_ = 0.0;
+}
+
+} // namespace dora

@@ -1,0 +1,196 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "mem/address_stream.hh"
+
+namespace dora
+{
+
+MemSystemConfig::MemSystemConfig()
+{
+    // Defaults mirror the Nexus 5 / MSM8974 (paper Table II).
+    l1.name = "l1d";
+    l1.sizeBytes = 16 * 1024;
+    l1.associativity = 4;
+    l1.lineBytes = kCacheLineBytes;
+
+    l2.name = "l2";
+    l2.sizeBytes = 2 * 1024 * 1024;
+    l2.associativity = 8;
+    l2.lineBytes = kCacheLineBytes;
+}
+
+namespace
+{
+
+CacheConfig
+makeL1Config(const MemSystemConfig &config, uint32_t core)
+{
+    CacheConfig c = config.l1;
+    c.name = config.l1.name + std::to_string(core);
+    c.numRequestors = 1;
+    return c;
+}
+
+CacheConfig
+makeL2Config(const MemSystemConfig &config)
+{
+    CacheConfig c = config.l2;
+    c.numRequestors = config.numCores;
+    return c;
+}
+
+} // namespace
+
+MemSystem::MemSystem(const MemSystemConfig &config)
+    : config_(config), l2_(makeL2Config(config)), dram_(config.dram),
+      counters_(config.numCores)
+{
+    if (config.numCores == 0)
+        fatal("MemSystem: need at least one core");
+    l1s_.reserve(config.numCores);
+    for (uint32_t c = 0; c < config.numCores; ++c)
+        l1s_.emplace_back(makeL1Config(config, c));
+}
+
+std::vector<MemSampleResult>
+MemSystem::tickSample(const std::vector<MemSampleRequest> &requests)
+{
+    struct Live
+    {
+        const MemSampleRequest *req;
+        uint32_t remaining;
+        uint64_t l1Misses = 0;
+        uint64_t l2Misses = 0;
+    };
+
+    std::vector<Live> live;
+    live.reserve(requests.size());
+    for (const auto &req : requests) {
+        if (req.core >= config_.numCores)
+            panic("MemSystem::tickSample: core %u out of range", req.core);
+        if (req.samples > 0 && req.stream == nullptr)
+            panic("MemSystem::tickSample: null stream with samples");
+        if (req.samples > 0)
+            live.push_back(Live{&req, req.samples});
+    }
+
+    // Weighted round-robin in chunks: each pass, every still-live stream
+    // issues up to interleaveChunk accesses. This approximates the
+    // fine-grained interleaving of concurrently executing cores.
+    const uint32_t chunk = std::max<uint32_t>(1, config_.interleaveChunk);
+    bool any = !live.empty();
+    while (any) {
+        any = false;
+        for (auto &lv : live) {
+            if (lv.remaining == 0)
+                continue;
+            const uint32_t n = std::min(chunk, lv.remaining);
+            for (uint32_t i = 0; i < n; ++i) {
+                const uint64_t line = lv.req->stream->next();
+                const uint32_t core = lv.req->core;
+                if (!l1s_[core].access(line, 0)) {
+                    ++lv.l1Misses;
+                    if (!l2_.access(line, core))
+                        ++lv.l2Misses;
+                }
+            }
+            lv.remaining -= n;
+            any = any || lv.remaining > 0;
+        }
+    }
+
+    std::vector<MemSampleResult> results;
+    results.reserve(requests.size());
+    for (const auto &req : requests) {
+        MemSampleResult res;
+        res.core = req.core;
+        res.samplesIssued = req.samples;
+        for (const auto &lv : live) {
+            if (lv.req != &req)
+                continue;
+            res.l1MissRate = static_cast<double>(lv.l1Misses) /
+                static_cast<double>(req.samples);
+            res.l2LocalMissRate = lv.l1Misses
+                ? static_cast<double>(lv.l2Misses) /
+                    static_cast<double>(lv.l1Misses)
+                : 0.0;
+            break;
+        }
+        results.push_back(res);
+    }
+    return results;
+}
+
+void
+MemSystem::commitScaled(uint32_t core, double real_accesses,
+                        const MemSampleResult &result)
+{
+    if (core >= config_.numCores)
+        panic("MemSystem::commitScaled: core %u out of range", core);
+    if (real_accesses < 0.0)
+        panic("MemSystem::commitScaled: negative access count");
+
+    auto &ctr = counters_[core];
+    const double l1_misses = real_accesses * result.l1MissRate;
+    const double l2_misses = l1_misses * result.l2LocalMissRate;
+    ctr.l1Accesses += real_accesses;
+    ctr.l1Misses += l1_misses;
+    ctr.l2Accesses += l1_misses;
+    ctr.l2Misses += l2_misses;
+
+    dram_.addDemand(l2_misses * kCacheLineBytes);
+}
+
+void
+MemSystem::endTick(double dt_sec, double bus_mhz)
+{
+    dram_.endTick(dt_sec, bus_mhz);
+}
+
+const CoreMemCounters &
+MemSystem::coreCounters(uint32_t core) const
+{
+    if (core >= counters_.size())
+        panic("MemSystem::coreCounters: core %u out of range", core);
+    return counters_[core];
+}
+
+CoreMemCounters
+MemSystem::totalCounters() const
+{
+    CoreMemCounters total;
+    for (const auto &ctr : counters_) {
+        total.l1Accesses += ctr.l1Accesses;
+        total.l1Misses += ctr.l1Misses;
+        total.l2Accesses += ctr.l2Accesses;
+        total.l2Misses += ctr.l2Misses;
+    }
+    return total;
+}
+
+const CacheModel &
+MemSystem::l1(uint32_t core) const
+{
+    if (core >= l1s_.size())
+        panic("MemSystem::l1: core %u out of range", core);
+    return l1s_[core];
+}
+
+void
+MemSystem::reset()
+{
+    for (auto &l1 : l1s_) {
+        l1.flush();
+        l1.resetStats();
+    }
+    l2_.flush();
+    l2_.resetStats();
+    dram_.reset();
+    std::fill(counters_.begin(), counters_.end(), CoreMemCounters());
+}
+
+} // namespace dora

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The modeled memory hierarchy: private per-core L1 data caches, a shared
+ * L2, and the DRAM controller, glued together by the sampled-stream
+ * access path described in DESIGN.md §5.1.
+ *
+ * Each simulation tick, every active core submits a *sample* of its
+ * reference stream. MemSystem interleaves the samples (weighted round-
+ * robin in small chunks, approximating concurrent execution), walks them
+ * through L1 -> shared L2, and returns per-core miss rates. The core
+ * timing model then scales those rates by the core's *real* access count
+ * for the tick; the scaled miss counts feed MPKI accounting and DRAM
+ * bandwidth demand.
+ */
+
+#ifndef DORA_MEM_MEM_SYSTEM_HH
+#define DORA_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache_model.hh"
+#include "mem/dram_model.hh"
+
+namespace dora
+{
+
+class AddressStream;
+
+/** Configuration of the full hierarchy (defaults mirror Table II). */
+struct MemSystemConfig
+{
+    uint32_t numCores = 4;
+    CacheConfig l1;        //!< per-core private L1D; name is a prefix
+    CacheConfig l2;        //!< shared unified L2
+    DramConfig dram;
+    /** Interleave chunk: consecutive samples a core issues at once. */
+    uint32_t interleaveChunk = 8;
+
+    MemSystemConfig();
+};
+
+/** One core's sampled access request for a tick. */
+struct MemSampleRequest
+{
+    uint32_t core = 0;
+    AddressStream *stream = nullptr;  //!< non-owning; must outlive call
+    uint32_t samples = 0;
+};
+
+/** Miss rates measured over one core's sample within a tick. */
+struct MemSampleResult
+{
+    uint32_t core = 0;
+    double l1MissRate = 0.0;
+    /** Misses/access among this core's L2 lookups (local miss rate). */
+    double l2LocalMissRate = 0.0;
+    uint32_t samplesIssued = 0;
+};
+
+/** Cumulative, scaled (full-rate) memory statistics for one core. */
+struct CoreMemCounters
+{
+    double l1Accesses = 0.0;
+    double l1Misses = 0.0;
+    double l2Accesses = 0.0;
+    double l2Misses = 0.0;
+};
+
+/**
+ * Owns the cache hierarchy and DRAM model and implements the per-tick
+ * sampled access protocol.
+ */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemSystemConfig &config);
+
+    /**
+     * Issue all cores' samples for the current tick, interleaved, and
+     * return per-core miss rates. Requests with zero samples yield a
+     * zero-rate result.
+     */
+    std::vector<MemSampleResult>
+    tickSample(const std::vector<MemSampleRequest> &requests);
+
+    /**
+     * Account a core's *actual* traffic for the tick, scaling the sampled
+     * miss rates to the real access count. Adds L2-miss bytes to DRAM
+     * demand.
+     *
+     * @param core           requesting core
+     * @param real_accesses  number of L1 accesses the timing model
+     *                       attributes to this tick
+     * @param result         the sample result returned by tickSample()
+     */
+    void commitScaled(uint32_t core, double real_accesses,
+                      const MemSampleResult &result);
+
+    /** Close the tick: resolve DRAM utilization and effective latency. */
+    void endTick(double dt_sec, double bus_mhz);
+
+    /** Effective DRAM latency (ns) for use during the next tick. */
+    double dramLatencyNs() const { return dram_.effectiveLatencyNs(); }
+
+    /** DRAM bus utilization from the last tick. */
+    double dramUtilization() const { return dram_.utilization(); }
+
+    /** DRAM energy (J) from the last tick (traffic + background). */
+    double dramLastTickEnergyJ() const { return dram_.lastTickEnergyJ(); }
+
+    /** Scaled cumulative counters for @p core. */
+    const CoreMemCounters &coreCounters(uint32_t core) const;
+
+    /** Sum of scaled counters over all cores. */
+    CoreMemCounters totalCounters() const;
+
+    /** The shared L2 (for occupancy/interference introspection). */
+    const CacheModel &l2() const { return l2_; }
+
+    /** Private L1 of @p core. */
+    const CacheModel &l1(uint32_t core) const;
+
+    /** Invalidate all caches and reset counters (new experiment run). */
+    void reset();
+
+    const MemSystemConfig &config() const { return config_; }
+
+  private:
+    MemSystemConfig config_;
+    std::vector<CacheModel> l1s_;
+    CacheModel l2_;
+    DramModel dram_;
+    std::vector<CoreMemCounters> counters_;
+};
+
+} // namespace dora
+
+#endif // DORA_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,79 @@
+#include "model/cross_validation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dora
+{
+
+CvResult
+crossValidate(SurfaceKind kind, const Dataset &data, size_t k,
+              double ridge, uint64_t seed)
+{
+    const size_t n = data.size();
+    if (n < 4)
+        fatal("crossValidate: need at least 4 samples, got %zu", n);
+    k = std::clamp<size_t>(k, 2, n);
+
+    // Deterministic Fisher-Yates shuffle of the sample indices.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(seed);
+    for (size_t i = n - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+
+    CvResult result;
+    result.folds = k;
+    double err_sum = 0.0;
+    size_t err_n = 0;
+    for (size_t fold = 0; fold < k; ++fold) {
+        Dataset train, test;
+        for (size_t i = 0; i < n; ++i) {
+            const size_t idx = order[i];
+            if (i % k == fold)
+                test.add(data.x[idx], data.y[idx]);
+            else
+                train.add(data.x[idx], data.y[idx]);
+        }
+        ResponseSurface surface(kind, data.dims());
+        if (!surface.fit(train, ridge)) {
+            warn("crossValidate: singular fit in fold %zu", fold);
+            continue;
+        }
+        for (const double e : surface.absPctErrors(test)) {
+            err_sum += e;
+            result.maxAbsPctError = std::max(result.maxAbsPctError, e);
+            ++err_n;
+        }
+    }
+    result.samples = err_n;
+    result.meanAbsPctError =
+        err_n ? err_sum / static_cast<double>(err_n) : 0.0;
+    return result;
+}
+
+std::pair<double, CvResult>
+selectRidgeByCv(SurfaceKind kind, const Dataset &data, size_t k,
+                const std::vector<double> &ridges, uint64_t seed)
+{
+    if (ridges.empty())
+        fatal("selectRidgeByCv: empty ridge candidate list");
+    double best_ridge = ridges.front();
+    CvResult best;
+    bool first = true;
+    for (double ridge : ridges) {
+        const CvResult r = crossValidate(kind, data, k, ridge, seed);
+        if (first || r.meanAbsPctError < best.meanAbsPctError) {
+            best = r;
+            best_ridge = ridge;
+            first = false;
+        }
+    }
+    return {best_ridge, best};
+}
+
+} // namespace dora

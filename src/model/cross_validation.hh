@@ -1,0 +1,54 @@
+/**
+ * @file
+ * K-fold cross-validation for response surfaces.
+ *
+ * The held-out-page evaluation of the paper (Webpage-Neutral workloads)
+ * is a single fixed split; cross-validation generalizes it and is how
+ * the ridge strengths in TrainerConfig were chosen. Folds are formed
+ * by a deterministic shuffle so results are reproducible.
+ */
+
+#ifndef DORA_MODEL_CROSS_VALIDATION_HH
+#define DORA_MODEL_CROSS_VALIDATION_HH
+
+#include <cstddef>
+
+#include "model/response_surface.hh"
+
+namespace dora
+{
+
+/** Aggregate result of one cross-validation run. */
+struct CvResult
+{
+    double meanAbsPctError = 0.0;  //!< mean over all held-out samples
+    double maxAbsPctError = 0.0;
+    size_t folds = 0;
+    size_t samples = 0;
+};
+
+/**
+ * K-fold cross-validation of a surface kind over a dataset.
+ *
+ * @param kind   response surface to evaluate
+ * @param data   full dataset (split deterministically by @p seed)
+ * @param k      number of folds (clamped to [2, data.size()])
+ * @param ridge  ridge strength used for every fold's fit
+ * @param seed   shuffle seed
+ */
+CvResult crossValidate(SurfaceKind kind, const Dataset &data, size_t k,
+                       double ridge, uint64_t seed = 1);
+
+/**
+ * Sweep ridge strengths and return the one minimizing CV error.
+ *
+ * @param ridges  candidate strengths (non-empty)
+ * @return pair of (best ridge, its CvResult)
+ */
+std::pair<double, CvResult>
+selectRidgeByCv(SurfaceKind kind, const Dataset &data, size_t k,
+                const std::vector<double> &ridges, uint64_t seed = 1);
+
+} // namespace dora
+
+#endif // DORA_MODEL_CROSS_VALIDATION_HH

@@ -1,0 +1,110 @@
+#include "model/gauss_newton.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "model/linalg.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+double
+sumSquares(const std::function<double(const std::vector<double> &,
+                                      size_t)> &residual,
+           const std::vector<double> &params, size_t n)
+{
+    double sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double r = residual(params, i);
+        sse += r * r;
+    }
+    return sse;
+}
+
+} // namespace
+
+GaussNewtonResult
+fitGaussNewton(const std::function<double(const std::vector<double> &,
+                                          size_t)> &residual,
+               size_t num_residuals, std::vector<double> initial,
+               const GaussNewtonOptions &options)
+{
+    const size_t p = initial.size();
+    if (p == 0 || num_residuals < p)
+        fatal("fitGaussNewton: %zu residuals for %zu parameters",
+              num_residuals, p);
+
+    GaussNewtonResult result;
+    result.params = std::move(initial);
+    result.sse = sumSquares(residual, result.params, num_residuals);
+    double lambda = options.initialLambda;
+
+    for (size_t iter = 0; iter < options.maxIterations; ++iter) {
+        result.iterations = iter + 1;
+
+        // Jacobian by central differences and residual vector.
+        Matrix jac(num_residuals, p);
+        std::vector<double> res(num_residuals);
+        for (size_t i = 0; i < num_residuals; ++i)
+            res[i] = residual(result.params, i);
+        for (size_t j = 0; j < p; ++j) {
+            const double h = options.finiteDiffStep *
+                std::max(1.0, std::abs(result.params[j]));
+            std::vector<double> plus = result.params;
+            std::vector<double> minus = result.params;
+            plus[j] += h;
+            minus[j] -= h;
+            for (size_t i = 0; i < num_residuals; ++i)
+                jac.at(i, j) =
+                    (residual(plus, i) - residual(minus, i)) / (2.0 * h);
+        }
+
+        // Solve (J^T J + lambda diag(J^T J)) step = -J^T r.
+        Matrix gram = jac.gram();
+        std::vector<double> jtr = jac.transposeTimes(res);
+        for (double &v : jtr)
+            v = -v;
+
+        bool improved = false;
+        for (int attempt = 0; attempt < 8 && !improved; ++attempt) {
+            Matrix damped = gram;
+            for (size_t d = 0; d < p; ++d)
+                damped.at(d, d) +=
+                    lambda * std::max(1e-12, gram.at(d, d));
+            std::vector<double> step;
+            if (solveLinearSystem(damped, jtr, step)) {
+                std::vector<double> trial = result.params;
+                for (size_t j = 0; j < p; ++j)
+                    trial[j] += step[j];
+                const double trial_sse =
+                    sumSquares(residual, trial, num_residuals);
+                if (trial_sse < result.sse) {
+                    const double rel =
+                        (result.sse - trial_sse) /
+                        std::max(result.sse, 1e-300);
+                    result.params = std::move(trial);
+                    result.sse = trial_sse;
+                    lambda *= options.lambdaShrink;
+                    improved = true;
+                    if (rel < options.tolerance) {
+                        result.converged = true;
+                        return result;
+                    }
+                    break;
+                }
+            }
+            lambda *= options.lambdaGrow;
+        }
+        if (!improved) {
+            // No descent direction found at any damping: local optimum.
+            result.converged = true;
+            return result;
+        }
+    }
+    return result;
+}
+
+} // namespace dora

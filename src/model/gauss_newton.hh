@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Damped Gauss-Newton (Levenberg-Marquardt) solver for small non-linear
+ * least-squares problems.
+ *
+ * The paper determines the six Liao leakage parameters "using non-linear
+ * numerical solutions and mean square error minimization" (Section
+ * III-B); this is that solver. Jacobians are taken by central finite
+ * differences, which is plenty for a 6-parameter fit over a few dozen
+ * (voltage, temperature, power) observations.
+ */
+
+#ifndef DORA_MODEL_GAUSS_NEWTON_HH
+#define DORA_MODEL_GAUSS_NEWTON_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dora
+{
+
+/** Options for the Levenberg-Marquardt iteration. */
+struct GaussNewtonOptions
+{
+    size_t maxIterations = 200;
+    double initialLambda = 1e-3;      //!< LM damping start
+    double lambdaGrow = 10.0;
+    double lambdaShrink = 0.3;
+    double tolerance = 1e-12;         //!< relative SSE improvement stop
+    double finiteDiffStep = 1e-6;     //!< relative parameter step
+};
+
+/** Outcome of a fit. */
+struct GaussNewtonResult
+{
+    std::vector<double> params;
+    double sse = 0.0;         //!< final sum of squared residuals
+    size_t iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Minimize sum_i residual(params, i)^2 over @p num_residuals residuals.
+ *
+ * @param residual  callback returning the i-th residual at params
+ * @param initial   starting parameter vector
+ */
+GaussNewtonResult
+fitGaussNewton(const std::function<double(const std::vector<double> &,
+                                          size_t)> &residual,
+               size_t num_residuals, std::vector<double> initial,
+               const GaussNewtonOptions &options = {});
+
+} // namespace dora
+
+#endif // DORA_MODEL_GAUSS_NEWTON_HH

@@ -1,0 +1,142 @@
+#include "model/linalg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(%zu,%zu) out of %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        panic("Matrix::at(%zu,%zu) out of %zux%zu", r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(cols_, cols_);
+    for (size_t i = 0; i < cols_; ++i) {
+        for (size_t j = i; j < cols_; ++j) {
+            double sum = 0.0;
+            for (size_t r = 0; r < rows_; ++r)
+                sum += at(r, i) * at(r, j);
+            g.at(i, j) = sum;
+            g.at(j, i) = sum;
+        }
+    }
+    return g;
+}
+
+std::vector<double>
+Matrix::transposeTimes(const std::vector<double> &v) const
+{
+    if (v.size() != rows_)
+        panic("Matrix::transposeTimes: size mismatch");
+    std::vector<double> out(cols_, 0.0);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out[c] += at(r, c) * v[r];
+    return out;
+}
+
+std::vector<double>
+Matrix::times(const std::vector<double> &v) const
+{
+    if (v.size() != cols_)
+        panic("Matrix::times: size mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out[r] += at(r, c) * v[c];
+    return out;
+}
+
+bool
+solveLinearSystem(Matrix a, std::vector<double> b, std::vector<double> &x)
+{
+    const size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        panic("solveLinearSystem: non-square or mismatched system");
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        double best = std::abs(a.at(col, col));
+        for (size_t r = col + 1; r < n; ++r) {
+            const double v = std::abs(a.at(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-14)
+            return false;
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(a.at(col, c), a.at(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (size_t r = col + 1; r < n; ++r) {
+            const double factor = a.at(r, col) / a.at(col, col);
+            if (factor == 0.0)
+                continue;
+            for (size_t c = col; c < n; ++c)
+                a.at(r, c) -= factor * a.at(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    x.assign(n, 0.0);
+    for (size_t ri = n; ri-- > 0;) {
+        double sum = b[ri];
+        for (size_t c = ri + 1; c < n; ++c)
+            sum -= a.at(ri, c) * x[c];
+        x[ri] = sum / a.at(ri, ri);
+    }
+    return true;
+}
+
+std::vector<double>
+solveLeastSquares(const Matrix &x, const std::vector<double> &y,
+                  double ridge)
+{
+    if (y.size() != x.rows())
+        fatal("solveLeastSquares: %zu rows vs %zu targets", x.rows(),
+              y.size());
+    if (x.rows() < x.cols())
+        warn("solveLeastSquares: underdetermined (%zu rows, %zu cols)",
+             x.rows(), x.cols());
+
+    Matrix gram = x.gram();
+    for (size_t i = 0; i < gram.rows(); ++i)
+        gram.at(i, i) += ridge;
+    const std::vector<double> xty = x.transposeTimes(y);
+
+    std::vector<double> coeffs;
+    if (!solveLinearSystem(gram, xty, coeffs)) {
+        warn("solveLeastSquares: singular normal equations");
+        return {};
+    }
+    return coeffs;
+}
+
+} // namespace dora

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the regression machinery: a
+ * row-major matrix, normal-equation assembly, and a pivoted Gaussian
+ * solver. Sized for design matrices of a few hundred rows by a few
+ * dozen columns — no BLAS needed.
+ */
+
+#ifndef DORA_MODEL_LINALG_HH
+#define DORA_MODEL_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dora
+{
+
+/**
+ * Dense row-major matrix of doubles.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols, zero-initialized. */
+    Matrix(size_t rows, size_t cols);
+
+    double &at(size_t r, size_t c);
+    double at(size_t r, size_t c) const;
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** this^T * this (Gram matrix). */
+    Matrix gram() const;
+
+    /** this^T * v. Requires v.size() == rows(). */
+    std::vector<double> transposeTimes(const std::vector<double> &v) const;
+
+    /** this * v. Requires v.size() == cols(). */
+    std::vector<double> times(const std::vector<double> &v) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the square system A x = b in place via Gaussian elimination
+ * with partial pivoting. @return false if A is singular to working
+ * precision (x is then unspecified).
+ */
+bool solveLinearSystem(Matrix a, std::vector<double> b,
+                       std::vector<double> &x);
+
+/**
+ * Ridge-regularized least squares: minimize |X c - y|^2 + ridge*|c|^2
+ * via the normal equations. The tiny default ridge only guards against
+ * rank deficiency from collinear design columns.
+ *
+ * @return coefficient vector of size X.cols(); fatal() on dimension
+ *         mismatch, returns empty on singularity.
+ */
+std::vector<double> solveLeastSquares(const Matrix &x,
+                                      const std::vector<double> &y,
+                                      double ridge = 1e-9);
+
+} // namespace dora
+
+#endif // DORA_MODEL_LINALG_HH

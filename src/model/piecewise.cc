@@ -1,0 +1,141 @@
+#include "model/piecewise.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+PiecewiseSurface::PiecewiseSurface(SurfaceKind kind, size_t dims)
+    : kind_(kind), dims_(dims)
+{
+}
+
+bool
+PiecewiseSurface::fitGroup(double bus_mhz, const Dataset &data,
+                           double ridge)
+{
+    for (size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == bus_mhz) {
+            ResponseSurface s(kind_, dims_);
+            const bool ok = s.fit(data, ridge);
+            surfaces_[i] = std::move(s);
+            return ok;
+        }
+    }
+    ResponseSurface s(kind_, dims_);
+    const bool ok = s.fit(data, ridge);
+    keys_.push_back(bus_mhz);
+    surfaces_.push_back(std::move(s));
+    return ok;
+}
+
+size_t
+PiecewiseSurface::nearestGroup(double bus_mhz) const
+{
+    if (keys_.empty())
+        panic("PiecewiseSurface: no trained groups");
+    size_t best = 0;
+    double best_dist = std::abs(keys_[0] - bus_mhz);
+    for (size_t i = 1; i < keys_.size(); ++i) {
+        const double d = std::abs(keys_[i] - bus_mhz);
+        if (d < best_dist) {
+            best_dist = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+PiecewiseSurface::predict(const std::vector<double> &features,
+                          double bus_mhz) const
+{
+    return surfaces_[nearestGroup(bus_mhz)].predict(features);
+}
+
+bool
+PiecewiseSurface::trained() const
+{
+    if (surfaces_.empty())
+        return false;
+    for (const auto &s : surfaces_)
+        if (!s.trained())
+            return false;
+    return true;
+}
+
+std::vector<double>
+PiecewiseSurface::groupKeys() const
+{
+    return keys_;
+}
+
+const ResponseSurface &
+PiecewiseSurface::groupFor(double bus_mhz) const
+{
+    return surfaces_[nearestGroup(bus_mhz)];
+}
+
+std::string
+PiecewiseSurface::serialize() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "piecewise " << surfaceKindName(kind_) << " " << dims_ << " "
+        << keys_.size() << "\n";
+    for (size_t i = 0; i < keys_.size(); ++i) {
+        out << "group " << keys_[i] << "\n";
+        out << surfaces_[i].serialize();
+    }
+    return out.str();
+}
+
+PiecewiseSurface
+PiecewiseSurface::deserialize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string tag, kind_name;
+    size_t dims = 0, groups = 0;
+    in >> tag >> kind_name >> dims >> groups;
+    if (tag != "piecewise" || !in)
+        fatal("PiecewiseSurface::deserialize: bad header");
+
+    SurfaceKind kind;
+    if (kind_name == "linear")
+        kind = SurfaceKind::Linear;
+    else if (kind_name == "quadratic")
+        kind = SurfaceKind::Quadratic;
+    else if (kind_name == "interaction")
+        kind = SurfaceKind::Interaction;
+    else
+        fatal("PiecewiseSurface::deserialize: unknown kind '%s'",
+              kind_name.c_str());
+
+    PiecewiseSurface pw(kind, dims);
+    std::string line;
+    std::getline(in, line);  // consume end of header line
+    for (size_t g = 0; g < groups; ++g) {
+        std::getline(in, line);
+        std::istringstream group_header(line);
+        std::string group_tag;
+        double bus = 0.0;
+        group_header >> group_tag >> bus;
+        if (group_tag != "group")
+            fatal("PiecewiseSurface::deserialize: expected 'group'");
+        // A surface block is exactly 4 lines (header + 3 vectors).
+        std::string block;
+        for (int i = 0; i < 4; ++i) {
+            if (!std::getline(in, line))
+                fatal("PiecewiseSurface::deserialize: truncated block");
+            block += line + "\n";
+        }
+        pw.keys_.push_back(bus);
+        pw.surfaces_.push_back(ResponseSurface::deserialize(block));
+    }
+    return pw;
+}
+
+} // namespace dora

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Piece-wise response surfaces keyed by memory-bus frequency.
+ *
+ * Section III-A of the paper: "on a typical SoC, a set of core
+ * frequencies map to a particular memory bus frequency. Therefore, we
+ * build piece-wise models for each set of core frequencies that share
+ * a single memory bus frequency." Each bus-frequency group gets its
+ * own surface; prediction routes to the group of the queried OPP.
+ */
+
+#ifndef DORA_MODEL_PIECEWISE_HH
+#define DORA_MODEL_PIECEWISE_HH
+
+#include <string>
+#include <vector>
+
+#include "model/response_surface.hh"
+
+namespace dora
+{
+
+/**
+ * A family of ResponseSurfaces, one per memory-bus frequency.
+ */
+class PiecewiseSurface
+{
+  public:
+    /** Family of @p kind surfaces over @p dims inputs. */
+    PiecewiseSurface(SurfaceKind kind, size_t dims);
+
+    /**
+     * Fit the group for @p bus_mhz from @p data (replaces any previous
+     * fit for the same key). @return false on singular fit.
+     */
+    bool fitGroup(double bus_mhz, const Dataset &data,
+                  double ridge = 1e-9);
+
+    /**
+     * Predict at @p features using the group whose bus frequency is
+     * nearest @p bus_mhz. Requires at least one trained group.
+     */
+    double predict(const std::vector<double> &features,
+                   double bus_mhz) const;
+
+    /** True if every added group trained successfully and >=1 exists. */
+    bool trained() const;
+
+    /** Bus keys in insertion order. */
+    std::vector<double> groupKeys() const;
+
+    /** The surface for the group nearest @p bus_mhz. */
+    const ResponseSurface &groupFor(double bus_mhz) const;
+
+    SurfaceKind kind() const { return kind_; }
+    size_t dims() const { return dims_; }
+
+    /** Serialize/deserialize for the model bundle file. */
+    std::string serialize() const;
+    static PiecewiseSurface deserialize(const std::string &text);
+
+  private:
+    size_t nearestGroup(double bus_mhz) const;
+
+    SurfaceKind kind_;
+    size_t dims_;
+    std::vector<double> keys_;
+    std::vector<ResponseSurface> surfaces_;
+};
+
+} // namespace dora
+
+#endif // DORA_MODEL_PIECEWISE_HH

@@ -1,0 +1,234 @@
+#include "model/response_surface.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+const char *
+surfaceKindName(SurfaceKind kind)
+{
+    switch (kind) {
+      case SurfaceKind::Linear:
+        return "linear";
+      case SurfaceKind::Quadratic:
+        return "quadratic";
+      case SurfaceKind::Interaction:
+        return "interaction";
+    }
+    return "?";
+}
+
+void
+Dataset::add(std::vector<double> features, double target)
+{
+    if (!x.empty() && features.size() != x.front().size())
+        panic("Dataset::add: dimension mismatch (%zu vs %zu)",
+              features.size(), x.front().size());
+    x.push_back(std::move(features));
+    y.push_back(target);
+}
+
+ResponseSurface::ResponseSurface(SurfaceKind kind, size_t dims)
+    : kind_(kind), dims_(dims)
+{
+    if (dims == 0)
+        fatal("ResponseSurface: zero input dimension");
+}
+
+size_t
+ResponseSurface::termCount() const
+{
+    const size_t n = dims_;
+    switch (kind_) {
+      case SurfaceKind::Linear:
+        return 1 + n;
+      case SurfaceKind::Interaction:
+        return 1 + n + n * (n - 1) / 2;
+      case SurfaceKind::Quadratic:
+        return 1 + n + n * (n + 1) / 2;
+    }
+    return 0;
+}
+
+std::vector<double>
+ResponseSurface::standardize(const std::vector<double> &raw) const
+{
+    if (raw.size() != dims_)
+        panic("ResponseSurface: feature vector has %zu dims, expected %zu",
+              raw.size(), dims_);
+    std::vector<double> z(dims_);
+    for (size_t i = 0; i < dims_; ++i)
+        z[i] = (raw[i] - means_[i]) / sds_[i];
+    return z;
+}
+
+std::vector<double>
+ResponseSurface::expand(const std::vector<double> &z) const
+{
+    std::vector<double> terms;
+    terms.reserve(termCount());
+    terms.push_back(1.0);
+    for (double v : z)
+        terms.push_back(v);
+    if (kind_ == SurfaceKind::Interaction) {
+        for (size_t i = 0; i < dims_; ++i)
+            for (size_t j = i + 1; j < dims_; ++j)
+                terms.push_back(z[i] * z[j]);
+    } else if (kind_ == SurfaceKind::Quadratic) {
+        for (size_t i = 0; i < dims_; ++i)
+            for (size_t j = i; j < dims_; ++j)
+                terms.push_back(z[i] * z[j]);
+    }
+    return terms;
+}
+
+bool
+ResponseSurface::fit(const Dataset &data, double ridge)
+{
+    if (data.size() == 0 || data.dims() != dims_)
+        fatal("ResponseSurface::fit: empty data or dimension mismatch");
+
+    // Standardization parameters from the training data.
+    means_.assign(dims_, 0.0);
+    sds_.assign(dims_, 0.0);
+    for (const auto &row : data.x)
+        for (size_t i = 0; i < dims_; ++i)
+            means_[i] += row[i];
+    for (double &m : means_)
+        m /= static_cast<double>(data.size());
+    for (const auto &row : data.x)
+        for (size_t i = 0; i < dims_; ++i) {
+            const double d = row[i] - means_[i];
+            sds_[i] += d * d;
+        }
+    for (double &s : sds_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-12)
+            s = 1.0;  // constant column; z-score collapses to 0
+    }
+
+    Matrix design(data.size(), termCount());
+    for (size_t r = 0; r < data.size(); ++r) {
+        const auto terms = expand(standardize(data.x[r]));
+        for (size_t c = 0; c < terms.size(); ++c)
+            design.at(r, c) = terms[c];
+    }
+
+    coeffs_ = solveLeastSquares(design, data.y, ridge);
+    trained_ = !coeffs_.empty();
+    return trained_;
+}
+
+double
+ResponseSurface::predict(const std::vector<double> &features) const
+{
+    if (!trained_)
+        panic("ResponseSurface::predict before successful fit");
+    const auto terms = expand(standardize(features));
+    double out = 0.0;
+    for (size_t i = 0; i < terms.size(); ++i)
+        out += coeffs_[i] * terms[i];
+    return out;
+}
+
+std::vector<double>
+ResponseSurface::absPctErrors(const Dataset &data) const
+{
+    std::vector<double> errors;
+    errors.reserve(data.size());
+    for (size_t r = 0; r < data.size(); ++r) {
+        const double pred = predict(data.x[r]);
+        const double denom = std::max(1e-12, std::abs(data.y[r]));
+        errors.push_back(std::abs(pred - data.y[r]) / denom);
+    }
+    return errors;
+}
+
+FitMetrics
+ResponseSurface::evaluate(const Dataset &data) const
+{
+    FitMetrics m;
+    m.count = data.size();
+    if (data.size() == 0)
+        return m;
+    double sq = 0.0;
+    for (size_t r = 0; r < data.size(); ++r) {
+        const double pred = predict(data.x[r]);
+        const double err = pred - data.y[r];
+        sq += err * err;
+        const double pct =
+            std::abs(err) / std::max(1e-12, std::abs(data.y[r]));
+        m.meanAbsPctError += pct;
+        m.maxAbsPctError = std::max(m.maxAbsPctError, pct);
+    }
+    m.meanAbsPctError /= static_cast<double>(data.size());
+    m.rmse = std::sqrt(sq / static_cast<double>(data.size()));
+    return m;
+}
+
+std::string
+ResponseSurface::serialize() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "surface " << surfaceKindName(kind_) << " " << dims_ << " "
+        << (trained_ ? 1 : 0) << "\n";
+    auto emit = [&out](const std::vector<double> &v, const char *tag) {
+        out << tag;
+        for (double x : v)
+            out << " " << x;
+        out << "\n";
+    };
+    emit(means_, "means");
+    emit(sds_, "sds");
+    emit(coeffs_, "coeffs");
+    return out.str();
+}
+
+ResponseSurface
+ResponseSurface::deserialize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string tag, kind_name;
+    size_t dims = 0;
+    int trained = 0;
+    in >> tag >> kind_name >> dims >> trained;
+    if (tag != "surface" || !in)
+        fatal("ResponseSurface::deserialize: bad header");
+
+    SurfaceKind kind;
+    if (kind_name == "linear")
+        kind = SurfaceKind::Linear;
+    else if (kind_name == "quadratic")
+        kind = SurfaceKind::Quadratic;
+    else if (kind_name == "interaction")
+        kind = SurfaceKind::Interaction;
+    else
+        fatal("ResponseSurface::deserialize: unknown kind '%s'",
+              kind_name.c_str());
+
+    ResponseSurface s(kind, dims);
+    auto read_vec = [&in](const char *expect, size_t n) {
+        std::string t;
+        in >> t;
+        if (t != expect)
+            fatal("ResponseSurface::deserialize: expected '%s'", expect);
+        std::vector<double> v(n);
+        for (double &x : v)
+            in >> x;
+        return v;
+    };
+    s.means_ = read_vec("means", dims);
+    s.sds_ = read_vec("sds", dims);
+    s.coeffs_ = read_vec("coeffs", trained ? s.termCount() : 0);
+    s.trained_ = trained != 0;
+    if (!in)
+        fatal("ResponseSurface::deserialize: truncated input");
+    return s;
+}
+
+} // namespace dora

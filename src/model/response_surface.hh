@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Response-surface regression models — the paper's Equations (2)-(4).
+ *
+ * Three hypothesized forms over N independent variables X1..XN:
+ *   Linear       (Eq. 2): c0 + sum ci*Xi
+ *   Quadratic    (Eq. 3): linear + sum over i<=j of cij*Xi*Xj
+ *   Interaction  (Eq. 4): linear + sum over i<j  of cij*Xi*Xj
+ *
+ * Inputs are standardized (z-scored) before term expansion so the
+ * normal equations stay well-conditioned across the very different
+ * feature magnitudes (DOM node counts vs MPKI vs GHz). The paper picks
+ * the interaction surface for load time and the linear surface for
+ * power (Section V-A); all three are implemented and compared by the
+ * fig05 bench.
+ */
+
+#ifndef DORA_MODEL_RESPONSE_SURFACE_HH
+#define DORA_MODEL_RESPONSE_SURFACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/linalg.hh"
+
+namespace dora
+{
+
+/** The three response surfaces of the paper. */
+enum class SurfaceKind
+{
+    Linear,
+    Quadratic,
+    Interaction
+};
+
+/** Human-readable name. */
+const char *surfaceKindName(SurfaceKind kind);
+
+/** A training/evaluation set: rows of features plus targets. */
+struct Dataset
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+
+    /** Append one observation; all rows must share a dimension. */
+    void add(std::vector<double> features, double target);
+
+    size_t size() const { return y.size(); }
+    size_t dims() const { return x.empty() ? 0 : x.front().size(); }
+};
+
+/** Fit-quality summary on a dataset. */
+struct FitMetrics
+{
+    double meanAbsPctError = 0.0;  //!< mean |pred-y|/|y|
+    double maxAbsPctError = 0.0;
+    double rmse = 0.0;
+    size_t count = 0;
+};
+
+/**
+ * One fitted response surface.
+ */
+class ResponseSurface
+{
+  public:
+    /** Untrained surface of the given kind over @p dims inputs. */
+    ResponseSurface(SurfaceKind kind, size_t dims);
+
+    /**
+     * Fit by ridge-regularized least squares. @return false if the
+     * system was singular (surface left untrained).
+     */
+    bool fit(const Dataset &data, double ridge = 1e-9);
+
+    /** Predict the response at @p features. Requires trained(). */
+    double predict(const std::vector<double> &features) const;
+
+    /** True once fit() has succeeded. */
+    bool trained() const { return trained_; }
+
+    /** Error metrics of the trained surface over @p data. */
+    FitMetrics evaluate(const Dataset &data) const;
+
+    /** Per-sample absolute relative errors over @p data. */
+    std::vector<double> absPctErrors(const Dataset &data) const;
+
+    SurfaceKind kind() const { return kind_; }
+    size_t dims() const { return dims_; }
+
+    /** Number of expanded terms (including the intercept). */
+    size_t termCount() const;
+
+    /** Raw coefficients (term order: intercept, linear, products). */
+    const std::vector<double> &coefficients() const { return coeffs_; }
+
+    /** Serialize to a text block (see ModelBundle). */
+    std::string serialize() const;
+
+    /** Deserialize; fatal() on malformed input. */
+    static ResponseSurface deserialize(const std::string &text);
+
+  private:
+    std::vector<double> standardize(const std::vector<double> &raw) const;
+    std::vector<double> expand(const std::vector<double> &z) const;
+
+    SurfaceKind kind_;
+    size_t dims_;
+    bool trained_ = false;
+    std::vector<double> means_;
+    std::vector<double> sds_;
+    std::vector<double> coeffs_;
+};
+
+} // namespace dora
+
+#endif // DORA_MODEL_RESPONSE_SURFACE_HH

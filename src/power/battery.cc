@@ -1,0 +1,24 @@
+#include "power/battery.hh"
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+double
+batteryLifeHours(double mean_power_w, const BatterySpec &battery)
+{
+    if (mean_power_w <= 0.0)
+        fatal("batteryLifeHours: non-positive power %g W", mean_power_w);
+    return battery.wattHours() / mean_power_w;
+}
+
+double
+batteryLifeFactorFromPpw(double ppw_new, double ppw_baseline)
+{
+    if (ppw_new <= 0.0 || ppw_baseline <= 0.0)
+        fatal("batteryLifeFactorFromPpw: non-positive PPW");
+    return ppw_new / ppw_baseline;
+}
+
+} // namespace dora

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Battery-life translation.
+ *
+ * The paper's energy-efficiency results "directly translate to battery
+ * life improvement" because its power measurements cover the whole
+ * device. This helper makes that translation explicit for the modeled
+ * Nexus 5 battery (2300 mAh at a 3.8 V nominal rail = 8.74 Wh).
+ */
+
+#ifndef DORA_POWER_BATTERY_HH
+#define DORA_POWER_BATTERY_HH
+
+namespace dora
+{
+
+/** Battery description. */
+struct BatterySpec
+{
+    double capacityMah = 2300.0;  //!< Nexus 5 pack
+    double nominalV = 3.8;
+
+    /** Usable energy in watt-hours. */
+    double wattHours() const { return capacityMah * nominalV / 1000.0; }
+};
+
+/**
+ * Hours of continuous operation at @p mean_power_w on @p battery.
+ * fatal() on non-positive power.
+ */
+double batteryLifeHours(double mean_power_w,
+                        const BatterySpec &battery = {});
+
+/**
+ * Battery-life change (as a multiplicative factor) implied by a PPW
+ * improvement at equal delivered performance: energy per page load is
+ * 1/PPW, so life scales directly with PPW.
+ */
+double batteryLifeFactorFromPpw(double ppw_new, double ppw_baseline);
+
+} // namespace dora
+
+#endif // DORA_POWER_BATTERY_HH

@@ -1,0 +1,33 @@
+#include "power/dynamic_power.hh"
+
+namespace dora
+{
+
+DynamicPowerModel::DynamicPowerModel(const DynamicPowerConfig &config)
+    : config_(config)
+{
+}
+
+double
+DynamicPowerModel::corePower(const SocTickSummary &s) const
+{
+    const double v2 = s.voltage * s.voltage;
+    const double f_hz = s.coreMhz * 1e6;
+    double power = 0.0;
+    for (const auto &core : s.perCore) {
+        const double activity =
+            config_.idleActivity + core.effectiveActivity;
+        power += config_.coreCeff * activity * v2 * f_hz;
+    }
+    // Uncore clock tree at the bus clock (always on while SoC is up).
+    power += config_.uncoreCeff * v2 * s.busMhz * 1e6;
+    return power;
+}
+
+double
+DynamicPowerModel::l2TrafficEnergyJ(double l2_accesses) const
+{
+    return l2_accesses * config_.l2AccessEnergyJ;
+}
+
+} // namespace dora

@@ -1,0 +1,61 @@
+#include "power/leakage.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+std::array<double, 6>
+LeakageParams::toArray() const
+{
+    return {k1, k2, alpha, beta, gamma, delta};
+}
+
+LeakageParams
+LeakageParams::fromArray(const std::array<double, 6> &a)
+{
+    LeakageParams p;
+    p.k1 = a[0];
+    p.k2 = a[1];
+    p.alpha = a[2];
+    p.beta = a[3];
+    p.gamma = a[4];
+    p.delta = a[5];
+    return p;
+}
+
+LeakageModel::LeakageModel(const LeakageParams &params)
+    : params_(params)
+{
+}
+
+LeakageModel
+LeakageModel::msm8974Truth()
+{
+    LeakageParams p;
+    p.k1 = 0.50;
+    p.k2 = 0.08;
+    p.alpha = 800.0;
+    p.beta = -4600.0;
+    p.gamma = 3.0;
+    p.delta = -3.0;
+    return LeakageModel(p);
+}
+
+double
+LeakageModel::power(double voltage, double temp_c) const
+{
+    const double t = celsiusToKelvin(temp_c);
+    if (t <= 0.0)
+        panic("LeakageModel::power: temperature %g C below absolute zero",
+              temp_c);
+    const double term1 = params_.k1 * voltage * t * t *
+        std::exp((params_.alpha * voltage + params_.beta) / t);
+    const double term2 = params_.k2 *
+        std::exp(params_.gamma * voltage + params_.delta);
+    return term1 + term2;
+}
+
+} // namespace dora

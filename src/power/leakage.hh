@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Leakage power model — the empirical temperature/voltage form of
+ * Liao, He & Lepak (paper Equation 5):
+ *
+ *     P_lkg = k1 * v * T^2 * e^{(alpha*v + beta)/T} + k2 * e^{gamma*v + delta}
+ *
+ * with T in kelvin and v in volts. The same class serves two roles:
+ *   - with the *ground-truth* parameters it is part of the simulated
+ *     device's physics (what the DAQ would measure);
+ *   - with *fitted* parameters (see GaussNewton in src/model) it is the
+ *     leakage component inside DORA's power predictor.
+ */
+
+#ifndef DORA_POWER_LEAKAGE_HH
+#define DORA_POWER_LEAKAGE_HH
+
+#include <array>
+
+namespace dora
+{
+
+/** Parameters of the Liao leakage form. */
+struct LeakageParams
+{
+    double k1 = 0.0;
+    double k2 = 0.0;
+    double alpha = 0.0;
+    double beta = 0.0;
+    double gamma = 0.0;
+    double delta = 0.0;
+
+    /** Pack into an array (fitting order: k1,k2,alpha,beta,gamma,delta). */
+    std::array<double, 6> toArray() const;
+
+    /** Unpack from the fitting order. */
+    static LeakageParams fromArray(const std::array<double, 6> &a);
+};
+
+/**
+ * Evaluates the Liao leakage form.
+ */
+class LeakageModel
+{
+  public:
+    explicit LeakageModel(const LeakageParams &params);
+
+    /**
+     * Ground-truth parameters of the simulated MSM8974: ~0.25 W at
+     * 0.9 V / 37 degC rising to ~1 W at 1.1 V / 67 degC, matching the
+     * magnitude the paper attributes to leakage at high frequency and
+     * room ambient (Section V-F).
+     */
+    static LeakageModel msm8974Truth();
+
+    /** Leakage power (W) at @p voltage (V) and @p temp_c (Celsius). */
+    double power(double voltage, double temp_c) const;
+
+    const LeakageParams &params() const { return params_; }
+
+  private:
+    LeakageParams params_;
+};
+
+/** Celsius -> kelvin. */
+constexpr double celsiusToKelvin(double c) { return c + 273.15; }
+
+} // namespace dora
+
+#endif // DORA_POWER_LEAKAGE_HH

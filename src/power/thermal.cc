@@ -1,0 +1,49 @@
+#include "power/thermal.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+ThermalModel::ThermalModel(const ThermalConfig &config)
+    : config_(config), tempC_(config.initialC)
+{
+    if (config.thermalResistance <= 0.0 || config.heatCapacity <= 0.0)
+        fatal("ThermalModel: non-positive R or C");
+}
+
+void
+ThermalModel::step(double soc_power_w, double dt_sec)
+{
+    if (dt_sec <= 0.0)
+        panic("ThermalModel::step: non-positive dt");
+    // Exact integration of the linear ODE over the tick (unconditionally
+    // stable even if dt ever exceeds the RC time constant).
+    const double t_inf = steadyStateC(soc_power_w);
+    const double tau = config_.thermalResistance * config_.heatCapacity;
+    tempC_ = t_inf + (tempC_ - t_inf) * std::exp(-dt_sec / tau);
+    // Hardware thermal limit (see ThermalConfig::maxJunctionC).
+    tempC_ = std::min(tempC_, config_.maxJunctionC);
+}
+
+double
+ThermalModel::steadyStateC(double soc_power_w) const
+{
+    return config_.ambientC + soc_power_w * config_.thermalResistance;
+}
+
+void
+ThermalModel::setAmbientC(double ambient_c)
+{
+    config_.ambientC = ambient_c;
+}
+
+void
+ThermalModel::reset()
+{
+    tempC_ = config_.initialC;
+}
+
+} // namespace dora

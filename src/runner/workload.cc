@@ -1,0 +1,89 @@
+#include "runner/workload.hh"
+
+#include "browser/page_corpus.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dora
+{
+
+std::string
+WorkloadSpec::label() const
+{
+    std::string out = page ? page->name : "(none)";
+    out += "+";
+    out += kernel ? kernel->name : "alone";
+    return out;
+}
+
+bool
+WorkloadSpec::isWebpageInclusive() const
+{
+    return page != nullptr && page->trainingSet;
+}
+
+WorkloadSpec
+WorkloadSets::combo(const WebPage &page, MemIntensity cls)
+{
+    WorkloadSpec w;
+    w.page = &page;
+    const auto kernels = KernelCatalog::byClass(cls);
+    if (kernels.empty())
+        fatal("WorkloadSets::combo: no kernels in class '%s'",
+              memIntensityName(cls));
+    // Deterministic rotation: the page's identity picks the kernel
+    // within the class, so every kernel appears across the corpus.
+    const uint64_t slot = hashLabel(page.name) % kernels.size();
+    w.kernel = kernels[slot];
+    return w;
+}
+
+WorkloadSpec
+WorkloadSets::alone(const WebPage &page)
+{
+    WorkloadSpec w;
+    w.page = &page;
+    return w;
+}
+
+WorkloadSpec
+WorkloadSets::kernelOnly(const KernelSpec &kernel)
+{
+    WorkloadSpec w;
+    w.kernel = &kernel;
+    return w;
+}
+
+std::vector<WorkloadSpec>
+WorkloadSets::paperCombinations()
+{
+    std::vector<WorkloadSpec> out;
+    for (const auto &page : PageCorpus::all()) {
+        out.push_back(combo(page, MemIntensity::Low));
+        out.push_back(combo(page, MemIntensity::Medium));
+        out.push_back(combo(page, MemIntensity::High));
+    }
+    return out;
+}
+
+std::vector<WorkloadSpec>
+WorkloadSets::webpageInclusive()
+{
+    std::vector<WorkloadSpec> out;
+    for (const auto &w : paperCombinations())
+        if (w.isWebpageInclusive())
+            out.push_back(w);
+    return out;
+}
+
+std::vector<WorkloadSpec>
+WorkloadSets::webpageNeutral()
+{
+    std::vector<WorkloadSpec> out;
+    for (const auto &w : paperCombinations())
+        if (!w.isWebpageInclusive())
+            out.push_back(w);
+    return out;
+}
+
+} // namespace dora

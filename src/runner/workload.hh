@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Workload combinations — the paper's multiprogrammed scenarios.
+ *
+ * A workload is one web page co-scheduled with (at most) one co-run
+ * kernel: Firefox on cores 0-1, the kernel on core 2, core 4 off
+ * (Section IV-B). The paper builds 54 combinations: each of the 18
+ * pages paired with one application from each of the low, medium, and
+ * high memory-intensity categories. Kernels rotate across pages within
+ * a category so the training data covers every kernel.
+ */
+
+#ifndef DORA_RUNNER_WORKLOAD_HH
+#define DORA_RUNNER_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "browser/web_page.hh"
+#include "workloads/kernel.hh"
+
+namespace dora
+{
+
+/** One multiprogrammed workload. */
+struct WorkloadSpec
+{
+    const WebPage *page = nullptr;      //!< null = no browser
+    const KernelSpec *kernel = nullptr; //!< null = browser alone
+
+    /** "page+kernel" (or "page+alone"), for tables and logs. */
+    std::string label() const;
+
+    /** True when the page belongs to the model-training set. */
+    bool isWebpageInclusive() const;
+};
+
+/**
+ * Builders for the paper's workload sets.
+ */
+class WorkloadSets
+{
+  public:
+    /** All 54 combinations (18 pages x {low, medium, high}). */
+    static std::vector<WorkloadSpec> paperCombinations();
+
+    /** The 42 Webpage-Inclusive (training-page) combinations. */
+    static std::vector<WorkloadSpec> webpageInclusive();
+
+    /** The 12 Webpage-Neutral (held-out-page) combinations. */
+    static std::vector<WorkloadSpec> webpageNeutral();
+
+    /** A specific page x intensity-class pairing (rotation rule). */
+    static WorkloadSpec combo(const WebPage &page, MemIntensity cls);
+
+    /** Page alone (no interference). */
+    static WorkloadSpec alone(const WebPage &page);
+
+    /** Kernel alone (no browser) — for MPKI classification runs. */
+    static WorkloadSpec kernelOnly(const KernelSpec &kernel);
+};
+
+} // namespace dora
+
+#endif // DORA_RUNNER_WORKLOAD_HH

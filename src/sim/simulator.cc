@@ -1,0 +1,76 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+Simulator::Simulator(Soc &soc, DevicePower &power, const SimConfig &config)
+    : soc_(soc), power_(power), config_(config),
+      tasks_(soc.numCores(), nullptr)
+{
+    if (config.dtSec <= 0.0 || config.maxSeconds <= 0.0)
+        fatal("Simulator: non-positive dt or maxSeconds");
+}
+
+void
+Simulator::bindTask(uint32_t core, Task *task)
+{
+    if (core >= tasks_.size())
+        panic("Simulator::bindTask: core %u out of range", core);
+    tasks_[core] = task;
+}
+
+TickTrace
+Simulator::step()
+{
+    std::vector<TaskDemand> demands;
+    demands.reserve(tasks_.size());
+    const double now = soc_.elapsedSeconds();
+    for (auto *task : tasks_) {
+        Task &t = task ? *task : idle_;
+        demands.push_back(t.finished() ? idle_.demand(now)
+                                       : t.demand(now));
+    }
+
+    TickTrace trace;
+    trace.soc = soc_.tick(demands, config_.dtSec);
+    trace.power = power_.step(trace.soc, config_.dtSec);
+    trace.nowSec = soc_.elapsedSeconds();
+
+    for (size_t c = 0; c < tasks_.size(); ++c) {
+        if (tasks_[c] && !tasks_[c]->finished())
+            tasks_[c]->advance(trace.soc.perCore[c], config_.dtSec);
+    }
+    return trace;
+}
+
+double
+Simulator::runUntil(const std::function<bool()> &stop,
+                    const std::function<void(const TickTrace &)> &on_tick)
+{
+    const double start = nowSec();
+    while (!stop()) {
+        if (nowSec() - start >= config_.maxSeconds) {
+            warn("Simulator::runUntil hit the %g s wall",
+                 config_.maxSeconds);
+            break;
+        }
+        const TickTrace trace = step();
+        if (on_tick)
+            on_tick(trace);
+    }
+    return nowSec() - start;
+}
+
+void
+Simulator::reset()
+{
+    soc_.reset();
+    power_.reset();
+    for (auto *task : tasks_)
+        if (task)
+            task->reset();
+}
+
+} // namespace dora

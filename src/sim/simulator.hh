@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Time-stepped simulation kernel.
+ *
+ * Advances the SoC, device power, and all bound tasks in fixed ticks
+ * (default 1 ms). The kernel is deliberately governor-agnostic: the
+ * experiment harness interposes frequency decisions between ticks, which
+ * keeps the layering identical to a real system (the governor is a
+ * userspace daemon observing counters, not part of the hardware).
+ */
+
+#ifndef DORA_SIM_SIMULATOR_HH
+#define DORA_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "power/device_power.hh"
+#include "sim/task.hh"
+#include "soc/soc.hh"
+
+namespace dora
+{
+
+/** Simulation kernel configuration. */
+struct SimConfig
+{
+    double dtSec = 1e-3;       //!< tick duration
+    double maxSeconds = 30.0;  //!< hard wall for runUntil()
+};
+
+/** Everything that happened during one tick. */
+struct TickTrace
+{
+    double nowSec = 0.0;  //!< time at the *end* of the tick
+    SocTickSummary soc;
+    PowerBreakdown power;
+};
+
+/**
+ * Owns the tick loop. SoC and DevicePower are borrowed (the harness
+ * constructs and owns them so experiments can introspect afterwards).
+ */
+class Simulator
+{
+  public:
+    Simulator(Soc &soc, DevicePower &power, const SimConfig &config);
+
+    /**
+     * Pin @p task to @p core (non-owning; caller keeps the task alive).
+     * Pass nullptr to leave the core idle.
+     */
+    void bindTask(uint32_t core, Task *task);
+
+    /** Execute exactly one tick. */
+    TickTrace step();
+
+    /**
+     * Run until @p stop returns true (checked after every tick) or
+     * config().maxSeconds elapses.
+     *
+     * @param stop      stop predicate
+     * @param on_tick   optional observer invoked after each tick
+     * @return simulated seconds consumed by this call
+     */
+    double runUntil(const std::function<bool()> &stop,
+                    const std::function<void(const TickTrace &)> &on_tick =
+                        nullptr);
+
+    /** Current simulated time in seconds. */
+    double nowSec() const { return soc_.elapsedSeconds(); }
+
+    /** The SoC under simulation. */
+    Soc &soc() { return soc_; }
+    const Soc &soc() const { return soc_; }
+
+    /** The device power integrator. */
+    DevicePower &power() { return power_; }
+    const DevicePower &power() const { return power_; }
+
+    const SimConfig &config() const { return config_; }
+
+    /**
+     * Reset SoC, power, and all bound tasks for a fresh run (bindings
+     * are kept).
+     */
+    void reset();
+
+  private:
+    Soc &soc_;
+    DevicePower &power_;
+    SimConfig config_;
+    std::vector<Task *> tasks_;  //!< per core; nullptr = idle
+    IdleTask idle_;
+};
+
+} // namespace dora
+
+#endif // DORA_SIM_SIMULATOR_HH

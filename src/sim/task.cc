@@ -1,0 +1,27 @@
+#include "sim/task.hh"
+
+namespace dora
+{
+
+IdleTask::IdleTask()
+    : name_("idle")
+{
+}
+
+TaskDemand
+IdleTask::demand(double now_sec)
+{
+    (void)now_sec;
+    TaskDemand d;
+    d.active = false;
+    return d;
+}
+
+void
+IdleTask::advance(const TickResult &result, double dt_sec)
+{
+    (void)result;
+    (void)dt_sec;
+}
+
+} // namespace dora

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The unit of execution the simulator schedules onto cores.
+ *
+ * A Task is anything that occupies a core: a browser render thread, a
+ * co-scheduled Rodinia-style kernel, or an idle placeholder. Tasks are
+ * pinned to cores by the experiment harness (matching the paper's
+ * methodology: Firefox on two cores, the co-runner on the third, the
+ * fourth core switched off).
+ */
+
+#ifndef DORA_SIM_TASK_HH
+#define DORA_SIM_TASK_HH
+
+#include <string>
+
+#include "soc/core_model.hh"
+
+namespace dora
+{
+
+/**
+ * Abstract task. Implementations own their address streams and phase
+ * state; the simulator pulls a TaskDemand each tick and pushes back the
+ * achieved TickResult.
+ */
+class Task
+{
+  public:
+    virtual ~Task() = default;
+
+    /** Demand for the upcoming tick at simulated time @p now_sec. */
+    virtual TaskDemand demand(double now_sec) = 0;
+
+    /** Consume the achieved execution for the tick just simulated. */
+    virtual void advance(const TickResult &result, double dt_sec) = 0;
+
+    /** True when the task has no more work (ever). */
+    virtual bool finished() const = 0;
+
+    /** Human-readable name for logs and tables. */
+    virtual const std::string &name() const = 0;
+
+    /** Restart the task from the beginning (new experiment run). */
+    virtual void reset() = 0;
+};
+
+/**
+ * A task that never demands the core; used for switched-off or idle
+ * cores.
+ */
+class IdleTask : public Task
+{
+  public:
+    IdleTask();
+
+    TaskDemand demand(double now_sec) override;
+    void advance(const TickResult &result, double dt_sec) override;
+    bool finished() const override { return false; }
+    const std::string &name() const override { return name_; }
+    void reset() override {}
+
+  private:
+    std::string name_;
+};
+
+} // namespace dora
+
+#endif // DORA_SIM_TASK_HH

@@ -1,0 +1,112 @@
+#include "soc/core_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "mem/address_stream.hh"
+
+namespace dora
+{
+
+double
+computeCpi(double base_cpi, double refs_per_instr, double l1_miss_rate,
+           double l2_local_miss_rate, double l2_hit_ns, double dram_ns,
+           double mlp, double core_mhz)
+{
+    // ns -> core cycles: cycles = ns * (core_mhz / 1000).
+    const double cycles_per_ns = core_mhz / 1000.0;
+    const double miss_service_ns =
+        l2_hit_ns + l2_local_miss_rate * dram_ns / std::max(1.0, mlp);
+    const double stall_cpi = refs_per_instr * l1_miss_rate *
+        miss_service_ns * cycles_per_ns;
+    return base_cpi + stall_cpi;
+}
+
+CoreModel::CoreModel(uint32_t id, const CoreTimingConfig &config)
+    : id_(id), config_(config)
+{
+    if (config.samplingRatio <= 0.0 || config.maxSamples < config.minSamples)
+        fatal("CoreModel: invalid timing configuration");
+}
+
+MemSampleRequest
+CoreModel::planTick(const TaskDemand &demand, double dt_sec,
+                    double core_mhz) const
+{
+    MemSampleRequest req;
+    req.core = id_;
+    if (!demand.active || demand.stream == nullptr ||
+        demand.memRefsPerInstr <= 0.0) {
+        req.samples = 0;
+        return req;
+    }
+
+    // Estimate this tick's reference count from the previous CPI so the
+    // sample size is proportional to the task's real access intensity
+    // (that proportionality is what makes shared-L2 contention honest).
+    const double avail_cycles = core_mhz * 1e6 * dt_sec * demand.dutyCycle;
+    const double est_instr = avail_cycles / std::max(0.25, lastCpi_);
+    const double bounded_instr = demand.instrBudget > 0.0
+        ? std::min(est_instr, demand.instrBudget) : est_instr;
+    const double est_refs = bounded_instr * demand.memRefsPerInstr;
+
+    const double scaled = est_refs * config_.samplingRatio;
+    req.stream = demand.stream;
+    req.samples = static_cast<uint32_t>(clampToSamples(scaled));
+    return req;
+}
+
+double
+CoreModel::clampToSamples(double scaled) const
+{
+    return std::clamp(scaled, static_cast<double>(config_.minSamples),
+                      static_cast<double>(config_.maxSamples));
+}
+
+TickResult
+CoreModel::finishTick(const TaskDemand &demand,
+                      const MemSampleResult &sample, double dt_sec,
+                      double core_mhz, MemSystem &mem)
+{
+    TickResult out;
+    if (!demand.active)
+        return out;
+
+    out.cpi = computeCpi(demand.baseCpi, demand.memRefsPerInstr,
+                         sample.l1MissRate, sample.l2LocalMissRate,
+                         config_.l2HitLatencyNs, mem.dramLatencyNs(),
+                         demand.mlp, core_mhz);
+    lastCpi_ = out.cpi;
+
+    const double avail_cycles = core_mhz * 1e6 * dt_sec * demand.dutyCycle;
+    double instr = avail_cycles / out.cpi;
+    double busy_fraction = demand.dutyCycle;
+    if (demand.instrBudget > 0.0 && instr > demand.instrBudget) {
+        busy_fraction *= demand.instrBudget / instr;
+        instr = demand.instrBudget;
+    }
+
+    out.instructions = instr;
+    out.utilization = busy_fraction;
+    out.l1Accesses = instr * demand.memRefsPerInstr;
+    out.l2Accesses = out.l1Accesses * sample.l1MissRate;
+    out.l2Misses = out.l2Accesses * sample.l2LocalMissRate;
+    out.effectiveActivity = demand.activityFactor * busy_fraction;
+
+    mem.commitScaled(id_, out.l1Accesses, sample);
+
+    totalInstructions_ += instr;
+    totalBusySeconds_ += busy_fraction * dt_sec;
+    return out;
+}
+
+void
+CoreModel::reset()
+{
+    lastCpi_ = 1.0;
+    totalInstructions_ = 0.0;
+    totalBusySeconds_ = 0.0;
+}
+
+} // namespace dora

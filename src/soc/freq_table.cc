@@ -1,0 +1,119 @@
+#include "soc/freq_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+FreqTable::FreqTable(std::vector<OperatingPoint> opps)
+    : opps_(std::move(opps))
+{
+    if (opps_.empty())
+        fatal("FreqTable: empty operating-point list");
+    for (size_t i = 1; i < opps_.size(); ++i)
+        if (opps_[i].coreMhz <= opps_[i - 1].coreMhz)
+            fatal("FreqTable: OPPs must be strictly ascending");
+    for (const auto &opp : opps_)
+        if (opp.coreMhz <= 0.0 || opp.voltage <= 0.0 || opp.busMhz <= 0.0)
+            fatal("FreqTable: non-positive OPP field");
+}
+
+FreqTable
+FreqTable::msm8974()
+{
+    // Core frequencies are the stock Nexus 5 cpufreq steps. Voltages
+    // follow the Krait 400 PVS-nominal curve (~0.775 V at 300 MHz up to
+    // ~1.10 V at 2.27 GHz). Bus frequencies group the OPPs into the four
+    // LPDDR3 bus settings, reproducing the paper's piece-wise structure.
+    auto bus = [](double core_mhz) {
+        if (core_mhz <= 425.0)
+            return 200.0;
+        if (core_mhz <= 965.0)
+            return 333.0;
+        if (core_mhz <= 1500.0)
+            return 466.0;
+        return 800.0;
+    };
+    const double core_steps[] = {
+        300.0, 422.4, 652.8, 729.6, 883.2, 960.0, 1036.8,
+        1190.4, 1267.2, 1497.6, 1574.4, 1728.0, 1958.4, 2265.6,
+    };
+    std::vector<OperatingPoint> opps;
+    for (double mhz : core_steps) {
+        OperatingPoint opp;
+        opp.coreMhz = mhz;
+        // Supply curve: near-flat through the mid bins with a sharp
+        // rise at the top bins, matching the published Krait 400 PVS
+        // tables (the last two OPPs pay a large voltage premium).
+        const double x = mhz / 2265.6;
+        opp.voltage = 0.79 + 0.08 * x + 0.17 * std::pow(x, 6.0);
+        opp.busMhz = bus(mhz);
+        opps.push_back(opp);
+    }
+    return FreqTable(std::move(opps));
+}
+
+const OperatingPoint &
+FreqTable::opp(size_t idx) const
+{
+    if (idx >= opps_.size())
+        panic("FreqTable::opp: index %zu out of range", idx);
+    return opps_[idx];
+}
+
+size_t
+FreqTable::nearestIndex(double mhz) const
+{
+    size_t best = 0;
+    double best_dist = std::abs(opps_[0].coreMhz - mhz);
+    for (size_t i = 1; i < opps_.size(); ++i) {
+        const double d = std::abs(opps_[i].coreMhz - mhz);
+        if (d < best_dist) {
+            best_dist = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::vector<size_t>
+FreqTable::paperSweepIndices() const
+{
+    // The paper's axes label these 0.7/0.8/0.9/1.2/1.5/1.7/1.9/2.2 GHz;
+    // the exact cpufreq steps they correspond to are below.
+    const double paper_mhz[] = {729.6,  883.2,  960.0,  1190.4,
+                                1497.6, 1728.0, 1958.4, 2265.6};
+    std::vector<size_t> indices;
+    for (double mhz : paper_mhz) {
+        const size_t idx = nearestIndex(mhz);
+        if (indices.empty() || indices.back() != idx)
+            indices.push_back(idx);
+    }
+    return indices;
+}
+
+std::vector<double>
+FreqTable::busFrequencies() const
+{
+    std::vector<double> buses;
+    for (const auto &opp : opps_)
+        buses.push_back(opp.busMhz);
+    std::sort(buses.begin(), buses.end());
+    buses.erase(std::unique(buses.begin(), buses.end()), buses.end());
+    return buses;
+}
+
+std::vector<size_t>
+FreqTable::indicesForBus(double bus_mhz) const
+{
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < opps_.size(); ++i)
+        if (opps_[i].busMhz == bus_mhz)
+            indices.push_back(i);
+    return indices;
+}
+
+} // namespace dora

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DVFS operating-point table.
+ *
+ * The modeled chipset is the Qualcomm MSM8974 / Snapdragon 800 of the
+ * Google Nexus 5 (paper Table II): 14 frequency settings from 300 MHz to
+ * 2265.6 MHz. Each operating point carries the core voltage and the
+ * memory-bus frequency it maps to. The paper's observation that "a set
+ * of core frequencies map to a particular memory bus frequency" — the
+ * reason for its piece-wise models — is reproduced by the bus-frequency
+ * grouping here.
+ */
+
+#ifndef DORA_SOC_FREQ_TABLE_HH
+#define DORA_SOC_FREQ_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dora
+{
+
+/** One DVFS operating point. */
+struct OperatingPoint
+{
+    double coreMhz = 0.0;  //!< core clock
+    double voltage = 0.0;  //!< core rail voltage (V)
+    double busMhz = 0.0;   //!< memory bus clock slaved to this OPP
+};
+
+/**
+ * Ordered table of operating points (ascending core frequency).
+ */
+class FreqTable
+{
+  public:
+    /** Build from an explicit OPP list (must be ascending, non-empty). */
+    explicit FreqTable(std::vector<OperatingPoint> opps);
+
+    /** The 14-entry MSM8974 (Nexus 5) table used throughout the paper. */
+    static FreqTable msm8974();
+
+    /** Number of operating points. */
+    size_t size() const { return opps_.size(); }
+
+    /** Operating point by index (0 = slowest). */
+    const OperatingPoint &opp(size_t idx) const;
+
+    /** Index of the lowest-frequency OPP. */
+    size_t minIndex() const { return 0; }
+
+    /** Index of the highest-frequency OPP. */
+    size_t maxIndex() const { return opps_.size() - 1; }
+
+    /** Index of the OPP whose core frequency is closest to @p mhz. */
+    size_t nearestIndex(double mhz) const;
+
+    /**
+     * Indices of the OPPs closest to the eight frequencies the paper's
+     * figures sweep (0.7, 0.8, 0.9, 1.2, 1.5, 1.7, 1.9, 2.2 GHz).
+     */
+    std::vector<size_t> paperSweepIndices() const;
+
+    /** Distinct bus frequencies, ascending (piece-wise model groups). */
+    std::vector<double> busFrequencies() const;
+
+    /** All indices whose OPP maps to @p bus_mhz. */
+    std::vector<size_t> indicesForBus(double bus_mhz) const;
+
+  private:
+    std::vector<OperatingPoint> opps_;
+};
+
+} // namespace dora
+
+#endif // DORA_SOC_FREQ_TABLE_HH

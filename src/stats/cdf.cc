@@ -1,0 +1,139 @@
+#include "stats/cdf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+void
+EmpiricalCdf::push(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+EmpiricalCdf::push(const std::vector<double> &xs)
+{
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+}
+
+void
+EmpiricalCdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+EmpiricalCdf::fractionAtOrBelow(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+        static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    if (samples_.empty())
+        panic("EmpiricalCdf::quantile on empty sample set");
+    ensureSorted();
+    if (q <= 0.0)
+        return samples_.front();
+    if (q >= 1.0)
+        return samples_.back();
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples_.size()))) - 1;
+    return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double
+EmpiricalCdf::min() const
+{
+    if (samples_.empty())
+        panic("EmpiricalCdf::min on empty sample set");
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+EmpiricalCdf::max() const
+{
+    if (samples_.empty())
+        panic("EmpiricalCdf::max on empty sample set");
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+EmpiricalCdf::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::series(int points) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || points < 2)
+        return out;
+    ensureSorted();
+    const double lo = samples_.front();
+    const double hi = samples_.back();
+    out.reserve(static_cast<size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double x = lo + (hi - lo) * i / (points - 1);
+        out.emplace_back(x, fractionAtOrBelow(x));
+    }
+    return out;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), width_((hi - lo) / bins), counts_(bins, 0)
+{
+    if (bins <= 0 || hi <= lo)
+        panic("Histogram: invalid range [%g, %g) with %d bins", lo, hi,
+              bins);
+}
+
+void
+Histogram::push(double x)
+{
+    int idx = static_cast<int>(std::floor((x - lo_) / width_));
+    idx = std::clamp(idx, 0, bins() - 1);
+    ++counts_[static_cast<size_t>(idx)];
+    ++total_;
+}
+
+uint64_t
+Histogram::binCount(int idx) const
+{
+    if (idx < 0 || idx >= bins())
+        panic("Histogram::binCount: bin %d out of range", idx);
+    return counts_[static_cast<size_t>(idx)];
+}
+
+double
+Histogram::binCenter(int idx) const
+{
+    if (idx < 0 || idx >= bins())
+        panic("Histogram::binCenter: bin %d out of range", idx);
+    return lo_ + (idx + 0.5) * width_;
+}
+
+} // namespace dora

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Empirical CDFs and fixed-bin histograms.
+ *
+ * Figure 5 (model prediction-error CDFs) and Figure 7b (per-governor load
+ * time CDFs) of the paper are regenerated through EmpiricalCdf.
+ */
+
+#ifndef DORA_STATS_CDF_HH
+#define DORA_STATS_CDF_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dora
+{
+
+/**
+ * Exact empirical cumulative distribution over a sample set.
+ *
+ * Samples are accumulated with push() and sorted lazily on first query.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Add one sample. */
+    void push(double x);
+
+    /** Add many samples. */
+    void push(const std::vector<double> &xs);
+
+    /** Number of samples. */
+    size_t count() const { return samples_.size(); }
+
+    /** Fraction of samples <= x (0 when empty). */
+    double fractionAtOrBelow(double x) const;
+
+    /**
+     * The q-quantile (q in [0,1]) using nearest-rank; q=1 returns the
+     * maximum. Requires at least one sample.
+     */
+    double quantile(double q) const;
+
+    /** Smallest sample. Requires at least one sample. */
+    double min() const;
+
+    /** Largest sample. Requires at least one sample. */
+    double max() const;
+
+    /** Mean of the samples (0 when empty). */
+    double mean() const;
+
+    /**
+     * Evaluate the CDF at @p points evenly spaced values covering
+     * [min, max]; returns (x, fraction<=x) pairs for table emission.
+     */
+    std::vector<std::pair<double, double>> series(int points) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
+ * the edge bins so no observation is silently dropped.
+ */
+class Histogram
+{
+  public:
+    /** Create @p bins equal-width bins spanning [lo, hi). */
+    Histogram(double lo, double hi, int bins);
+
+    /** Add one sample. */
+    void push(double x);
+
+    /** Count in bin @p idx. */
+    uint64_t binCount(int idx) const;
+
+    /** Center value of bin @p idx. */
+    double binCenter(int idx) const;
+
+    /** Number of bins. */
+    int bins() const { return static_cast<int>(counts_.size()); }
+
+    /** Total samples pushed. */
+    uint64_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace dora
+
+#endif // DORA_STATS_CDF_HH

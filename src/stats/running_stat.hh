@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford's algorithm).
+ */
+
+#ifndef DORA_STATS_RUNNING_STAT_HH
+#define DORA_STATS_RUNNING_STAT_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dora
+{
+
+/**
+ * Accumulates count/mean/variance/min/max of a stream of doubles in O(1)
+ * space using Welford's numerically stable update.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void push(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Number of observations so far. */
+    uint64_t count() const { return n_; }
+
+    /** Mean of the observations (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (0 with fewer than 2 observations). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace dora
+
+#endif // DORA_STATS_RUNNING_STAT_HH

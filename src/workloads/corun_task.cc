@@ -1,0 +1,50 @@
+#include "workloads/corun_task.hh"
+
+#include "common/rng.hh"
+
+namespace dora
+{
+
+CorunTask::CorunTask(const KernelSpec &spec, uint64_t stream_salt)
+    : spec_(spec), streamSalt_(stream_salt)
+{
+    reset();
+}
+
+void
+CorunTask::reset()
+{
+    // Kernel address spaces start far above any page-load region
+    // (PageLoad uses (1+salt)<<28; kernels use (1000+salt)<<28).
+    const uint64_t base_line = (1000 + streamSalt_) << 28;
+    stream_ = std::make_unique<AddressStream>(
+        spec_.stream, base_line,
+        Rng("kernel:" + spec_.name + "/salt:" +
+            std::to_string(streamSalt_)));
+    instructions_ = 0.0;
+}
+
+TaskDemand
+CorunTask::demand(double now_sec)
+{
+    (void)now_sec;
+    TaskDemand d;
+    d.active = true;
+    d.baseCpi = spec_.baseCpi;
+    d.memRefsPerInstr = spec_.refsPerInstr;
+    d.mlp = spec_.mlp;
+    d.dutyCycle = spec_.dutyCycle;
+    d.instrBudget = 0.0;  // endless
+    d.activityFactor = spec_.activityFactor;
+    d.stream = stream_.get();
+    return d;
+}
+
+void
+CorunTask::advance(const TickResult &result, double dt_sec)
+{
+    (void)dt_sec;
+    instructions_ += result.instructions;
+}
+
+} // namespace dora

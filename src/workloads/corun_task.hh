@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Task wrapper that runs a KernelSpec continuously on a core.
+ *
+ * Matches the paper's methodology: co-run applications are cross-
+ * compiled, pinned to a dedicated core, launched before the page load,
+ * and run for the whole measurement (they never finish).
+ */
+
+#ifndef DORA_WORKLOADS_CORUN_TASK_HH
+#define DORA_WORKLOADS_CORUN_TASK_HH
+
+#include <memory>
+#include <string>
+
+#include "mem/address_stream.hh"
+#include "sim/task.hh"
+#include "workloads/kernel.hh"
+
+namespace dora
+{
+
+/**
+ * An endless co-scheduled kernel.
+ */
+class CorunTask : public Task
+{
+  public:
+    /**
+     * @param spec        kernel description
+     * @param stream_salt address-space / RNG disambiguator (use the
+     *                    core id or workload index)
+     */
+    explicit CorunTask(const KernelSpec &spec, uint64_t stream_salt = 0);
+
+    TaskDemand demand(double now_sec) override;
+    void advance(const TickResult &result, double dt_sec) override;
+    bool finished() const override { return false; }
+    const std::string &name() const override { return spec_.name; }
+    void reset() override;
+
+    /** The kernel this task executes. */
+    const KernelSpec &spec() const { return spec_; }
+
+    /** Instructions retired so far. */
+    double instructionsRetired() const { return instructions_; }
+
+  private:
+    KernelSpec spec_;
+    uint64_t streamSalt_;
+    std::unique_ptr<AddressStream> stream_;
+    double instructions_ = 0.0;
+};
+
+} // namespace dora
+
+#endif // DORA_WORKLOADS_CORUN_TASK_HH

@@ -1,0 +1,141 @@
+#include "workloads/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+const char *
+memIntensityName(MemIntensity intensity)
+{
+    switch (intensity) {
+      case MemIntensity::None:
+        return "none";
+      case MemIntensity::Low:
+        return "low";
+      case MemIntensity::Medium:
+        return "medium";
+      case MemIntensity::High:
+        return "high";
+    }
+    return "?";
+}
+
+namespace
+{
+
+KernelSpec
+makeKernel(const char *name, const char *domain, MemIntensity cls,
+           double cpi, double refs, double mlp, double duty, double act,
+           double ws_bytes, double hot, double hot_set, double burst)
+{
+    KernelSpec k;
+    k.name = name;
+    k.domain = domain;
+    k.expectedClass = cls;
+    k.baseCpi = cpi;
+    k.refsPerInstr = refs;
+    k.mlp = mlp;
+    k.dutyCycle = duty;
+    k.activityFactor = act;
+    k.stream.workingSetBytes = static_cast<uint64_t>(ws_bytes);
+    k.stream.hotFraction = hot;
+    k.stream.hotSetFraction = hot_set;
+    k.stream.burstContinueProb = burst;
+    return k;
+}
+
+std::vector<KernelSpec>
+buildCatalog()
+{
+    using MI = MemIntensity;
+    std::vector<KernelSpec> kernels;
+    // Low intensity: working sets comfortably inside the 2 MB L2.
+    kernels.push_back(makeKernel(
+        "srad", "image processing", MI::Low,
+        0.80, 0.30, 2.5, 0.85, 0.60, 256e3, 0.985, 0.025, 0.80));
+    kernels.push_back(makeKernel(
+        "heartwall", "image processing", MI::Low,
+        0.90, 0.28, 2.0, 0.90, 0.55, 384e3, 0.970, 0.020, 0.70));
+    kernels.push_back(makeKernel(
+        "kmeans", "clustering analysis", MI::Low,
+        0.85, 0.25, 2.2, 0.95, 0.60, 512e3, 0.960, 0.015, 0.90));
+    kernels.push_back(makeKernel(
+        "hotspot", "temperature management", MI::Low,
+        0.80, 0.27, 2.4, 0.80, 0.55, 320e3, 0.975, 0.020, 0.85));
+    // Medium intensity: working sets around the L2 capacity.
+    kernels.push_back(makeKernel(
+        "srad2", "image processing", MI::Medium,
+        0.85, 0.28, 2.0, 0.95, 0.60, 2.6e6, 0.950, 0.004, 0.70));
+    kernels.push_back(makeKernel(
+        "bfs", "graph traversal", MI::Medium,
+        1.10, 0.25, 1.3, 0.90, 0.50, 2.8e6, 0.948, 0.003, 0.20));
+    kernels.push_back(makeKernel(
+        "b+tree", "tree traversal", MI::Medium,
+        1.05, 0.25, 1.2, 0.85, 0.50, 3.4e6, 0.945, 0.004, 0.10));
+    // High intensity: working sets that thrash the L2 outright.
+    kernels.push_back(makeKernel(
+        "backprop", "sensor data analysis", MI::High,
+        0.95, 0.40, 2.8, 1.00, 0.65, 8.0e6, 0.915, 0.001, 0.60));
+    kernels.push_back(makeKernel(
+        "nw", "bioinformatics", MI::High,
+        0.90, 0.40, 2.5, 0.95, 0.60, 16.0e6, 0.910, 0.0005, 0.60));
+    return kernels;
+}
+
+} // namespace
+
+const std::vector<KernelSpec> &
+KernelCatalog::all()
+{
+    static const std::vector<KernelSpec> catalog = buildCatalog();
+    return catalog;
+}
+
+const KernelSpec &
+KernelCatalog::byName(const std::string &name)
+{
+    for (const auto &kernel : all())
+        if (kernel.name == name)
+            return kernel;
+    fatal("KernelCatalog: unknown kernel '%s'", name.c_str());
+}
+
+std::vector<const KernelSpec *>
+KernelCatalog::byClass(MemIntensity cls)
+{
+    std::vector<const KernelSpec *> out;
+    for (const auto &kernel : all())
+        if (kernel.expectedClass == cls)
+            out.push_back(&kernel);
+    return out;
+}
+
+const KernelSpec &
+KernelCatalog::representative(MemIntensity cls)
+{
+    switch (cls) {
+      case MemIntensity::Low:
+        return byName("kmeans");
+      case MemIntensity::Medium:
+        return byName("srad2");
+      case MemIntensity::High:
+        return byName("backprop");
+      case MemIntensity::None:
+        break;
+    }
+    fatal("KernelCatalog::representative: no kernel for class '%s'",
+          memIntensityName(cls));
+}
+
+MemIntensity
+classifyMpki(double l2_mpki)
+{
+    if (l2_mpki < 1.0)
+        return MemIntensity::Low;
+    if (l2_mpki <= 7.0)
+        return MemIntensity::Medium;
+    return MemIntensity::High;
+}
+
+} // namespace dora

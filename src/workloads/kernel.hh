@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Co-scheduled application kernels.
+ *
+ * Stand-ins for the paper's Rodinia-derived co-run applications
+ * (Table III): image processing (srad, srad2, heartwall), clustering
+ * (kmeans), thermal simulation (hotspot), graph/tree traversal (bfs,
+ * b+tree), sensor-data analysis (backprop), and bioinformatics
+ * (needleman-wunsch). Each kernel is described statistically — working
+ * set, locality, reference rate — tuned so its *measured* solo L2 MPKI
+ * lands in the paper's class band: low < 1, medium 1-7, high > 7.
+ */
+
+#ifndef DORA_WORKLOADS_KERNEL_HH
+#define DORA_WORKLOADS_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/address_stream.hh"
+
+namespace dora
+{
+
+/** Memory-intensity class per Table III of the paper. */
+enum class MemIntensity
+{
+    None,    //!< no co-runner (browser alone)
+    Low,     //!< L2 MPKI < 1
+    Medium,  //!< L2 MPKI in [1, 7]
+    High     //!< L2 MPKI > 7
+};
+
+/** Human-readable class name. */
+const char *memIntensityName(MemIntensity intensity);
+
+/** Statistical description of one co-run kernel. */
+struct KernelSpec
+{
+    std::string name;
+    std::string domain;        //!< e.g. "image processing"
+    MemIntensity expectedClass = MemIntensity::Low;
+
+    double baseCpi = 1.0;
+    double refsPerInstr = 0.25;
+    double mlp = 1.5;
+    double dutyCycle = 1.0;
+    double activityFactor = 0.5;
+    AddressStreamSpec stream;
+};
+
+/**
+ * The fixed kernel table.
+ */
+class KernelCatalog
+{
+  public:
+    /** All nine kernels, ordered by expected intensity. */
+    static const std::vector<KernelSpec> &all();
+
+    /** Kernel by name; fatal() if unknown. */
+    static const KernelSpec &byName(const std::string &name);
+
+    /** Kernels in a given class. */
+    static std::vector<const KernelSpec *> byClass(MemIntensity cls);
+
+    /**
+     * The representative kernel per class used when constructing the
+     * 54 workload combinations (one page x one kernel per class).
+     */
+    static const KernelSpec &representative(MemIntensity cls);
+};
+
+/** Classify a measured solo L2 MPKI into the Table III bands. */
+MemIntensity classifyMpki(double l2_mpki);
+
+} // namespace dora
+
+#endif // DORA_WORKLOADS_KERNEL_HH

@@ -1,0 +1,101 @@
+#include "workloads/phased_corun_task.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dora
+{
+
+PhasedCorunTask::PhasedCorunTask(std::vector<CorunPhase> phases,
+                                 uint64_t stream_salt)
+    : phases_(std::move(phases)), streamSalt_(stream_salt)
+{
+    if (phases_.empty())
+        fatal("PhasedCorunTask: empty schedule");
+    name_ = "phased(";
+    for (size_t i = 0; i < phases_.size(); ++i) {
+        if (phases_[i].kernel == nullptr)
+            fatal("PhasedCorunTask: null kernel in segment %zu", i);
+        if (i)
+            name_ += ",";
+        name_ += phases_[i].kernel->name;
+    }
+    name_ += ")";
+    reset();
+}
+
+void
+PhasedCorunTask::reset()
+{
+    streams_.clear();
+    for (size_t i = 0; i < phases_.size(); ++i) {
+        // Distinct address-space region per segment, well above the
+        // single-kernel convention ((1000+salt)<<28 in CorunTask).
+        const uint64_t base_line =
+            (2000 + streamSalt_ * 16 + i) << 28;
+        streams_.push_back(std::make_unique<AddressStream>(
+            phases_[i].kernel->stream, base_line,
+            Rng("phased:" + phases_[i].kernel->name + "/seg:" +
+                std::to_string(i) + "/salt:" +
+                std::to_string(streamSalt_))));
+    }
+    startSec_ = -1.0;
+}
+
+size_t
+PhasedCorunTask::phaseIndexAt(double now_sec) const
+{
+    const double t0 = startSec_ < 0.0 ? now_sec : startSec_;
+    double offset = now_sec - t0;
+
+    double cycle = 0.0;
+    for (const auto &phase : phases_) {
+        if (phase.durationSec <= 0.0)
+            cycle = -1.0;  // open-ended tail: no wrap
+        else if (cycle >= 0.0)
+            cycle += phase.durationSec;
+    }
+    if (cycle > 0.0)
+        offset = std::fmod(offset, cycle);
+
+    double acc = 0.0;
+    for (size_t i = 0; i < phases_.size(); ++i) {
+        if (phases_[i].durationSec <= 0.0)
+            return i;  // open-ended segment absorbs the rest
+        acc += phases_[i].durationSec;
+        if (offset < acc)
+            return i;
+    }
+    return phases_.size() - 1;
+}
+
+TaskDemand
+PhasedCorunTask::demand(double now_sec)
+{
+    if (startSec_ < 0.0)
+        startSec_ = now_sec;
+    const size_t idx = phaseIndexAt(now_sec);
+    const KernelSpec &spec = *phases_[idx].kernel;
+
+    TaskDemand d;
+    d.active = true;
+    d.baseCpi = spec.baseCpi;
+    d.memRefsPerInstr = spec.refsPerInstr;
+    d.mlp = spec.mlp;
+    d.dutyCycle = spec.dutyCycle;
+    d.instrBudget = 0.0;
+    d.activityFactor = spec.activityFactor;
+    d.stream = streams_[idx].get();
+    return d;
+}
+
+void
+PhasedCorunTask::advance(const TickResult &result, double dt_sec)
+{
+    (void)result;
+    (void)dt_sec;
+}
+
+} // namespace dora

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A co-scheduled task whose kernel changes over time.
+ *
+ * The paper's motivation (Section I) is that background work varies:
+ * "co-scheduled applications or background processes vary more
+ * frequently" than the visited pages. PhasedCorunTask runs a schedule
+ * of kernels — e.g. low intensity for 0.5 s, then high intensity — so
+ * experiments can watch DORA re-evaluate fopt as the interference it
+ * measures (X6/X9) moves under it (the adaptive loop of Fig. 4).
+ */
+
+#ifndef DORA_WORKLOADS_PHASED_CORUN_TASK_HH
+#define DORA_WORKLOADS_PHASED_CORUN_TASK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/address_stream.hh"
+#include "sim/task.hh"
+#include "workloads/kernel.hh"
+
+namespace dora
+{
+
+/** One segment of a phased co-runner schedule. */
+struct CorunPhase
+{
+    const KernelSpec *kernel = nullptr;
+    /** Segment length; <= 0 means "until the end of the run". */
+    double durationSec = 0.0;
+};
+
+/**
+ * Endless task executing a kernel schedule. After the last segment the
+ * schedule wraps around (unless the last segment is open-ended).
+ */
+class PhasedCorunTask : public Task
+{
+  public:
+    /**
+     * @param phases       segment list (non-empty; kernels non-null)
+     * @param stream_salt  address-space / RNG disambiguator
+     */
+    PhasedCorunTask(std::vector<CorunPhase> phases,
+                    uint64_t stream_salt = 0);
+
+    TaskDemand demand(double now_sec) override;
+    void advance(const TickResult &result, double dt_sec) override;
+    bool finished() const override { return false; }
+    const std::string &name() const override { return name_; }
+    void reset() override;
+
+    /** Index of the segment active at @p now_sec. */
+    size_t phaseIndexAt(double now_sec) const;
+
+    /** The schedule. */
+    const std::vector<CorunPhase> &phases() const { return phases_; }
+
+  private:
+    std::vector<CorunPhase> phases_;
+    uint64_t streamSalt_;
+    std::string name_;
+    /** One stream per segment (kernels own distinct address spaces). */
+    std::vector<std::unique_ptr<AddressStream>> streams_;
+    double startSec_ = -1.0;
+};
+
+} // namespace dora
+
+#endif // DORA_WORKLOADS_PHASED_CORUN_TASK_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the logging helpers (level gating and fatal/panic
+ * exit behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+namespace
+{
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setLogLevel(LogLevel::Normal); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips)
+{
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(LogLevel::Normal);
+    EXPECT_EQ(logLevel(), LogLevel::Normal);
+}
+
+TEST_F(LoggingTest, InformAndWarnWriteToStderr)
+{
+    ::testing::internal::CaptureStderr();
+    inform("hello %d", 42);
+    warn("careful %s", "now");
+    const std::string out =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("info: hello 42"), std::string::npos);
+    EXPECT_NE(out.find("warn: careful now"), std::string::npos);
+}
+
+TEST_F(LoggingTest, QuietSuppressesInformNotWarn)
+{
+    setLogLevel(LogLevel::Quiet);
+    ::testing::internal::CaptureStderr();
+    inform("should vanish");
+    warn("should stay");
+    const std::string out =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("should vanish"), std::string::npos);
+    EXPECT_NE(out.find("should stay"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugOnlyAtVerbose)
+{
+    ::testing::internal::CaptureStderr();
+    debugLog("hidden");
+    setLogLevel(LogLevel::Verbose);
+    debugLog("shown");
+    const std::string out =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+    EXPECT_NE(out.find("debug: shown"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FatalExitsWithOneDeathTest)
+{
+    EXPECT_EXIT(fatal("bad config %d", 7),
+                ::testing::ExitedWithCode(1), "fatal: bad config 7");
+}
+
+TEST_F(LoggingTest, PanicAbortsDeathTest)
+{
+    EXPECT_DEATH(panic("invariant %s broken", "x"),
+                 "panic: invariant x broken");
+}
+
+} // namespace
+} // namespace dora

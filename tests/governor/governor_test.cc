@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the simple governors, including the interactive
+ * baseline's ramp-up/ramp-down behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "governor/governor.hh"
+
+namespace dora
+{
+namespace
+{
+
+class GovernorTest : public ::testing::Test
+{
+  protected:
+    GovernorTest() : table_(FreqTable::msm8974()) {}
+
+    GovernorView view(double util, size_t freq_index, double now = 0.0)
+    {
+        GovernorView v;
+        v.nowSec = now;
+        v.freqIndex = freq_index;
+        v.freqTable = &table_;
+        v.totalUtilization = util;
+        return v;
+    }
+
+    FreqTable table_;
+};
+
+TEST_F(GovernorTest, PerformanceAlwaysMax)
+{
+    PerformanceGovernor g;
+    EXPECT_EQ(g.decideFrequencyIndex(view(0.0, 0)), table_.maxIndex());
+    EXPECT_EQ(g.decideFrequencyIndex(view(1.0, 5)), table_.maxIndex());
+    EXPECT_EQ(g.name(), "performance");
+}
+
+TEST_F(GovernorTest, PowersaveAlwaysMin)
+{
+    PowersaveGovernor g;
+    EXPECT_EQ(g.decideFrequencyIndex(view(1.0, 9)), table_.minIndex());
+    EXPECT_EQ(g.name(), "powersave");
+}
+
+TEST_F(GovernorTest, FixedPinsAndRepins)
+{
+    FixedGovernor g(4);
+    EXPECT_EQ(g.decideFrequencyIndex(view(0.5, 0)), 4u);
+    g.setFrequencyIndex(7);
+    EXPECT_EQ(g.decideFrequencyIndex(view(0.5, 0)), 7u);
+}
+
+TEST_F(GovernorTest, InteractiveJumpsToHispeedOnSaturation)
+{
+    InteractiveGovernor g;
+    const size_t idle_idx = 0;
+    const size_t decision =
+        g.decideFrequencyIndex(view(1.0, idle_idx, 0.02));
+    const double hispeed = g.config().hispeedFreqMhz;
+    EXPECT_GE(table_.opp(decision).coreMhz, hispeed - 1.0);
+}
+
+TEST_F(GovernorTest, InteractiveClimbsToMaxUnderSustainedLoad)
+{
+    InteractiveGovernor g;
+    size_t idx = 0;
+    double now = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        now += g.decisionIntervalSec();
+        idx = g.decideFrequencyIndex(view(1.0, idx, now));
+    }
+    EXPECT_EQ(idx, table_.maxIndex());
+}
+
+TEST_F(GovernorTest, InteractiveHoldsDuringMinSampleTime)
+{
+    InteractiveGovernor g;
+    double now = 0.0;
+    // Saturate first.
+    size_t idx = g.decideFrequencyIndex(view(1.0, 3, now));
+    EXPECT_GT(idx, 3u);
+    // Load vanishes: within min_sample_time the clock must hold.
+    now += g.decisionIntervalSec();
+    const size_t hold = g.decideFrequencyIndex(view(0.05, idx, now));
+    EXPECT_EQ(hold, idx);
+}
+
+TEST_F(GovernorTest, InteractiveRampsDownAfterDwell)
+{
+    InteractiveGovernor g;
+    double now = 0.0;
+    size_t idx = g.decideFrequencyIndex(view(1.0, 3, now));
+    // Stay idle well past min_sample_time.
+    for (int i = 0; i < 10; ++i) {
+        now += g.decisionIntervalSec();
+        idx = g.decideFrequencyIndex(view(0.05, idx, now));
+    }
+    EXPECT_LT(idx, 3u);
+}
+
+TEST_F(GovernorTest, InteractiveTracksModerateLoad)
+{
+    InteractiveGovernor g;
+    // Utilization at exactly target_load on the current OPP: no move up
+    // more than one step.
+    const size_t idx = 7;
+    double now = 1.0;
+    g.reset();
+    const size_t decision =
+        g.decideFrequencyIndex(view(0.89, idx, now));
+    EXPECT_LE(decision, idx + 1);
+    EXPECT_GE(decision, idx);
+}
+
+TEST_F(GovernorTest, InteractiveResetForgetsHistory)
+{
+    InteractiveGovernor g;
+    g.decideFrequencyIndex(view(1.0, 3, 0.0));
+    g.reset();
+    // After reset, low load ramps down immediately (no dwell pending).
+    const size_t idx = g.decideFrequencyIndex(view(0.05, 8, 10.0));
+    EXPECT_LT(idx, 8u);
+}
+
+} // namespace
+} // namespace dora

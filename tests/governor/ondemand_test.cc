@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the ondemand governor baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "governor/governor.hh"
+
+namespace dora
+{
+namespace
+{
+
+class OndemandTest : public ::testing::Test
+{
+  protected:
+    OndemandTest() : table_(FreqTable::msm8974()) {}
+
+    GovernorView view(double util, size_t freq_index)
+    {
+        GovernorView v;
+        v.freqIndex = freq_index;
+        v.freqTable = &table_;
+        v.totalUtilization = util;
+        return v;
+    }
+
+    FreqTable table_;
+    OndemandGovernor governor_;
+};
+
+TEST_F(OndemandTest, JumpsToMaxAboveThreshold)
+{
+    EXPECT_EQ(governor_.decideFrequencyIndex(view(0.85, 0)),
+              table_.maxIndex());
+    EXPECT_EQ(governor_.decideFrequencyIndex(view(1.0, 5)),
+              table_.maxIndex());
+}
+
+TEST_F(OndemandTest, StepsDownProportionallyToLoad)
+{
+    const size_t from_max =
+        governor_.decideFrequencyIndex(view(0.2, table_.maxIndex()));
+    EXPECT_LT(from_max, table_.maxIndex());
+    // Roughly cur*util/0.7: 2265.6*0.2/0.7 ~ 647 MHz.
+    EXPECT_NEAR(table_.opp(from_max).coreMhz, 650.0, 120.0);
+}
+
+TEST_F(OndemandTest, IdleDropsToBottom)
+{
+    EXPECT_EQ(governor_.decideFrequencyIndex(view(0.0, 8)),
+              table_.minIndex());
+}
+
+TEST_F(OndemandTest, ModerateLoadHoldsServiceLevel)
+{
+    // At util just below threshold the chosen OPP must still be able
+    // to serve the same work: f_new * 0.7 >= f_cur * util.
+    for (size_t idx : {3u, 7u, 11u}) {
+        const double util = 0.6;
+        const size_t chosen = governor_.decideFrequencyIndex(
+            view(util, idx));
+        EXPECT_GE(table_.opp(chosen).coreMhz * 0.7,
+                  table_.opp(idx).coreMhz * util * 0.999);
+    }
+}
+
+TEST_F(OndemandTest, HasNameAndInterval)
+{
+    EXPECT_EQ(governor_.name(), "ondemand");
+    EXPECT_DOUBLE_EQ(governor_.decisionIntervalSec(), 0.05);
+}
+
+} // namespace
+} // namespace dora

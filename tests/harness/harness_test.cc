@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Harness utilities plus the end-to-end integration test: train a
+ * reduced model bundle against the simulator, then drive DORA and
+ * verify the paper's qualitative claims on live workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "browser/page_corpus.hh"
+#include "dora/trainer.hh"
+#include "harness/comparison.hh"
+
+namespace dora
+{
+namespace
+{
+
+ComparisonRecord
+fabricatedRecord(double base_ppw, double dora_ppw, bool dora_meets)
+{
+    ComparisonRecord r;
+    RunMeasurement base;
+    base.ppw = base_ppw;
+    base.meetsDeadline = true;
+    RunMeasurement dora;
+    dora.ppw = dora_ppw;
+    dora.meetsDeadline = dora_meets;
+    r.byGovernor["interactive"] = base;
+    r.byGovernor["DORA"] = dora;
+    return r;
+}
+
+TEST(ComparisonRecord, NormalizesAgainstInteractive)
+{
+    const auto r = fabricatedRecord(0.2, 0.25, true);
+    EXPECT_DOUBLE_EQ(r.normalizedPpw("interactive"), 1.0);
+    EXPECT_DOUBLE_EQ(r.normalizedPpw("DORA"), 1.25);
+}
+
+TEST(HarnessStats, MeanAndMeetRate)
+{
+    std::vector<ComparisonRecord> records;
+    records.push_back(fabricatedRecord(0.2, 0.22, true));
+    records.push_back(fabricatedRecord(0.2, 0.26, true));
+    records.push_back(fabricatedRecord(0.2, 0.20, false));
+    EXPECT_NEAR(meanNormalizedPpw(records, "DORA"), 1.1333, 1e-3);
+    EXPECT_NEAR(deadlineMeetRate(records, "DORA"), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(deadlineMeetRate(records, "interactive"), 1.0);
+}
+
+TEST(HarnessStats, EmptyRecordsAreZero)
+{
+    EXPECT_DOUBLE_EQ(meanNormalizedPpw({}, "DORA"), 0.0);
+    EXPECT_DOUBLE_EQ(deadlineMeetRate({}, "DORA"), 0.0);
+}
+
+TEST(ComparisonHarness, PaperGovernorList)
+{
+    const auto &names = ComparisonHarness::paperGovernors();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names.front(), "interactive");
+    EXPECT_EQ(names.back(), "DORA");
+}
+
+/**
+ * End-to-end integration: reduced-size training, then live DORA runs.
+ * This is the complete paper pipeline (characterize -> fit -> govern)
+ * compressed to a handful of workloads so it stays test-sized.
+ */
+class EndToEnd : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        TrainerConfig config;
+        config.maxTrainingWorkloads = 18;
+        config.trainingFreqIndices = {0, 1, 4, 7, 9, 11, 13};
+        config.chamberAmbientsC = {15.0, 35.0, 55.0};
+        Trainer trainer(config);
+        bundle_ = std::make_shared<const ModelBundle>(trainer.train());
+        report_ = trainer.report();
+    }
+
+    static std::shared_ptr<const ModelBundle> bundle_;
+    static TrainingReport report_;
+};
+
+std::shared_ptr<const ModelBundle> EndToEnd::bundle_;
+TrainingReport EndToEnd::report_;
+
+TEST_F(EndToEnd, TrainingProducesReadyBundle)
+{
+    ASSERT_TRUE(bundle_->ready());
+    EXPECT_TRUE(bundle_->leakageFitted);
+    EXPECT_EQ(report_.numMeasurements, 18u * 7u);
+    EXPECT_TRUE(report_.leakageConverged);
+    EXPECT_LT(report_.leakageRmseW, 0.1);
+    EXPECT_LT(report_.timeTrainMeanPctErr, 0.10);
+    EXPECT_LT(report_.powerTrainMeanPctErr, 0.05);
+}
+
+TEST_F(EndToEnd, DoraMeetsFeasibleDeadline)
+{
+    ComparisonHarness harness(ExperimentConfig{}, bundle_);
+    // amazon trains in the reduced set (first workloads are the
+    // earliest corpus pages) — but DORA must work on any page; use a
+    // mid-complexity one under medium interference.
+    const auto w = WorkloadSets::combo(PageCorpus::byName("amazon"),
+                                       MemIntensity::Medium);
+    const RunMeasurement dora = harness.runOne(w, "DORA");
+    EXPECT_TRUE(dora.pageFinished);
+    EXPECT_TRUE(dora.meetsDeadline);
+}
+
+TEST_F(EndToEnd, DoraBeatsInteractiveOnEnergyEfficiency)
+{
+    ComparisonHarness harness(ExperimentConfig{}, bundle_);
+    const auto w = WorkloadSets::combo(PageCorpus::byName("amazon"),
+                                       MemIntensity::Medium);
+    const RunMeasurement base = harness.runOne(w, "interactive");
+    const RunMeasurement dora = harness.runOne(w, "DORA");
+    EXPECT_GT(dora.ppw, 1.03 * base.ppw);
+}
+
+TEST_F(EndToEnd, DoraRunsFlatOutWhenDeadlineInfeasible)
+{
+    ComparisonHarness harness(ExperimentConfig{}, bundle_);
+    const auto w = WorkloadSets::combo(
+        PageCorpus::byName("aliexpress"), MemIntensity::High);
+    const RunMeasurement dora = harness.runOne(w, "DORA");
+    EXPECT_FALSE(dora.meetsDeadline);
+    // Flat out: mean frequency pinned at (or next to) the top OPP.
+    EXPECT_GT(dora.meanFreqMhz, 2100.0);
+}
+
+TEST_F(EndToEnd, EeViolatesDeadlineSomewhereDoraDoesNot)
+{
+    ComparisonHarness harness(ExperimentConfig{}, bundle_);
+    const auto w = WorkloadSets::combo(PageCorpus::byName("espn"),
+                                       MemIntensity::Medium);
+    const RunMeasurement ee = harness.runOne(w, "EE");
+    const RunMeasurement dora = harness.runOne(w, "DORA");
+    EXPECT_FALSE(ee.meetsDeadline);
+    EXPECT_TRUE(dora.meetsDeadline);
+}
+
+TEST_F(EndToEnd, OfflineOptIsNoWorseThanInteractive)
+{
+    ComparisonHarness harness(ExperimentConfig{}, bundle_);
+    const auto w = WorkloadSets::combo(PageCorpus::byName("msn"),
+                                       MemIntensity::Low);
+    const RunMeasurement base = harness.runOne(w, "interactive");
+    const RunMeasurement opt = harness.offlineOpt(w);
+    EXPECT_GE(opt.ppw, 0.99 * base.ppw);
+    EXPECT_TRUE(opt.meetsDeadline);
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * System-level property sweeps (parameterized): invariants that must
+ * hold across the workload space, independent of calibration details.
+ */
+
+#include <gtest/gtest.h>
+
+#include "browser/page_corpus.hh"
+#include "runner/experiment.hh"
+
+namespace dora
+{
+namespace
+{
+
+/** Load time is monotonically non-increasing in core frequency. */
+class FrequencyMonotonicity
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FrequencyMonotonicity, LoadTimeFallsWithFrequency)
+{
+    ExperimentRunner runner;
+    const WorkloadSpec w = WorkloadSets::combo(
+        PageCorpus::byName(GetParam()), MemIntensity::Medium);
+    double prev = 1e18;
+    for (size_t f : {0ul, 4ul, 9ul, 13ul}) {
+        const RunMeasurement m = runner.runAtFrequency(w, f);
+        EXPECT_LT(m.loadTimeSec, prev * 1.005)
+            << GetParam() << " at OPP " << f;
+        prev = m.loadTimeSec;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pages, FrequencyMonotonicity,
+                         ::testing::Values("alipay", "twitter", "amazon",
+                                           "reddit", "espn"));
+
+/** Interference never speeds a page up, at any intensity. */
+class InterferenceMonotonicity
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(InterferenceMonotonicity, CorunNeverHelps)
+{
+    ExperimentRunner runner;
+    const WebPage &page = PageCorpus::byName(GetParam());
+    const size_t fmax = runner.freqTable().maxIndex();
+    const double alone =
+        runner.runAtFrequency(WorkloadSets::alone(page), fmax)
+            .loadTimeSec;
+    for (MemIntensity cls : {MemIntensity::Low, MemIntensity::Medium,
+                             MemIntensity::High}) {
+        const double with_corun =
+            runner
+                .runAtFrequency(WorkloadSets::combo(page, cls), fmax)
+                .loadTimeSec;
+        EXPECT_GE(with_corun, alone * 0.995)
+            << GetParam() << " + " << memIntensityName(cls);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pages, InterferenceMonotonicity,
+                         ::testing::Values("alipay", "cnn", "imgur"));
+
+/** Whole-device power always exceeds the baseline floor and stays
+ *  within a sane phone envelope. */
+class PowerEnvelope : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(PowerEnvelope, PowerWithinPhoneEnvelope)
+{
+    ExperimentRunner runner;
+    const WorkloadSpec w = WorkloadSets::combo(
+        PageCorpus::byName("reddit"), MemIntensity::High);
+    const RunMeasurement m = runner.runAtFrequency(w, GetParam());
+    EXPECT_GT(m.meanPowerW, runner.config().power.baselineW);
+    EXPECT_LT(m.meanPowerW, 9.0);  // a phone, not a laptop
+    EXPECT_GT(m.meanTempC, runner.config().ambientC);
+    EXPECT_LT(m.peakTempC, 106.0);  // junction clamp honored
+}
+
+INSTANTIATE_TEST_SUITE_P(Opps, PowerEnvelope,
+                         ::testing::Values(0u, 5u, 9u, 13u));
+
+/** Energy accounting closes: ppw == 1/(t * P) == 1/E. */
+TEST(EnergyAccounting, PpwIdentities)
+{
+    ExperimentRunner runner;
+    const RunMeasurement m = runner.runAtFrequency(
+        WorkloadSets::combo(PageCorpus::byName("msn"),
+                            MemIntensity::Low),
+        8);
+    EXPECT_NEAR(m.ppw * m.energyJ, 1.0, 1e-9);
+    EXPECT_NEAR(m.meanPowerW * m.loadTimeSec, m.energyJ,
+                1e-6 * m.energyJ);
+}
+
+} // namespace
+} // namespace dora

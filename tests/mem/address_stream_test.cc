@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the synthetic address-stream generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "mem/address_stream.hh"
+
+namespace dora
+{
+namespace
+{
+
+AddressStreamSpec
+basicSpec()
+{
+    AddressStreamSpec spec;
+    spec.workingSetBytes = 1 << 20;  // 16384 lines
+    spec.hotFraction = 0.5;
+    spec.hotSetFraction = 0.05;
+    spec.burstContinueProb = 0.5;
+    return spec;
+}
+
+TEST(AddressStream, StaysInsideWorkingSet)
+{
+    const AddressStreamSpec spec = basicSpec();
+    const uint64_t base = 1000000;
+    const uint64_t ws_lines = spec.workingSetBytes / kCacheLineBytes;
+    AddressStream stream(spec, base, Rng(1));
+    for (int i = 0; i < 100000; ++i) {
+        const uint64_t line = stream.next();
+        EXPECT_GE(line, base);
+        EXPECT_LT(line, base + ws_lines);
+    }
+}
+
+TEST(AddressStream, DeterministicForSameSeed)
+{
+    const AddressStreamSpec spec = basicSpec();
+    AddressStream a(spec, 0, Rng(7));
+    AddressStream b(spec, 0, Rng(7));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(AddressStream, HotSetAbsorbsHotFraction)
+{
+    AddressStreamSpec spec = basicSpec();
+    spec.hotFraction = 0.8;
+    spec.hotSetFraction = 0.01;
+    spec.burstContinueProb = 0.0;  // isolate the region choice
+    const uint64_t ws_lines = spec.workingSetBytes / kCacheLineBytes;
+    const uint64_t hot_lines = static_cast<uint64_t>(
+        static_cast<double>(ws_lines) * spec.hotSetFraction);
+    AddressStream stream(spec, 0, Rng(2));
+    int hot = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (stream.next() < hot_lines)
+            ++hot;
+    // Hot draws land in the hot range; a few cold draws land there too.
+    EXPECT_GT(static_cast<double>(hot) / n, 0.78);
+}
+
+TEST(AddressStream, BurstsAreSequential)
+{
+    AddressStreamSpec spec = basicSpec();
+    spec.burstContinueProb = 0.95;
+    spec.burstCap = 64;
+    AddressStream stream(spec, 0, Rng(3));
+    uint64_t prev = stream.next();
+    int sequential = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const uint64_t cur = stream.next();
+        if (cur == prev + 1)
+            ++sequential;
+        prev = cur;
+    }
+    // With p=0.95 the stream is overwhelmingly sequential.
+    EXPECT_GT(static_cast<double>(sequential) / n, 0.85);
+}
+
+TEST(AddressStream, NoBurstsWhenDisabled)
+{
+    AddressStreamSpec spec = basicSpec();
+    spec.burstContinueProb = 0.0;
+    AddressStream stream(spec, 0, Rng(4));
+    uint64_t prev = stream.next();
+    int sequential = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const uint64_t cur = stream.next();
+        if (cur == prev + 1)
+            ++sequential;
+        prev = cur;
+    }
+    EXPECT_LT(static_cast<double>(sequential) / n, 0.01);
+}
+
+TEST(AddressStream, ReshapeChangesWorkingSet)
+{
+    AddressStreamSpec spec = basicSpec();
+    AddressStream stream(spec, 0, Rng(5));
+    AddressStreamSpec small = spec;
+    small.workingSetBytes = 64 * kCacheLineBytes;
+    stream.reshape(small);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(stream.next(), 64u);
+}
+
+TEST(AddressStream, CoversWorkingSetEventually)
+{
+    AddressStreamSpec spec;
+    spec.workingSetBytes = 256 * kCacheLineBytes;
+    spec.hotFraction = 0.0;
+    spec.hotSetFraction = 0.1;
+    spec.burstContinueProb = 0.0;
+    AddressStream stream(spec, 0, Rng(6));
+    std::map<uint64_t, int> seen;
+    for (int i = 0; i < 20000; ++i)
+        ++seen[stream.next()];
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+/** Property sweep: every spec shape keeps addresses in range. */
+class AddressStreamSpecSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(AddressStreamSpecSweep, AddressesAlwaysInRange)
+{
+    const auto [hot, hot_set, burst] = GetParam();
+    AddressStreamSpec spec;
+    spec.workingSetBytes = 512 * 1024;
+    spec.hotFraction = hot;
+    spec.hotSetFraction = hot_set;
+    spec.burstContinueProb = burst;
+    const uint64_t ws_lines = spec.workingSetBytes / kCacheLineBytes;
+    AddressStream stream(spec, 777, Rng(hashLabel("sweep")));
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t line = stream.next();
+        EXPECT_GE(line, 777u);
+        EXPECT_LT(line, 777u + ws_lines);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AddressStreamSpecSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 0.95),
+                       ::testing::Values(0.001, 0.05, 1.0),
+                       ::testing::Values(0.0, 0.5, 0.97)));
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the DRAM bandwidth/queueing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_model.hh"
+
+namespace dora
+{
+namespace
+{
+
+TEST(DramModel, UnloadedLatencyIsBase)
+{
+    DramModel dram{DramConfig{}};
+    dram.endTick(1e-3, 800.0);
+    EXPECT_DOUBLE_EQ(dram.effectiveLatencyNs(),
+                     dram.config().baseLatencyNs);
+    EXPECT_DOUBLE_EQ(dram.utilization(), 0.0);
+}
+
+TEST(DramModel, CapacityScalesWithBusFrequency)
+{
+    DramModel dram{DramConfig{}};
+    EXPECT_DOUBLE_EQ(dram.capacityBytesPerSec(800.0),
+                     2.0 * dram.capacityBytesPerSec(400.0));
+}
+
+TEST(DramModel, LatencyGrowsWithUtilization)
+{
+    DramModel dram{DramConfig{}};
+    const double cap = dram.capacityBytesPerSec(800.0) * 1e-3;
+
+    dram.addDemand(cap * 0.2);
+    dram.endTick(1e-3, 800.0);
+    const double lat20 = dram.effectiveLatencyNs();
+
+    dram.addDemand(cap * 0.8);
+    dram.endTick(1e-3, 800.0);
+    const double lat80 = dram.effectiveLatencyNs();
+
+    EXPECT_GT(lat20, dram.config().baseLatencyNs);
+    EXPECT_GT(lat80, 1.5 * lat20);
+}
+
+TEST(DramModel, UtilizationIsCapped)
+{
+    DramModel dram{DramConfig{}};
+    dram.addDemand(1e12);
+    dram.endTick(1e-3, 800.0);
+    EXPECT_LE(dram.utilization(), dram.config().maxUtilization);
+    EXPECT_GT(dram.effectiveLatencyNs(), dram.config().baseLatencyNs);
+}
+
+TEST(DramModel, SameDemandLowerBusIsSlower)
+{
+    DramModel a{DramConfig{}}, b{DramConfig{}};
+    const double demand = 2e6;  // bytes in one tick
+    a.addDemand(demand);
+    a.endTick(1e-3, 800.0);
+    b.addDemand(demand);
+    b.endTick(1e-3, 333.0);
+    EXPECT_GT(b.utilization(), a.utilization());
+    EXPECT_GT(b.effectiveLatencyNs(), a.effectiveLatencyNs());
+}
+
+TEST(DramModel, EnergyTracksBytesPlusBackground)
+{
+    DramConfig config;
+    DramModel dram(config);
+    dram.endTick(1e-3, 800.0);
+    const double idle = dram.lastTickEnergyJ();
+    EXPECT_NEAR(idle, config.backgroundPowerW * 1e-3, 1e-12);
+
+    dram.addDemand(1e6);
+    dram.endTick(1e-3, 800.0);
+    EXPECT_NEAR(dram.lastTickEnergyJ() - idle,
+                1e6 * config.energyPerByteNj * 1e-9, 1e-12);
+}
+
+TEST(DramModel, DemandClearsEachTick)
+{
+    DramModel dram{DramConfig{}};
+    dram.addDemand(5e6);
+    dram.endTick(1e-3, 800.0);
+    const double util1 = dram.utilization();
+    dram.endTick(1e-3, 800.0);
+    EXPECT_GT(util1, 0.0);
+    EXPECT_DOUBLE_EQ(dram.utilization(), 0.0);
+}
+
+TEST(DramModel, TotalBytesAccumulates)
+{
+    DramModel dram{DramConfig{}};
+    dram.addDemand(100.0);
+    dram.endTick(1e-3, 800.0);
+    dram.addDemand(200.0);
+    dram.endTick(1e-3, 800.0);
+    EXPECT_DOUBLE_EQ(dram.totalBytes(), 300.0);
+    dram.reset();
+    EXPECT_DOUBLE_EQ(dram.totalBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(dram.effectiveLatencyNs(),
+                     dram.config().baseLatencyNs);
+}
+
+} // namespace
+} // namespace dora

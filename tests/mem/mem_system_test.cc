@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit and integration tests for the composed memory hierarchy —
+ * including the emergent shared-L2 interference that the whole paper
+ * rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "mem/address_stream.hh"
+#include "mem/mem_system.hh"
+
+namespace dora
+{
+namespace
+{
+
+MemSystemConfig
+smallConfig()
+{
+    MemSystemConfig c;
+    c.numCores = 2;
+    c.l1.sizeBytes = 4 * 1024;
+    c.l2.sizeBytes = 64 * 1024;
+    return c;
+}
+
+AddressStream
+makeStream(uint64_t ws_bytes, uint64_t base, double hot = 0.0,
+           const char *seed = "s")
+{
+    AddressStreamSpec spec;
+    spec.workingSetBytes = ws_bytes;
+    spec.hotFraction = hot;
+    spec.hotSetFraction = 0.05;
+    spec.burstContinueProb = 0.0;
+    return AddressStream(spec, base, Rng(seed));
+}
+
+TEST(MemSystem, ZeroSampleRequestsYieldZeroRates)
+{
+    MemSystem mem(smallConfig());
+    std::vector<MemSampleRequest> reqs(2);
+    reqs[0].core = 0;
+    reqs[1].core = 1;
+    const auto results = mem.tickSample(reqs);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_DOUBLE_EQ(results[0].l1MissRate, 0.0);
+    EXPECT_DOUBLE_EQ(results[1].l2LocalMissRate, 0.0);
+}
+
+TEST(MemSystem, TinyWorkingSetHitsInL1AfterWarmup)
+{
+    MemSystem mem(smallConfig());
+    auto stream = makeStream(1024, 0);  // 16 lines; fits the 4 KB L1
+    std::vector<MemSampleRequest> reqs(1);
+    reqs[0] = MemSampleRequest{0, &stream, 2000};
+    mem.tickSample(reqs);  // warm
+    const auto results = mem.tickSample(reqs);
+    EXPECT_LT(results[0].l1MissRate, 0.02);
+}
+
+TEST(MemSystem, L2ResidentWorkingSetMissesL1HitsL2)
+{
+    MemSystem mem(smallConfig());
+    // 32 KB: far over the 4 KB L1, inside the 64 KB L2.
+    auto stream = makeStream(32 * 1024, 0);
+    std::vector<MemSampleRequest> reqs(1);
+    reqs[0] = MemSampleRequest{0, &stream, 4000};
+    mem.tickSample(reqs);
+    mem.tickSample(reqs);
+    const auto results = mem.tickSample(reqs);
+    EXPECT_GT(results[0].l1MissRate, 0.5);
+    EXPECT_LT(results[0].l2LocalMissRate, 0.1);
+}
+
+TEST(MemSystem, HugeWorkingSetMissesL2)
+{
+    MemSystem mem(smallConfig());
+    auto stream = makeStream(1024 * 1024, 0);  // 16x the L2
+    std::vector<MemSampleRequest> reqs(1);
+    reqs[0] = MemSampleRequest{0, &stream, 4000};
+    mem.tickSample(reqs);
+    const auto results = mem.tickSample(reqs);
+    EXPECT_GT(results[0].l2LocalMissRate, 0.8);
+}
+
+TEST(MemSystem, SharedL2InterferenceIsEmergent)
+{
+    // Core 0 runs an L2-resident victim; measure its L2 miss rate with
+    // and without a streaming aggressor on core 1.
+    auto victim_solo = [] {
+        MemSystem mem(smallConfig());
+        auto victim = makeStream(24 * 1024, 0, 0.0, "victim");
+        std::vector<MemSampleRequest> reqs(1);
+        reqs[0] = MemSampleRequest{0, &victim, 2000};
+        for (int warm = 0; warm < 3; ++warm)
+            mem.tickSample(reqs);
+        double miss = 0.0;
+        for (int i = 0; i < 5; ++i)
+            miss += mem.tickSample(reqs)[0].l2LocalMissRate;
+        return miss / 5.0;
+    }();
+
+    auto victim_corun = [] {
+        MemSystem mem(smallConfig());
+        auto victim = makeStream(24 * 1024, 0, 0.0, "victim");
+        auto aggressor =
+            makeStream(1024 * 1024, 1 << 20, 0.0, "aggressor");
+        std::vector<MemSampleRequest> reqs(2);
+        reqs[0] = MemSampleRequest{0, &victim, 2000};
+        reqs[1] = MemSampleRequest{1, &aggressor, 4000};
+        for (int warm = 0; warm < 3; ++warm)
+            mem.tickSample(reqs);
+        double miss = 0.0;
+        for (int i = 0; i < 5; ++i)
+            miss += mem.tickSample(reqs)[0].l2LocalMissRate;
+        return miss / 5.0;
+    }();
+
+    EXPECT_LT(victim_solo, 0.15);
+    EXPECT_GT(victim_corun, victim_solo + 0.2);
+}
+
+TEST(MemSystem, CommitScalesCounters)
+{
+    MemSystem mem(smallConfig());
+    MemSampleResult result;
+    result.core = 0;
+    result.l1MissRate = 0.5;
+    result.l2LocalMissRate = 0.4;
+    mem.commitScaled(0, 10000.0, result);
+    const CoreMemCounters &c = mem.coreCounters(0);
+    EXPECT_DOUBLE_EQ(c.l1Accesses, 10000.0);
+    EXPECT_DOUBLE_EQ(c.l1Misses, 5000.0);
+    EXPECT_DOUBLE_EQ(c.l2Accesses, 5000.0);
+    EXPECT_DOUBLE_EQ(c.l2Misses, 2000.0);
+}
+
+TEST(MemSystem, CommitFeedsDramDemand)
+{
+    MemSystem mem(smallConfig());
+    MemSampleResult result;
+    result.core = 0;
+    result.l1MissRate = 1.0;
+    result.l2LocalMissRate = 1.0;
+    mem.commitScaled(0, 1000.0, result);
+    mem.endTick(1e-3, 800.0);
+    EXPECT_GT(mem.dramUtilization(), 0.0);
+}
+
+TEST(MemSystem, TotalCountersSumCores)
+{
+    MemSystem mem(smallConfig());
+    MemSampleResult result;
+    result.l1MissRate = 0.1;
+    result.l2LocalMissRate = 0.1;
+    mem.commitScaled(0, 100.0, result);
+    mem.commitScaled(1, 300.0, result);
+    EXPECT_DOUBLE_EQ(mem.totalCounters().l1Accesses, 400.0);
+}
+
+TEST(MemSystem, ResetClearsEverything)
+{
+    MemSystem mem(smallConfig());
+    auto stream = makeStream(32 * 1024, 0);
+    std::vector<MemSampleRequest> reqs(1);
+    reqs[0] = MemSampleRequest{0, &stream, 2000};
+    mem.tickSample(reqs);
+    MemSampleResult r;
+    r.l1MissRate = 1.0;
+    r.l2LocalMissRate = 1.0;
+    mem.commitScaled(0, 100.0, r);
+    mem.reset();
+    EXPECT_DOUBLE_EQ(mem.coreCounters(0).l1Accesses, 0.0);
+    EXPECT_EQ(mem.l2().totalStats().accesses, 0u);
+    EXPECT_DOUBLE_EQ(mem.dramUtilization(), 0.0);
+}
+
+TEST(MemSystem, DefaultConfigMatchesTableII)
+{
+    MemSystemConfig c;
+    EXPECT_EQ(c.l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(c.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(c.l2.associativity, 8u);
+    EXPECT_EQ(c.numCores, 4u);
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the cache replacement policies (LRU / tree-PLRU /
+ * random).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/cache_model.hh"
+
+namespace dora
+{
+namespace
+{
+
+CacheConfig
+cacheWith(ReplacementPolicy policy, uint32_t size_kb = 1,
+          uint32_t ways = 4)
+{
+    CacheConfig c;
+    c.name = "repl";
+    c.sizeBytes = size_kb * 1024ull;
+    c.associativity = ways;
+    c.lineBytes = 64;
+    c.policy = policy;
+    return c;
+}
+
+TEST(ReplacementPolicyName, AllNamed)
+{
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::Lru), "lru");
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::TreePlru),
+                 "tree-plru");
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::Random),
+                 "random");
+}
+
+TEST(TreePlru, MruIsProtected)
+{
+    // 4 sets, 4 ways; lines 0,4,8,12 map to set 0.
+    CacheModel cache(cacheWith(ReplacementPolicy::TreePlru));
+    cache.access(0, 0);
+    cache.access(4, 0);
+    cache.access(8, 0);
+    cache.access(12, 0);
+    cache.access(0, 0);   // 0 is MRU
+    cache.access(16, 0);  // forces an eviction: must not evict 0
+    EXPECT_TRUE(cache.access(0, 0));
+}
+
+TEST(TreePlru, FillsInvalidWaysFirst)
+{
+    CacheModel cache(cacheWith(ReplacementPolicy::TreePlru));
+    for (uint64_t i = 0; i < 4; ++i)
+        cache.access(i * 4, 0);
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(cache.access(i * 4, 0));
+}
+
+TEST(TreePlru, ApproximatesLruOnSequentialConflict)
+{
+    // Repeated round-robin over ways+1 conflicting lines thrashes under
+    // any recency-based policy; every access should miss under LRU and
+    // mostly miss under tree-PLRU.
+    CacheModel lru(cacheWith(ReplacementPolicy::Lru));
+    CacheModel plru(cacheWith(ReplacementPolicy::TreePlru));
+    uint64_t lru_miss = 0, plru_miss = 0;
+    for (int round = 0; round < 100; ++round) {
+        for (uint64_t i = 0; i < 5; ++i) {
+            lru_miss += lru.access(i * 4, 0) ? 0 : 1;
+            plru_miss += plru.access(i * 4, 0) ? 0 : 1;
+        }
+    }
+    EXPECT_EQ(lru_miss, 500u);      // classic LRU thrash
+    EXPECT_GT(plru_miss, 250u);     // PLRU thrashes most of the time
+}
+
+TEST(Random, IsDeterministicAcrossInstances)
+{
+    CacheModel a(cacheWith(ReplacementPolicy::Random));
+    CacheModel b(cacheWith(ReplacementPolicy::Random));
+    Rng rng(5);
+    uint64_t hits_a = 0, hits_b = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t line = rng.below(64);
+        hits_a += a.access(line, 0) ? 1 : 0;
+    }
+    Rng rng2(5);
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t line = rng2.below(64);
+        hits_b += b.access(line, 0) ? 1 : 0;
+    }
+    EXPECT_EQ(hits_a, hits_b);
+}
+
+TEST(Random, BreaksLruThrash)
+{
+    // The same round-robin pattern that defeats LRU gets *some* hits
+    // under random replacement — the classic argument for it.
+    CacheModel rnd(cacheWith(ReplacementPolicy::Random));
+    uint64_t hits = 0;
+    for (int round = 0; round < 200; ++round)
+        for (uint64_t i = 0; i < 5; ++i)
+            hits += rnd.access(i * 4, 0) ? 1 : 0;
+    EXPECT_GT(hits, 50u);
+}
+
+TEST(TreePlru, RejectsNonPowerOfTwoAssociativityDeathTest)
+{
+    CacheConfig c = cacheWith(ReplacementPolicy::TreePlru);
+    c.sizeBytes = 3 * 64 * 8;  // 3-way
+    c.associativity = 3;
+    EXPECT_EXIT({ CacheModel cache(c); (void)cache; },
+                ::testing::ExitedWithCode(1), "tree-PLRU");
+}
+
+/** Hit-rate ordering property across policies on a loopy workload. */
+class PolicySweep : public ::testing::TestWithParam<ReplacementPolicy>
+{
+};
+
+TEST_P(PolicySweep, ResidentWorkingSetEventuallyHits)
+{
+    CacheModel cache(cacheWith(GetParam(), 4, 4));  // 4 KB, 64 lines
+    // 32-line working set, fits with room to spare.
+    for (int round = 0; round < 50; ++round)
+        for (uint64_t i = 0; i < 32; ++i)
+            cache.access(i, 0);
+    const CacheStats st = cache.stats(0);
+    const double hit_rate = 1.0 -
+        static_cast<double>(st.misses) /
+            static_cast<double>(st.accesses);
+    EXPECT_GT(hit_rate, 0.9) << replacementPolicyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(ReplacementPolicy::Lru,
+                                           ReplacementPolicy::TreePlru,
+                                           ReplacementPolicy::Random));
+
+} // namespace
+} // namespace dora

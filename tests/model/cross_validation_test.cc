@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for k-fold cross-validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "model/cross_validation.hh"
+
+namespace dora
+{
+namespace
+{
+
+Dataset
+noisyLinearData(int n, uint64_t seed, double noise_sd)
+{
+    Dataset data;
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform(-2.0, 2.0);
+        const double b = rng.uniform(-2.0, 2.0);
+        data.add({a, b},
+                 5.0 + 2.0 * a - b + rng.gaussian(0.0, noise_sd));
+    }
+    return data;
+}
+
+TEST(CrossValidation, CleanDataHasTinyError)
+{
+    const auto data = noisyLinearData(100, 1, 0.0);
+    const CvResult r =
+        crossValidate(SurfaceKind::Linear, data, 5, 1e-9);
+    EXPECT_EQ(r.folds, 5u);
+    EXPECT_EQ(r.samples, 100u);
+    EXPECT_LT(r.meanAbsPctError, 1e-6);
+}
+
+TEST(CrossValidation, IsDeterministic)
+{
+    const auto data = noisyLinearData(80, 2, 0.05);
+    const CvResult a =
+        crossValidate(SurfaceKind::Linear, data, 4, 1e-6, 7);
+    const CvResult b =
+        crossValidate(SurfaceKind::Linear, data, 4, 1e-6, 7);
+    EXPECT_DOUBLE_EQ(a.meanAbsPctError, b.meanAbsPctError);
+    EXPECT_DOUBLE_EQ(a.maxAbsPctError, b.maxAbsPctError);
+}
+
+TEST(CrossValidation, DetectsOverfitOfRichSurface)
+{
+    // Few samples, noisy: the quadratic surface overfits relative to
+    // the linear one on linear truth, and CV must expose that.
+    const auto data = noisyLinearData(24, 3, 0.3);
+    const CvResult lin =
+        crossValidate(SurfaceKind::Linear, data, 6, 1e-6);
+    const CvResult quad =
+        crossValidate(SurfaceKind::Quadratic, data, 6, 1e-6);
+    EXPECT_LT(lin.meanAbsPctError, quad.meanAbsPctError);
+}
+
+TEST(CrossValidation, KIsClamped)
+{
+    const auto data = noisyLinearData(8, 4, 0.01);
+    const CvResult r =
+        crossValidate(SurfaceKind::Linear, data, 100, 1e-6);
+    EXPECT_EQ(r.folds, 8u);  // clamped to n
+}
+
+TEST(SelectRidgeByCv, PrefersShrinkageWhenOverparameterized)
+{
+    // 9-feature interaction surface on 40 noisy samples: large ridge
+    // must beat (near-)zero ridge in CV error.
+    Dataset data;
+    Rng rng(5);
+    for (int i = 0; i < 40; ++i) {
+        std::vector<double> x(9);
+        for (double &v : x)
+            v = rng.uniform(-1.0, 1.0);
+        data.add(x, 1.0 + x[0] - 0.5 * x[1] + rng.gaussian(0.0, 0.1));
+    }
+    const auto [ridge, result] = selectRidgeByCv(
+        SurfaceKind::Interaction, data, 5, {1e-9, 0.5});
+    EXPECT_DOUBLE_EQ(ridge, 0.5);
+    EXPECT_GT(result.samples, 0u);
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the Levenberg-Marquardt fitter, including recovery of
+ * the Liao leakage parameters from synthetic measurements — the
+ * methodology behind the paper's leakage model (Section III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "model/gauss_newton.hh"
+#include "power/leakage.hh"
+
+namespace dora
+{
+namespace
+{
+
+TEST(GaussNewton, FitsExponentialDecay)
+{
+    // y = a * exp(b * x), truth a=2, b=-0.5.
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.1 * i;
+        xs.push_back(x);
+        ys.push_back(2.0 * std::exp(-0.5 * x));
+    }
+    auto residual = [&](const std::vector<double> &p, size_t i) {
+        return ys[i] - p[0] * std::exp(p[1] * xs[i]);
+    };
+    const auto result =
+        fitGaussNewton(residual, xs.size(), {1.0, -0.1});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.params[0], 2.0, 1e-6);
+    EXPECT_NEAR(result.params[1], -0.5, 1e-6);
+    EXPECT_LT(result.sse, 1e-12);
+}
+
+TEST(GaussNewton, HandlesNoisyData)
+{
+    Rng rng(77);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = 0.05 * i;
+        xs.push_back(x);
+        ys.push_back(3.0 * std::exp(-0.8 * x) +
+                     rng.gaussian(0.0, 0.005));
+    }
+    auto residual = [&](const std::vector<double> &p, size_t i) {
+        return ys[i] - p[0] * std::exp(p[1] * xs[i]);
+    };
+    const auto result =
+        fitGaussNewton(residual, xs.size(), {1.0, -0.1});
+    EXPECT_NEAR(result.params[0], 3.0, 0.02);
+    EXPECT_NEAR(result.params[1], -0.8, 0.02);
+}
+
+TEST(GaussNewton, LinearProblemOneHop)
+{
+    // Linear residuals: converges essentially immediately.
+    std::vector<double> xs = {0, 1, 2, 3, 4};
+    auto residual = [&](const std::vector<double> &p, size_t i) {
+        return (2.0 + 3.0 * xs[i]) - (p[0] + p[1] * xs[i]);
+    };
+    const auto result = fitGaussNewton(residual, xs.size(), {0.0, 0.0});
+    EXPECT_NEAR(result.params[0], 2.0, 1e-9);
+    EXPECT_NEAR(result.params[1], 3.0, 1e-9);
+    EXPECT_LE(result.iterations, 10u);
+}
+
+TEST(GaussNewton, RecoversLiaoLeakageParameters)
+{
+    // Generate (v, T, P) samples from the ground-truth leakage physics
+    // plus a constant idle offset, then fit the 7-parameter model the
+    // Trainer uses. Recovery of the *predictions* (not necessarily the
+    // exact parameters — the form is sloppy) must be tight.
+    const LeakageModel truth = LeakageModel::msm8974Truth();
+    const double offset = 1.2;
+    struct Sample
+    {
+        double v, t, p;
+    };
+    std::vector<Sample> samples;
+    for (double v : {0.78, 0.85, 0.92, 1.0, 1.08})
+        for (double t = 15.0; t <= 75.0; t += 5.0)
+            samples.push_back({v, t, offset + truth.power(v, t)});
+
+    auto residual = [&](const std::vector<double> &p, size_t i) {
+        const LeakageModel model(LeakageParams::fromArray(
+            {p[0], p[1], p[2], p[3], p[4], p[5]}));
+        return samples[i].p -
+            (p[6] + model.power(samples[i].v, samples[i].t));
+    };
+    GaussNewtonOptions options;
+    options.maxIterations = 400;
+    const auto result = fitGaussNewton(
+        residual, samples.size(),
+        {0.30, 0.05, 600.0, -4200.0, 2.5, -2.5, 1.0}, options);
+
+    const double rmse = std::sqrt(
+        result.sse / static_cast<double>(samples.size()));
+    EXPECT_LT(rmse, 0.01);  // predictions within 10 mW on average
+
+    // Spot-check the fitted model at a held-out condition.
+    const LeakageModel fitted(LeakageParams::fromArray(
+        {result.params[0], result.params[1], result.params[2],
+         result.params[3], result.params[4], result.params[5]}));
+    const double pred = result.params[6] + fitted.power(0.95, 52.5);
+    const double want = offset + truth.power(0.95, 52.5);
+    EXPECT_NEAR(pred, want, 0.03);
+}
+
+TEST(GaussNewton, StopsAtLocalOptimumWithoutDescent)
+{
+    // Residual independent of parameters: immediate convergence.
+    auto residual = [](const std::vector<double> &, size_t) {
+        return 1.0;
+    };
+    const auto result = fitGaussNewton(residual, 10, {0.5});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.sse, 10.0, 1e-12);
+}
+
+} // namespace
+} // namespace dora

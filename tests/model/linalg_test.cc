@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the dense linear algebra helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "model/linalg.hh"
+
+namespace dora
+{
+namespace
+{
+
+TEST(Matrix, AtReadsWhatWasWritten)
+{
+    Matrix m(2, 3);
+    m.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(Matrix, GramIsSymmetric)
+{
+    Matrix m(3, 2);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(1, 0) = 3;
+    m.at(1, 1) = 4;
+    m.at(2, 0) = 5;
+    m.at(2, 1) = 6;
+    const Matrix g = m.gram();
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 35.0);
+    EXPECT_DOUBLE_EQ(g.at(0, 1), 44.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 0), 44.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 1), 56.0);
+}
+
+TEST(Matrix, TimesAndTransposeTimes)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(1, 0) = 3;
+    m.at(1, 1) = 4;
+    const auto y = m.times({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+    const auto z = m.transposeTimes({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(z[0], 4.0);
+    EXPECT_DOUBLE_EQ(z[1], 6.0);
+}
+
+TEST(SolveLinearSystem, KnownSolution)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 2;
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    a.at(1, 1) = 3;
+    std::vector<double> x;
+    ASSERT_TRUE(solveLinearSystem(a, {5.0, 10.0}, x));
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting)
+{
+    // Zero on the initial pivot position; succeeds only with pivoting.
+    Matrix a(2, 2);
+    a.at(0, 0) = 0;
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    a.at(1, 1) = 0;
+    std::vector<double> x;
+    ASSERT_TRUE(solveLinearSystem(a, {2.0, 3.0}, x));
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, DetectsSingular)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 2;
+    a.at(1, 1) = 4;
+    std::vector<double> x;
+    EXPECT_FALSE(solveLinearSystem(a, {1.0, 2.0}, x));
+}
+
+TEST(SolveLinearSystem, LargerRandomSystemRoundTrips)
+{
+    const size_t n = 12;
+    Rng rng(33);
+    Matrix a(n, n);
+    std::vector<double> truth(n);
+    for (size_t i = 0; i < n; ++i) {
+        truth[i] = rng.uniform(-2.0, 2.0);
+        for (size_t j = 0; j < n; ++j)
+            a.at(i, j) = rng.uniform(-1.0, 1.0);
+        a.at(i, i) += 4.0;  // diagonally dominant => well-conditioned
+    }
+    const std::vector<double> b = a.times(truth);
+    std::vector<double> x;
+    ASSERT_TRUE(solveLinearSystem(a, b, x));
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(SolveLeastSquares, RecoversExactCoefficients)
+{
+    // y = 2 + 3*x over 10 points, design = [1, x].
+    Matrix design(10, 2);
+    std::vector<double> y(10);
+    for (int i = 0; i < 10; ++i) {
+        design.at(i, 0) = 1.0;
+        design.at(i, 1) = i;
+        y[static_cast<size_t>(i)] = 2.0 + 3.0 * i;
+    }
+    const auto c = solveLeastSquares(design, y);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_NEAR(c[0], 2.0, 1e-8);
+    EXPECT_NEAR(c[1], 3.0, 1e-8);
+}
+
+TEST(SolveLeastSquares, OverdeterminedNoisyFit)
+{
+    Rng rng(44);
+    Matrix design(200, 3);
+    std::vector<double> y(200);
+    for (size_t i = 0; i < 200; ++i) {
+        const double x1 = rng.uniform(-1, 1);
+        const double x2 = rng.uniform(-1, 1);
+        design.at(i, 0) = 1.0;
+        design.at(i, 1) = x1;
+        design.at(i, 2) = x2;
+        y[i] = 1.0 - 2.0 * x1 + 0.5 * x2 + rng.gaussian(0.0, 0.01);
+    }
+    const auto c = solveLeastSquares(design, y);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_NEAR(c[0], 1.0, 0.01);
+    EXPECT_NEAR(c[1], -2.0, 0.01);
+    EXPECT_NEAR(c[2], 0.5, 0.01);
+}
+
+TEST(SolveLeastSquares, RidgeShrinksCollinearCoefficients)
+{
+    // Two identical columns: only ridge makes the system solvable.
+    Matrix design(20, 2);
+    std::vector<double> y(20);
+    for (size_t i = 0; i < 20; ++i) {
+        design.at(i, 0) = static_cast<double>(i);
+        design.at(i, 1) = static_cast<double>(i);
+        y[i] = 2.0 * static_cast<double>(i);
+    }
+    const auto c = solveLeastSquares(design, y, 1e-6);
+    ASSERT_EQ(c.size(), 2u);
+    // Weight split evenly across the duplicated columns.
+    EXPECT_NEAR(c[0], 1.0, 1e-3);
+    EXPECT_NEAR(c[1], 1.0, 1e-3);
+}
+
+} // namespace
+} // namespace dora

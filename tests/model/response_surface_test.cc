@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the Eq. (2)-(4) response surfaces and the piece-wise
+ * wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "model/piecewise.hh"
+#include "model/response_surface.hh"
+
+namespace dora
+{
+namespace
+{
+
+Dataset
+syntheticData(int n, uint64_t seed,
+              const std::function<double(double, double, double)> &f)
+{
+    Dataset data;
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform(0.0, 10.0);
+        const double b = rng.uniform(-5.0, 5.0);
+        const double c = rng.uniform(1.0, 3.0);
+        data.add({a, b, c}, f(a, b, c));
+    }
+    return data;
+}
+
+TEST(Dataset, TracksSizeAndDims)
+{
+    Dataset d;
+    EXPECT_EQ(d.size(), 0u);
+    EXPECT_EQ(d.dims(), 0u);
+    d.add({1.0, 2.0}, 3.0);
+    EXPECT_EQ(d.size(), 1u);
+    EXPECT_EQ(d.dims(), 2u);
+}
+
+TEST(ResponseSurface, TermCounts)
+{
+    // Table I has 9 independent variables.
+    EXPECT_EQ(ResponseSurface(SurfaceKind::Linear, 9).termCount(), 10u);
+    EXPECT_EQ(ResponseSurface(SurfaceKind::Interaction, 9).termCount(),
+              10u + 36u);
+    EXPECT_EQ(ResponseSurface(SurfaceKind::Quadratic, 9).termCount(),
+              10u + 45u);
+}
+
+TEST(ResponseSurface, LinearRecoversLinearTruth)
+{
+    const auto data = syntheticData(
+        200, 1, [](double a, double b, double c) {
+            return 3.0 + 2.0 * a - 1.5 * b + 0.5 * c;
+        });
+    ResponseSurface s(SurfaceKind::Linear, 3);
+    ASSERT_TRUE(s.fit(data));
+    EXPECT_NEAR(s.predict({5.0, 0.0, 2.0}), 14.0, 1e-6);
+    EXPECT_LT(s.evaluate(data).meanAbsPctError, 1e-8);
+}
+
+TEST(ResponseSurface, InteractionCapturesCrossTerm)
+{
+    const auto data = syntheticData(
+        300, 2, [](double a, double b, double c) {
+            return 1.0 + a + 0.3 * a * b + 0.1 * b * c;
+        });
+    ResponseSurface linear(SurfaceKind::Linear, 3);
+    ResponseSurface inter(SurfaceKind::Interaction, 3);
+    ASSERT_TRUE(linear.fit(data));
+    ASSERT_TRUE(inter.fit(data));
+    EXPECT_LT(inter.evaluate(data).rmse,
+              0.01 * linear.evaluate(data).rmse);
+}
+
+TEST(ResponseSurface, QuadraticCapturesSquares)
+{
+    const auto data = syntheticData(
+        300, 3, [](double a, double b, double) {
+            return 2.0 + a * a - 0.5 * b * b;
+        });
+    ResponseSurface inter(SurfaceKind::Interaction, 3);
+    ResponseSurface quad(SurfaceKind::Quadratic, 3);
+    ASSERT_TRUE(inter.fit(data));
+    ASSERT_TRUE(quad.fit(data));
+    EXPECT_LT(quad.evaluate(data).rmse, 0.01 * inter.evaluate(data).rmse);
+}
+
+TEST(ResponseSurface, ConstantColumnIsHarmless)
+{
+    Dataset data;
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        const double a = rng.uniform(0, 1);
+        data.add({a, 7.0}, 2.0 * a);  // second feature constant
+    }
+    ResponseSurface s(SurfaceKind::Interaction, 2);
+    ASSERT_TRUE(s.fit(data, 1e-6));
+    EXPECT_NEAR(s.predict({0.5, 7.0}), 1.0, 1e-3);
+}
+
+TEST(ResponseSurface, MetricsReportErrors)
+{
+    Dataset data;
+    data.add({1.0}, 10.0);
+    data.add({2.0}, 20.0);
+    data.add({3.0}, 30.0);
+    ResponseSurface s(SurfaceKind::Linear, 1);
+    ASSERT_TRUE(s.fit(data));
+    const FitMetrics m = s.evaluate(data);
+    EXPECT_EQ(m.count, 3u);
+    EXPECT_LT(m.meanAbsPctError, 1e-9);
+    EXPECT_EQ(s.absPctErrors(data).size(), 3u);
+}
+
+TEST(ResponseSurface, SerializeRoundTrip)
+{
+    const auto data = syntheticData(
+        100, 5, [](double a, double b, double c) {
+            return a + 2.0 * b - c;
+        });
+    ResponseSurface s(SurfaceKind::Interaction, 3);
+    ASSERT_TRUE(s.fit(data));
+    const ResponseSurface t =
+        ResponseSurface::deserialize(s.serialize());
+    EXPECT_TRUE(t.trained());
+    EXPECT_EQ(t.kind(), SurfaceKind::Interaction);
+    const std::vector<double> x = {3.0, 1.0, 2.0};
+    EXPECT_NEAR(t.predict(x), s.predict(x), 1e-12);
+}
+
+TEST(SurfaceKindName, AllNamed)
+{
+    EXPECT_STREQ(surfaceKindName(SurfaceKind::Linear), "linear");
+    EXPECT_STREQ(surfaceKindName(SurfaceKind::Interaction),
+                 "interaction");
+    EXPECT_STREQ(surfaceKindName(SurfaceKind::Quadratic), "quadratic");
+}
+
+TEST(PiecewiseSurface, RoutesToNearestGroup)
+{
+    PiecewiseSurface pw(SurfaceKind::Linear, 1);
+    Dataset lo, hi;
+    for (int i = 0; i < 20; ++i) {
+        lo.add({static_cast<double>(i)}, 1.0 * i);
+        hi.add({static_cast<double>(i)}, 10.0 * i);
+    }
+    ASSERT_TRUE(pw.fitGroup(200.0, lo));
+    ASSERT_TRUE(pw.fitGroup(800.0, hi));
+    EXPECT_TRUE(pw.trained());
+    EXPECT_NEAR(pw.predict({5.0}, 210.0), 5.0, 1e-6);
+    EXPECT_NEAR(pw.predict({5.0}, 790.0), 50.0, 1e-6);
+    // Nearest-group fallback for unseen keys.
+    EXPECT_NEAR(pw.predict({5.0}, 300.0), 5.0, 1e-6);
+}
+
+TEST(PiecewiseSurface, RefitReplacesGroup)
+{
+    PiecewiseSurface pw(SurfaceKind::Linear, 1);
+    Dataset d1, d2;
+    for (int i = 0; i < 10; ++i) {
+        d1.add({static_cast<double>(i)}, 1.0 * i);
+        d2.add({static_cast<double>(i)}, 2.0 * i);
+    }
+    ASSERT_TRUE(pw.fitGroup(200.0, d1));
+    ASSERT_TRUE(pw.fitGroup(200.0, d2));
+    EXPECT_EQ(pw.groupKeys().size(), 1u);
+    EXPECT_NEAR(pw.predict({4.0}, 200.0), 8.0, 1e-6);
+}
+
+TEST(PiecewiseSurface, SerializeRoundTrip)
+{
+    PiecewiseSurface pw(SurfaceKind::Linear, 2);
+    Dataset d;
+    Rng rng(6);
+    for (int i = 0; i < 30; ++i) {
+        const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+        d.add({a, b}, 3.0 * a - b);
+    }
+    ASSERT_TRUE(pw.fitGroup(333.0, d));
+    ASSERT_TRUE(pw.fitGroup(800.0, d));
+    const PiecewiseSurface copy =
+        PiecewiseSurface::deserialize(pw.serialize());
+    EXPECT_TRUE(copy.trained());
+    EXPECT_EQ(copy.groupKeys().size(), 2u);
+    EXPECT_NEAR(copy.predict({0.5, 0.5}, 333.0),
+                pw.predict({0.5, 0.5}, 333.0), 1e-12);
+}
+
+/** Property sweep: every kind fits its own representable truth. */
+class SurfaceKindSweep : public ::testing::TestWithParam<SurfaceKind>
+{
+};
+
+TEST_P(SurfaceKindSweep, FitsRepresentableTruthExactly)
+{
+    const SurfaceKind kind = GetParam();
+    const auto data = syntheticData(
+        400, 7, [kind](double a, double b, double c) {
+            double y = 1.0 + a - b + 0.5 * c;
+            if (kind != SurfaceKind::Linear)
+                y += 0.2 * a * b;
+            if (kind == SurfaceKind::Quadratic)
+                y += 0.1 * c * c;
+            return y;
+        });
+    ResponseSurface s(kind, 3);
+    ASSERT_TRUE(s.fit(data));
+    EXPECT_LT(s.evaluate(data).rmse, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SurfaceKindSweep,
+                         ::testing::Values(SurfaceKind::Linear,
+                                           SurfaceKind::Interaction,
+                                           SurfaceKind::Quadratic));
+
+} // namespace
+} // namespace dora

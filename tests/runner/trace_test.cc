@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the run observability extensions: decision traces,
+ * per-OPP frequency residency, power breakdown means, and the
+ * custom-co-runner entry point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "browser/page_corpus.hh"
+#include "runner/experiment.hh"
+#include "workloads/phased_corun_task.hh"
+
+namespace dora
+{
+namespace
+{
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    ExperimentRunner runner_;
+};
+
+TEST_F(TraceTest, ResidencySumsToWindow)
+{
+    const auto w = WorkloadSets::combo(PageCorpus::byName("amazon"),
+                                       MemIntensity::Medium);
+    InteractiveGovernor g;
+    const RunMeasurement m = runner_.run(w, g);
+    ASSERT_EQ(m.freqResidencySec.size(), runner_.freqTable().size());
+    const double total = std::accumulate(m.freqResidencySec.begin(),
+                                         m.freqResidencySec.end(), 0.0);
+    EXPECT_NEAR(total, m.loadTimeSec, 2.0 * runner_.config().dtSec);
+}
+
+TEST_F(TraceTest, FixedRunResidesAtOneOpp)
+{
+    const auto w = WorkloadSets::combo(PageCorpus::byName("alipay"),
+                                       MemIntensity::Low);
+    const RunMeasurement m = runner_.runAtFrequency(w, 5);
+    for (size_t f = 0; f < m.freqResidencySec.size(); ++f) {
+        if (f == 5)
+            EXPECT_GT(m.freqResidencySec[f], 0.0);
+        else
+            EXPECT_DOUBLE_EQ(m.freqResidencySec[f], 0.0);
+    }
+}
+
+TEST_F(TraceTest, DecisionsCoverTheWindowAtTheInterval)
+{
+    const auto w = WorkloadSets::combo(PageCorpus::byName("amazon"),
+                                       MemIntensity::Medium);
+    InteractiveGovernor g;
+    const RunMeasurement m = runner_.run(w, g);
+    ASSERT_FALSE(m.decisions.empty());
+    // Window decisions only, ordered, spaced by >= the interval.
+    for (size_t i = 1; i < m.decisions.size(); ++i) {
+        EXPECT_GT(m.decisions[i].tSec, m.decisions[i - 1].tSec);
+        EXPECT_GE(m.decisions[i].tSec - m.decisions[i - 1].tSec,
+                  g.decisionIntervalSec() - 1e-9);
+    }
+    const double expected = m.loadTimeSec / g.decisionIntervalSec();
+    EXPECT_NEAR(static_cast<double>(m.decisions.size()), expected,
+                expected * 0.25 + 2.0);
+}
+
+TEST_F(TraceTest, BreakdownMeansSumToMeanPower)
+{
+    const auto w = WorkloadSets::combo(PageCorpus::byName("amazon"),
+                                       MemIntensity::High);
+    const RunMeasurement m = runner_.runAtFrequency(w, 10);
+    EXPECT_NEAR(m.meanBreakdown.total(), m.meanPowerW,
+                0.02 * m.meanPowerW);
+    EXPECT_GT(m.meanBreakdown.baseline, 1.0);
+    EXPECT_GT(m.meanBreakdown.coreDynamic, 0.1);
+    EXPECT_GT(m.meanBreakdown.leakage, 0.05);
+    EXPECT_GT(m.meanBreakdown.dram, 0.01);
+}
+
+TEST_F(TraceTest, CustomCorunTaskDrivesInterference)
+{
+    const WebPage &page = PageCorpus::byName("reddit");
+    // Phase flip mid-load: the second half must push MPKI up.
+    std::vector<CorunPhase> schedule = {
+        {&KernelCatalog::byName("kmeans"),
+         runner_.config().warmupSec + 0.4},
+        {&KernelCatalog::byName("backprop"), 0.0},
+    };
+    PhasedCorunTask corun(schedule, 9);
+    FixedGovernor g(runner_.freqTable().maxIndex());
+    const RunMeasurement m = runner_.runCustom(
+        &page, &corun, "reddit+phased", g,
+        runner_.freqTable().maxIndex());
+    EXPECT_TRUE(m.pageFinished);
+
+    // MPKI seen by early decisions is low; late decisions see the
+    // high-intensity kernel.
+    ASSERT_GE(m.decisions.size(), 6u);
+    const auto &first = m.decisions[1];  // skip the t=load-start edge
+    const auto &last = m.decisions.back();
+    EXPECT_GT(last.l2Mpki, first.l2Mpki + 3.0);
+}
+
+TEST_F(TraceTest, PageAloneViaCustomEntryPoint)
+{
+    const WebPage &page = PageCorpus::byName("alipay");
+    FixedGovernor g(runner_.freqTable().maxIndex());
+    const RunMeasurement m = runner_.runCustom(
+        &page, nullptr, "alipay+alone", g,
+        runner_.freqTable().maxIndex());
+    EXPECT_TRUE(m.pageFinished);
+    EXPECT_DOUBLE_EQ(m.meanCorunUtil, 0.0);  // core 2 stayed idle
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel and Task plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "mem/address_stream.hh"
+#include "sim/simulator.hh"
+
+namespace dora
+{
+namespace
+{
+
+/** A task that needs a fixed number of instructions, then finishes. */
+class FiniteTask : public Task
+{
+  public:
+    explicit FiniteTask(double work)
+        : name_("finite"), budget_(work), remaining_(work),
+          stream_(makeSpec(), 0, Rng(11))
+    {
+    }
+
+    TaskDemand demand(double) override
+    {
+        TaskDemand d;
+        if (remaining_ <= 0.0)
+            return d;
+        d.active = true;
+        d.baseCpi = 1.0;
+        d.memRefsPerInstr = 0.1;
+        d.instrBudget = remaining_;
+        d.stream = &stream_;
+        return d;
+    }
+
+    void advance(const TickResult &result, double) override
+    {
+        remaining_ -= result.instructions;
+        ++advances_;
+    }
+
+    bool finished() const override { return remaining_ <= 0.0; }
+    const std::string &name() const override { return name_; }
+    void reset() override { remaining_ = budget_; advances_ = 0; }
+
+    int advances() const { return advances_; }
+
+  private:
+    static AddressStreamSpec makeSpec()
+    {
+        AddressStreamSpec spec;
+        spec.workingSetBytes = 32 * 1024;
+        return spec;
+    }
+
+    std::string name_;
+    double budget_;
+    double remaining_;
+    int advances_ = 0;
+    AddressStream stream_;
+};
+
+class SimulatorTest : public ::testing::Test
+{
+  protected:
+    SimulatorTest()
+        : soc_(Soc::nexus5()),
+          power_(DevicePowerConfig{}, LeakageModel::msm8974Truth()),
+          sim_(soc_, power_, SimConfig{})
+    {
+    }
+
+    Soc soc_;
+    DevicePower power_;
+    Simulator sim_;
+};
+
+TEST_F(SimulatorTest, StepAdvancesOneTick)
+{
+    const TickTrace trace = sim_.step();
+    EXPECT_NEAR(trace.nowSec, sim_.config().dtSec, 1e-12);
+    EXPECT_GT(trace.power.total(), 0.0);
+}
+
+TEST_F(SimulatorTest, IdleSocStillConsumesBaseline)
+{
+    for (int i = 0; i < 100; ++i)
+        sim_.step();
+    EXPECT_GT(power_.meanPowerW(), power_.config().baselineW);
+}
+
+TEST_F(SimulatorTest, FiniteTaskCompletes)
+{
+    FiniteTask task(5e6);  // ~2-3 ticks at max frequency
+    sim_.bindTask(0, &task);
+    const double elapsed =
+        sim_.runUntil([&] { return task.finished(); });
+    EXPECT_TRUE(task.finished());
+    EXPECT_GT(task.advances(), 0);
+    EXPECT_GT(elapsed, 0.0);
+    EXPECT_LT(elapsed, 0.1);
+}
+
+TEST_F(SimulatorTest, FinishedTaskStopsDemanding)
+{
+    FiniteTask task(1e5);
+    sim_.bindTask(0, &task);
+    sim_.runUntil([&] { return task.finished(); });
+    const int advances = task.advances();
+    sim_.step();
+    sim_.step();
+    EXPECT_EQ(task.advances(), advances);  // no more advance() calls
+}
+
+TEST_F(SimulatorTest, RunUntilHitsWall)
+{
+    SimConfig config;
+    config.maxSeconds = 0.05;
+    Simulator walled(soc_, power_, config);
+    const double elapsed = walled.runUntil([] { return false; });
+    EXPECT_NEAR(elapsed, 0.05, 0.002);
+}
+
+TEST_F(SimulatorTest, OnTickObserverSeesEveryTick)
+{
+    int ticks = 0;
+    FiniteTask task(3e6);
+    sim_.bindTask(0, &task);
+    sim_.runUntil([&] { return task.finished(); },
+                  [&](const TickTrace &) { ++ticks; });
+    EXPECT_GT(ticks, 0);
+}
+
+TEST_F(SimulatorTest, ResetRestartsTasksAndClock)
+{
+    FiniteTask task(1e6);
+    sim_.bindTask(0, &task);
+    sim_.runUntil([&] { return task.finished(); });
+    sim_.reset();
+    EXPECT_DOUBLE_EQ(sim_.nowSec(), 0.0);
+    EXPECT_FALSE(task.finished());
+    EXPECT_DOUBLE_EQ(power_.totalEnergyJ(), 0.0);
+}
+
+TEST_F(SimulatorTest, TwoTasksRunConcurrently)
+{
+    FiniteTask a(5e6), b(5e6);
+    sim_.bindTask(0, &a);
+    sim_.bindTask(2, &b);
+    sim_.runUntil([&] { return a.finished() && b.finished(); });
+    EXPECT_TRUE(a.finished());
+    EXPECT_TRUE(b.finished());
+}
+
+TEST(IdleTask, NeverFinishesNeverDemands)
+{
+    IdleTask idle;
+    EXPECT_FALSE(idle.finished());
+    EXPECT_FALSE(idle.demand(0.0).active);
+}
+
+} // namespace
+} // namespace dora

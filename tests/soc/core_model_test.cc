@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the CPI-based core timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/address_stream.hh"
+#include "soc/core_model.hh"
+
+namespace dora
+{
+namespace
+{
+
+TEST(ComputeCpi, PerfectMemoryGivesBaseCpi)
+{
+    EXPECT_DOUBLE_EQ(
+        computeCpi(1.2, 0.3, 0.0, 0.0, 9.0, 90.0, 2.0, 2265.6), 1.2);
+}
+
+TEST(ComputeCpi, StallTermMatchesHandComputation)
+{
+    // refs=0.4, l1mr=0.5, l2 local mr=0.25, l2=10ns, dram=100ns, mlp=2,
+    // f=1000 MHz -> 1 cycle/ns.
+    // miss service = 10 + 0.25*100/2 = 22.5 ns -> stall = 0.4*0.5*22.5
+    // = 4.5 cycles/instr.
+    EXPECT_DOUBLE_EQ(
+        computeCpi(1.0, 0.4, 0.5, 0.25, 10.0, 100.0, 2.0, 1000.0), 5.5);
+}
+
+TEST(ComputeCpi, StallGrowsWithFrequency)
+{
+    const double lo = computeCpi(1.0, 0.3, 0.2, 0.5, 9.0, 90.0, 2.0,
+                                 300.0);
+    const double hi = computeCpi(1.0, 0.3, 0.2, 0.5, 9.0, 90.0, 2.0,
+                                 2265.6);
+    EXPECT_GT(hi, lo);
+    // The *time* per instruction (cpi/f) still shrinks with f.
+    EXPECT_LT(hi / 2265.6, lo / 300.0);
+}
+
+TEST(ComputeCpi, MlpDiscountsDramOnly)
+{
+    const double serial = computeCpi(1.0, 0.3, 0.5, 1.0, 0.0, 100.0,
+                                     1.0, 1000.0);
+    const double overlapped = computeCpi(1.0, 0.3, 0.5, 1.0, 0.0, 100.0,
+                                         4.0, 1000.0);
+    EXPECT_NEAR(serial - 1.0, 4.0 * (overlapped - 1.0), 1e-9);
+}
+
+class CoreModelTest : public ::testing::Test
+{
+  protected:
+    CoreModelTest()
+        : core_(0, CoreTimingConfig{}), mem_(makeMemConfig()),
+          stream_(makeSpec(), 0, Rng(1))
+    {
+    }
+
+    static MemSystemConfig makeMemConfig()
+    {
+        MemSystemConfig c;
+        c.numCores = 1;
+        return c;
+    }
+
+    static AddressStreamSpec makeSpec()
+    {
+        AddressStreamSpec spec;
+        spec.workingSetBytes = 64 * 1024;
+        return spec;
+    }
+
+    TaskDemand activeDemand()
+    {
+        TaskDemand d;
+        d.active = true;
+        d.baseCpi = 1.0;
+        d.memRefsPerInstr = 0.3;
+        d.mlp = 2.0;
+        d.dutyCycle = 1.0;
+        d.activityFactor = 0.5;
+        d.stream = &stream_;
+        return d;
+    }
+
+    CoreModel core_;
+    MemSystem mem_;
+    AddressStream stream_;
+};
+
+TEST_F(CoreModelTest, InactiveDemandPlansNoSamples)
+{
+    TaskDemand d;
+    d.active = false;
+    const auto req = core_.planTick(d, 1e-3, 2265.6);
+    EXPECT_EQ(req.samples, 0u);
+}
+
+TEST_F(CoreModelTest, SampleCountRespectsBounds)
+{
+    TaskDemand d = activeDemand();
+    const CoreTimingConfig config;
+    const auto req = core_.planTick(d, 1e-3, 2265.6);
+    EXPECT_GE(req.samples, config.minSamples);
+    EXPECT_LE(req.samples, config.maxSamples);
+}
+
+TEST_F(CoreModelTest, SampleCountScalesWithIntensity)
+{
+    TaskDemand heavy = activeDemand();
+    heavy.memRefsPerInstr = 0.4;
+    TaskDemand light = activeDemand();
+    light.memRefsPerInstr = 0.01;
+    const auto req_heavy = core_.planTick(heavy, 1e-3, 2265.6);
+    const auto req_light = core_.planTick(light, 1e-3, 2265.6);
+    EXPECT_GT(req_heavy.samples, req_light.samples);
+}
+
+TEST_F(CoreModelTest, FinishTickRetiresInstructions)
+{
+    TaskDemand d = activeDemand();
+    MemSampleResult sample;
+    sample.l1MissRate = 0.0;
+    sample.l2LocalMissRate = 0.0;
+    const TickResult r = core_.finishTick(d, sample, 1e-3, 1000.0, mem_);
+    // 1e6 cycles at CPI 1.0.
+    EXPECT_NEAR(r.instructions, 1e6, 1.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+    EXPECT_NEAR(core_.totalInstructions(), 1e6, 1.0);
+    EXPECT_NEAR(core_.totalBusySeconds(), 1e-3, 1e-12);
+}
+
+TEST_F(CoreModelTest, BudgetCapsInstructionsAndUtilization)
+{
+    TaskDemand d = activeDemand();
+    d.instrBudget = 1e5;  // a tenth of the tick's capacity
+    MemSampleResult sample;
+    const TickResult r = core_.finishTick(d, sample, 1e-3, 1000.0, mem_);
+    EXPECT_NEAR(r.instructions, 1e5, 1.0);
+    EXPECT_NEAR(r.utilization, 0.1, 1e-6);
+}
+
+TEST_F(CoreModelTest, DutyCycleScalesWork)
+{
+    TaskDemand d = activeDemand();
+    d.dutyCycle = 0.5;
+    MemSampleResult sample;
+    const TickResult r = core_.finishTick(d, sample, 1e-3, 1000.0, mem_);
+    EXPECT_NEAR(r.instructions, 5e5, 1.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 0.5);
+}
+
+TEST_F(CoreModelTest, MissRatesRaiseCpi)
+{
+    TaskDemand d = activeDemand();
+    MemSampleResult clean, dirty;
+    dirty.l1MissRate = 0.3;
+    dirty.l2LocalMissRate = 0.5;
+    const TickResult fast =
+        core_.finishTick(d, clean, 1e-3, 2265.6, mem_);
+    const TickResult slow =
+        core_.finishTick(d, dirty, 1e-3, 2265.6, mem_);
+    EXPECT_GT(slow.cpi, fast.cpi);
+    EXPECT_LT(slow.instructions, fast.instructions);
+}
+
+TEST_F(CoreModelTest, InactiveFinishIsZero)
+{
+    TaskDemand d;
+    d.active = false;
+    MemSampleResult sample;
+    const TickResult r = core_.finishTick(d, sample, 1e-3, 1000.0, mem_);
+    EXPECT_DOUBLE_EQ(r.instructions, 0.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+}
+
+TEST_F(CoreModelTest, ResetClearsCounters)
+{
+    TaskDemand d = activeDemand();
+    MemSampleResult sample;
+    core_.finishTick(d, sample, 1e-3, 1000.0, mem_);
+    core_.reset();
+    EXPECT_DOUBLE_EQ(core_.totalInstructions(), 0.0);
+    EXPECT_DOUBLE_EQ(core_.totalBusySeconds(), 0.0);
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the DVFS operating-point table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/freq_table.hh"
+
+namespace dora
+{
+namespace
+{
+
+TEST(FreqTable, Msm8974HasFourteenOpps)
+{
+    const FreqTable table = FreqTable::msm8974();
+    EXPECT_EQ(table.size(), 14u);  // paper Section IV-A
+    EXPECT_NEAR(table.opp(0).coreMhz, 300.0, 1e-9);
+    EXPECT_NEAR(table.opp(table.maxIndex()).coreMhz, 2265.6, 1e-9);
+}
+
+TEST(FreqTable, OppsAreAscendingInEverything)
+{
+    const FreqTable table = FreqTable::msm8974();
+    for (size_t i = 1; i < table.size(); ++i) {
+        EXPECT_GT(table.opp(i).coreMhz, table.opp(i - 1).coreMhz);
+        EXPECT_GE(table.opp(i).voltage, table.opp(i - 1).voltage);
+        EXPECT_GE(table.opp(i).busMhz, table.opp(i - 1).busMhz);
+    }
+}
+
+TEST(FreqTable, VoltageRangeIsKraitLike)
+{
+    const FreqTable table = FreqTable::msm8974();
+    EXPECT_NEAR(table.opp(0).voltage, 0.78, 0.03);
+    EXPECT_NEAR(table.opp(table.maxIndex()).voltage, 1.04, 0.02);
+}
+
+TEST(FreqTable, NearestIndex)
+{
+    const FreqTable table = FreqTable::msm8974();
+    EXPECT_EQ(table.nearestIndex(300.0), 0u);
+    EXPECT_EQ(table.nearestIndex(1.0), 0u);
+    EXPECT_EQ(table.nearestIndex(99999.0), table.maxIndex());
+    EXPECT_NEAR(table.opp(table.nearestIndex(960.0)).coreMhz, 960.0,
+                1e-9);
+    EXPECT_NEAR(table.opp(table.nearestIndex(940.0)).coreMhz, 960.0,
+                1e-9);
+}
+
+TEST(FreqTable, PaperSweepCoversEightPoints)
+{
+    const FreqTable table = FreqTable::msm8974();
+    const auto sweep = table.paperSweepIndices();
+    EXPECT_EQ(sweep.size(), 8u);
+    // First and last sweep points match the paper's axis extremes.
+    EXPECT_NEAR(table.opp(sweep.front()).coreMhz, 729.6, 1e-9);
+    EXPECT_NEAR(table.opp(sweep.back()).coreMhz, 2265.6, 1e-9);
+    for (size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_GT(sweep[i], sweep[i - 1]);
+}
+
+TEST(FreqTable, FourBusFrequencyGroups)
+{
+    const FreqTable table = FreqTable::msm8974();
+    const auto buses = table.busFrequencies();
+    EXPECT_EQ(buses.size(), 4u);  // the piece-wise model groups
+    size_t covered = 0;
+    for (double bus : buses)
+        covered += table.indicesForBus(bus).size();
+    EXPECT_EQ(covered, table.size());
+}
+
+TEST(FreqTable, IndicesForBusAreConsistent)
+{
+    const FreqTable table = FreqTable::msm8974();
+    for (double bus : table.busFrequencies())
+        for (size_t idx : table.indicesForBus(bus))
+            EXPECT_DOUBLE_EQ(table.opp(idx).busMhz, bus);
+}
+
+TEST(FreqTable, CustomTableValidation)
+{
+    std::vector<OperatingPoint> opps = {
+        {500.0, 0.8, 200.0},
+        {1000.0, 0.9, 400.0},
+    };
+    FreqTable table(opps);
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.minIndex(), 0u);
+    EXPECT_EQ(table.maxIndex(), 1u);
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the SoC assembly: DVFS actuation, switch penalties,
+ * perf snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/address_stream.hh"
+#include "soc/soc.hh"
+
+namespace dora
+{
+namespace
+{
+
+class SocTest : public ::testing::Test
+{
+  protected:
+    SocTest()
+        : soc_(Soc::nexus5()),
+          stream_(makeSpec(), 0, Rng(1))
+    {
+    }
+
+    static AddressStreamSpec makeSpec()
+    {
+        AddressStreamSpec spec;
+        spec.workingSetBytes = 64 * 1024;
+        return spec;
+    }
+
+    std::vector<TaskDemand> idleDemands()
+    {
+        return std::vector<TaskDemand>(soc_.numCores());
+    }
+
+    std::vector<TaskDemand> busyDemands()
+    {
+        auto demands = idleDemands();
+        demands[0].active = true;
+        demands[0].baseCpi = 1.0;
+        demands[0].memRefsPerInstr = 0.2;
+        demands[0].stream = &stream_;
+        return demands;
+    }
+
+    Soc soc_;
+    AddressStream stream_;
+};
+
+TEST_F(SocTest, StartsAtMaxFrequency)
+{
+    EXPECT_EQ(soc_.frequencyIndex(), soc_.freqTable().maxIndex());
+    EXPECT_NEAR(soc_.operatingPoint().coreMhz, 2265.6, 1e-9);
+}
+
+TEST_F(SocTest, TickAdvancesTime)
+{
+    soc_.tick(idleDemands(), 1e-3);
+    soc_.tick(idleDemands(), 1e-3);
+    EXPECT_NEAR(soc_.elapsedSeconds(), 2e-3, 1e-12);
+}
+
+TEST_F(SocTest, SummaryCarriesOperatingPoint)
+{
+    soc_.setFrequencyIndex(0);
+    const auto summary = soc_.tick(idleDemands(), 1e-3);
+    EXPECT_NEAR(summary.coreMhz, 300.0, 1e-9);
+    EXPECT_NEAR(summary.busMhz, 200.0, 1e-9);
+    EXPECT_GT(summary.voltage, 0.7);
+}
+
+TEST_F(SocTest, RepeatedSetSameIndexIsFree)
+{
+    soc_.setFrequencyIndex(soc_.frequencyIndex());
+    EXPECT_EQ(soc_.switchCount(), 0u);
+}
+
+TEST_F(SocTest, SwitchChargesPenaltyOnNextTick)
+{
+    auto demands = busyDemands();
+    const auto before = soc_.tick(demands, 1e-3);
+    soc_.setFrequencyIndex(soc_.frequencyIndex() - 1);
+    soc_.setFrequencyIndex(soc_.frequencyIndex() + 1);  // two switches
+    EXPECT_EQ(soc_.switchCount(), 2u);
+    const auto after = soc_.tick(demands, 1e-3);
+    // Same frequency as before, but the stall haircut cut utilization.
+    EXPECT_LT(after.perCore[0].utilization,
+              before.perCore[0].utilization);
+    EXPECT_GT(after.switchEnergyJ, 0.0);
+    EXPECT_NEAR(soc_.switchStallSeconds(),
+                2.0 * soc_.config().freqSwitchPenaltySec, 1e-12);
+}
+
+TEST_F(SocTest, PenaltyIsOneShot)
+{
+    auto demands = busyDemands();
+    soc_.setFrequencyIndex(3);
+    soc_.tick(demands, 1e-3);  // absorbs the stall
+    const auto clean = soc_.tick(demands, 1e-3);
+    EXPECT_DOUBLE_EQ(clean.perCore[0].utilization, 1.0);
+    EXPECT_DOUBLE_EQ(clean.switchEnergyJ, 0.0);
+}
+
+TEST_F(SocTest, PerfSnapshotAggregates)
+{
+    auto demands = busyDemands();
+    soc_.tick(demands, 1e-3);
+    const PerfSnapshot snap = soc_.perfSnapshot();
+    EXPECT_GT(snap.totalInstructions, 0.0);
+    EXPECT_EQ(snap.coreInstructions.size(), soc_.numCores());
+    EXPECT_GT(snap.coreBusySeconds[0], 0.0);
+    EXPECT_DOUBLE_EQ(snap.coreBusySeconds[1], 0.0);
+    EXPECT_NEAR(snap.seconds, 1e-3, 1e-12);
+}
+
+TEST_F(SocTest, ResetRestoresPristineState)
+{
+    auto demands = busyDemands();
+    soc_.tick(demands, 1e-3);
+    soc_.setFrequencyIndex(2);
+    soc_.reset();
+    EXPECT_EQ(soc_.frequencyIndex(), soc_.freqTable().maxIndex());
+    EXPECT_EQ(soc_.switchCount(), 0u);
+    EXPECT_DOUBLE_EQ(soc_.elapsedSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(soc_.perfSnapshot().totalInstructions, 0.0);
+}
+
+TEST_F(SocTest, LowerFrequencyRetiresFewerInstructions)
+{
+    auto demands = busyDemands();
+    soc_.setFrequencyIndex(soc_.freqTable().maxIndex());
+    soc_.tick(demands, 1e-3);  // absorb switch-free start
+    const auto fast = soc_.tick(demands, 1e-3);
+
+    soc_.reset();
+    soc_.setFrequencyIndex(0);
+    soc_.tick(demands, 1e-3);
+    const auto slow = soc_.tick(demands, 1e-3);
+
+    EXPECT_GT(fast.perCore[0].instructions,
+              2.0 * slow.perCore[0].instructions);
+}
+
+} // namespace
+} // namespace dora

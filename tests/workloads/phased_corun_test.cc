@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the phase-changing co-runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/phased_corun_task.hh"
+
+namespace dora
+{
+namespace
+{
+
+std::vector<CorunPhase>
+lowThenHigh(double first_sec, double second_sec = 0.0)
+{
+    return {
+        {&KernelCatalog::byName("kmeans"), first_sec},
+        {&KernelCatalog::byName("backprop"), second_sec},
+    };
+}
+
+TEST(PhasedCorunTask, NameListsSegments)
+{
+    PhasedCorunTask task(lowThenHigh(0.5), 1);
+    EXPECT_EQ(task.name(), "phased(kmeans,backprop)");
+    EXPECT_FALSE(task.finished());
+}
+
+TEST(PhasedCorunTask, SegmentsSwitchAtBoundaries)
+{
+    PhasedCorunTask task(lowThenHigh(0.5), 1);
+    task.demand(1.0);  // anchors the schedule start at t=1.0
+    EXPECT_EQ(task.phaseIndexAt(1.0), 0u);
+    EXPECT_EQ(task.phaseIndexAt(1.49), 0u);
+    EXPECT_EQ(task.phaseIndexAt(1.51), 1u);
+    // Open-ended tail: stays in segment 1 forever.
+    EXPECT_EQ(task.phaseIndexAt(100.0), 1u);
+}
+
+TEST(PhasedCorunTask, DemandTracksActiveKernel)
+{
+    PhasedCorunTask task(lowThenHigh(0.5), 1);
+    const TaskDemand early = task.demand(0.0);
+    const TaskDemand late = task.demand(2.0);
+    const KernelSpec &kmeans = KernelCatalog::byName("kmeans");
+    const KernelSpec &backprop = KernelCatalog::byName("backprop");
+    EXPECT_DOUBLE_EQ(early.memRefsPerInstr, kmeans.refsPerInstr);
+    EXPECT_DOUBLE_EQ(late.memRefsPerInstr, backprop.refsPerInstr);
+    EXPECT_NE(early.stream, late.stream);  // distinct address spaces
+}
+
+TEST(PhasedCorunTask, BoundedScheduleWrapsAround)
+{
+    std::vector<CorunPhase> schedule = {
+        {&KernelCatalog::byName("kmeans"), 0.2},
+        {&KernelCatalog::byName("backprop"), 0.3},
+    };
+    PhasedCorunTask task(schedule, 2);
+    task.demand(0.0);
+    EXPECT_EQ(task.phaseIndexAt(0.1), 0u);
+    EXPECT_EQ(task.phaseIndexAt(0.3), 1u);
+    // Cycle length 0.5: wraps.
+    EXPECT_EQ(task.phaseIndexAt(0.6), 0u);
+    EXPECT_EQ(task.phaseIndexAt(0.85), 1u);
+}
+
+TEST(PhasedCorunTask, ResetReanchorsSchedule)
+{
+    PhasedCorunTask task(lowThenHigh(0.5), 3);
+    task.demand(0.0);
+    EXPECT_EQ(task.phaseIndexAt(2.0), 1u);
+    task.reset();
+    task.demand(5.0);  // new anchor
+    EXPECT_EQ(task.phaseIndexAt(5.2), 0u);
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit and integration tests for the co-run kernel catalog, including
+ * the Table III MPKI classification property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hh"
+#include "workloads/corun_task.hh"
+#include "workloads/kernel.hh"
+
+namespace dora
+{
+namespace
+{
+
+TEST(KernelCatalog, HasNineKernels)
+{
+    EXPECT_EQ(KernelCatalog::all().size(), 9u);
+}
+
+TEST(KernelCatalog, TableIIIClassCounts)
+{
+    EXPECT_EQ(KernelCatalog::byClass(MemIntensity::Low).size(), 4u);
+    EXPECT_EQ(KernelCatalog::byClass(MemIntensity::Medium).size(), 3u);
+    EXPECT_EQ(KernelCatalog::byClass(MemIntensity::High).size(), 2u);
+}
+
+TEST(KernelCatalog, ByNameFindsAll)
+{
+    for (const auto &kernel : KernelCatalog::all())
+        EXPECT_EQ(&KernelCatalog::byName(kernel.name), &kernel);
+}
+
+TEST(KernelCatalog, RepresentativesMatchClass)
+{
+    for (MemIntensity cls : {MemIntensity::Low, MemIntensity::Medium,
+                             MemIntensity::High})
+        EXPECT_EQ(KernelCatalog::representative(cls).expectedClass, cls);
+}
+
+TEST(ClassifyMpki, Bands)
+{
+    EXPECT_EQ(classifyMpki(0.0), MemIntensity::Low);
+    EXPECT_EQ(classifyMpki(0.99), MemIntensity::Low);
+    EXPECT_EQ(classifyMpki(1.0), MemIntensity::Medium);
+    EXPECT_EQ(classifyMpki(7.0), MemIntensity::Medium);
+    EXPECT_EQ(classifyMpki(7.01), MemIntensity::High);
+    EXPECT_EQ(classifyMpki(50.0), MemIntensity::High);
+}
+
+TEST(MemIntensityName, AllNamed)
+{
+    EXPECT_STREQ(memIntensityName(MemIntensity::None), "none");
+    EXPECT_STREQ(memIntensityName(MemIntensity::Low), "low");
+    EXPECT_STREQ(memIntensityName(MemIntensity::Medium), "medium");
+    EXPECT_STREQ(memIntensityName(MemIntensity::High), "high");
+}
+
+TEST(CorunTask, NeverFinishesAndDemandsForever)
+{
+    CorunTask task(KernelCatalog::byName("kmeans"), 0);
+    EXPECT_FALSE(task.finished());
+    const TaskDemand d = task.demand(0.0);
+    EXPECT_TRUE(d.active);
+    EXPECT_EQ(d.instrBudget, 0.0);  // endless
+    EXPECT_NE(d.stream, nullptr);
+}
+
+TEST(CorunTask, AccumulatesAndResets)
+{
+    CorunTask task(KernelCatalog::byName("kmeans"), 0);
+    TickResult r;
+    r.instructions = 1000.0;
+    task.advance(r, 1e-3);
+    EXPECT_DOUBLE_EQ(task.instructionsRetired(), 1000.0);
+    task.reset();
+    EXPECT_DOUBLE_EQ(task.instructionsRetired(), 0.0);
+}
+
+/**
+ * Table III property: every kernel's measured solo L2 MPKI lands in
+ * its declared class band. This is the classification the tab03 bench
+ * reprints.
+ */
+class KernelClassification
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(KernelClassification, SoloMpkiLandsInDeclaredBand)
+{
+    const KernelSpec &spec = KernelCatalog::byName(GetParam());
+    ExperimentRunner runner;
+    const RunMeasurement m = runner.runAtFrequency(
+        WorkloadSets::kernelOnly(spec),
+        runner.freqTable().maxIndex());
+    EXPECT_EQ(classifyMpki(m.meanL2Mpki), spec.expectedClass)
+        << spec.name << " measured MPKI " << m.meanL2Mpki;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelClassification,
+    ::testing::Values("srad", "heartwall", "kmeans", "hotspot", "srad2",
+                      "bfs", "b+tree", "backprop", "nw"));
+
+} // namespace
+} // namespace dora
