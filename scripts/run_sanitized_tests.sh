@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer in a dedicated build tree.
+#
+# Usage: scripts/run_sanitized_tests.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-sanitize"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDORA_SANITIZE=address,undefined
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the test run instead of
+# scrolling past as warnings.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+
+cd "${build_dir}"
+ctest --output-on-failure "$@"

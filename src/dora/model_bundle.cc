@@ -1,5 +1,6 @@
 #include "dora/model_bundle.hh"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -26,9 +27,15 @@ double
 ModelBundle::predictLoadTime(const std::vector<double> &x,
                              double bus_mhz) const
 {
+    const double raw = timeModel.predict(x, bus_mhz);
+    // Propagate non-finite predictions (corrupt inputs or corrupt
+    // coefficients) so the governor's sanity checks can see them —
+    // std::max(1e-3, NaN) would silently mask the fault.
+    if (!std::isfinite(raw))
+        return raw;
     // A regression surface can dip non-physical at the edges of the
     // training envelope; clamp to a millisecond floor.
-    return std::max(1e-3, timeModel.predict(x, bus_mhz));
+    return std::max(1e-3, raw);
 }
 
 double
@@ -47,7 +54,32 @@ ModelBundle::predictTotalPower(const std::vector<double> &x,
     const double surface = powerModel.predict(x, bus_mhz);
     const double leak =
         include_leakage ? fittedLeakage(voltage, temp_c) : 0.0;
-    return std::max(1e-3, surface + leak);
+    const double raw = surface + leak;
+    if (!std::isfinite(raw))
+        return raw;
+    return std::max(1e-3, raw);
+}
+
+bool
+ModelBundle::validate(std::string *why) const
+{
+    auto fail = [why](const char *reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    if (!timeModel.trained())
+        return fail("time model untrained");
+    if (!powerModel.trained())
+        return fail("power model untrained");
+    if (!timeModel.allFinite())
+        return fail("time model has non-finite parameters");
+    if (!powerModel.allFinite())
+        return fail("power model has non-finite parameters");
+    for (double p : leakage.toArray())
+        if (!std::isfinite(p))
+            return fail("leakage parameters non-finite");
+    return true;
 }
 
 std::string
@@ -56,6 +88,7 @@ ModelBundle::serialize() const
     std::ostringstream out;
     out.precision(17);
     out << "dora-model-bundle " << kFormatVersion << "\n";
+    out << "config-hash " << configHash << "\n";
     out << "leakage " << (leakageFitted ? 1 : 0);
     for (double p : leakage.toArray())
         out << " " << p;
@@ -66,26 +99,46 @@ ModelBundle::serialize() const
 }
 
 ModelBundle
-ModelBundle::deserialize(const std::string &text)
+ModelBundle::deserialize(const std::string &text,
+                         std::string *diagnostic)
 {
+    auto fail = [diagnostic](const std::string &why) {
+        if (diagnostic)
+            *diagnostic = why;
+        return ModelBundle();
+    };
+
     std::istringstream in(text);
     std::string tag;
     int version = 0;
     in >> tag >> version;
-    if (tag != "dora-model-bundle")
-        fatal("ModelBundle::deserialize: bad magic");
-    if (version != kFormatVersion)
-        fatal("ModelBundle::deserialize: version %d != %d", version,
-              kFormatVersion);
+    if (tag != "dora-model-bundle" || !in)
+        return fail("bad magic");
+    if (version != kFormatVersion) {
+        std::ostringstream why;
+        why << "version " << version << " != " << kFormatVersion;
+        return fail(why.str());
+    }
 
     ModelBundle bundle;
+    uint64_t config_hash = 0;
+    in >> tag >> config_hash;
+    if (tag != "config-hash" || !in)
+        return fail("missing config-hash line");
+    bundle.configHash = config_hash;
+
     int fitted = 0;
     in >> tag >> fitted;
-    if (tag != "leakage")
-        fatal("ModelBundle::deserialize: expected 'leakage'");
+    if (tag != "leakage" || !in)
+        return fail("missing leakage line");
     std::array<double, 6> params{};
-    for (double &p : params)
+    for (double &p : params) {
         in >> p;
+        if (!in)
+            return fail("truncated leakage parameters");
+        if (!std::isfinite(p))
+            return fail("non-finite leakage parameter");
+    }
     bundle.leakage = LeakageParams::fromArray(params);
     bundle.leakageFitted = fitted != 0;
     std::string line;
@@ -100,8 +153,14 @@ ModelBundle::deserialize(const std::string &text)
             in_second = true;
         (in_second ? second : rest) += line + "\n";
     }
-    bundle.timeModel = PiecewiseSurface::deserialize(rest);
-    bundle.powerModel = PiecewiseSurface::deserialize(second);
+    std::string why;
+    if (!PiecewiseSurface::tryDeserialize(rest, &bundle.timeModel, &why))
+        return fail("time model: " + why);
+    if (!PiecewiseSurface::tryDeserialize(second, &bundle.powerModel,
+                                          &why))
+        return fail("power model: " + why);
+    if (!bundle.validate(&why))
+        return fail(why);
     return bundle;
 }
 
@@ -136,7 +195,12 @@ ModelBundle::tryLoad(const std::string &path)
                path.c_str(), version);
         return ModelBundle();
     }
-    return deserialize(text);
+    std::string why;
+    ModelBundle bundle = deserialize(text, &why);
+    if (!bundle.ready())
+        warn("ModelBundle: rejecting %s (%s); retraining", path.c_str(),
+             why.c_str());
+    return bundle;
 }
 
 } // namespace dora

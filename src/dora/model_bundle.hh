@@ -29,12 +29,20 @@ namespace dora
 struct ModelBundle
 {
     /** Bump when the on-disk format or training semantics change. */
-    static constexpr int kFormatVersion = 4;
+    static constexpr int kFormatVersion = 5;
 
     PiecewiseSurface timeModel;   //!< load time (s) ~ X (interaction)
     PiecewiseSurface powerModel;  //!< non-leakage power (W) ~ X (linear)
     LeakageParams leakage;        //!< fitted Liao parameters
     bool leakageFitted = false;
+
+    /**
+     * Hash of the training configuration that produced the bundle
+     * (trainingConfigHash() in trainer.hh). Part of the cache key: a
+     * cache file trained under a different configuration is retrained,
+     * not silently reused. Zero for ad-hoc bundles built in tests.
+     */
+    uint64_t configHash = 0;
 
     ModelBundle();
 
@@ -57,19 +65,33 @@ struct ModelBundle
     /** Leakage power (W) under the fitted parameters. */
     double fittedLeakage(double voltage, double temp_c) const;
 
+    /**
+     * Deep validation: every surface parameter and leakage parameter
+     * finite, both surfaces trained. @return false with @p why set on
+     * the first failed check. A bundle that fails validation must not
+     * be used for decisions (retrain instead).
+     */
+    bool validate(std::string *why = nullptr) const;
+
     /** Serialize to a version-stamped text blob. */
     std::string serialize() const;
 
-    /** Parse a blob; fatal() on malformed/mismatched version. */
-    static ModelBundle deserialize(const std::string &text);
+    /**
+     * Parse a blob. Never aborts: a malformed, truncated, stale, or
+     * non-finite blob yields a default (not ready()) bundle with
+     * @p diagnostic describing the rejection, and the caller retrains.
+     */
+    static ModelBundle deserialize(const std::string &text,
+                                   std::string *diagnostic = nullptr);
 
     /** Write to @p path; warns and returns false on failure. */
     bool save(const std::string &path) const;
 
     /**
      * Load from @p path. Returns empty optional-like flag via ready():
-     * returns a default bundle (not ready()) when the file is missing
-     * or has a stale version.
+     * returns a default bundle (not ready()) when the file is missing,
+     * has a stale version, or fails deserialize() validation (a
+     * warning names the reason — the caller is expected to retrain).
      */
     static ModelBundle tryLoad(const std::string &path);
 };

@@ -1,5 +1,7 @@
 #include "dora/predictive_governor.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "dora/features.hh"
 
@@ -31,11 +33,16 @@ PredictiveGovernor::PredictiveGovernor(
     : models_(std::move(models)), config_(config),
       name_(modeName(config))
 {
-    if (!models_)
-        fatal("PredictiveGovernor: null model bundle");
-    if (!models_->ready())
-        fatal("PredictiveGovernor '%s': model bundle is not trained",
-              name_.c_str());
+    // Degrade rather than die: a missing or untrained bundle (e.g. a
+    // rejected cache file the caller chose not to retrain) leaves a
+    // working governor whose every decision comes from the embedded
+    // interactive fallback.
+    if (!models_ || !models_->ready()) {
+        warn("PredictiveGovernor '%s': %s model bundle; running "
+             "degraded on the interactive fallback",
+             name_.c_str(), !models_ ? "null" : "untrained");
+        modelsUsable_ = false;
+    }
 }
 
 void
@@ -43,6 +50,11 @@ PredictiveGovernor::reset()
 {
     idleFallback_.reset();
     lastEval_.clear();
+    badStreak_ = 0;
+    badIntervals_ = 0;
+    haveLastGood_ = false;
+    lastGoodIndex_ = 0;
+    warnedBadInterval_ = false;
 }
 
 size_t
@@ -56,31 +68,77 @@ PredictiveGovernor::decideFrequencyIndex(const GovernorView &view)
         // daemon behaves between page loads.
         return idleFallback_.decideFrequencyIndex(view);
     }
+    if (!modelsUsable_)
+        return idleFallback_.decideFrequencyIndex(view);
 
-    // Algorithm 1: explore every frequency setting with the current
-    // runtime signals plugged into the models.
+    // Faulted sensors can hand the models non-finite signals; features
+    // built from them would poison every candidate, so treat the whole
+    // interval as unusable up front.
+    const bool inputs_ok = std::isfinite(view.l2Mpki) &&
+                           std::isfinite(view.corunUtilization) &&
+                           std::isfinite(view.temperatureC) &&
+                           std::isfinite(view.deadlineSec) &&
+                           view.deadlineSec > 0.0;
+
     lastEval_.clear();
-    lastEval_.reserve(table.size());
-    for (size_t f = 0; f < table.size(); ++f) {
-        const OperatingPoint &opp = table.opp(f);
-        const auto x = buildFeatureVector(
-            *view.page, view.l2Mpki, opp.coreMhz, opp.busMhz,
-            view.corunUtilization);
+    if (inputs_ok) {
+        // Algorithm 1: explore every frequency setting with the
+        // current runtime signals plugged into the models. Candidates
+        // whose predictions are non-finite or non-positive (corrupt
+        // coefficients, envelope blow-ups) are dropped rather than
+        // allowed to win on a bogus PPW.
+        lastEval_.reserve(table.size());
+        for (size_t f = 0; f < table.size(); ++f) {
+            const OperatingPoint &opp = table.opp(f);
+            const auto x = buildFeatureVector(
+                *view.page, view.l2Mpki, opp.coreMhz, opp.busMhz,
+                view.corunUtilization);
 
-        CandidateEval eval;
-        eval.freqIndex = f;
-        eval.predLoadTimeSec =
-            models_->predictLoadTime(x, opp.busMhz);
-        eval.predPowerW = models_->predictTotalPower(
-            x, opp.busMhz, opp.voltage, view.temperatureC,
-            config_.includeLeakage);
-        eval.predPpw =
-            1.0 / (eval.predLoadTimeSec * eval.predPowerW);
-        eval.meetsDeadline = eval.predLoadTimeSec <= view.deadlineSec;
-        lastEval_.push_back(eval);
+            CandidateEval eval;
+            eval.freqIndex = f;
+            eval.predLoadTimeSec =
+                models_->predictLoadTime(x, opp.busMhz);
+            eval.predPowerW = models_->predictTotalPower(
+                x, opp.busMhz, opp.voltage, view.temperatureC,
+                config_.includeLeakage);
+            const bool valid =
+                std::isfinite(eval.predLoadTimeSec) &&
+                eval.predLoadTimeSec > 0.0 &&
+                std::isfinite(eval.predPowerW) && eval.predPowerW > 0.0;
+            if (!valid)
+                continue;
+            eval.predPpw =
+                1.0 / (eval.predLoadTimeSec * eval.predPowerW);
+            eval.meetsDeadline =
+                eval.predLoadTimeSec <= view.deadlineSec;
+            lastEval_.push_back(eval);
+        }
     }
 
-    return selectFrequency(lastEval_, config_.mode, table.maxIndex());
+    if (!inputs_ok || lastEval_.empty()) {
+        ++badStreak_;
+        ++badIntervals_;
+        if (!warnedBadInterval_) {
+            warn("PredictiveGovernor '%s': unusable decision interval "
+                 "(%s); holding last good OPP",
+                 name_.c_str(),
+                 inputs_ok ? "no valid candidate evaluation"
+                           : "non-finite runtime signals");
+            warnedBadInterval_ = true;
+        }
+        if (badStreak_ >= config_.fallbackAfterBadIntervals)
+            return idleFallback_.decideFrequencyIndex(view);
+        // Hold last good; before any good decision, fail safe to the
+        // top OPP (QoS priority, same as Algorithm 1's miss branch).
+        return haveLastGood_ ? lastGoodIndex_ : table.maxIndex();
+    }
+
+    badStreak_ = 0;
+    const size_t chosen =
+        selectFrequency(lastEval_, config_.mode, table.maxIndex());
+    lastGoodIndex_ = chosen;
+    haveLastGood_ = true;
+    return chosen;
 }
 
 size_t

@@ -42,6 +42,13 @@ struct PredictiveConfig
     PredictiveMode mode = PredictiveMode::Dora;
     double decisionIntervalSec = 0.1;  //!< paper Section IV-C
     bool includeLeakage = true;        //!< false = DORA_no_lkg ablation
+    /**
+     * Consecutive unusable decision intervals (non-finite signals or no
+     * valid candidate evaluation) tolerated while holding the last good
+     * OPP; one more and the governor degrades to the embedded
+     * interactive fallback until signals recover.
+     */
+    size_t fallbackAfterBadIntervals = 5;
 };
 
 /** One row of the frequency-exploration loop (for introspection). */
@@ -88,6 +95,23 @@ class PredictiveGovernor : public Governor
     const PredictiveConfig &config() const { return config_; }
 
     /**
+     * True while decisions are not coming from the predictive models:
+     * either the bundle was unusable at construction, or the bad-input
+     * streak has crossed fallbackAfterBadIntervals.
+     */
+    bool degraded() const
+    {
+        return !modelsUsable_ ||
+               badStreak_ >= config_.fallbackAfterBadIntervals;
+    }
+
+    /** Consecutive bad intervals ending at the latest decision. */
+    size_t badStreak() const { return badStreak_; }
+
+    /** Total unusable decision intervals since construction/reset. */
+    uint64_t badIntervals() const { return badIntervals_; }
+
+    /**
      * Stateless core of Algorithm 1: evaluate every OPP and pick the
      * winner for @p mode. Exposed for unit tests.
      */
@@ -99,8 +123,19 @@ class PredictiveGovernor : public Governor
     PredictiveConfig config_;
     std::string name_;
     std::vector<CandidateEval> lastEval_;
-    /** Utilization-tracking fallback for page-less intervals. */
+    /**
+     * Utilization-tracking fallback for page-less intervals, and the
+     * degraded-mode policy when the models become unusable.
+     */
     InteractiveGovernor idleFallback_;
+
+    /** False when construction saw a null or untrained bundle. */
+    bool modelsUsable_ = true;
+    size_t badStreak_ = 0;
+    uint64_t badIntervals_ = 0;
+    bool haveLastGood_ = false;
+    size_t lastGoodIndex_ = 0;
+    bool warnedBadInterval_ = false;
 };
 
 /** Convenience factories matching the paper's governor names. */

@@ -1,8 +1,10 @@
 #include "dora/trainer.hh"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "dora/features.hh"
 #include "power/leakage.hh"
 
@@ -15,6 +17,28 @@ Trainer::Trainer(const TrainerConfig &config)
     if (config_.trainingFreqIndices.empty())
         config_.trainingFreqIndices =
             defaultTrainingFreqs(runner_.freqTable());
+}
+
+uint64_t
+trainingConfigHash(const TrainerConfig &config)
+{
+    std::ostringstream text;
+    text.precision(17);
+    const ExperimentConfig &e = config.experiment;
+    text << "deadline " << e.deadlineSec << " warmup " << e.warmupSec
+         << " dt " << e.dtSec << " maxload " << e.maxLoadSec
+         << " measure " << e.measureSec << " ambient " << e.ambientC
+         << " warmdie " << e.warmDieDeltaC;
+    text << " freqs";
+    for (size_t f : config.trainingFreqIndices)
+        text << " " << f;
+    text << " chamber";
+    for (double a : config.chamberAmbientsC)
+        text << " " << a;
+    text << " timeridge " << config.timeRidge << " powerridge "
+         << config.powerRidge << " maxworkloads "
+         << config.maxTrainingWorkloads;
+    return hashLabel(text.str());
 }
 
 std::vector<size_t>
@@ -193,18 +217,33 @@ Trainer::train()
            100.0 * report_.timeTrainMeanPctErr,
            100.0 * report_.powerTrainMeanPctErr,
            report_.numMeasurements);
+    bundle.configHash = trainingConfigHash(config_);
     return bundle;
 }
 
 ModelBundle
 Trainer::trainCached(const std::string &path)
 {
+    const uint64_t want_hash = trainingConfigHash(config_);
     ModelBundle cached = ModelBundle::tryLoad(path);
     if (cached.ready()) {
-        inform("trainer: loaded cached models from %s", path.c_str());
-        return cached;
+        if (cached.configHash == want_hash) {
+            inform("trainer: loaded cached models from %s",
+                   path.c_str());
+            return cached;
+        }
+        inform("trainer: %s was trained under a different configuration "
+               "(hash %llx != %llx); retraining",
+               path.c_str(),
+               static_cast<unsigned long long>(cached.configHash),
+               static_cast<unsigned long long>(want_hash));
     }
     ModelBundle fresh = train();
+    std::string why;
+    if (!fresh.validate(&why))
+        warn("trainer: freshly trained bundle failed validation (%s); "
+             "downstream governors will degrade to their fallback",
+             why.c_str());
     if (fresh.save(path))
         inform("trainer: cached models to %s", path.c_str());
     return fresh;

@@ -88,6 +88,16 @@ struct TrainingReport
 };
 
 /**
+ * Deterministic hash (FNV-1a over a canonical text rendering) of every
+ * TrainerConfig field that shapes the trained coefficients. Stamped
+ * into ModelBundle::configHash by train() and checked by trainCached():
+ * a cache file trained under a different configuration (other ridge
+ * strengths, reduced workload set, different measurement protocol) is
+ * retrained instead of silently reused.
+ */
+uint64_t trainingConfigHash(const TrainerConfig &config);
+
+/**
  * Trains a ModelBundle against the simulated device.
  */
 class Trainer

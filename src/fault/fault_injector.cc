@@ -1,0 +1,169 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+
+namespace dora
+{
+
+FaultInjector::FaultInjector(const FaultSchedule &schedule)
+    : schedule_(schedule), enabled_(!schedule.empty()),
+      rng_(schedule.seed ^ 0xFA017EC7ull),
+      mpki_(schedule.sensorStalenessSec),
+      util_(schedule.sensorStalenessSec),
+      corunUtil_(schedule.sensorStalenessSec),
+      browserUtil_(schedule.sensorStalenessSec),
+      temp_(schedule.sensorStalenessSec)
+{
+}
+
+void
+FaultInjector::reset()
+{
+    rng_ = Rng(schedule_.seed ^ 0xFA017EC7ull);
+    mpki_.cache.reset();
+    util_.cache.reset();
+    corunUtil_.cache.reset();
+    browserUtil_.cache.reset();
+    temp_.cache.reset();
+    mpki_.stuckUntilSec = -1.0;
+    util_.stuckUntilSec = -1.0;
+    corunUtil_.stuckUntilSec = -1.0;
+    browserUtil_.stuckUntilSec = -1.0;
+    temp_.stuckUntilSec = -1.0;
+    actuatorLatchUntilSec_ = -1.0;
+    spikeUntilSec_ = -1.0;
+    counters_ = FaultCounters();
+}
+
+FaultInjector::FaultAction
+FaultInjector::drawAction()
+{
+    FaultAction action;
+    // Fixed draw order keeps the stream deterministic regardless of
+    // which faults are enabled.
+    action.beginStuck = rng_.chance(schedule_.sensorStuckProb);
+    action.drop = rng_.chance(schedule_.sensorDropProb);
+    if (schedule_.sensorNoiseSd > 0.0)
+        action.noiseFactor =
+            1.0 + rng_.gaussian(0.0, schedule_.sensorNoiseSd);
+    return action;
+}
+
+double
+FaultInjector::applyAction(SensorChannel &channel,
+                           const FaultAction &action, double now_sec,
+                           double true_value, double fallback,
+                           double lo, double hi)
+{
+    // An already-latched sensor keeps serving its stuck value.
+    if (now_sec < channel.stuckUntilSec)
+        return channel.stuckValue;
+
+    if (action.beginStuck) {
+        channel.stuckValue = true_value;
+        channel.stuckUntilSec =
+            now_sec + schedule_.sensorStuckDurationSec;
+        return channel.stuckValue;
+    }
+
+    if (action.drop) {
+        if (!channel.cache.fresh(now_sec))
+            ++counters_.staleFallbacks;
+        return channel.cache.value(now_sec, fallback);
+    }
+
+    if (action.noiseFactor != 1.0) {
+        const double noisy =
+            std::clamp(true_value * action.noiseFactor, lo, hi);
+        // The noisy value is what the daemon stores as "last good".
+        channel.cache.push(now_sec, noisy);
+        return noisy;
+    }
+
+    channel.cache.push(now_sec, true_value);
+    return true_value;
+}
+
+void
+FaultInjector::conditionView(GovernorView &view)
+{
+    if (!enabled_)
+        return;
+    const double now = view.nowSec;
+
+    const FaultAction mpki_action = drawAction();
+    const FaultAction util_action = drawAction();
+    const FaultAction temp_action = drawAction();
+
+    auto tally = [this](const FaultAction &a) {
+        if (a.beginStuck)
+            ++counters_.sensorStuckIntervals;
+        else if (a.drop)
+            ++counters_.sensorDrops;
+        else if (a.noiseFactor != 1.0)
+            ++counters_.sensorNoisy;
+    };
+    tally(mpki_action);
+    tally(util_action);
+    tally(temp_action);
+
+    view.l2Mpki = applyAction(mpki_, mpki_action, now, view.l2Mpki,
+                              kFallbackL2Mpki, 0.0, 1e4);
+    // The three utilization fields come from one counter read: one
+    // draw, applied to each field against its own last-good cache.
+    view.totalUtilization =
+        applyAction(util_, util_action, now, view.totalUtilization,
+                    kFallbackUtilization, 0.0, 1.0);
+    view.corunUtilization =
+        applyAction(corunUtil_, util_action, now,
+                    view.corunUtilization, kFallbackUtilization, 0.0,
+                    1.0);
+    view.browserUtilization =
+        applyAction(browserUtil_, util_action, now,
+                    view.browserUtilization, kFallbackUtilization, 0.0,
+                    1.0);
+    view.temperatureC =
+        applyAction(temp_, temp_action, now, view.temperatureC,
+                    kFallbackTemperatureC, -40.0, 150.0);
+}
+
+bool
+FaultInjector::actuatorAccepts(double now_sec, size_t requested,
+                               size_t current)
+{
+    if (!enabled_ || requested == current)
+        return true;
+
+    if (now_sec < actuatorLatchUntilSec_) {
+        ++counters_.actuatorRejects;
+        return false;
+    }
+    if (rng_.chance(schedule_.actuatorLatchProb)) {
+        actuatorLatchUntilSec_ =
+            now_sec + schedule_.actuatorLatchDurationSec;
+        ++counters_.actuatorRejects;
+        return false;
+    }
+    if (rng_.chance(schedule_.actuatorRejectProb)) {
+        ++counters_.actuatorRejects;
+        return false;
+    }
+    return true;
+}
+
+double
+FaultInjector::ambientDeltaC(double now_sec)
+{
+    if (!enabled_)
+        return 0.0;
+    if (now_sec < spikeUntilSec_)
+        return schedule_.thermalSpikeDeltaC;
+    if (rng_.chance(schedule_.thermalSpikeProb)) {
+        spikeUntilSec_ = now_sec + schedule_.thermalSpikeDurationSec;
+        ++counters_.thermalSpikes;
+        return schedule_.thermalSpikeDeltaC;
+    }
+    return 0.0;
+}
+
+} // namespace dora

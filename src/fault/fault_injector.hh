@@ -1,0 +1,138 @@
+/**
+ * @file
+ * FaultInjector: realizes a FaultSchedule on the signal path between
+ * the simulated device and the governor.
+ *
+ * The injector sits exactly where real faults occur on a phone:
+ *
+ *   sensors --[conditionView]--> GovernorView --> governor decision
+ *   decision --[actuatorAccepts]--> sysfs cpufreq write --> DVFS
+ *   environment --[ambientDeltaC]--> thermal model (emergencies)
+ *
+ * Sensor faults (drop / stuck / noise) are drawn independently per
+ * signal per decision; dropped readings are served from a
+ * hold-last-good SignalCache until its staleness deadline, then from a
+ * conservative fail-safe default (utilization high, MPKI zero,
+ * temperature hot — each chosen so a degraded governor errs toward
+ * QoS and thermal safety, never against them).
+ *
+ * Everything is driven by a private seeded RNG: the same schedule and
+ * the same call sequence reproduce the same faults. An empty schedule
+ * makes every entry point a strict no-op.
+ */
+
+#ifndef DORA_FAULT_FAULT_INJECTOR_HH
+#define DORA_FAULT_FAULT_INJECTOR_HH
+
+#include "common/rng.hh"
+#include "fault/fault_schedule.hh"
+#include "fault/signal_cache.hh"
+#include "governor/governor.hh"
+
+namespace dora
+{
+
+/**
+ * Deterministic fault source for one experiment run.
+ *
+ * The harness calls reset() at the start of each run, conditionView()
+ * once per governor decision, actuatorAccepts() per attempted
+ * frequency write, and ambientDeltaC() per decision to learn the
+ * current thermal-emergency offset.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSchedule &schedule);
+
+    /** False for an all-zero schedule: every hook is then a no-op. */
+    bool enabled() const { return enabled_; }
+
+    /** Restart the fault stream for a fresh run (same sequence). */
+    void reset();
+
+    /**
+     * Apply sensor faults to the freshly sampled view, in place.
+     * Perturbs l2Mpki, the utilization group (total / browser /
+     * co-runner), and temperatureC; never touches page features,
+     * frequency state, or timestamps.
+     */
+    void conditionView(GovernorView &view);
+
+    /**
+     * Would the DVFS write @p requested -> from @p current succeed?
+     * Rejections and latch windows are counted; equal-index writes
+     * always succeed (they are free on the real sysfs path too).
+     */
+    bool actuatorAccepts(double now_sec, size_t requested,
+                         size_t current);
+
+    /** Extra ambient temperature (degC) from an active emergency. */
+    double ambientDeltaC(double now_sec);
+
+    /** Bookkeeping hooks for the harness retry loop. */
+    void noteActuatorRetry() { ++counters_.actuatorRetries; }
+    void noteActuatorGiveUp() { ++counters_.actuatorGiveUps; }
+
+    const FaultSchedule &schedule() const { return schedule_; }
+    const FaultCounters &counters() const { return counters_; }
+
+    /** Fail-safe defaults served when a dropped signal went stale. */
+    static constexpr double kFallbackUtilization = 1.0;
+    static constexpr double kFallbackL2Mpki = 0.0;
+    static constexpr double kFallbackTemperatureC = 80.0;
+
+  private:
+    /** Per-signal fault state (drop/stuck/noise + hold-last-good). */
+    struct SensorChannel
+    {
+        explicit SensorChannel(double staleness_sec)
+            : cache(staleness_sec)
+        {
+        }
+
+        SignalCache cache;
+        double stuckValue = 0.0;
+        double stuckUntilSec = -1.0;
+    };
+
+    /**
+     * One per-decision fault draw for a sensor group. Signals read
+     * from the same counter sample (the three utilization fields)
+     * share one draw, so their faults stay correlated the way a
+     * single glitched read would be.
+     */
+    struct FaultAction
+    {
+        bool beginStuck = false;
+        bool drop = false;
+        double noiseFactor = 1.0;
+    };
+
+    /** Consume RNG state and decide this decision's fault action. */
+    FaultAction drawAction();
+
+    /**
+     * Run one signal through the fault pipeline and return the value
+     * the governor will see, clamped to [lo, hi] when perturbed.
+     */
+    double applyAction(SensorChannel &channel, const FaultAction &action,
+                       double now_sec, double true_value,
+                       double fallback, double lo, double hi);
+
+    FaultSchedule schedule_;
+    bool enabled_;
+    Rng rng_;
+    SensorChannel mpki_;
+    SensorChannel util_;
+    SensorChannel corunUtil_;
+    SensorChannel browserUtil_;
+    SensorChannel temp_;
+    double actuatorLatchUntilSec_ = -1.0;
+    double spikeUntilSec_ = -1.0;
+    FaultCounters counters_;
+};
+
+} // namespace dora
+
+#endif // DORA_FAULT_FAULT_INJECTOR_HH

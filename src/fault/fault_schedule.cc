@@ -1,0 +1,82 @@
+#include "fault/fault_schedule.hh"
+
+namespace dora
+{
+
+bool
+FaultSchedule::empty() const
+{
+    return sensorDropProb == 0.0 && sensorStuckProb == 0.0 &&
+        sensorNoiseSd == 0.0 && actuatorRejectProb == 0.0 &&
+        actuatorLatchProb == 0.0 && thermalSpikeProb == 0.0;
+}
+
+FaultSchedule
+FaultSchedule::none()
+{
+    return FaultSchedule();
+}
+
+FaultSchedule
+FaultSchedule::sensorDropout(uint64_t seed)
+{
+    FaultSchedule s;
+    s.seed = seed;
+    s.sensorDropProb = 0.30;
+    return s;
+}
+
+FaultSchedule
+FaultSchedule::stuckSensor(uint64_t seed)
+{
+    FaultSchedule s;
+    s.seed = seed;
+    s.sensorStuckProb = 0.10;
+    s.sensorStuckDurationSec = 0.8;
+    return s;
+}
+
+FaultSchedule
+FaultSchedule::noisySensor(uint64_t seed)
+{
+    FaultSchedule s;
+    s.seed = seed;
+    s.sensorNoiseSd = 0.25;
+    return s;
+}
+
+FaultSchedule
+FaultSchedule::actuatorReject(uint64_t seed)
+{
+    FaultSchedule s;
+    s.seed = seed;
+    s.actuatorRejectProb = 0.40;
+    s.actuatorLatchProb = 0.05;
+    return s;
+}
+
+FaultSchedule
+FaultSchedule::thermalEmergency(uint64_t seed)
+{
+    FaultSchedule s;
+    s.seed = seed;
+    s.thermalSpikeProb = 0.04;
+    s.thermalSpikeDeltaC = 30.0;
+    s.thermalSpikeDurationSec = 2.0;
+    return s;
+}
+
+FaultSchedule
+FaultSchedule::combined(uint64_t seed)
+{
+    FaultSchedule s;
+    s.seed = seed;
+    s.sensorDropProb = 0.15;
+    s.sensorStuckProb = 0.05;
+    s.sensorNoiseSd = 0.10;
+    s.actuatorRejectProb = 0.20;
+    s.thermalSpikeProb = 0.02;
+    return s;
+}
+
+} // namespace dora

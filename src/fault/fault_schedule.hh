@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic fault schedules for the resilience harness.
+ *
+ * On a real phone the signal path between the hardware and a userspace
+ * governor daemon is not clean: perf-counter reads glitch or return
+ * stale windows, sysfs cpufreq writes get rejected by the kernel or
+ * latched by a firmware handshake, and ambient conditions can push the
+ * die toward its junction limit. A FaultSchedule describes how often
+ * (and how hard) each of those fault classes fires; a FaultInjector
+ * realizes the schedule with a seeded deterministic RNG so every run
+ * reproduces the same fault sequence (DESIGN §5.5 determinism rule).
+ *
+ * An all-zero schedule (the default) means "no faults": the injector
+ * is then a strict no-op and every bench reproduces bit-identical
+ * numbers.
+ */
+
+#ifndef DORA_FAULT_FAULT_SCHEDULE_HH
+#define DORA_FAULT_FAULT_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dora
+{
+
+/**
+ * Per-decision fault probabilities plus fault magnitudes. All
+ * probabilities are evaluated once per governor decision (the cadence
+ * at which a daemon samples counters and writes sysfs), not per tick.
+ */
+struct FaultSchedule
+{
+    /** Seed for the injector's private RNG stream. */
+    uint64_t seed = 0;
+
+    /**
+     * Sensor faults — applied independently to each of the three
+     * runtime signals (L2 MPKI, utilization, die temperature).
+     */
+    double sensorDropProb = 0.0;   //!< reading lost this decision
+    double sensorStuckProb = 0.0;  //!< sensor latches its current value
+    double sensorNoiseSd = 0.0;    //!< relative Gaussian noise sigma
+    double sensorStuckDurationSec = 0.5;  //!< how long a latch lasts
+
+    /**
+     * Staleness deadline of the hold-last-good cache: a dropped
+     * reading is replaced by the previous good one only if that value
+     * is at most this old; beyond it the consumer gets a conservative
+     * fail-safe default instead.
+     */
+    double sensorStalenessSec = 0.5;
+
+    /** DVFS actuator faults (sysfs write path). */
+    double actuatorRejectProb = 0.0;  //!< frequency write rejected
+    double actuatorLatchProb = 0.0;   //!< actuator stuck at current OPP
+    double actuatorLatchDurationSec = 0.3;
+
+    /** Thermal emergencies: ambient spikes tripping the throttle. */
+    double thermalSpikeProb = 0.0;     //!< spike begins this decision
+    double thermalSpikeDeltaC = 25.0;  //!< ambient rise while active
+    double thermalSpikeDurationSec = 1.5;
+
+    /** True when every fault probability is zero (strict no-op). */
+    bool empty() const;
+
+    /** Canonical schedules for the resilience bench and tests. */
+    static FaultSchedule none();
+    static FaultSchedule sensorDropout(uint64_t seed);
+    static FaultSchedule stuckSensor(uint64_t seed);
+    static FaultSchedule noisySensor(uint64_t seed);
+    static FaultSchedule actuatorReject(uint64_t seed);
+    static FaultSchedule thermalEmergency(uint64_t seed);
+    /** Everything at once — reporting only, not an acceptance gate. */
+    static FaultSchedule combined(uint64_t seed);
+};
+
+/** Tally of injected faults, for bench reporting. */
+struct FaultCounters
+{
+    uint64_t sensorDrops = 0;       //!< readings lost
+    uint64_t sensorStuckIntervals = 0;  //!< decisions served a latched value
+    uint64_t sensorNoisy = 0;       //!< readings perturbed by noise
+    uint64_t staleFallbacks = 0;    //!< drops older than the deadline
+    uint64_t actuatorRejects = 0;   //!< frequency writes rejected
+    uint64_t actuatorRetries = 0;   //!< retry attempts issued
+    uint64_t actuatorGiveUps = 0;   //!< retry budget exhausted
+    uint64_t thermalSpikes = 0;     //!< ambient spikes started
+};
+
+} // namespace dora
+
+#endif // DORA_FAULT_FAULT_SCHEDULE_HH

@@ -1,0 +1,49 @@
+#include "fault/signal_cache.hh"
+
+#include <limits>
+
+namespace dora
+{
+
+SignalCache::SignalCache(double staleness_sec)
+    : stalenessSec_(staleness_sec)
+{
+}
+
+void
+SignalCache::push(double now_sec, double value)
+{
+    lastValue_ = value;
+    lastSec_ = now_sec;
+    haveValue_ = true;
+}
+
+bool
+SignalCache::fresh(double now_sec) const
+{
+    return haveValue_ && now_sec - lastSec_ <= stalenessSec_;
+}
+
+double
+SignalCache::value(double now_sec, double fallback) const
+{
+    return fresh(now_sec) ? lastValue_ : fallback;
+}
+
+double
+SignalCache::ageSec(double now_sec) const
+{
+    if (!haveValue_)
+        return std::numeric_limits<double>::infinity();
+    return now_sec - lastSec_;
+}
+
+void
+SignalCache::reset()
+{
+    haveValue_ = false;
+    lastValue_ = 0.0;
+    lastSec_ = 0.0;
+}
+
+} // namespace dora

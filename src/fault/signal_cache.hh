@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hold-last-good cache for one governor input signal.
+ *
+ * When a sensor reading is dropped, a deployed daemon keeps governing
+ * on the previous good value — but only for so long: past a staleness
+ * deadline the cached value is more dangerous than a conservative
+ * default (a co-runner may have arrived since, the die may have
+ * heated). SignalCache implements exactly that policy and is shared by
+ * the FaultInjector's sensor path and the GovernorView hardening
+ * tests.
+ */
+
+#ifndef DORA_FAULT_SIGNAL_CACHE_HH
+#define DORA_FAULT_SIGNAL_CACHE_HH
+
+namespace dora
+{
+
+/**
+ * Last good value of one signal plus its timestamp.
+ */
+class SignalCache
+{
+  public:
+    /** @param staleness_sec maximum age a held value may be served at */
+    explicit SignalCache(double staleness_sec = 0.5);
+
+    /** Record a good reading taken at @p now_sec. */
+    void push(double now_sec, double value);
+
+    /** True when a value no older than the deadline is available. */
+    bool fresh(double now_sec) const;
+
+    /**
+     * The held value if still fresh at @p now_sec, otherwise
+     * @p fallback (the conservative fail-safe default).
+     */
+    double value(double now_sec, double fallback) const;
+
+    /** Age of the held value (infinity when empty). */
+    double ageSec(double now_sec) const;
+
+    /** Forget the held value. */
+    void reset();
+
+    double stalenessSec() const { return stalenessSec_; }
+
+  private:
+    double stalenessSec_;
+    double lastValue_ = 0.0;
+    double lastSec_ = 0.0;
+    bool haveValue_ = false;
+};
+
+} // namespace dora
+
+#endif // DORA_FAULT_SIGNAL_CACHE_HH

@@ -1,0 +1,54 @@
+#include "fault/thermal_throttle.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dora
+{
+
+ThermalThrottleShim::ThermalThrottleShim(
+    Governor &inner, const ThermalThrottleConfig &config)
+    : inner_(inner), config_(config), name_(inner.name())
+{
+}
+
+void
+ThermalThrottleShim::reset()
+{
+    inner_.reset();
+    throttled_ = false;
+    interventions_ = 0;
+}
+
+size_t
+ThermalThrottleShim::ceilingIndex(const FreqTable &table) const
+{
+    size_t idx = table.nearestIndex(config_.ceilingMhz);
+    // nearestIndex may round up past the ceiling; never exceed it.
+    while (idx > 0 && table.opp(idx).coreMhz > config_.ceilingMhz)
+        --idx;
+    return idx;
+}
+
+size_t
+ThermalThrottleShim::decideFrequencyIndex(const GovernorView &view)
+{
+    const size_t inner_choice = inner_.decideFrequencyIndex(view);
+
+    const double temp = view.temperatureC;
+    if (std::isfinite(temp)) {
+        if (!throttled_ && temp >= config_.criticalC) {
+            throttled_ = true;
+            ++interventions_;
+        } else if (throttled_ &&
+                   temp <= config_.criticalC - config_.hysteresisC) {
+            throttled_ = false;
+        }
+    }
+
+    if (!throttled_)
+        return inner_choice;
+    return std::min(inner_choice, ceilingIndex(*view.freqTable));
+}
+
+} // namespace dora

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ThermalThrottleShim: a Governor wrapper enforcing a throttle ceiling
+ * around a critical die temperature.
+ *
+ * Commercial SoCs override the DVFS governor when the junction nears
+ * its limit (Bhat et al. document exactly these interventions); a
+ * userspace policy that fights the thermal driver just thrashes. The
+ * shim reproduces that last line of defense in the reproduction: once
+ * the observed die temperature reaches criticalC the wrapped
+ * governor's decision is clamped to the throttle-ceiling OPP, and the
+ * clamp is held (hysteresis) until the die has cooled below
+ * criticalC - hysteresisC — preventing limit cycling at the threshold.
+ *
+ * The shim trusts the temperature in the GovernorView, i.e. the
+ * *sensor* path: a faulted reading degrades it exactly as it would a
+ * real thermal daemon. A non-finite reading holds the previous
+ * throttle state (fail-safe: a tripped shim stays tripped).
+ */
+
+#ifndef DORA_FAULT_THERMAL_THROTTLE_HH
+#define DORA_FAULT_THERMAL_THROTTLE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "governor/governor.hh"
+
+namespace dora
+{
+
+/** Throttle thresholds. */
+struct ThermalThrottleConfig
+{
+    double criticalC = 85.0;     //!< trip temperature
+    double hysteresisC = 5.0;    //!< release at criticalC - hysteresisC
+    /** Highest core frequency allowed while throttled. */
+    double ceilingMhz = 1190.4;
+};
+
+/**
+ * Wraps any governor with the throttle ceiling. Non-owning: the inner
+ * governor must outlive the shim.
+ */
+class ThermalThrottleShim : public Governor
+{
+  public:
+    ThermalThrottleShim(Governor &inner,
+                        const ThermalThrottleConfig &config = {});
+
+    /** Keeps the inner governor's name so result tables read the same. */
+    const std::string &name() const override { return name_; }
+    double decisionIntervalSec() const override
+    {
+        return inner_.decisionIntervalSec();
+    }
+    size_t decideFrequencyIndex(const GovernorView &view) override;
+    void reset() override;
+
+    /** Currently clamping? */
+    bool throttled() const { return throttled_; }
+
+    /** Number of times the ceiling was engaged. */
+    uint64_t interventions() const { return interventions_; }
+
+    /** Highest OPP index at or under the ceiling in @p table. */
+    size_t ceilingIndex(const FreqTable &table) const;
+
+    const ThermalThrottleConfig &config() const { return config_; }
+
+  private:
+    Governor &inner_;
+    ThermalThrottleConfig config_;
+    std::string name_;
+    bool throttled_ = false;
+    uint64_t interventions_ = 0;
+};
+
+} // namespace dora
+
+#endif // DORA_FAULT_THERMAL_THROTTLE_HH

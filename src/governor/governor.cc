@@ -1,11 +1,34 @@
 #include "governor/governor.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
 namespace dora
 {
+
+namespace
+{
+
+/**
+ * Defensive clamp for the utilization signal the load-tracking
+ * governors key off. A faulted sensor can deliver NaN/inf (treated as
+ * full load — fail toward performance, never a stall at min frequency)
+ * or a negative reading (treated as idle). In-range values pass
+ * through untouched so fault-free runs stay bit-identical.
+ */
+double
+sanitizedUtilization(double util)
+{
+    if (!std::isfinite(util))
+        return 1.0;
+    if (util < 0.0)
+        return 0.0;
+    return util;
+}
+
+} // namespace
 
 PerformanceGovernor::PerformanceGovernor()
     : name_("performance")
@@ -63,7 +86,7 @@ size_t
 InteractiveGovernor::decideFrequencyIndex(const GovernorView &view)
 {
     const FreqTable &table = *view.freqTable;
-    const double util = view.totalUtilization;
+    const double util = sanitizedUtilization(view.totalUtilization);
     const double cur_mhz = table.opp(view.freqIndex).coreMhz;
 
     // Target frequency tracking the utilization setpoint.
@@ -104,7 +127,7 @@ size_t
 OndemandGovernor::decideFrequencyIndex(const GovernorView &view)
 {
     const FreqTable &table = *view.freqTable;
-    const double util = view.totalUtilization;
+    const double util = sanitizedUtilization(view.totalUtilization);
     if (util >= config_.upThreshold)
         return table.maxIndex();
 

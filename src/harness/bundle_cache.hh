@@ -6,6 +6,12 @@
  * needs the models trains and caches them; later binaries reuse the
  * cache. Set DORA_MODEL_CACHE to relocate the cache file, or delete it
  * to force retraining.
+ *
+ * The cache is keyed by format version AND a hash of the training
+ * configuration (trainingConfigHash): a file trained under different
+ * ridge strengths, frequency sets, or measurement protocol is rejected
+ * and retrained. A corrupt, truncated, or non-finite cache file is
+ * likewise rejected with a warning — never a process abort.
  */
 
 #ifndef DORA_HARNESS_BUNDLE_CACHE_HH

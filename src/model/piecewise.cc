@@ -96,12 +96,34 @@ PiecewiseSurface::serialize() const
 PiecewiseSurface
 PiecewiseSurface::deserialize(const std::string &text)
 {
+    PiecewiseSurface pw(SurfaceKind::Linear, 0);
+    std::string why;
+    if (!tryDeserialize(text, &pw, &why))
+        fatal("PiecewiseSurface::deserialize: %s", why.c_str());
+    return pw;
+}
+
+bool
+PiecewiseSurface::tryDeserialize(const std::string &text,
+                                 PiecewiseSurface *out,
+                                 std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
     std::istringstream in(text);
     std::string tag, kind_name;
     size_t dims = 0, groups = 0;
     in >> tag >> kind_name >> dims >> groups;
     if (tag != "piecewise" || !in)
-        fatal("PiecewiseSurface::deserialize: bad header");
+        return fail("bad piecewise header");
+    if (dims == 0 || dims > ResponseSurface::kMaxSerializedDims)
+        return fail("implausible piecewise dimension count");
+    if (groups == 0 || groups > kMaxSerializedGroups)
+        return fail("implausible piecewise group count");
 
     SurfaceKind kind;
     if (kind_name == "linear")
@@ -111,31 +133,46 @@ PiecewiseSurface::deserialize(const std::string &text)
     else if (kind_name == "interaction")
         kind = SurfaceKind::Interaction;
     else
-        fatal("PiecewiseSurface::deserialize: unknown kind '%s'",
-              kind_name.c_str());
+        return fail("unknown piecewise kind '" + kind_name + "'");
 
     PiecewiseSurface pw(kind, dims);
     std::string line;
     std::getline(in, line);  // consume end of header line
     for (size_t g = 0; g < groups; ++g) {
-        std::getline(in, line);
+        if (!std::getline(in, line))
+            return fail("missing group header");
         std::istringstream group_header(line);
         std::string group_tag;
         double bus = 0.0;
         group_header >> group_tag >> bus;
-        if (group_tag != "group")
-            fatal("PiecewiseSurface::deserialize: expected 'group'");
+        if (group_tag != "group" || !group_header ||
+            !std::isfinite(bus))
+            return fail("malformed group header");
         // A surface block is exactly 4 lines (header + 3 vectors).
         std::string block;
         for (int i = 0; i < 4; ++i) {
             if (!std::getline(in, line))
-                fatal("PiecewiseSurface::deserialize: truncated block");
+                return fail("truncated surface block");
             block += line + "\n";
         }
+        ResponseSurface s(kind, dims);
+        std::string why;
+        if (!ResponseSurface::tryDeserialize(block, &s, &why))
+            return fail(why);
         pw.keys_.push_back(bus);
-        pw.surfaces_.push_back(ResponseSurface::deserialize(block));
+        pw.surfaces_.push_back(std::move(s));
     }
-    return pw;
+    *out = std::move(pw);
+    return true;
+}
+
+bool
+PiecewiseSurface::allFinite() const
+{
+    for (const auto &s : surfaces_)
+        if (!s.allFinite())
+            return false;
+    return true;
 }
 
 } // namespace dora

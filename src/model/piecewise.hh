@@ -55,9 +55,25 @@ class PiecewiseSurface
     SurfaceKind kind() const { return kind_; }
     size_t dims() const { return dims_; }
 
+    /** True when every group's surface parameters are finite. */
+    bool allFinite() const;
+
     /** Serialize/deserialize for the model bundle file. */
     std::string serialize() const;
     static PiecewiseSurface deserialize(const std::string &text);
+
+    /**
+     * Non-aborting deserialize for untrusted input: rejects malformed
+     * headers, truncated group blocks, and non-finite parameters.
+     * @return false (with @p error set) on failure; @p out is written
+     * only on success.
+     */
+    static bool tryDeserialize(const std::string &text,
+                               PiecewiseSurface *out,
+                               std::string *error = nullptr);
+
+    /** Sanity cap on serialized group counts (corruption guard). */
+    static constexpr size_t kMaxSerializedGroups = 64;
 
   private:
     size_t nearestGroup(double bus_mhz) const;

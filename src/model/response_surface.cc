@@ -192,13 +192,34 @@ ResponseSurface::serialize() const
 ResponseSurface
 ResponseSurface::deserialize(const std::string &text)
 {
+    // Placeholder dims; tryDeserialize overwrites the whole object.
+    ResponseSurface s(SurfaceKind::Linear, 1);
+    std::string why;
+    if (!tryDeserialize(text, &s, &why))
+        fatal("ResponseSurface::deserialize: %s", why.c_str());
+    return s;
+}
+
+bool
+ResponseSurface::tryDeserialize(const std::string &text,
+                                ResponseSurface *out, std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
     std::istringstream in(text);
     std::string tag, kind_name;
     size_t dims = 0;
     int trained = 0;
     in >> tag >> kind_name >> dims >> trained;
     if (tag != "surface" || !in)
-        fatal("ResponseSurface::deserialize: bad header");
+        return fail("bad surface header");
+    // A corrupted dims field must not drive a huge allocation below.
+    if (dims == 0 || dims > kMaxSerializedDims)
+        return fail("implausible surface dimension count");
 
     SurfaceKind kind;
     if (kind_name == "linear")
@@ -208,27 +229,47 @@ ResponseSurface::deserialize(const std::string &text)
     else if (kind_name == "interaction")
         kind = SurfaceKind::Interaction;
     else
-        fatal("ResponseSurface::deserialize: unknown kind '%s'",
-              kind_name.c_str());
+        return fail("unknown surface kind '" + kind_name + "'");
 
     ResponseSurface s(kind, dims);
-    auto read_vec = [&in](const char *expect, size_t n) {
+    bool ok = true;
+    auto read_vec = [&in, &ok](const char *expect, size_t n) {
+        std::vector<double> v;
         std::string t;
         in >> t;
-        if (t != expect)
-            fatal("ResponseSurface::deserialize: expected '%s'", expect);
-        std::vector<double> v(n);
+        if (t != expect) {
+            ok = false;
+            return v;
+        }
+        v.resize(n);
         for (double &x : v)
             in >> x;
+        if (!in)
+            ok = false;
         return v;
     };
     s.means_ = read_vec("means", dims);
     s.sds_ = read_vec("sds", dims);
     s.coeffs_ = read_vec("coeffs", trained ? s.termCount() : 0);
     s.trained_ = trained != 0;
-    if (!in)
-        fatal("ResponseSurface::deserialize: truncated input");
-    return s;
+    if (!ok)
+        return fail("truncated or mislabeled surface body");
+    if (!s.allFinite())
+        return fail("non-finite surface parameters");
+    *out = std::move(s);
+    return true;
+}
+
+bool
+ResponseSurface::allFinite() const
+{
+    auto finite = [](const std::vector<double> &v) {
+        for (double x : v)
+            if (!std::isfinite(x))
+                return false;
+        return true;
+    };
+    return finite(means_) && finite(sds_) && finite(coeffs_);
 }
 
 } // namespace dora

@@ -96,11 +96,27 @@ class ResponseSurface
     /** Raw coefficients (term order: intercept, linear, products). */
     const std::vector<double> &coefficients() const { return coeffs_; }
 
+    /** True when means, sds, and coefficients are all finite. */
+    bool allFinite() const;
+
     /** Serialize to a text block (see ModelBundle). */
     std::string serialize() const;
 
     /** Deserialize; fatal() on malformed input. */
     static ResponseSurface deserialize(const std::string &text);
+
+    /**
+     * Non-aborting deserialize for untrusted input (the on-disk model
+     * cache): validates the header, rejects truncated bodies and
+     * non-finite parameters. @return false (with @p error set) on any
+     * malformation; @p out is written only on success.
+     */
+    static bool tryDeserialize(const std::string &text,
+                               ResponseSurface *out,
+                               std::string *error = nullptr);
+
+    /** Sanity cap on serialized dimension counts (corruption guard). */
+    static constexpr size_t kMaxSerializedDims = 64;
 
   private:
     std::vector<double> standardize(const std::vector<double> &raw) const;

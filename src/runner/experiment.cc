@@ -6,6 +6,7 @@
 #include "browser/page_load.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "fault/fault_injector.hh"
 #include "stats/running_stat.hh"
 #include "workloads/corun_task.hh"
 
@@ -20,17 +21,26 @@ constexpr uint32_t kMainCore = 0;
 constexpr uint32_t kHelperCore = 1;
 constexpr uint32_t kCorunCore = 2;
 
+/** Bounded-retry policy for rejected DVFS writes. */
+constexpr int kMaxActuatorRetries = 3;
+constexpr double kActuatorRetryBackoffSec = 0.005;  //!< doubles per try
+
 /**
  * Drives a governor at its decision interval, computing the windowed
  * signals (utilizations, MPKI) from perf-counter deltas exactly as a
- * userspace daemon would.
+ * userspace daemon would. An optional FaultInjector perturbs the
+ * sensor, actuator, and thermal paths; without one (or with an empty
+ * schedule) the driver behaves exactly as the fault-free original.
  */
 class GovernorDriver
 {
   public:
-    GovernorDriver(Simulator &sim, Governor &governor, double deadline_sec)
+    GovernorDriver(Simulator &sim, Governor &governor, double deadline_sec,
+                   FaultInjector *fault = nullptr)
         : sim_(sim), governor_(governor), deadlineSec_(deadline_sec),
-          prev_(sim.soc().perfSnapshot())
+          prev_(sim.soc().perfSnapshot()),
+          fault_(fault && fault->enabled() ? fault : nullptr),
+          baseAmbientC_(sim.power().thermal().ambientC())
     {
     }
 
@@ -45,9 +55,13 @@ class GovernorDriver
     void maybeDecide()
     {
         const double now = sim_.nowSec();
+        maybeRetryActuator(now);
         if (decided_ && now - lastDecisionSec_ <
                 governor_.decisionIntervalSec() - 1e-12)
             return;
+
+        if (fault_)
+            applyThermalEmergency(now);
 
         const PerfSnapshot snap = sim_.soc().perfSnapshot();
         const double dt = snap.seconds - prev_.seconds;
@@ -82,18 +96,33 @@ class GovernorDriver
                                         : 0.0;
         }
 
-        const size_t target = governor_.decideFrequencyIndex(view);
-        sim_.soc().setFrequencyIndex(target);
+        if (fault_)
+            fault_->conditionView(view);
+
+        size_t target = governor_.decideFrequencyIndex(view);
+        if (target >= view.freqTable->size()) {
+            if (!warnedOutOfRange_) {
+                warn("GovernorDriver: governor '%s' returned OPP index "
+                     "%zu outside the %zu-entry table; clamping",
+                     governor_.name().c_str(), target,
+                     view.freqTable->size());
+                warnedOutOfRange_ = true;
+            }
+            target = view.freqTable->maxIndex();
+        }
+        applyFrequency(now, target);
         prev_ = snap;
         lastDecisionSec_ = now;
         decided_ = true;
 
         DecisionRecord record;
         record.tSec = now;
-        record.freqIndex = target;
+        // Record the *granted* OPP: with actuator faults the write may
+        // have been rejected (identical to the request fault-free).
+        record.freqIndex = sim_.soc().frequencyIndex();
         record.l2Mpki = view.l2Mpki;
         record.corunUtil = view.corunUtilization;
-        record.temperatureC = view.temperatureC;
+        record.temperatureC = sim_.power().temperatureC();
         decisions_.push_back(record);
     }
 
@@ -104,10 +133,77 @@ class GovernorDriver
     }
 
   private:
+    /**
+     * Write @p target through the (possibly faulty) DVFS actuator. A
+     * rejected write arms a bounded retry with exponential backoff; a
+     * fresh decision supersedes any retry still pending.
+     */
+    void applyFrequency(double now, size_t target)
+    {
+        havePendingWrite_ = false;
+        if (fault_ == nullptr) {
+            sim_.soc().setFrequencyIndex(target);
+            return;
+        }
+        if (fault_->actuatorAccepts(now, target,
+                                    sim_.soc().frequencyIndex())) {
+            sim_.soc().setFrequencyIndex(target);
+            return;
+        }
+        havePendingWrite_ = true;
+        pendingTarget_ = target;
+        retryAttempts_ = 0;
+        retryBackoffSec_ = kActuatorRetryBackoffSec;
+        nextRetrySec_ = now + retryBackoffSec_;
+    }
+
+    /** Retry a previously rejected DVFS write once its backoff expires. */
+    void maybeRetryActuator(double now)
+    {
+        if (!havePendingWrite_ || fault_ == nullptr ||
+            now < nextRetrySec_)
+            return;
+        fault_->noteActuatorRetry();
+        if (fault_->actuatorAccepts(now, pendingTarget_,
+                                    sim_.soc().frequencyIndex())) {
+            sim_.soc().setFrequencyIndex(pendingTarget_);
+            havePendingWrite_ = false;
+            return;
+        }
+        if (++retryAttempts_ >= kMaxActuatorRetries) {
+            // Give up until the next decision; the governor will see
+            // the unchanged OPP and re-decide from there.
+            fault_->noteActuatorGiveUp();
+            havePendingWrite_ = false;
+            return;
+        }
+        retryBackoffSec_ *= 2.0;
+        nextRetrySec_ = now + retryBackoffSec_;
+    }
+
+    /** Track thermal-emergency windows by shifting the ambient. */
+    void applyThermalEmergency(double now)
+    {
+        const double delta = fault_->ambientDeltaC(now);
+        if (delta != appliedAmbientDeltaC_) {
+            sim_.power().thermal().setAmbientC(baseAmbientC_ + delta);
+            appliedAmbientDeltaC_ = delta;
+        }
+    }
+
     Simulator &sim_;
     Governor &governor_;
     double deadlineSec_;
     PerfSnapshot prev_;
+    FaultInjector *fault_;          //!< null when fault-free
+    double baseAmbientC_;
+    double appliedAmbientDeltaC_ = 0.0;
+    bool havePendingWrite_ = false;
+    size_t pendingTarget_ = 0;
+    int retryAttempts_ = 0;
+    double retryBackoffSec_ = 0.0;
+    double nextRetrySec_ = 0.0;
+    bool warnedOutOfRange_ = false;
     const WebPageFeatures *page_ = nullptr;
     double loadStartSec_ = 0.0;
     double lastDecisionSec_ = 0.0;
@@ -169,7 +265,10 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
     if (initial_freq)
         soc.setFrequencyIndex(*initial_freq);
 
-    GovernorDriver driver(sim, governor, config_.deadlineSec);
+    if (faultInjector_)
+        faultInjector_->reset();
+    GovernorDriver driver(sim, governor, config_.deadlineSec,
+                          faultInjector_);
 
     // Warmup: co-runner (if any) alone, governor already in control.
     while (sim.nowSec() < config_.warmupSec) {

@@ -32,6 +32,8 @@
 namespace dora
 {
 
+class FaultInjector;
+
 /** Per-run configuration. */
 struct ExperimentConfig
 {
@@ -57,9 +59,11 @@ struct ExperimentConfig
 struct DecisionRecord
 {
     double tSec = 0.0;        //!< simulated time of the decision
-    size_t freqIndex = 0;     //!< OPP chosen
+    /** OPP granted by the actuator (== the request when fault-free). */
+    size_t freqIndex = 0;
     double l2Mpki = 0.0;      //!< X6 seen by the governor
     double corunUtil = 0.0;   //!< X9 seen by the governor
+    /** True die temperature at the decision (not the sensor reading). */
     double temperatureC = 0.0;
 };
 
@@ -161,9 +165,25 @@ class ExperimentRunner
     /** Mutable config access (deadline sweeps, ambient studies). */
     ExperimentConfig &mutableConfig() { return config_; }
 
+    /**
+     * Attach a fault injector to the signal path of subsequent runs
+     * (non-owning; pass nullptr to detach). The injector is reset at
+     * the start of every run so each run sees the same deterministic
+     * fault stream. An injector with an all-zero schedule is a strict
+     * no-op: runs reproduce bit-identical measurements.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        faultInjector_ = injector;
+    }
+
+    /** The currently attached injector (nullptr when none). */
+    FaultInjector *faultInjector() const { return faultInjector_; }
+
   private:
     ExperimentConfig config_;
     FreqTable freqTable_;
+    FaultInjector *faultInjector_ = nullptr;
 };
 
 } // namespace dora

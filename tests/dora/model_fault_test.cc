@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Model-fault tests: corrupt bundle files must be rejected without
+ * terminating the process, and the predictive governor must degrade
+ * gracefully when its models (or their inputs) go bad.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "dora/features.hh"
+#include "dora/model_bundle.hh"
+#include "dora/predictive_governor.hh"
+#include "dora/trainer.hh"
+
+namespace dora
+{
+namespace
+{
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/** Tiny trained bundle from synthetic linear data (one bus group). */
+ModelBundle
+syntheticBundle()
+{
+    ModelBundle bundle;
+    Dataset time_data, power_data;
+    for (double mhz : {300.0, 960.0, 1497.6, 2265.6}) {
+        for (double mpki : {1.0, 10.0}) {
+            WebPageFeatures page{1000, 800, 300, 300, 500};
+            auto x = buildFeatureVector(page, mpki, mhz, 800.0, 0.9);
+            time_data.add(x, 4.0 - 1.2e-3 * mhz + 0.02 * mpki);
+            power_data.add(x, 1.0 + 1.5e-3 * mhz);
+        }
+    }
+    EXPECT_TRUE(bundle.timeModel.fitGroup(800.0, time_data, 1e-6));
+    EXPECT_TRUE(bundle.powerModel.fitGroup(800.0, power_data, 1e-6));
+    bundle.leakage = LeakageModel::msm8974Truth().params();
+    bundle.leakageFitted = true;
+    bundle.configHash = 0xC0FFEEull;
+    return bundle;
+}
+
+TEST(ModelFault, TruncatedBodyRejectedWithDiagnostic)
+{
+    const std::string good = syntheticBundle().serialize();
+    std::string why;
+    const ModelBundle half =
+        ModelBundle::deserialize(good.substr(0, good.size() / 2), &why);
+    EXPECT_FALSE(half.ready());
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(ModelFault, NanCoefficientRejected)
+{
+    std::string blob = syntheticBundle().serialize();
+    const size_t pos = blob.find("coeffs ");
+    ASSERT_NE(pos, std::string::npos);
+    const size_t val = pos + 7;
+    const size_t end = blob.find(' ', val);
+    ASSERT_NE(end, std::string::npos);
+    blob.replace(val, end - val, "nan");
+    std::string why;
+    const ModelBundle poisoned = ModelBundle::deserialize(blob, &why);
+    EXPECT_FALSE(poisoned.ready());
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(ModelFault, BadMagicWrongVersionAndEmptyRejected)
+{
+    EXPECT_FALSE(ModelBundle::deserialize("").ready());
+    EXPECT_FALSE(ModelBundle::deserialize("garbage 12\n").ready());
+    std::string stale = syntheticBundle().serialize();
+    const size_t nl = stale.find('\n');
+    stale.replace(0, nl, "dora-model-bundle 1");
+    EXPECT_FALSE(ModelBundle::deserialize(stale).ready());
+}
+
+TEST(ModelFault, RoundTripPreservesConfigHash)
+{
+    const ModelBundle bundle = syntheticBundle();
+    const ModelBundle copy =
+        ModelBundle::deserialize(bundle.serialize());
+    EXPECT_TRUE(copy.ready());
+    EXPECT_EQ(copy.configHash, bundle.configHash);
+}
+
+TEST(ModelFault, ValidateCatchesNonFiniteLeakage)
+{
+    ModelBundle bundle = syntheticBundle();
+    EXPECT_TRUE(bundle.validate());
+    std::array<double, 6> params = bundle.leakage.toArray();
+    params[2] = kNan;
+    bundle.leakage = LeakageParams::fromArray(params);
+    std::string why;
+    EXPECT_FALSE(bundle.validate(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(ModelFault, TryLoadRejectsCorruptFileWithoutAborting)
+{
+    const std::string path = "/tmp/dora_bundle_corrupt.cache";
+    const std::string good = syntheticBundle().serialize();
+    {
+        std::ofstream out(path);
+        out << good.substr(0, 3 * good.size() / 4);
+    }
+    EXPECT_FALSE(ModelBundle::tryLoad(path).ready());
+    std::remove(path.c_str());
+}
+
+TEST(ModelFault, NonFinitePredictionsPropagate)
+{
+    // std::max(floor, NaN) must not mask a poisoned prediction: the
+    // governor's sanity checks key off std::isfinite.
+    const ModelBundle bundle = syntheticBundle();
+    WebPageFeatures page{1000, 800, 300, 300, 500};
+    const auto x = buildFeatureVector(page, kNan, 960.0, 800.0, 0.9);
+    EXPECT_FALSE(std::isfinite(bundle.predictLoadTime(x, 800.0)));
+    EXPECT_FALSE(std::isfinite(
+        bundle.predictTotalPower(x, 800.0, 0.9, 40.0)));
+}
+
+TEST(TrainingConfigHash, KeysOnEveryRelevantField)
+{
+    const TrainerConfig base;
+    EXPECT_EQ(trainingConfigHash(base), trainingConfigHash(base));
+
+    TrainerConfig ridge = base;
+    ridge.timeRidge = 0.7;
+    EXPECT_NE(trainingConfigHash(ridge), trainingConfigHash(base));
+
+    TrainerConfig reduced = base;
+    reduced.maxTrainingWorkloads = 5;
+    EXPECT_NE(trainingConfigHash(reduced), trainingConfigHash(base));
+
+    TrainerConfig freqs = base;
+    freqs.trainingFreqIndices = {0, 4, 9};
+    EXPECT_NE(trainingConfigHash(freqs), trainingConfigHash(base));
+
+    TrainerConfig deadline = base;
+    deadline.experiment.deadlineSec = 2.5;
+    EXPECT_NE(trainingConfigHash(deadline), trainingConfigHash(base));
+}
+
+class DegradedGovernorTest : public ::testing::Test
+{
+  protected:
+    DegradedGovernorTest() : table_(FreqTable::msm8974()) {}
+
+    GovernorView pageView(double mpki)
+    {
+        GovernorView view;
+        view.nowSec = 1.0;
+        view.freqIndex = table_.maxIndex();
+        view.freqTable = &table_;
+        view.l2Mpki = mpki;
+        view.corunUtilization = 0.9;
+        view.totalUtilization = 0.9;
+        view.temperatureC = 45.0;
+        view.page = &page_;
+        view.deadlineSec = 3.0;
+        return view;
+    }
+
+    FreqTable table_;
+    WebPageFeatures page_{1000, 800, 300, 300, 500};
+};
+
+TEST_F(DegradedGovernorTest, UntrainedBundleDegradesInsteadOfDying)
+{
+    auto empty = std::make_shared<const ModelBundle>();
+    PredictiveGovernor dora = makeDora(empty);
+    EXPECT_TRUE(dora.degraded());
+    const size_t idx = dora.decideFrequencyIndex(pageView(5.0));
+    EXPECT_LE(idx, table_.maxIndex());
+}
+
+TEST_F(DegradedGovernorTest, NanInputsHoldLastGoodThenFallBack)
+{
+    auto models =
+        std::make_shared<const ModelBundle>(syntheticBundle());
+    PredictiveGovernor dora = makeDora(models);
+    const size_t fallback_after =
+        dora.config().fallbackAfterBadIntervals;
+
+    const size_t good = dora.decideFrequencyIndex(pageView(5.0));
+    EXPECT_EQ(dora.badStreak(), 0u);
+    EXPECT_FALSE(dora.degraded());
+
+    // Short of the fallback threshold, a bad interval holds the last
+    // good OPP.
+    for (size_t i = 1; i < fallback_after; ++i) {
+        EXPECT_EQ(dora.decideFrequencyIndex(pageView(kNan)), good)
+            << i;
+        EXPECT_EQ(dora.badStreak(), i);
+    }
+
+    // Crossing the threshold switches to the interactive fallback;
+    // whatever it picks must be in range.
+    const size_t degraded_idx = dora.decideFrequencyIndex(pageView(kNan));
+    EXPECT_LE(degraded_idx, table_.maxIndex());
+    EXPECT_TRUE(dora.degraded());
+    EXPECT_EQ(dora.badIntervals(), fallback_after);
+
+    // Recovered signals end the streak immediately.
+    EXPECT_EQ(dora.decideFrequencyIndex(pageView(5.0)), good);
+    EXPECT_EQ(dora.badStreak(), 0u);
+    EXPECT_FALSE(dora.degraded());
+}
+
+TEST_F(DegradedGovernorTest, FirstBadIntervalFailsSafeToTopOpp)
+{
+    auto models =
+        std::make_shared<const ModelBundle>(syntheticBundle());
+    PredictiveGovernor dora = makeDora(models);
+    // No good decision yet: a bad interval must pick QoS priority.
+    EXPECT_EQ(dora.decideFrequencyIndex(pageView(kNan)),
+              table_.maxIndex());
+}
+
+TEST_F(DegradedGovernorTest, ResetClearsDegradation)
+{
+    auto models =
+        std::make_shared<const ModelBundle>(syntheticBundle());
+    PredictiveGovernor dora = makeDora(models);
+    for (size_t i = 0; i <= dora.config().fallbackAfterBadIntervals;
+         ++i)
+        dora.decideFrequencyIndex(pageView(kNan));
+    EXPECT_TRUE(dora.degraded());
+    dora.reset();
+    EXPECT_FALSE(dora.degraded());
+    EXPECT_EQ(dora.badStreak(), 0u);
+    EXPECT_EQ(dora.badIntervals(), 0u);
+}
+
+} // namespace
+} // namespace dora

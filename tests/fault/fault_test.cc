@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: the signal cache, the
+ * injector's determinism and strict no-op guarantee, the thermal
+ * throttle shim, the harness actuator-retry path, and the hardened
+ * governors' handling of degenerate GovernorView inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "browser/page_corpus.hh"
+#include "fault/fault_injector.hh"
+#include "fault/signal_cache.hh"
+#include "fault/thermal_throttle.hh"
+#include "governor/governor.hh"
+#include "runner/experiment.hh"
+
+namespace dora
+{
+namespace
+{
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SignalCache, ServesFreshValue)
+{
+    SignalCache cache(0.5);
+    cache.push(1.0, 5.0);
+    EXPECT_TRUE(cache.fresh(1.2));
+    EXPECT_DOUBLE_EQ(cache.value(1.2, 9.0), 5.0);
+    EXPECT_DOUBLE_EQ(cache.ageSec(1.2), 0.2);
+}
+
+TEST(SignalCache, StaleValueFallsBack)
+{
+    SignalCache cache(0.5);
+    cache.push(1.0, 5.0);
+    EXPECT_FALSE(cache.fresh(1.6));
+    EXPECT_DOUBLE_EQ(cache.value(1.6, 9.0), 9.0);
+}
+
+TEST(SignalCache, EmptyCacheIsStale)
+{
+    SignalCache cache(0.5);
+    EXPECT_FALSE(cache.fresh(0.0));
+    EXPECT_DOUBLE_EQ(cache.value(0.0, 7.0), 7.0);
+    EXPECT_TRUE(std::isinf(cache.ageSec(0.0)));
+}
+
+TEST(SignalCache, ResetForgets)
+{
+    SignalCache cache(0.5);
+    cache.push(1.0, 5.0);
+    cache.reset();
+    EXPECT_FALSE(cache.fresh(1.0));
+    EXPECT_DOUBLE_EQ(cache.value(1.0, 3.0), 3.0);
+}
+
+TEST(FaultSchedule, DefaultAndCannedSchedules)
+{
+    EXPECT_TRUE(FaultSchedule::none().empty());
+    EXPECT_TRUE(FaultSchedule().empty());
+    EXPECT_FALSE(FaultSchedule::sensorDropout(1).empty());
+    EXPECT_FALSE(FaultSchedule::stuckSensor(1).empty());
+    EXPECT_FALSE(FaultSchedule::noisySensor(1).empty());
+    EXPECT_FALSE(FaultSchedule::actuatorReject(1).empty());
+    EXPECT_FALSE(FaultSchedule::thermalEmergency(1).empty());
+    EXPECT_FALSE(FaultSchedule::combined(1).empty());
+}
+
+GovernorView
+sampleView(const FreqTable &table, double now)
+{
+    GovernorView view;
+    view.nowSec = now;
+    view.freqIndex = 5;
+    view.freqTable = &table;
+    view.totalUtilization = 0.73;
+    view.browserUtilization = 0.61;
+    view.corunUtilization = 0.42;
+    view.l2Mpki = 3.14;
+    view.temperatureC = 51.5;
+    view.deadlineSec = 3.0;
+    return view;
+}
+
+TEST(FaultInjector, EmptyScheduleIsStrictNoOp)
+{
+    const FreqTable table = FreqTable::msm8974();
+    FaultInjector injector(FaultSchedule::none());
+    EXPECT_FALSE(injector.enabled());
+
+    GovernorView view = sampleView(table, 2.0);
+    const GovernorView before = view;
+    injector.conditionView(view);
+    EXPECT_DOUBLE_EQ(view.totalUtilization, before.totalUtilization);
+    EXPECT_DOUBLE_EQ(view.browserUtilization,
+                     before.browserUtilization);
+    EXPECT_DOUBLE_EQ(view.corunUtilization, before.corunUtilization);
+    EXPECT_DOUBLE_EQ(view.l2Mpki, before.l2Mpki);
+    EXPECT_DOUBLE_EQ(view.temperatureC, before.temperatureC);
+
+    EXPECT_TRUE(injector.actuatorAccepts(2.0, 9, 5));
+    EXPECT_DOUBLE_EQ(injector.ambientDeltaC(2.0), 0.0);
+    EXPECT_EQ(injector.counters().sensorDrops, 0u);
+    EXPECT_EQ(injector.counters().actuatorRejects, 0u);
+    EXPECT_EQ(injector.counters().thermalSpikes, 0u);
+}
+
+TEST(FaultInjector, SameSeedSameFaultStream)
+{
+    const FreqTable table = FreqTable::msm8974();
+    FaultInjector a(FaultSchedule::combined(7));
+    FaultInjector b(FaultSchedule::combined(7));
+    for (int i = 0; i < 50; ++i) {
+        const double now = 0.1 * i;
+        GovernorView va = sampleView(table, now);
+        GovernorView vb = sampleView(table, now);
+        va.l2Mpki = vb.l2Mpki = 1.0 + i;
+        a.conditionView(va);
+        b.conditionView(vb);
+        EXPECT_DOUBLE_EQ(va.l2Mpki, vb.l2Mpki) << i;
+        EXPECT_DOUBLE_EQ(va.totalUtilization, vb.totalUtilization)
+            << i;
+        EXPECT_DOUBLE_EQ(va.temperatureC, vb.temperatureC) << i;
+        EXPECT_EQ(a.actuatorAccepts(now, 9, 5),
+                  b.actuatorAccepts(now, 9, 5))
+            << i;
+        EXPECT_DOUBLE_EQ(a.ambientDeltaC(now), b.ambientDeltaC(now))
+            << i;
+    }
+}
+
+TEST(FaultInjector, ResetReplaysTheSameStream)
+{
+    const FreqTable table = FreqTable::msm8974();
+    FaultInjector injector(FaultSchedule::combined(11));
+    std::vector<double> first;
+    for (int i = 0; i < 30; ++i) {
+        GovernorView v = sampleView(table, 0.1 * i);
+        injector.conditionView(v);
+        first.push_back(v.l2Mpki);
+        first.push_back(v.totalUtilization);
+    }
+    injector.reset();
+    EXPECT_EQ(injector.counters().sensorDrops, 0u);
+    for (int i = 0; i < 30; ++i) {
+        GovernorView v = sampleView(table, 0.1 * i);
+        injector.conditionView(v);
+        EXPECT_DOUBLE_EQ(v.l2Mpki, first[2 * i]) << i;
+        EXPECT_DOUBLE_EQ(v.totalUtilization, first[2 * i + 1]) << i;
+    }
+}
+
+TEST(FaultInjector, AllDropsServeFailSafeDefaults)
+{
+    // Drop probability 1 means no reading is ever cached: the consumer
+    // must get the conservative defaults (full load, zero MPKI, hot
+    // die), not garbage or stale zeros.
+    const FreqTable table = FreqTable::msm8974();
+    FaultSchedule schedule;
+    schedule.sensorDropProb = 1.0;
+    FaultInjector injector(schedule);
+    GovernorView view = sampleView(table, 1.0);
+    injector.conditionView(view);
+    EXPECT_DOUBLE_EQ(view.totalUtilization,
+                     FaultInjector::kFallbackUtilization);
+    EXPECT_DOUBLE_EQ(view.l2Mpki, FaultInjector::kFallbackL2Mpki);
+    EXPECT_DOUBLE_EQ(view.temperatureC,
+                     FaultInjector::kFallbackTemperatureC);
+    EXPECT_GT(injector.counters().sensorDrops, 0u);
+    EXPECT_GT(injector.counters().staleFallbacks, 0u);
+}
+
+TEST(FaultInjector, StuckSensorLatchesItsValue)
+{
+    const FreqTable table = FreqTable::msm8974();
+    FaultSchedule schedule;
+    schedule.sensorStuckProb = 1.0;
+    schedule.sensorStuckDurationSec = 0.5;
+    FaultInjector injector(schedule);
+
+    GovernorView v0 = sampleView(table, 0.0);
+    v0.l2Mpki = 5.0;
+    injector.conditionView(v0);
+    EXPECT_DOUBLE_EQ(v0.l2Mpki, 5.0);  // latched at the true value
+
+    GovernorView v1 = sampleView(table, 0.2);
+    v1.l2Mpki = 50.0;
+    injector.conditionView(v1);
+    EXPECT_DOUBLE_EQ(v1.l2Mpki, 5.0);  // still serving the latch
+    EXPECT_GT(injector.counters().sensorStuckIntervals, 0u);
+}
+
+TEST(FaultInjector, ActuatorRejectAllRefusesChanges)
+{
+    FaultSchedule schedule;
+    schedule.actuatorRejectProb = 1.0;
+    FaultInjector injector(schedule);
+    EXPECT_FALSE(injector.actuatorAccepts(1.0, 9, 5));
+    // Writing the current index is free on the real path too.
+    EXPECT_TRUE(injector.actuatorAccepts(1.0, 5, 5));
+    EXPECT_EQ(injector.counters().actuatorRejects, 1u);
+}
+
+TEST(FaultInjector, ThermalSpikeWindows)
+{
+    FaultSchedule schedule;
+    schedule.thermalSpikeProb = 1.0;
+    schedule.thermalSpikeDeltaC = 30.0;
+    schedule.thermalSpikeDurationSec = 1.0;
+    FaultInjector injector(schedule);
+    EXPECT_DOUBLE_EQ(injector.ambientDeltaC(0.0), 30.0);
+    EXPECT_DOUBLE_EQ(injector.ambientDeltaC(0.5), 30.0);
+    EXPECT_EQ(injector.counters().thermalSpikes, 1u);
+    // Past the window a new spike is drawn (probability 1 here).
+    EXPECT_DOUBLE_EQ(injector.ambientDeltaC(1.5), 30.0);
+    EXPECT_EQ(injector.counters().thermalSpikes, 2u);
+}
+
+class ThermalThrottleTest : public ::testing::Test
+{
+  protected:
+    ThermalThrottleTest() : table_(FreqTable::msm8974()) {}
+
+    GovernorView viewAt(double temp_c)
+    {
+        GovernorView view;
+        view.freqIndex = table_.maxIndex();
+        view.freqTable = &table_;
+        view.temperatureC = temp_c;
+        return view;
+    }
+
+    FreqTable table_;
+};
+
+TEST_F(ThermalThrottleTest, CeilingIndexRespectsCeiling)
+{
+    PerformanceGovernor inner;
+    ThermalThrottleShim shim(inner);
+    const size_t ceiling = shim.ceilingIndex(table_);
+    EXPECT_LE(table_.opp(ceiling).coreMhz, shim.config().ceilingMhz);
+    EXPECT_LT(ceiling, table_.maxIndex());
+}
+
+TEST_F(ThermalThrottleTest, HysteresisTripsAndReleases)
+{
+    PerformanceGovernor inner;
+    ThermalThrottleShim shim(inner);
+    const size_t ceiling = shim.ceilingIndex(table_);
+
+    // Below critical: the inner decision passes through.
+    EXPECT_EQ(shim.decideFrequencyIndex(viewAt(84.0)),
+              table_.maxIndex());
+    EXPECT_FALSE(shim.throttled());
+
+    // At/past critical: clamped.
+    EXPECT_EQ(shim.decideFrequencyIndex(viewAt(86.0)), ceiling);
+    EXPECT_TRUE(shim.throttled());
+    EXPECT_EQ(shim.interventions(), 1u);
+
+    // In the hysteresis band (80..85): the clamp is held.
+    EXPECT_EQ(shim.decideFrequencyIndex(viewAt(82.0)), ceiling);
+    EXPECT_TRUE(shim.throttled());
+
+    // A non-finite reading holds the previous (tripped) state.
+    EXPECT_EQ(shim.decideFrequencyIndex(viewAt(kNan)), ceiling);
+    EXPECT_TRUE(shim.throttled());
+
+    // Below the release point: free again.
+    EXPECT_EQ(shim.decideFrequencyIndex(viewAt(79.0)),
+              table_.maxIndex());
+    EXPECT_FALSE(shim.throttled());
+    EXPECT_EQ(shim.interventions(), 1u);
+}
+
+TEST_F(ThermalThrottleTest, KeepsInnerNameAndInterval)
+{
+    InteractiveGovernor inner;
+    ThermalThrottleShim shim(inner);
+    EXPECT_EQ(shim.name(), "interactive");
+    EXPECT_DOUBLE_EQ(shim.decisionIntervalSec(),
+                     inner.decisionIntervalSec());
+}
+
+/** A broken governor that ignores the table bounds. */
+class RogueGovernor : public Governor
+{
+  public:
+    const std::string &name() const override { return name_; }
+    double decisionIntervalSec() const override { return 0.1; }
+    size_t decideFrequencyIndex(const GovernorView &) override
+    {
+        return 999;
+    }
+
+  private:
+    std::string name_ = "rogue";
+};
+
+class FaultRunnerTest : public ::testing::Test
+{
+  protected:
+    ExperimentRunner runner_;
+};
+
+TEST_F(FaultRunnerTest, EmptyScheduleRunsBitIdentical)
+{
+    // The acceptance bar for the whole subsystem: attaching an
+    // injector with an all-zero schedule must reproduce the fault-free
+    // measurement bit for bit.
+    const auto w = WorkloadSets::combo(PageCorpus::byName("alipay"),
+                                       MemIntensity::Low);
+    InteractiveGovernor clean;
+    const RunMeasurement a = runner_.run(w, clean);
+
+    FaultInjector injector(FaultSchedule::none());
+    runner_.setFaultInjector(&injector);
+    InteractiveGovernor faulty;
+    const RunMeasurement b = runner_.run(w, faulty);
+    runner_.setFaultInjector(nullptr);
+
+    EXPECT_DOUBLE_EQ(a.loadTimeSec, b.loadTimeSec);
+    EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+    EXPECT_DOUBLE_EQ(a.meanFreqMhz, b.meanFreqMhz);
+    EXPECT_DOUBLE_EQ(a.meanTempC, b.meanTempC);
+    EXPECT_EQ(a.freqSwitches, b.freqSwitches);
+}
+
+TEST_F(FaultRunnerTest, ActuatorRejectAllStillCompletes)
+{
+    FaultSchedule schedule;
+    schedule.seed = 3;
+    schedule.actuatorRejectProb = 1.0;
+    FaultInjector injector(schedule);
+    runner_.setFaultInjector(&injector);
+    // The SoC starts at the top OPP; a pinned request for the bottom
+    // one is refused forever. The 0.1 s decision interval leaves room
+    // for the full 3-attempt retry ladder between decisions.
+    FixedGovernor governor(0);
+    const auto w =
+        WorkloadSets::kernelOnly(KernelCatalog::byName("backprop"));
+    const RunMeasurement m = runner_.run(w, governor);
+    runner_.setFaultInjector(nullptr);
+
+    EXPECT_GT(m.energyJ, 0.0);
+    // Every change was refused: the SoC never left its initial OPP and
+    // the retry budget was exhausted at least once.
+    EXPECT_EQ(m.freqSwitches, 0u);
+    EXPECT_GT(injector.counters().actuatorRejects, 0u);
+    EXPECT_GT(injector.counters().actuatorRetries, 0u);
+    EXPECT_GT(injector.counters().actuatorGiveUps, 0u);
+}
+
+TEST_F(FaultRunnerTest, ThermalEmergencyTripsShimAndHoldsCeiling)
+{
+    FaultSchedule schedule;
+    schedule.seed = 5;
+    schedule.thermalSpikeProb = 1.0;
+    schedule.thermalSpikeDeltaC = 40.0;
+    schedule.thermalSpikeDurationSec = 30.0;
+    FaultInjector injector(schedule);
+    runner_.setFaultInjector(&injector);
+
+    PerformanceGovernor inner;
+    ThermalThrottleShim shim(inner);
+    const auto w = WorkloadSets::combo(PageCorpus::byName("amazon"),
+                                       MemIntensity::Medium);
+    const RunMeasurement m = runner_.run(w, shim);
+    runner_.setFaultInjector(nullptr);
+
+    EXPECT_GT(injector.counters().thermalSpikes, 0u);
+    EXPECT_GT(shim.interventions(), 0u);
+    // The trip itself may fall inside the warmup; within the window
+    // the die must at least sit in the hysteresis band.
+    EXPECT_GT(m.peakTempC,
+              shim.config().criticalC - shim.config().hysteresisC);
+    // At every decision taken at or past critical, the granted OPP
+    // must sit at or under the throttle ceiling.
+    const FreqTable &table = runner_.freqTable();
+    for (const auto &d : m.decisions) {
+        if (d.temperatureC >= shim.config().criticalC) {
+            EXPECT_LE(table.opp(d.freqIndex).coreMhz,
+                      shim.config().ceilingMhz)
+                << "at t=" << d.tSec;
+        }
+    }
+}
+
+TEST_F(FaultRunnerTest, OutOfRangeDecisionIsClamped)
+{
+    RogueGovernor rogue;
+    const auto w =
+        WorkloadSets::kernelOnly(KernelCatalog::byName("kmeans"));
+    const RunMeasurement m = runner_.run(w, rogue);
+    const FreqTable &table = runner_.freqTable();
+    ASSERT_FALSE(m.decisions.empty());
+    for (const auto &d : m.decisions)
+        EXPECT_LE(d.freqIndex, table.maxIndex());
+    // The clamp pins the rogue request to the top OPP.
+    EXPECT_NEAR(m.meanFreqMhz, table.opp(table.maxIndex()).coreMhz,
+                1.0);
+}
+
+class GovernorEdgeTest : public ::testing::Test
+{
+  protected:
+    GovernorEdgeTest() : table_(FreqTable::msm8974()) {}
+
+    GovernorView viewWithUtil(double util)
+    {
+        GovernorView view;
+        view.nowSec = 1.0;
+        view.freqIndex = 6;
+        view.freqTable = &table_;
+        view.totalUtilization = util;
+        return view;
+    }
+
+    FreqTable table_;
+};
+
+TEST_F(GovernorEdgeTest, InteractiveTreatsNonFiniteUtilAsFullLoad)
+{
+    InteractiveGovernor nan_gov, inf_gov, full_gov;
+    const size_t from_nan =
+        nan_gov.decideFrequencyIndex(viewWithUtil(kNan));
+    const size_t from_inf =
+        inf_gov.decideFrequencyIndex(viewWithUtil(kInf));
+    const size_t from_full =
+        full_gov.decideFrequencyIndex(viewWithUtil(1.0));
+    EXPECT_EQ(from_nan, from_full);
+    EXPECT_EQ(from_inf, from_full);
+    EXPECT_LE(from_nan, table_.maxIndex());
+}
+
+TEST_F(GovernorEdgeTest, InteractiveTreatsNegativeUtilAsIdle)
+{
+    InteractiveGovernor neg_gov, idle_gov;
+    const size_t from_neg =
+        neg_gov.decideFrequencyIndex(viewWithUtil(-0.3));
+    const size_t from_idle =
+        idle_gov.decideFrequencyIndex(viewWithUtil(0.0));
+    EXPECT_EQ(from_neg, from_idle);
+}
+
+TEST_F(GovernorEdgeTest, OndemandSanitizesUtil)
+{
+    OndemandGovernor nan_gov, full_gov, neg_gov, idle_gov;
+    EXPECT_EQ(nan_gov.decideFrequencyIndex(viewWithUtil(kNan)),
+              full_gov.decideFrequencyIndex(viewWithUtil(1.0)));
+    EXPECT_EQ(neg_gov.decideFrequencyIndex(viewWithUtil(-1.0)),
+              idle_gov.decideFrequencyIndex(viewWithUtil(0.0)));
+}
+
+TEST_F(GovernorEdgeTest, ExtremeTemperaturesStayInRange)
+{
+    // Temperature does not drive the utilization governors, but an
+    // extreme (yet finite) reading must never break the decision.
+    for (double temp : {-40.0, 150.0}) {
+        InteractiveGovernor gov;
+        GovernorView view = viewWithUtil(0.5);
+        view.temperatureC = temp;
+        EXPECT_LE(gov.decideFrequencyIndex(view), table_.maxIndex())
+            << temp;
+    }
+}
+
+TEST_F(GovernorEdgeTest, ZeroSignalsProduceValidDecision)
+{
+    InteractiveGovernor gov;
+    GovernorView view = viewWithUtil(0.0);
+    view.l2Mpki = 0.0;
+    view.temperatureC = 0.0;
+    EXPECT_LE(gov.decideFrequencyIndex(view), table_.maxIndex());
+}
+
+} // namespace
+} // namespace dora
