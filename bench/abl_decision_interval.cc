@@ -18,10 +18,10 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = benchJobs(argc, argv);
     auto bundle = benchBundle();
-    ExperimentRunner runner;
 
     const std::pair<const char *, MemIntensity> picks[] = {
         {"amazon", MemIntensity::Medium},
@@ -30,24 +30,39 @@ main()
         {"youtube", MemIntensity::High},
         {"msn", MemIntensity::Low},
     };
+    const double intervals[] = {0.05, 0.10, 0.25};
 
-    TextTable t({"interval ms", "mean PPW 1/J", "deadline met",
-                 "mean switches/run"});
-    for (double interval : {0.05, 0.10, 0.25}) {
-        double ppw_sum = 0.0;
-        int met = 0;
-        double switches = 0.0;
-        for (const auto &[page, cls] : picks) {
+    // All interval x workload cells are independent runs; fan the full
+    // grid out and aggregate per interval afterwards.
+    const size_t cells = std::size(intervals) * std::size(picks);
+    const auto measurements = parallelMap<RunMeasurement>(
+        cells,
+        [&](size_t i) {
+            const double interval = intervals[i / std::size(picks)];
+            const auto &[page, cls] = picks[i % std::size(picks)];
             const WorkloadSpec w =
                 WorkloadSets::combo(PageCorpus::byName(page), cls);
             PredictiveGovernor dora = makeDora(bundle, interval);
-            const RunMeasurement m = runner.run(w, dora);
+            ExperimentRunner runner;
+            return runner.run(w, dora);
+        },
+        jobs);
+
+    TextTable t({"interval ms", "mean PPW 1/J", "deadline met",
+                 "mean switches/run"});
+    for (size_t iv = 0; iv < std::size(intervals); ++iv) {
+        double ppw_sum = 0.0;
+        int met = 0;
+        double switches = 0.0;
+        for (size_t p = 0; p < std::size(picks); ++p) {
+            const RunMeasurement &m =
+                measurements[iv * std::size(picks) + p];
             ppw_sum += m.ppw;
             met += m.meetsDeadline ? 1 : 0;
             switches += static_cast<double>(m.freqSwitches);
         }
         t.beginRow();
-        t.add(interval * 1000.0, 0);
+        t.add(intervals[iv] * 1000.0, 0);
         t.add(ppw_sum / std::size(picks), 4);
         t.add(std::string(std::to_string(met) + "/" +
                           std::to_string(std::size(picks))));

@@ -17,10 +17,25 @@
 #include <string>
 
 #include "common/table.hh"
+#include "exec/thread_pool.hh"
 #include "harness/bundle_cache.hh"
 
 namespace dora
 {
+
+/**
+ * Resolve and announce the parallelism of a bench binary: `--jobs N`
+ * on the command line, else $DORA_JOBS, else the hardware thread
+ * count. Results are bit-identical at any job count.
+ */
+inline unsigned
+benchJobs(int argc, char **argv)
+{
+    const unsigned jobs = jobCountFromArgs(argc, argv);
+    std::cerr << "[bench] jobs=" << jobs
+              << (jobs == 1 ? " (serial)" : "") << "\n";
+    return jobs;
+}
 
 /**
  * Load (or train + cache) the model bundle, announcing what happened.

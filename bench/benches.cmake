@@ -27,6 +27,10 @@ dora_add_bench(ext_dynamic_interference)
 dora_add_bench(abl_sampling_ratio)
 dora_add_bench(abl_l2_replacement)
 dora_add_bench(ext_fault_resilience)
+dora_add_bench(ext_parallel_scaling)
 
 dora_add_bench(ovh_overhead)
 target_link_libraries(ovh_overhead PRIVATE benchmark::benchmark)
+
+dora_add_bench(ovh_hotpath)
+target_link_libraries(ovh_hotpath PRIVATE benchmark::benchmark)

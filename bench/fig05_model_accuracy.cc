@@ -38,9 +38,11 @@ meanAbsPct(const std::vector<double> &errors)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    Trainer trainer;
+    TrainerConfig trainer_config;
+    trainer_config.jobs = benchJobs(argc, argv);
+    Trainer trainer(trainer_config);
     // Train normally (also produces the leakage fit used below).
     ModelBundle bundle = trainer.trainCached(defaultBundleCachePath());
     const auto &train_samples = trainer.samples().empty()

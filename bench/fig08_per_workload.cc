@@ -17,10 +17,11 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = benchJobs(argc, argv);
     auto bundle = benchBundle();
-    ComparisonHarness harness(ExperimentConfig{}, bundle);
+    ComparisonHarness harness(ExperimentConfig{}, bundle, jobs);
 
     const auto workloads = WorkloadSets::paperCombinations();
     std::cerr << "[bench] running " << workloads.size()

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Run the perf-tracked benches and record a machine-readable snapshot in
+# BENCH_parallel.json so successive PRs have a performance trajectory:
+#
+#   - bench/ext_parallel_scaling: wall-clock of the fig07 slice at
+#     jobs=1 and jobs=N plus the byte-identity self-check
+#   - bench/ovh_hotpath: sustained simulator ticks/sec (hot-path guard)
+#   - fig01/fig03: serial wall-clock of the two cheapest paper figures
+#
+# Usage: scripts/run_benches.sh [--jobs N] [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+jobs="$(nproc)"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --jobs) jobs="$2"; shift 2 ;;
+        --jobs=*) jobs="${1#--jobs=}"; shift ;;
+        --build-dir) build_dir="$2"; shift 2 ;;
+        --build-dir=*) build_dir="${1#--build-dir=}"; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+    ext_parallel_scaling ovh_hotpath \
+    fig01_interference_loadtime fig03_fopt_tradeoff >/dev/null
+
+bench="${build_dir}/bench"
+out="${repo_root}/BENCH_parallel.json"
+
+echo "== ext_parallel_scaling (jobs=${jobs}) =="
+scaling_log="$(mktemp)"
+"${bench}/ext_parallel_scaling" --jobs "${jobs}" | tee "${scaling_log}"
+wall_serial="$(awk '/^SCALING jobs=1 /{sub("wall=","",$3); print $3}' \
+    "${scaling_log}")"
+wall_parallel="$(awk -v j="${jobs}" \
+    '$1=="SCALING" && $2=="jobs="j {sub("wall=","",$3); print $3}' \
+    "${scaling_log}")"
+speedup="$(awk '/^SCALING speedup=/{sub("speedup=","",$2); print $2}' \
+    "${scaling_log}")"
+identical="$(awk '/^SCALING speedup=/{sub("identical=","",$3); print $3}' \
+    "${scaling_log}")"
+[[ "${identical}" == "1" ]] && identical=true || identical=false
+rm -f "${scaling_log}"
+
+echo "== ovh_hotpath =="
+hotpath_log="$(mktemp)"
+"${bench}/ovh_hotpath" --benchmark_min_time=0.1s | tee "${hotpath_log}"
+ticks="$(awk '/^HOTPATH_TICKS_PER_SEC /{print $2}' "${hotpath_log}")"
+rm -f "${hotpath_log}"
+
+time_bench() {
+    local start end
+    start="$(date +%s.%N)"
+    "${bench}/$1" >/dev/null
+    end="$(date +%s.%N)"
+    awk -v a="${start}" -v b="${end}" 'BEGIN{printf "%.3f", b - a}'
+}
+
+echo "== fig01/fig03 wall-clock =="
+fig01_sec="$(time_bench fig01_interference_loadtime)"
+echo "fig01_interference_loadtime ${fig01_sec}s"
+fig03_sec="$(time_bench fig03_fopt_tradeoff)"
+echo "fig03_fopt_tradeoff ${fig03_sec}s"
+
+cat > "${out}" <<EOF
+{
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host_hardware_threads": $(nproc),
+  "jobs": ${jobs},
+  "ext_parallel_scaling": {
+    "wall_jobs1_sec": ${wall_serial},
+    "wall_jobsN_sec": ${wall_parallel},
+    "speedup": ${speedup},
+    "identical": ${identical}
+  },
+  "ovh_hotpath": {
+    "ticks_per_sec": ${ticks}
+  },
+  "figures_serial": {
+    "fig01_interference_loadtime_sec": ${fig01_sec},
+    "fig03_fopt_tradeoff_sec": ${fig03_sec}
+  }
+}
+EOF
+echo "wrote ${out}"

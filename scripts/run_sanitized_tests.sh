@@ -1,22 +1,63 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer in a dedicated build tree.
+# Build and run the test suite under a sanitizer build.
 #
-# Usage: scripts/run_sanitized_tests.sh [extra ctest args...]
+# Usage: scripts/run_sanitized_tests.sh [--sanitize=<set>] [extra ctest args...]
+#
+#   --sanitize=<set>   comma-separated set passed to -DDORA_SANITIZE
+#                      (default: address,undefined). Notably
+#                      --sanitize=thread runs TSan over the parallel
+#                      execution engine.
+#
+# Every sanitizer set gets its own build tree (build-sanitize-<set>).
+# If a tree already exists but was configured with a different
+# DORA_SANITIZE value, the script fails loudly instead of silently
+# running binaries built with the wrong instrumentation.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${repo_root}/build-sanitize"
+
+sanitize="address,undefined"
+ctest_args=()
+for arg in "$@"; do
+    case "${arg}" in
+        --sanitize=*) sanitize="${arg#--sanitize=}" ;;
+        *) ctest_args+=("${arg}") ;;
+    esac
+done
+
+build_dir="${repo_root}/build-sanitize-${sanitize//,/-}"
+cache="${build_dir}/CMakeCache.txt"
+if [[ -d "${build_dir}" && ! -f "${cache}" ]]; then
+    echo "error: ${build_dir} exists but has no CMakeCache.txt;" \
+         "remove it and re-run" >&2
+    exit 1
+fi
+if [[ -f "${cache}" ]]; then
+    configured="$(sed -n 's/^DORA_SANITIZE:[A-Z]*=//p' "${cache}")"
+    if [[ "${configured}" != "${sanitize}" ]]; then
+        echo "error: stale build dir ${build_dir}:" \
+             "configured with DORA_SANITIZE='${configured}'," \
+             "requested '${sanitize}'. Remove the directory and" \
+             "re-run." >&2
+        exit 1
+    fi
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DDORA_SANITIZE=address,undefined
+    -DDORA_SANITIZE="${sanitize}"
 cmake --build "${build_dir}" -j "$(nproc)"
 
-# halt_on_error makes UBSan findings fail the test run instead of
+# halt_on_error makes sanitizer findings fail the test run instead of
 # scrolling past as warnings.
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 cd "${build_dir}"
-ctest --output-on-failure "$@"
+if [[ "${sanitize}" == "thread" && ${#ctest_args[@]} -eq 0 ]]; then
+    # Default TSan scope: the concurrency-bearing suites. Pass explicit
+    # ctest args to widen it.
+    ctest_args=(-R 'JobCount|ParallelFor|ParallelMap|ThreadPool|ParallelDeterminism')
+fi
+ctest --output-on-failure "${ctest_args[@]}"

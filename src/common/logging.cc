@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace dora
 {
@@ -9,14 +11,23 @@ namespace dora
 namespace
 {
 
-LogLevel g_level = LogLevel::Normal;
+std::atomic<LogLevel> g_level{LogLevel::Normal};
+
+/** Serializes emission so concurrent workers never interleave lines. */
+std::mutex g_emitMutex;
 
 void
 emit(const char *prefix, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Format into a local buffer first so the lock is held only for a
+    // single write and the line reaches stderr atomically even when
+    // worker threads log concurrently.
+    char buf[1024];
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    const char *ellipsis =
+        n >= static_cast<int>(sizeof(buf)) ? "..." : "";
+    std::lock_guard<std::mutex> lock(g_emitMutex);
+    std::fprintf(stderr, "%s%s%s\n", prefix, buf, ellipsis);
 }
 
 } // namespace
@@ -24,19 +35,19 @@ emit(const char *prefix, const char *fmt, va_list args)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (g_level == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list args;
     va_start(args, fmt);
@@ -56,7 +67,7 @@ warn(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (g_level != LogLevel::Verbose)
+    if (logLevel() != LogLevel::Verbose)
         return;
     va_list args;
     va_start(args, fmt);

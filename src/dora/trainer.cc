@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "dora/features.hh"
+#include "exec/thread_pool.hh"
 #include "power/leakage.hh"
 
 namespace dora
@@ -38,6 +39,9 @@ trainingConfigHash(const TrainerConfig &config)
     text << " timeridge " << config.timeRidge << " powerridge "
          << config.powerRidge << " maxworkloads "
          << config.maxTrainingWorkloads;
+    // config.jobs is deliberately not hashed: parallel collection is
+    // bit-identical to serial, so the job count does not shape the
+    // trained coefficients and must not invalidate cached bundles.
     return hashLabel(text.str());
 }
 
@@ -60,28 +64,50 @@ std::vector<TrainingSample>
 Trainer::collectSamples(const std::vector<WorkloadSpec> &workloads,
                         const std::vector<size_t> &freq_indices)
 {
-    std::vector<TrainingSample> out;
-    out.reserve(workloads.size() * freq_indices.size());
-    for (const auto &workload : workloads) {
+    for (const auto &workload : workloads)
         if (workload.page == nullptr)
             fatal("Trainer::collectSamples: workload without a page");
-        for (size_t f : freq_indices) {
-            const RunMeasurement m =
-                runner_.runAtFrequency(workload, f);
-            const OperatingPoint &opp = runner_.freqTable().opp(f);
-            TrainingSample s;
-            s.x = buildFeatureVector(workload.page->features,
-                                     m.meanL2Mpki, opp.coreMhz,
-                                     opp.busMhz, m.meanCorunUtil);
-            s.busMhz = opp.busMhz;
-            s.voltage = opp.voltage;
-            s.loadTimeSec = m.loadTimeSec;
-            s.meanPowerW = m.meanPowerW;
-            s.meanTempC = m.meanTempC;
-            out.push_back(std::move(s));
-        }
+
+    // One cell per (workload, OPP) pair, fanned out across the pool.
+    // Every run constructs its own simulated device, so parallel
+    // collection is bit-identical to the legacy serial loop; results
+    // are assembled in grid order (workload-major).
+    const size_t freqs = freq_indices.size();
+    auto run_cell = [&](ExperimentRunner &runner, size_t cell) {
+        const WorkloadSpec &workload = workloads[cell / freqs];
+        const size_t f = freq_indices[cell % freqs];
+        const RunMeasurement m = runner.runAtFrequency(workload, f);
+        const OperatingPoint &opp = runner.freqTable().opp(f);
+        TrainingSample s;
+        s.x = buildFeatureVector(workload.page->features, m.meanL2Mpki,
+                                 opp.coreMhz, opp.busMhz,
+                                 m.meanCorunUtil);
+        s.busMhz = opp.busMhz;
+        s.voltage = opp.voltage;
+        s.loadTimeSec = m.loadTimeSec;
+        s.meanPowerW = m.meanPowerW;
+        s.meanTempC = m.meanTempC;
+        return s;
+    };
+
+    const size_t cells = workloads.size() * freqs;
+    const unsigned jobs =
+        config_.jobs ? config_.jobs : defaultJobCount();
+    if (jobs <= 1 || cells <= 1) {
+        std::vector<TrainingSample> out;
+        out.reserve(cells);
+        for (size_t cell = 0; cell < cells; ++cell)
+            out.push_back(run_cell(runner_, cell));
+        return out;
     }
-    return out;
+    const ExperimentConfig experiment = runner_.config();
+    return parallelMap<TrainingSample>(
+        cells,
+        [&](size_t cell) {
+            ExperimentRunner local(experiment);
+            return run_cell(local, cell);
+        },
+        jobs);
 }
 
 GaussNewtonResult
@@ -157,7 +183,8 @@ Trainer::train()
     inform("trainer: idle leakage characterization (%zu ambients)",
            config_.chamberAmbientsC.size());
     const auto idle = runner_.idleCharacterization(
-        config_.chamberAmbientsC);
+        config_.chamberAmbientsC, 2.0, 0.5,
+        config_.jobs ? config_.jobs : defaultJobCount());
     report_.numIdleSamples = idle.size();
     const GaussNewtonResult leak_fit =
         fitLeakage(idle, runner_.socCollapsedFloorW());

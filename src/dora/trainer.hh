@@ -62,6 +62,15 @@ struct TrainerConfig
      * tests only — production training uses the full set.
      */
     size_t maxTrainingWorkloads = 0;
+
+    /**
+     * Parallelism for the measurement campaign and the idle grid
+     * (0 = defaultJobCount(); 1 = legacy serial path). Results are
+     * bit-identical at every job count, so this field is deliberately
+     * excluded from trainingConfigHash(): a bundle trained at any
+     * parallelism stays cache-valid.
+     */
+    unsigned jobs = 0;
 };
 
 /** One (features -> targets) observation from a measurement run. */

@@ -1,0 +1,200 @@
+#include "exec/thread_pool.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+/** Parse a strictly positive integer; 0 on failure. */
+unsigned
+parsePositive(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return 0;
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || value == 0 || value > 1024)
+        return 0;
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
+
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+unsigned
+defaultJobCount()
+{
+    if (const char *env = std::getenv("DORA_JOBS")) {
+        const unsigned jobs = parsePositive(env);
+        if (jobs > 0)
+            return jobs;
+        warn("DORA_JOBS='%s' is not a positive integer; using hardware "
+             "concurrency (%u)", env, hardwareJobs());
+    }
+    return hardwareJobs();
+}
+
+unsigned
+jobCountFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strncmp(arg, "--jobs=", 7) == 0)
+            value = arg + 7;
+        else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc)
+            value = argv[i + 1];
+        else
+            continue;
+        const unsigned jobs = parsePositive(value);
+        if (jobs == 0)
+            fatal("--jobs wants a positive integer, got '%s'",
+                  value ? value : "");
+        return jobs;
+    }
+    return defaultJobCount();
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs == 0 ? 1 : jobs)
+{
+    workers_.reserve(jobs_ - 1);
+    for (unsigned w = 1; w < jobs_; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        Batch *batch = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [this, seen] {
+                return stopping_ ||
+                    (batch_ != nullptr && generation_ != seen);
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+            batch = batch_;
+            // Registering inside the same critical section that
+            // publishes the batch pointer keeps the caller from
+            // retiring the batch while this worker still holds it.
+            ++batch->workersInside;
+        }
+        runBatch(*batch);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --batch->workersInside;
+        }
+        doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::runBatch(Batch &batch)
+{
+    for (;;) {
+        const size_t i =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.n)
+            return;
+        try {
+            (*batch.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(batch.errorMutex);
+            if (!batch.error || i < batch.errorIndex) {
+                batch.error = std::current_exception();
+                batch.errorIndex = i;
+            }
+        }
+        batch.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ThreadPool::forEach(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs_ == 1 || n == 1) {
+        // Exact legacy path: plain serial loop, natural exception flow.
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Batch batch;
+    batch.n = n;
+    batch.fn = &fn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = &batch;
+        ++generation_;
+    }
+    workCv_.notify_all();
+
+    // The caller is the jobs_-th worker.
+    runBatch(batch);
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // The batch is drained only when every index ran AND every
+        // worker has left runBatch — a worker's final (empty-handed)
+        // next.fetch_add must not outlive this stack frame.
+        doneCv_.wait(lock, [&batch] {
+            return batch.done.load(std::memory_order_acquire) ==
+                batch.n && batch.workersInside == 0;
+        });
+        // Detach the batch; late-waking workers re-check batch_ under
+        // the lock and keep waiting.
+        batch_ = nullptr;
+    }
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobCount();
+    if (jobs <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+    ThreadPool pool(jobs);
+    pool.forEach(n, fn);
+}
+
+} // namespace dora

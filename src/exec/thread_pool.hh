@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fixed-size worker pool and deterministic parallel-for / parallel-map
+ * primitives for the experiment engine.
+ *
+ * Every figure and training campaign in this reproduction is a set of
+ * independent, deterministic simulations (each run constructs its own
+ * SoC, power model, RNG streams, and fault injector). The primitives
+ * here fan such sets out across a fixed number of worker threads while
+ * guaranteeing that
+ *
+ *   - results are delivered in index order (results[i] == fn(i)), so a
+ *     parallel sweep assembles the *same* tables as the serial loop;
+ *   - a job count of 1 executes the exact legacy serial path in the
+ *     calling thread — no pool, no atomics, no reordering;
+ *   - exceptions thrown by the body are captured and the one from the
+ *     lowest index is rethrown in the calling thread after every index
+ *     has been attempted (deterministic propagation).
+ *
+ * The job count is taken from, in order of precedence: an explicit
+ * argument, the `--jobs N` command-line flag (benches), the DORA_JOBS
+ * environment variable, and finally std::thread::hardware_concurrency.
+ *
+ * Determinism contract: the body must not touch shared mutable state.
+ * What little the codebase has (log sinks, the bundle-cache file) is
+ * made thread-safe separately; simulations themselves are self-
+ * contained, which is what makes jobs=N bit-identical to jobs=1 (see
+ * DESIGN.md §5c and bench/ext_parallel_scaling, which enforces it).
+ */
+
+#ifndef DORA_EXEC_THREAD_POOL_HH
+#define DORA_EXEC_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dora
+{
+
+/** Hardware thread count, never less than 1. */
+unsigned hardwareJobs();
+
+/**
+ * The process-default job count: $DORA_JOBS when set to a positive
+ * integer (with a warning on garbage), else hardwareJobs().
+ */
+unsigned defaultJobCount();
+
+/**
+ * Job count for a bench binary: honours `--jobs N` / `--jobs=N` on the
+ * command line, falling back to defaultJobCount(). Unknown arguments
+ * are ignored (benches have no other flags). fatal() on a malformed
+ * or non-positive value.
+ */
+unsigned jobCountFromArgs(int argc, char **argv);
+
+/**
+ * A fixed-size pool of worker threads executing index-based batches.
+ *
+ * The pool owns jobs-1 threads; the thread calling forEach()
+ * participates as the jobs-th worker, so `ThreadPool(1)` spawns
+ * nothing and forEach() degenerates to a plain serial loop.
+ */
+class ThreadPool
+{
+  public:
+    /** @param jobs total parallelism (clamped to >= 1). */
+    explicit ThreadPool(unsigned jobs);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Total parallelism (worker threads + the calling thread). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute fn(i) for every i in [0, n), distributing indices across
+     * the pool; blocks until all n indices have been attempted. If any
+     * invocation throws, the exception from the lowest index is
+     * rethrown here after the batch drains.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    /** One forEach() invocation in flight. */
+    struct Batch
+    {
+        size_t n = 0;
+        const std::function<void(size_t)> *fn = nullptr;
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        /** Workers currently in runBatch (guarded by pool mutex_). */
+        unsigned workersInside = 0;
+        std::mutex errorMutex;
+        size_t errorIndex = 0;
+        std::exception_ptr error;
+    };
+
+    void workerLoop();
+
+    /** Pull and run indices until the batch is exhausted. */
+    void runBatch(Batch &batch);
+
+    unsigned jobs_;
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable workCv_;  //!< wakes workers for a batch
+    std::condition_variable doneCv_;  //!< wakes the caller on drain
+    Batch *batch_ = nullptr;          //!< current batch; null when idle
+    uint64_t generation_ = 0;         //!< bumped per forEach()
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(i) for i in [0, n) on a transient pool of @p jobs workers
+ * (0 = defaultJobCount()). jobs <= 1 or n <= 1 runs the exact serial
+ * loop in the calling thread.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned jobs = 0);
+
+/**
+ * Map [0, n) through @p fn with deterministic result ordering:
+ * result[i] == fn(i) regardless of thread count or completion order.
+ * R must be default-constructible. Exception semantics as forEach().
+ */
+template <typename R>
+std::vector<R>
+parallelMap(size_t n, const std::function<R(size_t)> &fn,
+            unsigned jobs = 0)
+{
+    std::vector<R> results(n);
+    parallelFor(
+        n, [&results, &fn](size_t i) { results[i] = fn(i); }, jobs);
+    return results;
+}
+
+} // namespace dora
+
+#endif // DORA_EXEC_THREAD_POOL_HH

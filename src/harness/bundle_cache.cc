@@ -2,10 +2,65 @@
 
 #include <cstdlib>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
 #include "dora/trainer.hh"
 
 namespace dora
 {
+
+namespace
+{
+
+/**
+ * Advisory inter-process lock on the cache file, held across the
+ * load-check / train / save sequence. Parallel bench invocations (e.g.
+ * scripts/run_benches.sh fanning binaries out) would otherwise race:
+ * two processes could train concurrently and interleave writes to the
+ * same cache file. flock(2) is advisory, so a failure to acquire (or a
+ * filesystem without lock support) degrades to the old unlocked
+ * behaviour instead of blocking the run.
+ */
+class BundleCacheLock
+{
+  public:
+    explicit BundleCacheLock(const std::string &cache_path)
+    {
+        const std::string lock_path = cache_path + ".lock";
+        fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                     0644);
+        if (fd_ < 0) {
+            debugLog("bundle cache: cannot open %s; proceeding unlocked",
+                     lock_path.c_str());
+            return;
+        }
+        if (::flock(fd_, LOCK_EX) != 0) {
+            debugLog("bundle cache: flock on %s failed; proceeding "
+                     "unlocked", lock_path.c_str());
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    BundleCacheLock(const BundleCacheLock &) = delete;
+    BundleCacheLock &operator=(const BundleCacheLock &) = delete;
+
+    ~BundleCacheLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace
 
 std::string
 defaultBundleCachePath()
@@ -18,9 +73,13 @@ defaultBundleCachePath()
 std::shared_ptr<const ModelBundle>
 loadOrTrainBundle()
 {
+    const std::string path = defaultBundleCachePath();
+    // Hold the advisory lock across the whole check-train-save window:
+    // a second process blocks here until the first has cached its
+    // bundle, then loads that bundle instead of retraining.
+    BundleCacheLock lock(path);
     Trainer trainer;
-    return std::make_shared<const ModelBundle>(
-        trainer.trainCached(defaultBundleCachePath()));
+    return std::make_shared<const ModelBundle>(trainer.trainCached(path));
 }
 
 } // namespace dora

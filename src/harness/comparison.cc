@@ -1,35 +1,122 @@
 #include "harness/comparison.hh"
 
+#include <optional>
+
 #include "common/logging.hh"
+#include "exec/thread_pool.hh"
+#include "fault/fault_injector.hh"
 
 namespace dora
 {
 
-double
-ComparisonRecord::normalizedPpw(const std::string &governor) const
+namespace
 {
-    const RunMeasurement &base = measurement("interactive");
-    const RunMeasurement &m = measurement(governor);
+
+/**
+ * Canonical governor registry. Order is the dense id; interactive is
+ * id 0 because it is the normalization baseline.
+ */
+const std::vector<std::string> &
+governorRegistry()
+{
+    static const std::vector<std::string> names = {
+        "interactive", "performance", "powersave", "ondemand",
+        "DL", "EE", "DORA", "DORA_no_lkg", "offline_opt",
+    };
+    return names;
+}
+
+constexpr size_t kInteractiveId = 0;
+
+} // namespace
+
+size_t
+governorCount()
+{
+    return governorRegistry().size();
+}
+
+size_t
+governorIndex(const std::string &name)
+{
+    const auto &names = governorRegistry();
+    for (size_t i = 0; i < names.size(); ++i)
+        if (names[i] == name)
+            return i;
+    fatal("governorIndex: unknown governor '%s'", name.c_str());
+}
+
+const std::string &
+governorName(size_t index)
+{
+    const auto &names = governorRegistry();
+    if (index >= names.size())
+        fatal("governorName: id %zu out of range (%zu governors)",
+              index, names.size());
+    return names[index];
+}
+
+void
+ComparisonRecord::setMeasurement(size_t index, RunMeasurement m)
+{
+    if (index >= governorCount())
+        fatal("ComparisonRecord: governor id %zu out of range", index);
+    if (slots_.size() <= index)
+        slots_.resize(index + 1);
+    slots_[index] = std::move(m);
+    presentMask_ |= 1u << index;
+}
+
+void
+ComparisonRecord::setMeasurement(const std::string &governor,
+                                 RunMeasurement m)
+{
+    setMeasurement(governorIndex(governor), std::move(m));
+}
+
+bool
+ComparisonRecord::hasMeasurement(size_t index) const
+{
+    return index < 32 && (presentMask_ & (1u << index));
+}
+
+const RunMeasurement &
+ComparisonRecord::measurement(size_t index) const
+{
+    if (!hasMeasurement(index))
+        panic("ComparisonRecord: no measurement for governor '%s'",
+              governorName(index).c_str());
+    return slots_[index];
+}
+
+const RunMeasurement &
+ComparisonRecord::measurement(const std::string &governor) const
+{
+    return measurement(governorIndex(governor));
+}
+
+double
+ComparisonRecord::normalizedPpw(size_t index) const
+{
+    const RunMeasurement &base = measurement(kInteractiveId);
+    const RunMeasurement &m = measurement(index);
     if (base.ppw <= 0.0)
         panic("ComparisonRecord: zero baseline PPW for %s",
               workload.label().c_str());
     return m.ppw / base.ppw;
 }
 
-const RunMeasurement &
-ComparisonRecord::measurement(const std::string &governor) const
+double
+ComparisonRecord::normalizedPpw(const std::string &governor) const
 {
-    auto it = byGovernor.find(governor);
-    if (it == byGovernor.end())
-        panic("ComparisonRecord: no measurement for governor '%s'",
-              governor.c_str());
-    return it->second;
+    return normalizedPpw(governorIndex(governor));
 }
 
 ComparisonHarness::ComparisonHarness(
     const ExperimentConfig &config,
-    std::shared_ptr<const ModelBundle> models)
-    : runner_(config), models_(std::move(models))
+    std::shared_ptr<const ModelBundle> models, unsigned jobs)
+    : runner_(config), models_(std::move(models)),
+      jobs_(jobs ? jobs : defaultJobCount())
 {
 }
 
@@ -43,42 +130,87 @@ ComparisonHarness::paperGovernors()
 }
 
 RunMeasurement
-ComparisonHarness::runOne(const WorkloadSpec &workload,
-                          const std::string &governor)
+ComparisonHarness::runOneWith(ExperimentRunner &runner,
+                              const WorkloadSpec &workload,
+                              const std::string &governor)
 {
     if (governor == "interactive") {
         InteractiveGovernor g;
-        return runner_.run(workload, g);
+        return runner.run(workload, g);
     }
     if (governor == "performance") {
         PerformanceGovernor g;
-        return runner_.run(workload, g);
+        return runner.run(workload, g);
     }
     if (governor == "powersave") {
         PowersaveGovernor g;
-        return runner_.run(workload, g);
+        return runner.run(workload, g);
     }
     if (governor == "ondemand") {
         OndemandGovernor g;
-        return runner_.run(workload, g);
+        return runner.run(workload, g);
     }
     if (governor == "DL") {
         PredictiveGovernor g = makeDl(models_);
-        return runner_.run(workload, g);
+        return runner.run(workload, g);
     }
     if (governor == "EE") {
         PredictiveGovernor g = makeEe(models_);
-        return runner_.run(workload, g);
+        return runner.run(workload, g);
     }
     if (governor == "DORA") {
         PredictiveGovernor g = makeDora(models_);
-        return runner_.run(workload, g);
+        return runner.run(workload, g);
     }
     if (governor == "DORA_no_lkg") {
         PredictiveGovernor g = makeDoraNoLeakage(models_);
-        return runner_.run(workload, g);
+        return runner.run(workload, g);
     }
     fatal("ComparisonHarness: unknown governor '%s'", governor.c_str());
+}
+
+RunMeasurement
+ComparisonHarness::runOne(const WorkloadSpec &workload,
+                          const std::string &governor)
+{
+    return runOneWith(runner_, workload, governor);
+}
+
+std::vector<RunMeasurement>
+ComparisonHarness::mapWithRunners(
+    size_t n,
+    const std::function<RunMeasurement(ExperimentRunner &, size_t)> &fn)
+{
+    if (jobs_ <= 1 || n <= 1) {
+        // Legacy serial path: every cell on the member runner.
+        std::vector<RunMeasurement> results;
+        results.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            results.push_back(fn(runner_, i));
+        return results;
+    }
+
+    // Each cell gets a runner cloned from the member runner: same
+    // config, and — when a fault injector is attached — a private
+    // injector built from the same schedule. Injectors are reset at
+    // the start of every run, so a cloned injector reproduces the
+    // member injector's per-run fault stream exactly; that (plus
+    // per-run construction of SoC/power/RNG state) is what makes the
+    // parallel results bit-identical to the serial ones.
+    const ExperimentConfig config = runner_.config();
+    const FaultInjector *shared_injector = runner_.faultInjector();
+    return parallelMap<RunMeasurement>(
+        n,
+        [&](size_t i) {
+            ExperimentRunner local(config);
+            std::optional<FaultInjector> injector;
+            if (shared_injector) {
+                injector.emplace(shared_injector->schedule());
+                local.setFaultInjector(&*injector);
+            }
+            return fn(local, i);
+        },
+        jobs_);
 }
 
 std::vector<ComparisonRecord>
@@ -86,32 +218,40 @@ ComparisonHarness::runAll(const std::vector<WorkloadSpec> &workloads,
                           const std::vector<std::string> &governors)
 {
     const auto &names = governors.empty() ? paperGovernors() : governors;
+    const size_t cells = workloads.size() * names.size();
+    std::vector<RunMeasurement> flat = mapWithRunners(
+        cells, [&](ExperimentRunner &runner, size_t i) {
+            const WorkloadSpec &workload = workloads[i / names.size()];
+            const std::string &name = names[i % names.size()];
+            return runOneWith(runner, workload, name);
+        });
+
     std::vector<ComparisonRecord> records;
     records.reserve(workloads.size());
-    for (const auto &workload : workloads) {
+    for (size_t w = 0; w < workloads.size(); ++w) {
         ComparisonRecord record;
-        record.workload = workload;
-        for (const auto &name : names)
-            record.byGovernor[name] = runOne(workload, name);
+        record.workload = workloads[w];
+        for (size_t g = 0; g < names.size(); ++g)
+            record.setMeasurement(names[g],
+                                  std::move(flat[w * names.size() + g]));
         records.push_back(std::move(record));
     }
     return records;
 }
 
 RunMeasurement
-ComparisonHarness::offlineOpt(const WorkloadSpec &workload)
+ComparisonHarness::pickOfflineOpt(std::vector<RunMeasurement> sweep) const
 {
     const FreqTable &table = runner_.freqTable();
     RunMeasurement best;
     RunMeasurement fastest;
     bool have_meeting = false;
-    for (size_t f = 0; f < table.size(); ++f) {
-        RunMeasurement m = runner_.runAtFrequency(workload, f);
+    for (size_t f = 0; f < sweep.size(); ++f) {
+        RunMeasurement &m = sweep[f];
         m.governor = "offline_opt";
         if (f == table.maxIndex())
             fastest = m;
-        if (m.meetsDeadline &&
-            (!have_meeting || m.ppw > best.ppw)) {
+        if (m.meetsDeadline && (!have_meeting || m.ppw > best.ppw)) {
             best = m;
             have_meeting = true;
         }
@@ -120,15 +260,48 @@ ComparisonHarness::offlineOpt(const WorkloadSpec &workload)
     return have_meeting ? best : fastest;
 }
 
+RunMeasurement
+ComparisonHarness::offlineOpt(const WorkloadSpec &workload)
+{
+    const size_t freqs = runner_.freqTable().size();
+    return pickOfflineOpt(mapWithRunners(
+        freqs, [&](ExperimentRunner &runner, size_t f) {
+            return runner.runAtFrequency(workload, f);
+        }));
+}
+
+std::vector<RunMeasurement>
+ComparisonHarness::offlineOptMany(
+    const std::vector<WorkloadSpec> &workloads)
+{
+    const size_t freqs = runner_.freqTable().size();
+    std::vector<RunMeasurement> flat = mapWithRunners(
+        workloads.size() * freqs,
+        [&](ExperimentRunner &runner, size_t i) {
+            return runner.runAtFrequency(workloads[i / freqs], i % freqs);
+        });
+
+    std::vector<RunMeasurement> results;
+    results.reserve(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<RunMeasurement> sweep(
+            std::make_move_iterator(flat.begin() + w * freqs),
+            std::make_move_iterator(flat.begin() + (w + 1) * freqs));
+        results.push_back(pickOfflineOpt(std::move(sweep)));
+    }
+    return results;
+}
+
 double
 meanNormalizedPpw(const std::vector<ComparisonRecord> &records,
                   const std::string &governor)
 {
     if (records.empty())
         return 0.0;
+    const size_t id = governorIndex(governor);
     double sum = 0.0;
     for (const auto &r : records)
-        sum += r.normalizedPpw(governor);
+        sum += r.normalizedPpw(id);
     return sum / static_cast<double>(records.size());
 }
 
@@ -138,9 +311,10 @@ deadlineMeetRate(const std::vector<ComparisonRecord> &records,
 {
     if (records.empty())
         return 0.0;
+    const size_t id = governorIndex(governor);
     double met = 0.0;
     for (const auto &r : records)
-        if (r.measurement(governor).meetsDeadline)
+        if (r.measurement(id).meetsDeadline)
             met += 1.0;
     return met / static_cast<double>(records.size());
 }

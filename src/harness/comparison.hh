@@ -4,12 +4,18 @@
  * workloads under every governor the paper compares (interactive,
  * performance, DL, EE, DORA) and normalizes energy efficiency to the
  * interactive baseline.
+ *
+ * Every cell of a comparison (workload x governor) is an independent
+ * simulation on a freshly constructed device, so the harness fans the
+ * cells out across a thread pool (see src/exec). Results are
+ * bit-identical to the serial order at any job count; jobs=1 runs the
+ * exact legacy serial loop.
  */
 
 #ifndef DORA_HARNESS_COMPARISON_HH
 #define DORA_HARNESS_COMPARISON_HH
 
-#include <map>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,17 +27,54 @@
 namespace dora
 {
 
+/**
+ * Registry of governor names the harness can run. The index of a name
+ * is its storage key inside ComparisonRecord (a small dense id, stable
+ * for the life of the process).
+ */
+size_t governorCount();
+
+/** Dense id of @p name; fatal() on an unknown governor. */
+size_t governorIndex(const std::string &name);
+
+/** Name of the governor with dense id @p index; fatal() out of range. */
+const std::string &governorName(size_t index);
+
 /** Results of one workload under every compared governor. */
 struct ComparisonRecord
 {
     WorkloadSpec workload;
-    std::map<std::string, RunMeasurement> byGovernor;
 
-    /** PPW of @p governor normalized to the interactive baseline. */
+    /** Store @p m as the measurement of governor @p index. */
+    void setMeasurement(size_t index, RunMeasurement m);
+
+    /** String-keyed shim for setMeasurement(governorIndex(name), m). */
+    void setMeasurement(const std::string &governor, RunMeasurement m);
+
+    /** Whether governor @p index has a stored measurement. */
+    bool hasMeasurement(size_t index) const;
+
+    /** Measurement of governor @p index; fatal() if missing. */
+    const RunMeasurement &measurement(size_t index) const;
+
+    /** String-keyed shim for measurement(governorIndex(governor)). */
+    const RunMeasurement &measurement(const std::string &governor) const;
+
+    /** PPW of governor @p index normalized to interactive. */
+    double normalizedPpw(size_t index) const;
+
+    /** String-keyed shim for normalizedPpw(governorIndex(governor)). */
     double normalizedPpw(const std::string &governor) const;
 
-    /** Measurement for @p governor; fatal() if missing. */
-    const RunMeasurement &measurement(const std::string &governor) const;
+  private:
+    /**
+     * Flat per-governor storage, indexed by the dense registry id.
+     * Grown lazily to the highest stored id; presence is a bitmask so
+     * lookups on the bench hot loop are two array reads, not a
+     * string-keyed tree walk.
+     */
+    std::vector<RunMeasurement> slots_;
+    uint32_t presentMask_ = 0;
 };
 
 /**
@@ -43,9 +86,15 @@ class ComparisonHarness
     /**
      * @param config  per-run configuration (deadline etc.)
      * @param models  trained bundle for the predictive governors
+     * @param jobs    parallelism for runAll()/offlineOpt() fan-outs
+     *                (0 = defaultJobCount(); 1 = legacy serial path)
      */
     ComparisonHarness(const ExperimentConfig &config,
-                      std::shared_ptr<const ModelBundle> models);
+                      std::shared_ptr<const ModelBundle> models,
+                      unsigned jobs = 0);
+
+    /** Parallelism used for comparison fan-outs. */
+    unsigned jobs() const { return jobs_; }
 
     /**
      * Run @p workloads under every governor in the comparison set.
@@ -68,6 +117,15 @@ class ComparisonHarness
      */
     RunMeasurement offlineOpt(const WorkloadSpec &workload);
 
+    /**
+     * offlineOpt() for a batch of workloads. The whole workload x
+     * frequency grid is fanned out jointly, so parallelism is not
+     * limited by the OPP count of a single sweep. Result i corresponds
+     * to workloads[i].
+     */
+    std::vector<RunMeasurement>
+    offlineOptMany(const std::vector<WorkloadSpec> &workloads);
+
     /** The underlying runner (for config access). */
     ExperimentRunner &runner() { return runner_; }
 
@@ -75,8 +133,28 @@ class ComparisonHarness
     static const std::vector<std::string> &paperGovernors();
 
   private:
+    /** runOne() against an explicit runner (per-job runners). */
+    RunMeasurement runOneWith(ExperimentRunner &runner,
+                              const WorkloadSpec &workload,
+                              const std::string &governor);
+
+    /**
+     * Run fn(runner, i) for i in [0, n) across jobs_ workers, each
+     * worker batch using a runner cloned from runner_ (same config,
+     * same fault schedule); with jobs_ == 1 every call uses runner_
+     * itself — the exact legacy path.
+     */
+    std::vector<RunMeasurement> mapWithRunners(
+        size_t n,
+        const std::function<RunMeasurement(ExperimentRunner &, size_t)>
+            &fn);
+
+    /** Select the offline-opt winner from an ascending-OPP sweep. */
+    RunMeasurement pickOfflineOpt(std::vector<RunMeasurement> sweep) const;
+
     ExperimentRunner runner_;
     std::shared_ptr<const ModelBundle> models_;
+    unsigned jobs_;
 };
 
 /** Mean of normalized PPW for @p governor over @p records. */

@@ -54,17 +54,24 @@ CacheModel::CacheModel(const CacheConfig &config)
          config.associativity > 32))
         fatal("CacheModel %s: tree-PLRU needs a power-of-two "
               "associativity <= 32", config.name.c_str());
-    ways_.assign(static_cast<size_t>(numSets_) * config.associativity,
-                 Way());
+    const size_t total =
+        static_cast<size_t>(numSets_) * config.associativity;
+    tags_.assign(total, 0);
+    lastUse_.assign(total, 0);
+    owners_.assign(total, 0);
+    owned_.assign(config.numRequestors, 0);
     stats_.assign(config.numRequestors, CacheStats());
     if (config.policy == ReplacementPolicy::TreePlru)
         plruBits_.assign(numSets_, 0);
 }
 
 void
-CacheModel::touch(uint32_t set, uint32_t way, Way &entry)
+CacheModel::touch(uint32_t set, uint32_t way)
 {
-    entry.lastUse = accessClock_;
+    // accessClock_ is pre-incremented in access(), so a touched way
+    // always stamps >= 1: lastUse_ == 0 is reserved for invalid.
+    lastUse_[static_cast<size_t>(set) * config_.associativity + way] =
+        accessClock_;
     if (config_.policy != ReplacementPolicy::TreePlru)
         return;
     // Walk the PLRU tree from the root to the touched leaf, pointing
@@ -88,22 +95,33 @@ CacheModel::touch(uint32_t set, uint32_t way, Way &entry)
 }
 
 uint32_t
-CacheModel::chooseVictim(uint32_t set, const Way *base)
+CacheModel::chooseVictim(uint32_t set)
 {
     const uint32_t assoc = config_.associativity;
-    // Invalid ways first, regardless of policy.
+    const uint64_t *use =
+        &lastUse_[static_cast<size_t>(set) * assoc];
+
+    if (config_.policy == ReplacementPolicy::Lru) {
+        // Branch-free min-reduction over the stamps. Invalid ways carry
+        // stamp 0 < any live stamp (>= 1), and the strict < keeps the
+        // lowest index on ties, so this is exactly the classic
+        // first-invalid-else-LRU scan without the two-pass branches.
+        uint32_t victim = 0;
+        uint64_t best = use[0];
+        for (uint32_t w = 1; w < assoc; ++w) {
+            const bool better = use[w] < best;
+            best = better ? use[w] : best;
+            victim = better ? w : victim;
+        }
+        return victim;
+    }
+
+    // Invalid ways first for the other policies.
     for (uint32_t w = 0; w < assoc; ++w)
-        if (!base[w].valid)
+        if (use[w] == 0)
             return w;
 
     switch (config_.policy) {
-      case ReplacementPolicy::Lru: {
-          uint32_t victim = 0;
-          for (uint32_t w = 1; w < assoc; ++w)
-              if (base[w].lastUse < base[victim].lastUse)
-                  victim = w;
-          return victim;
-      }
       case ReplacementPolicy::TreePlru: {
           const uint32_t bits = plruBits_[set];
           uint32_t node = 1;
@@ -129,6 +147,8 @@ CacheModel::chooseVictim(uint32_t set, const Way *base)
           return static_cast<uint32_t>(
               (randState_ * 0x2545F4914F6CDD1Dull) % assoc);
       }
+      case ReplacementPolicy::Lru:
+        break;  // handled above
     }
     return 0;
 }
@@ -146,39 +166,51 @@ CacheModel::access(uint64_t line_addr, uint32_t requestor)
 
     const uint32_t set = static_cast<uint32_t>(line_addr) & (numSets_ - 1);
     const uint64_t tag = line_addr;  // full line address as tag is fine
-    Way *base = &ways_[static_cast<size_t>(set) * config_.associativity];
+    const size_t base = static_cast<size_t>(set) * config_.associativity;
+    const uint64_t *tags = &tags_[base];
 
+    // Probe loop touches only the contiguous tag run; validity is
+    // checked afterwards on the single candidate.
     for (uint32_t w = 0; w < config_.associativity; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.owner = requestor;
-            touch(set, w, way);
+        if (tags[w] == tag && lastUse_[base + w] != 0) {
+            // A hit transfers ownership of the line to the requestor.
+            uint32_t &owner = owners_[base + w];
+            if (owner != requestor) {
+                --owned_[owner];
+                ++owned_[requestor];
+                owner = requestor;
+            }
+            touch(set, w);
             return true;
         }
     }
 
     ++st.misses;
-    const uint32_t victim_idx = chooseVictim(set, base);
-    Way &victim = base[victim_idx];
-    if (victim.valid) {
-        auto &victim_st = stats_[victim.owner];
-        if (victim.owner == requestor)
+    const uint32_t victim_idx = chooseVictim(set);
+    const size_t victim = base + victim_idx;
+    if (lastUse_[victim] != 0) {
+        const uint32_t victim_owner = owners_[victim];
+        auto &victim_st = stats_[victim_owner];
+        if (victim_owner == requestor)
             ++victim_st.selfEvictions;
         else
             ++victim_st.interferenceEvictions;
+        --owned_[victim_owner];
     }
-    victim.valid = true;
-    victim.tag = tag;
-    victim.owner = requestor;
-    touch(set, victim_idx, victim);
+    ++owned_[requestor];
+    tags_[victim] = tag;
+    owners_[victim] = requestor;
+    touch(set, victim_idx);
     return false;
 }
 
 void
 CacheModel::flush()
 {
-    for (auto &way : ways_)
-        way.valid = false;
+    // lastUse_ == 0 *is* the invalid marker, so flushing clears the
+    // stamps (and with them all ownership).
+    lastUse_.assign(lastUse_.size(), 0);
+    owned_.assign(owned_.size(), 0);
 }
 
 void
@@ -210,15 +242,31 @@ CacheModel::totalStats() const
     return total;
 }
 
+uint64_t
+CacheModel::ownedLines(uint32_t requestor) const
+{
+    if (requestor >= owned_.size())
+        panic("CacheModel %s: requestor %u out of range",
+              config_.name.c_str(), requestor);
+    return owned_[requestor];
+}
+
 double
 CacheModel::occupancyFraction(uint32_t requestor) const
 {
-    uint64_t owned = 0;
-    for (const auto &way : ways_)
-        if (way.valid && way.owner == requestor)
-            ++owned;
     // Fraction of total capacity (not of currently-valid lines).
-    return static_cast<double>(owned) / static_cast<double>(ways_.size());
+    return static_cast<double>(ownedLines(requestor)) /
+        static_cast<double>(tags_.size());
+}
+
+double
+CacheModel::occupancyFractionScan(uint32_t requestor) const
+{
+    uint64_t owned = 0;
+    for (size_t i = 0; i < tags_.size(); ++i)
+        if (lastUse_[i] != 0 && owners_[i] == requestor)
+            ++owned;
+    return static_cast<double>(owned) / static_cast<double>(tags_.size());
 }
 
 } // namespace dora

@@ -9,6 +9,15 @@
  * core's miss counts and how many of its resident lines were evicted by
  * *other* requestors — the direct mechanism behind the paper's memory
  * interference observations.
+ *
+ * Storage is structure-of-arrays: the probe loop walks a contiguous
+ * run of tags (one or two cache lines for an 8-way set) and only
+ * touches recency/owner metadata on the way that hits or fills. A
+ * last-use stamp of 0 doubles as the invalid marker (live ways always
+ * carry a stamp >= 1), which makes the LRU victim scan a single
+ * branch-free min-reduction: invalid ways rank below every live way
+ * and ties break to the lowest index, exactly reproducing the classic
+ * invalid-first-then-LRU policy.
  */
 
 #ifndef DORA_MEM_CACHE_MODEL_HH
@@ -96,27 +105,40 @@ class CacheModel
     /** Number of sets. */
     uint32_t numSets() const { return numSets_; }
 
+    /** Valid lines currently owned by @p requestor (O(1) counter). */
+    uint64_t ownedLines(uint32_t requestor) const;
+
     /** Fraction of valid lines currently owned by @p requestor. */
     double occupancyFraction(uint32_t requestor) const;
 
-  private:
-    struct Way
-    {
-        uint64_t tag = 0;
-        uint32_t owner = 0;
-        uint64_t lastUse = 0;  // global access counter for LRU
-        bool valid = false;
-    };
+    /**
+     * Reference implementation of occupancyFraction() as a full
+     * O(sets x assoc) scan of the arrays. Exists so tests can verify
+     * the incremental owned-line counters against first principles;
+     * never call it on a hot path.
+     */
+    double occupancyFractionScan(uint32_t requestor) const;
 
+  private:
     /** Pick the victim way index within @p set per the policy. */
-    uint32_t chooseVictim(uint32_t set, const Way *base);
+    uint32_t chooseVictim(uint32_t set);
 
     /** Update replacement state for a touch of (set, way). */
-    void touch(uint32_t set, uint32_t way, Way &entry);
+    void touch(uint32_t set, uint32_t way);
 
     CacheConfig config_;
     uint32_t numSets_;
-    std::vector<Way> ways_;       // numSets_ * associativity, row-major
+    /**
+     * Way state, split by access pattern (all numSets_*associativity,
+     * row-major by set): the probe loop reads tags_ only; lastUse_ is
+     * the LRU stamp and the validity marker (0 = invalid); owners_ is
+     * touched on ownership changes and eviction accounting.
+     */
+    std::vector<uint64_t> tags_;
+    std::vector<uint64_t> lastUse_;
+    std::vector<uint32_t> owners_;
+    /** Per-requestor count of currently valid owned lines. */
+    std::vector<uint64_t> owned_;
     std::vector<CacheStats> stats_;
     std::vector<uint32_t> plruBits_;  //!< per-set PLRU tree state
     uint64_t accessClock_ = 0;

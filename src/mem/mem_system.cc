@@ -59,23 +59,24 @@ MemSystem::MemSystem(const MemSystemConfig &config)
 std::vector<MemSampleResult>
 MemSystem::tickSample(const std::vector<MemSampleRequest> &requests)
 {
-    struct Live
-    {
-        const MemSampleRequest *req;
-        uint32_t remaining;
-        uint64_t l1Misses = 0;
-        uint64_t l2Misses = 0;
-    };
+    std::vector<MemSampleResult> results;
+    tickSample(requests, results);
+    return results;
+}
 
-    std::vector<Live> live;
-    live.reserve(requests.size());
+void
+MemSystem::tickSample(const std::vector<MemSampleRequest> &requests,
+                      std::vector<MemSampleResult> &results)
+{
+    auto &live = liveScratch_;
+    live.clear();
     for (const auto &req : requests) {
         if (req.core >= config_.numCores)
             panic("MemSystem::tickSample: core %u out of range", req.core);
         if (req.samples > 0 && req.stream == nullptr)
             panic("MemSystem::tickSample: null stream with samples");
         if (req.samples > 0)
-            live.push_back(Live{&req, req.samples});
+            live.push_back(LiveStream{&req, req.samples, 0, 0});
     }
 
     // Weighted round-robin in chunks: each pass, every still-live stream
@@ -103,7 +104,7 @@ MemSystem::tickSample(const std::vector<MemSampleRequest> &requests)
         }
     }
 
-    std::vector<MemSampleResult> results;
+    results.clear();
     results.reserve(requests.size());
     for (const auto &req : requests) {
         MemSampleResult res;
@@ -122,7 +123,6 @@ MemSystem::tickSample(const std::vector<MemSampleRequest> &requests)
         }
         results.push_back(res);
     }
-    return results;
 }
 
 void

@@ -85,6 +85,15 @@ class MemSystem
     tickSample(const std::vector<MemSampleRequest> &requests);
 
     /**
+     * Allocation-free variant for the per-tick hot path: @p results is
+     * cleared and refilled (one entry per request, in request order).
+     * Internal walk state lives in a member scratch buffer, so steady-
+     * state ticks perform no heap allocation.
+     */
+    void tickSample(const std::vector<MemSampleRequest> &requests,
+                    std::vector<MemSampleResult> &results);
+
+    /**
      * Account a core's *actual* traffic for the tick, scaling the sampled
      * miss rates to the real access count. Adds L2-miss bytes to DRAM
      * demand.
@@ -127,11 +136,21 @@ class MemSystem
     const MemSystemConfig &config() const { return config_; }
 
   private:
+    /** Walk state for one live stream within tickSample(). */
+    struct LiveStream
+    {
+        const MemSampleRequest *req = nullptr;
+        uint32_t remaining = 0;
+        uint64_t l1Misses = 0;
+        uint64_t l2Misses = 0;
+    };
+
     MemSystemConfig config_;
     std::vector<CacheModel> l1s_;
     CacheModel l2_;
     DramModel dram_;
     std::vector<CoreMemCounters> counters_;
+    std::vector<LiveStream> liveScratch_;  //!< reused across ticks
 };
 
 } // namespace dora

@@ -1,11 +1,13 @@
 #include "runner/experiment.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "browser/page_load.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "exec/thread_pool.hh"
 #include "fault/fault_injector.hh"
 #include "stats/running_stat.hh"
 #include "workloads/corun_task.hh"
@@ -307,7 +309,7 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
         driver.maybeDecide();
         const double mhz = soc.operatingPoint().coreMhz;
         residency[soc.frequencyIndex()] += config_.dtSec;
-        const TickTrace trace = sim.step();
+        const TickTrace &trace = sim.step();
         temp_stat.push(power.temperatureC());
         freq_time_mhz += mhz * config_.dtSec;
         breakdown_sum.baseline += trace.power.baseline;
@@ -381,46 +383,130 @@ ExperimentRunner::socCollapsedFloorW() const
 std::vector<IdleSample>
 ExperimentRunner::idleCharacterization(
     const std::vector<double> &ambients_c, double settle_sec,
-    double sample_sec)
+    double sample_sec, unsigned jobs)
 {
-    std::vector<IdleSample> samples;
-    for (double ambient : ambients_c) {
-        for (size_t f = 0; f < freqTable_.size(); ++f) {
-            Soc soc = Soc::nexus5(config_.soc);
-            DevicePowerConfig power_config = config_.power;
-            power_config.thermal.ambientC = ambient;
-            power_config.thermal.initialC = ambient;
-            DevicePower power(power_config,
-                              LeakageModel::msm8974Truth());
-            SimConfig sim_config;
-            sim_config.dtSec = config_.dtSec;
-            sim_config.maxSeconds = settle_sec + sample_sec + 1.0;
-            Simulator sim(soc, power, sim_config);
-            soc.setFrequencyIndex(f);
+    // One cell per (ambient, OPP): a fully independent device
+    // simulation, so the grid parallelizes with no shared state. Cells
+    // are assembled in grid order, which keeps the sample sequence
+    // identical at every job count.
+    const size_t freqs = freqTable_.size();
+    auto run_cell = [&](size_t cell) {
+        const double ambient = ambients_c[cell / freqs];
+        const size_t f = cell % freqs;
 
-            while (sim.nowSec() < settle_sec)
-                sim.step();
-            // Sample (v, T, P) tuples along the tail of the transient:
-            // each pair is a valid instantaneous observation for the
-            // leakage fit, and the spread in T conditions the problem.
-            RunningStat power_stat;
-            double last_emit = sim.nowSec();
-            IdleSample s;
-            s.voltage = soc.operatingPoint().voltage;
-            while (sim.nowSec() < settle_sec + sample_sec) {
-                const TickTrace trace = sim.step();
-                power_stat.push(trace.power.total());
-                if (sim.nowSec() - last_emit >= 0.1) {
-                    s.tempC = power.temperatureC();
-                    s.powerW = power_stat.mean();
-                    samples.push_back(s);
-                    power_stat.reset();
-                    last_emit = sim.nowSec();
-                }
+        Soc soc = Soc::nexus5(config_.soc);
+        DevicePowerConfig power_config = config_.power;
+        power_config.thermal.ambientC = ambient;
+        power_config.thermal.initialC = ambient;
+        DevicePower power(power_config, LeakageModel::msm8974Truth());
+        SimConfig sim_config;
+        sim_config.dtSec = config_.dtSec;
+        sim_config.maxSeconds = settle_sec + sample_sec + 1.0;
+        Simulator sim(soc, power, sim_config);
+        soc.setFrequencyIndex(f);
+
+        while (sim.nowSec() < settle_sec)
+            sim.step();
+        // Sample (v, T, P) tuples along the tail of the transient:
+        // each pair is a valid instantaneous observation for the
+        // leakage fit, and the spread in T conditions the problem.
+        std::vector<IdleSample> cell_samples;
+        RunningStat power_stat;
+        double last_emit = sim.nowSec();
+        IdleSample s;
+        s.voltage = soc.operatingPoint().voltage;
+        while (sim.nowSec() < settle_sec + sample_sec) {
+            const TickTrace &trace = sim.step();
+            power_stat.push(trace.power.total());
+            if (sim.nowSec() - last_emit >= 0.1) {
+                s.tempC = power.temperatureC();
+                s.powerW = power_stat.mean();
+                cell_samples.push_back(s);
+                power_stat.reset();
+                last_emit = sim.nowSec();
             }
         }
+        return cell_samples;
+    };
+
+    const size_t cells = ambients_c.size() * freqs;
+    std::vector<IdleSample> samples;
+    if (jobs == 1) {
+        for (size_t cell = 0; cell < cells; ++cell) {
+            const auto cell_samples = run_cell(cell);
+            samples.insert(samples.end(), cell_samples.begin(),
+                           cell_samples.end());
+        }
+        return samples;
     }
+    const auto per_cell = parallelMap<std::vector<IdleSample>>(
+        cells, run_cell, jobs);
+    for (const auto &cell_samples : per_cell)
+        samples.insert(samples.end(), cell_samples.begin(),
+                       cell_samples.end());
     return samples;
+}
+
+namespace
+{
+
+/** Append @p value to @p out as a bit-exact hex float. */
+void
+appendHexDouble(std::string &out, double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a ", value);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+runMeasurementText(const RunMeasurement &m)
+{
+    std::string out;
+    out.reserve(512);
+    out += m.workload;
+    out += '|';
+    out += m.governor;
+    out += '|';
+    out += m.pageFinished ? '1' : '0';
+    out += m.meetsDeadline ? '1' : '0';
+    out += ' ';
+    appendHexDouble(out, m.loadTimeSec);
+    appendHexDouble(out, m.energyJ);
+    appendHexDouble(out, m.meanPowerW);
+    appendHexDouble(out, m.ppw);
+    appendHexDouble(out, m.meanL2Mpki);
+    appendHexDouble(out, m.meanCorunUtil);
+    appendHexDouble(out, m.meanTempC);
+    appendHexDouble(out, m.peakTempC);
+    appendHexDouble(out, m.meanFreqMhz);
+    out += "sw=" + std::to_string(m.freqSwitches) + " res=";
+    for (double r : m.freqResidencySec)
+        appendHexDouble(out, r);
+    out += "dec=";
+    for (const auto &d : m.decisions) {
+        appendHexDouble(out, d.tSec);
+        out += std::to_string(d.freqIndex) + " ";
+        appendHexDouble(out, d.l2Mpki);
+        appendHexDouble(out, d.corunUtil);
+        appendHexDouble(out, d.temperatureC);
+    }
+    out += "bk=";
+    appendHexDouble(out, m.meanBreakdown.baseline);
+    appendHexDouble(out, m.meanBreakdown.coreDynamic);
+    appendHexDouble(out, m.meanBreakdown.l2Traffic);
+    appendHexDouble(out, m.meanBreakdown.dram);
+    appendHexDouble(out, m.meanBreakdown.leakage);
+    appendHexDouble(out, m.meanBreakdown.dvfsSwitch);
+    return out;
+}
+
+uint64_t
+runMeasurementDigest(const RunMeasurement &m)
+{
+    return hashLabel(runMeasurementText(m));
 }
 
 } // namespace dora

@@ -107,6 +107,18 @@ struct IdleSample
 };
 
 /**
+ * Canonical bit-exact text rendering of a measurement: every double is
+ * printed as a hex float (%a), so two measurements render identically
+ * iff they are bit-identical. Used by the determinism tests and
+ * bench/ext_parallel_scaling to prove that parallel sweeps reproduce
+ * the serial results exactly.
+ */
+std::string runMeasurementText(const RunMeasurement &m);
+
+/** FNV-1a digest of runMeasurementText(). */
+uint64_t runMeasurementDigest(const RunMeasurement &m);
+
+/**
  * Runs workloads on freshly constructed simulated devices.
  */
 class ExperimentRunner
@@ -144,11 +156,17 @@ class ExperimentRunner
      * Thermal-chamber style idle characterization: sample idle device
      * power and die temperature at every OPP under each ambient
      * temperature. Feeds the leakage fit.
+     *
+     * Each (ambient, OPP) cell simulates an independent device, so the
+     * grid is fanned out across @p jobs workers (1 = serial legacy
+     * path; 0 = defaultJobCount()). Sample order is independent of the
+     * job count: ambient-major, then OPP, then time.
      */
     std::vector<IdleSample>
     idleCharacterization(const std::vector<double> &ambients_c,
                          double settle_sec = 2.0,
-                         double sample_sec = 0.5);
+                         double sample_sec = 0.5,
+                         unsigned jobs = 1);
 
     /**
      * Device power with the SoC power-collapsed (cores and caches

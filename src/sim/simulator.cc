@@ -21,10 +21,11 @@ Simulator::bindTask(uint32_t core, Task *task)
     tasks_[core] = task;
 }
 
-TickTrace
+const TickTrace &
 Simulator::step()
 {
-    std::vector<TaskDemand> demands;
+    auto &demands = demands_;
+    demands.clear();
     demands.reserve(tasks_.size());
     const double now = soc_.elapsedSeconds();
     for (auto *task : tasks_) {
@@ -33,8 +34,8 @@ Simulator::step()
                                        : t.demand(now));
     }
 
-    TickTrace trace;
-    trace.soc = soc_.tick(demands, config_.dtSec);
+    TickTrace &trace = trace_;
+    soc_.tick(demands, config_.dtSec, trace.soc);
     trace.power = power_.step(trace.soc, config_.dtSec);
     trace.nowSec = soc_.elapsedSeconds();
 
@@ -56,7 +57,7 @@ Simulator::runUntil(const std::function<bool()> &stop,
                  config_.maxSeconds);
             break;
         }
-        const TickTrace trace = step();
+        const TickTrace &trace = step();
         if (on_tick)
             on_tick(trace);
     }

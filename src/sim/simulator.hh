@@ -52,8 +52,13 @@ class Simulator
      */
     void bindTask(uint32_t core, Task *task);
 
-    /** Execute exactly one tick. */
-    TickTrace step();
+    /**
+     * Execute exactly one tick. Returns a reference to an internal
+     * trace buffer that is overwritten by the next step() — copy it if
+     * it must outlive the tick. Reusing the buffer (and the demand
+     * scratch vector) keeps the per-tick hot path allocation-free.
+     */
+    const TickTrace &step();
 
     /**
      * Run until @p stop returns true (checked after every tick) or
@@ -92,6 +97,9 @@ class Simulator
     SimConfig config_;
     std::vector<Task *> tasks_;  //!< per core; nullptr = idle
     IdleTask idle_;
+    /** Per-tick scratch, reused across ticks (see step()). */
+    std::vector<TaskDemand> demands_;
+    TickTrace trace_;
 };
 
 } // namespace dora

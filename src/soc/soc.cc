@@ -40,6 +40,15 @@ Soc::nexus5(const SocConfig &config)
 SocTickSummary
 Soc::tick(const std::vector<TaskDemand> &demands, double dt_sec)
 {
+    SocTickSummary summary;
+    tick(demands, dt_sec, summary);
+    return summary;
+}
+
+void
+Soc::tick(const std::vector<TaskDemand> &demands, double dt_sec,
+          SocTickSummary &summary)
+{
     if (demands.size() != cores_.size())
         panic("Soc::tick: %zu demands for %zu cores", demands.size(),
               cores_.size());
@@ -56,23 +65,26 @@ Soc::tick(const std::vector<TaskDemand> &demands, double dt_sec)
         pendingSwitchStallSec_ = 0.0;
     }
 
-    std::vector<TaskDemand> effective = demands;
+    auto &effective = effectiveScratch_;
+    effective.assign(demands.begin(), demands.end());
     if (stall_fraction > 0.0)
         for (auto &demand : effective)
             demand.dutyCycle *= (1.0 - stall_fraction);
 
     // Phase 1: size each core's address sample.
-    std::vector<MemSampleRequest> requests;
+    auto &requests = requestScratch_;
+    requests.clear();
     requests.reserve(cores_.size());
     for (uint32_t c = 0; c < cores_.size(); ++c)
         requests.push_back(
             cores_[c].planTick(effective[c], dt_sec, opp.coreMhz));
 
     // Phase 2: interleaved shared-hierarchy walk.
-    const auto sample_results = mem_.tickSample(requests);
+    auto &sample_results = resultScratch_;
+    mem_.tickSample(requests, sample_results);
 
     // Phase 3: timing + accounting.
-    SocTickSummary summary;
+    summary.perCore.clear();
     summary.perCore.reserve(cores_.size());
     summary.busMhz = opp.busMhz;
     summary.coreMhz = opp.coreMhz;
@@ -88,7 +100,6 @@ Soc::tick(const std::vector<TaskDemand> &demands, double dt_sec)
     pendingSwitchEnergyJ_ = 0.0;
 
     elapsedSeconds_ += dt_sec;
-    return summary;
 }
 
 void

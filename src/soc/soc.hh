@@ -81,6 +81,15 @@ class Soc
                         double dt_sec);
 
     /**
+     * Allocation-free variant for the per-tick hot path: fills
+     * @p summary in place (perCore cleared and refilled). Demand and
+     * request scratch space lives in member buffers, so steady-state
+     * ticks perform no heap allocation.
+     */
+    void tick(const std::vector<TaskDemand> &demands, double dt_sec,
+              SocTickSummary &summary);
+
+    /**
      * Request operating point @p idx. Equal-index requests are free;
      * actual transitions charge the switch penalty against the next
      * tick and count toward switchCount().
@@ -134,6 +143,10 @@ class Soc
     uint64_t switchCount_ = 0;
     double switchStallSeconds_ = 0.0;
     double elapsedSeconds_ = 0.0;
+    /** Per-tick scratch buffers, reused across ticks. */
+    std::vector<TaskDemand> effectiveScratch_;
+    std::vector<MemSampleRequest> requestScratch_;
+    std::vector<MemSampleResult> resultScratch_;
 };
 
 } // namespace dora

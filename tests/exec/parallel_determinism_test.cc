@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end determinism of the parallel experiment engine: the same
+ * comparison run at jobs=1 (exact legacy serial path) and jobs=4 must
+ * produce bit-identical RunMeasurement vectors — including when a
+ * non-zero fault-injection schedule is active on the signal path.
+ *
+ * Identity is checked through runMeasurementText(), which renders
+ * every double as a hex float, so any single-ULP divergence fails.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/fault_injector.hh"
+#include "fault/fault_schedule.hh"
+#include "harness/comparison.hh"
+#include "workloads/kernel.hh"
+
+namespace dora
+{
+namespace
+{
+
+/** Three cheap kernel-only workloads (no page => short 1 s windows). */
+std::vector<WorkloadSpec>
+cheapWorkloads()
+{
+    return {
+        WorkloadSets::kernelOnly(KernelCatalog::byName("kmeans")),
+        WorkloadSets::kernelOnly(KernelCatalog::byName("srad2")),
+        WorkloadSets::kernelOnly(KernelCatalog::byName("backprop")),
+    };
+}
+
+/** Model-free governors so no training campaign is needed. */
+const std::vector<std::string> kGovernors = {"interactive", "ondemand"};
+
+std::vector<std::string>
+comparisonTexts(unsigned jobs, FaultInjector *injector)
+{
+    ComparisonHarness harness(ExperimentConfig{}, nullptr, jobs);
+    if (injector)
+        harness.runner().setFaultInjector(injector);
+    const auto records = harness.runAll(cheapWorkloads(), kGovernors);
+    std::vector<std::string> texts;
+    for (const auto &r : records)
+        for (const auto &g : kGovernors)
+            texts.push_back(runMeasurementText(r.measurement(g)));
+    return texts;
+}
+
+TEST(ParallelDeterminism, FaultFreeComparisonBitIdentical)
+{
+    const auto serial = comparisonTexts(1, nullptr);
+    const auto parallel = comparisonTexts(4, nullptr);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+}
+
+TEST(ParallelDeterminism, FaultedComparisonBitIdentical)
+{
+    // A non-trivial schedule: sensor + actuator + thermal faults all
+    // active. The harness clones the schedule into per-job injectors;
+    // because injectors reset their deterministic stream at the start
+    // of every run, the clones must reproduce the serial measurements
+    // exactly.
+    const FaultSchedule schedule = FaultSchedule::combined(1234);
+    FaultInjector serial_injector(schedule);
+    FaultInjector parallel_injector(schedule);
+
+    const auto serial = comparisonTexts(1, &serial_injector);
+    const auto parallel = comparisonTexts(4, &parallel_injector);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+
+    // The schedule must actually have fired: a faulted interactive run
+    // differs from the fault-free one (otherwise this test would be
+    // vacuous).
+    const auto clean = comparisonTexts(1, nullptr);
+    bool any_difference = false;
+    for (size_t i = 0; i < serial.size(); ++i)
+        any_difference = any_difference || serial[i] != clean[i];
+    EXPECT_TRUE(any_difference)
+        << "combined fault schedule was a no-op on every cell";
+}
+
+TEST(ParallelDeterminism, OfflineOptBitIdenticalAndOrderInvariant)
+{
+    const auto workloads = cheapWorkloads();
+    ComparisonHarness serial(ExperimentConfig{}, nullptr, 1);
+    ComparisonHarness parallel(ExperimentConfig{}, nullptr, 4);
+
+    const auto serial_one = serial.offlineOpt(workloads[0]);
+    const auto parallel_one = parallel.offlineOpt(workloads[0]);
+    EXPECT_EQ(runMeasurementText(serial_one),
+              runMeasurementText(parallel_one));
+
+    // offlineOptMany must match per-workload offlineOpt exactly.
+    const auto many = parallel.offlineOptMany(workloads);
+    ASSERT_EQ(many.size(), workloads.size());
+    EXPECT_EQ(runMeasurementText(many[0]),
+              runMeasurementText(serial_one));
+    for (size_t w = 1; w < workloads.size(); ++w)
+        EXPECT_EQ(runMeasurementText(many[w]),
+                  runMeasurementText(serial.offlineOpt(workloads[w])));
+}
+
+TEST(ParallelDeterminism, DigestMatchesTextEquality)
+{
+    RunMeasurement a;
+    a.workload = "w";
+    a.ppw = 0.25;
+    RunMeasurement b = a;
+    EXPECT_EQ(runMeasurementDigest(a), runMeasurementDigest(b));
+    // A single-ULP change must change the digest.
+    b.ppw = std::nextafter(b.ppw, 1.0);
+    EXPECT_NE(runMeasurementDigest(a), runMeasurementDigest(b));
+}
+
+} // namespace
+} // namespace dora

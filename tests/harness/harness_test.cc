@@ -28,9 +28,33 @@ fabricatedRecord(double base_ppw, double dora_ppw, bool dora_meets)
     RunMeasurement dora;
     dora.ppw = dora_ppw;
     dora.meetsDeadline = dora_meets;
-    r.byGovernor["interactive"] = base;
-    r.byGovernor["DORA"] = dora;
+    r.setMeasurement("interactive", base);
+    r.setMeasurement("DORA", dora);
     return r;
+}
+
+TEST(GovernorRegistry, DenseIdsRoundTrip)
+{
+    ASSERT_GE(governorCount(), 5u);
+    EXPECT_EQ(governorIndex("interactive"), 0u);
+    for (size_t i = 0; i < governorCount(); ++i)
+        EXPECT_EQ(governorIndex(governorName(i)), i);
+}
+
+TEST(ComparisonRecord, FlatStorageTracksPresence)
+{
+    ComparisonRecord r;
+    EXPECT_FALSE(r.hasMeasurement(governorIndex("DORA")));
+    RunMeasurement m;
+    m.ppw = 0.5;
+    r.setMeasurement("DORA", m);
+    EXPECT_TRUE(r.hasMeasurement(governorIndex("DORA")));
+    EXPECT_FALSE(r.hasMeasurement(governorIndex("EE")));
+    EXPECT_DOUBLE_EQ(r.measurement("DORA").ppw, 0.5);
+    // Overwrites keep a single slot per governor.
+    m.ppw = 0.75;
+    r.setMeasurement(governorIndex("DORA"), m);
+    EXPECT_DOUBLE_EQ(r.measurement("DORA").ppw, 0.75);
 }
 
 TEST(ComparisonRecord, NormalizesAgainstInteractive)

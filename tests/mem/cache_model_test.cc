@@ -158,6 +158,38 @@ TEST(CacheModel, OccupancyFraction)
     EXPECT_DOUBLE_EQ(cache.occupancyFraction(1), 4.0 / 16.0);
 }
 
+TEST(CacheModel, OccupancyCounterMatchesScan)
+{
+    // Random multi-requestor traffic with ownership transfers,
+    // evictions and a flush: the O(1) per-requestor occupancy counters
+    // must agree with a full directory scan at every checkpoint.
+    CacheModel cache(tinyCache(1, 2, 4));  // 16 lines, 4 requestors
+    uint64_t state = 0x2545F4914F6CDD1Dull;
+    auto next = [&state]() {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state;
+    };
+    auto check_all = [&cache](int step) {
+        for (uint32_t r = 0; r < 4; ++r)
+            ASSERT_DOUBLE_EQ(cache.occupancyFraction(r),
+                             cache.occupancyFractionScan(r))
+                << "requestor " << r << " at step " << step;
+    };
+    for (int step = 0; step < 2000; ++step) {
+        cache.access(next() % 64, static_cast<uint32_t>(next() % 4));
+        if (step % 37 == 0)
+            check_all(step);
+    }
+    check_all(2000);
+    cache.flush();
+    for (uint32_t r = 0; r < 4; ++r) {
+        EXPECT_DOUBLE_EQ(cache.occupancyFraction(r), 0.0);
+        EXPECT_DOUBLE_EQ(cache.occupancyFractionScan(r), 0.0);
+    }
+}
+
 /** Property sweep over geometries: hit rate of a resident set is 1. */
 class CacheGeometrySweep
     : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
