@@ -20,6 +20,7 @@ using namespace dora;
 int
 main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     const unsigned jobs = benchJobs(argc, argv);
     auto bundle = benchBundle();
 

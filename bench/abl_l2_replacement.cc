@@ -19,8 +19,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     TextTable t({"L2 policy", "reddit alone s", "reddit +high s",
                  "interference %", "espn+med s", "backprop MPKI"});
     for (ReplacementPolicy policy : {ReplacementPolicy::Lru,

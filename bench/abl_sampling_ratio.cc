@@ -18,8 +18,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     TextTable t({"sampling ratio", "reddit alone s", "reddit +high s",
                  "interference %", "backprop MPKI", "run cost (samples"
                  "/tick cap)"});

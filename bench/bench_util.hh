@@ -19,6 +19,7 @@
 #include "common/table.hh"
 #include "exec/thread_pool.hh"
 #include "harness/bundle_cache.hh"
+#include "obs/trace.hh"
 
 namespace dora
 {

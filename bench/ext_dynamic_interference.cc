@@ -22,8 +22,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     auto bundle = benchBundle();
     ExperimentRunner runner;
     // A slightly relaxed target: the point here is adaptation, and

@@ -117,8 +117,9 @@ rejectedSafely(const std::string &label, const std::string &contents)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     auto bundle = benchBundle();
     ExperimentRunner runner;
     const FreqTable &table = runner.freqTable();

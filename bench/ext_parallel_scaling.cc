@@ -44,6 +44,7 @@ wallSeconds(const std::chrono::steady_clock::time_point &t0)
 int
 main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     unsigned jobs = jobCountFromArgs(argc, argv);
     if (jobs < 2)
         jobs = std::min(4u, hardwareJobs());

@@ -18,8 +18,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     ExperimentRunner runner;
     const FreqTable &table = runner.freqTable();
     const WebPage &reddit = PageCorpus::byName("reddit");

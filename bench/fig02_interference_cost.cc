@@ -28,8 +28,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     ExperimentRunner runner;
     const size_t fmax = runner.freqTable().maxIndex();
     const char *pages[] = {"aliexpress", "hao123", "espn", "imgur"};

@@ -91,8 +91,9 @@ sweepPage(ExperimentRunner &runner, const char *name, MemIntensity cls)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     ExperimentRunner runner;
     sweepPage(runner, "espn", MemIntensity::Medium);
     sweepPage(runner, "msn", MemIntensity::Medium);

@@ -40,6 +40,7 @@ meanAbsPct(const std::vector<double> &errors)
 int
 main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     TrainerConfig trainer_config;
     trainer_config.jobs = benchJobs(argc, argv);
     Trainer trainer(trainer_config);

@@ -21,8 +21,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     auto bundle = benchBundle();
     ExperimentRunner runner;
     const FreqTable &table = runner.freqTable();

@@ -26,6 +26,7 @@ using namespace dora;
 int
 main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     const unsigned jobs = benchJobs(argc, argv);
     auto bundle = benchBundle();
     ComparisonHarness harness(ExperimentConfig{}, bundle, jobs);
@@ -41,8 +42,12 @@ main(int argc, char **argv)
             .push_back(r);
 
     // --- (a) normalized PPW summary. ---
+    // Censored runs (page never finished inside the wall) are counted,
+    // never averaged: their PPW of 0 is a flag, and folding it into the
+    // mean would rank a governor that fails a page above one that
+    // finishes late.
     TextTable a({"governor", "inclusive", "neutral", "all",
-                 "deadline met %"});
+                 "deadline met %", "censored"});
     for (const auto &name : ComparisonHarness::paperGovernors()) {
         a.beginRow();
         a.add(name);
@@ -50,17 +55,27 @@ main(int argc, char **argv)
         a.add(meanNormalizedPpw(neutral, name), 3);
         a.add(meanNormalizedPpw(records, name), 3);
         a.add(100.0 * deadlineMeetRate(records, name), 1);
+        a.add(std::to_string(censoredCount(records, name)));
     }
     emitTable("fig07a", "Fig. 7(a) — mean PPW normalized to "
                         "interactive", a);
 
     // --- (b) load-time distribution per governor. ---
+    // The CDF covers finished loads only; a censored load time is the
+    // window length (a lower bound), which would bias every quantile
+    // downward if pushed.
     TextTable b({"governor", "p10 s", "p50 s", "p90 s", "max s",
-                 "frac <= 3 s"});
+                 "frac <= 3 s", "censored"});
     for (const auto &name : ComparisonHarness::paperGovernors()) {
         EmpiricalCdf cdf;
-        for (const auto &r : records)
-            cdf.push(r.measurement(name).loadTimeSec);
+        size_t censored = 0;
+        for (const auto &r : records) {
+            const RunMeasurement &m = r.measurement(name);
+            if (m.censored)
+                ++censored;
+            else
+                cdf.push(m.loadTimeSec);
+        }
         b.beginRow();
         b.add(name);
         b.add(cdf.quantile(0.10), 3);
@@ -68,8 +83,10 @@ main(int argc, char **argv)
         b.add(cdf.quantile(0.90), 3);
         b.add(cdf.max(), 3);
         b.add(cdf.fractionAtOrBelow(3.0), 3);
+        b.add(std::to_string(censored));
     }
-    emitTable("fig07b", "Fig. 7(b) — load-time distribution", b);
+    emitTable("fig07b", "Fig. 7(b) — load-time distribution "
+                        "(finished loads; censored counted)", b);
 
     // --- Offline_opt on ten spread-out workloads. ---
     // The workload x frequency grid is fanned out jointly, so the
@@ -92,6 +109,13 @@ main(int argc, char **argv)
         const double base = r.measurement("interactive").ppw;
         c.beginRow();
         c.add(r.workload.label());
+        if (base <= 0.0 || opt.censored ||
+            r.measurement("DORA").censored) {
+            // Censored somewhere in the triple: no PPW ratio exists.
+            c.add("censored");
+            c.add("censored");
+            continue;
+        }
         c.add(opt.ppw / base, 3);
         c.add(r.normalizedPpw("DORA"), 3);
         opt_sum += opt.ppw / base;
@@ -100,8 +124,8 @@ main(int argc, char **argv)
     }
     emitTable("fig07_offline", "Offline_opt vs DORA (10 workloads)", c);
     std::cout << "mean: offline_opt "
-              << formatFixed(opt_sum / n, 3) << ", DORA "
-              << formatFixed(dora_sum / n, 3) << "\n";
+              << formatFixed(n ? opt_sum / n : 0.0, 3) << ", DORA "
+              << formatFixed(n ? dora_sum / n : 0.0, 3) << "\n";
 
     std::cout << "\nExpected shape: DORA in the +10..20% band over "
                  "interactive; EE slightly higher PPW but misses "

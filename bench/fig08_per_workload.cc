@@ -19,6 +19,7 @@ using namespace dora;
 int
 main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     const unsigned jobs = benchJobs(argc, argv);
     auto bundle = benchBundle();
     ComparisonHarness harness(ExperimentConfig{}, bundle, jobs);

@@ -38,7 +38,10 @@ detail(ComparisonHarness &harness, const char *page_name)
             t.add(gov);
             t.add(m.meanFreqMhz / 1000.0, 2);
             t.add(m.loadTimeSec, 3);
-            t.add(m.ppw / base.ppw, 3);
+            if (m.censored || base.censored || base.ppw <= 0.0)
+                t.add("censored");
+            else
+                t.add(m.ppw / base.ppw, 3);
             t.add(std::string(m.meetsDeadline ? "yes" : "no"));
         }
     }
@@ -51,8 +54,9 @@ detail(ComparisonHarness &harness, const char *page_name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     auto bundle = benchBundle();
     ComparisonHarness harness(ExperimentConfig{}, bundle);
     detail(harness, "amazon");

@@ -18,8 +18,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     auto bundle = benchBundle();
     const WorkloadSpec w = WorkloadSets::combo(
         PageCorpus::byName("msn"), MemIntensity::High);

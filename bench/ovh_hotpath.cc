@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "mem/cache_model.hh"
+#include "obs/trace.hh"
 #include "power/device_power.hh"
 #include "runner/workload.hh"
 #include "sim/simulator.hh"
@@ -147,6 +148,8 @@ printTickRate()
 int
 main(int argc, char **argv)
 {
+    // Before benchmark::Initialize so --trace is seen pre-filtering.
+    ObsGuard obs(argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -150,6 +150,7 @@ printOverheadTable()
 int
 main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     g_bundle = benchBundle();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -12,8 +12,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     const Soc soc = Soc::nexus5();
     const SocConfig &config = soc.config();
     const MemSystemConfig &mem = soc.mem().config();

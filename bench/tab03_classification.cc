@@ -18,8 +18,9 @@
 using namespace dora;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsGuard obs(argc, argv);
     ExperimentRunner runner;
     const size_t fmax = runner.freqTable().maxIndex();
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Single-entry CI pipeline: configure + build, run the full test
+# suite, sweep the sanitizer builds, and gate the simulation hot path
+# against the recorded BENCH_parallel.json baseline so tick-rate
+# regressions (e.g. from observability instrumentation) fail loudly.
+#
+# Usage: scripts/ci.sh [--skip-sanitizers] [--build-dir DIR]
+#
+# Environment:
+#   DORA_CI_HOTPATH_TOL_PCT  allowed ticks/sec regression vs the
+#                            baseline, percent (default 5; wall-clock
+#                            measurements on shared hosts are noisy,
+#                            so widen it there rather than deleting
+#                            the gate)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+skip_sanitizers=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --skip-sanitizers) skip_sanitizers=1; shift ;;
+        --build-dir) build_dir="$2"; shift 2 ;;
+        --build-dir=*) build_dir="${1#--build-dir=}"; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+echo "== build =="
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)"
+
+echo "== tests =="
+(cd "${build_dir}" && ctest --output-on-failure)
+
+if [[ "${skip_sanitizers}" -eq 0 ]]; then
+    echo "== sanitizers: address,undefined =="
+    "${repo_root}/scripts/run_sanitized_tests.sh"
+    echo "== sanitizers: thread =="
+    "${repo_root}/scripts/run_sanitized_tests.sh" --sanitize=thread
+fi
+
+echo "== hot-path overhead gate =="
+baseline_json="${repo_root}/BENCH_parallel.json"
+baseline="$(sed -n '/"ovh_hotpath"/,/}/s/.*"ticks_per_sec": *\([0-9]*\).*/\1/p' \
+    "${baseline_json}")"
+if [[ -z "${baseline}" ]]; then
+    echo "warning: no ovh_hotpath baseline in ${baseline_json};" \
+         "skipping the gate (run scripts/run_benches.sh to record one)"
+    exit 0
+fi
+# --benchmark_filter that matches nothing skips the google-benchmark
+# timings; printTickRate (the gated number) always runs. Tracing stays
+# disabled — this measures the instrumented-but-off hot path.
+ticks="$("${build_dir}/bench/ovh_hotpath" '--benchmark_filter=^$' |
+    awk '/^HOTPATH_TICKS_PER_SEC/{print $2}')"
+tol_pct="${DORA_CI_HOTPATH_TOL_PCT:-5}"
+floor="$(awk -v b="${baseline}" -v t="${tol_pct}" \
+    'BEGIN{printf "%d", b * (100 - t) / 100}')"
+echo "ticks/sec: measured ${ticks}, baseline ${baseline}," \
+     "floor ${floor} (tolerance ${tol_pct}%)"
+if [[ "${ticks}" -lt "${floor}" ]]; then
+    echo "error: hot-path tick rate regressed beyond ${tol_pct}%" >&2
+    exit 1
+fi
+echo "ci: all gates passed"

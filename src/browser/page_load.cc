@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/units.hh"
+#include "obs/trace.hh"
 
 namespace dora
 {
@@ -152,15 +153,35 @@ PageLoad::advanceFor(RenderThreadTask::Role role, const TickResult &result,
 }
 
 void
+PageLoad::setTrace(RunTrace *trace, double base_sec)
+{
+    trace_ = trace;
+    traceBaseSec_ = base_sec;
+    if (trace_ && !finished())
+        trace_->begin(traceBaseSec_ + elapsedSec_, "page", "phase",
+                      {{"phase", phases_[phase_].name}});
+}
+
+void
 PageLoad::maybeAdvancePhase()
 {
     while (!finished() && remainMain_[phase_] <= 0.0 &&
            remainHelper_[phase_] <= 0.0) {
+        if (trace_)
+            trace_->end(traceBaseSec_ + elapsedSec_, "page", "phase");
         ++phase_;
         if (!finished()) {
             // Same data region, new locality shape for the new phase.
             mainStream_->reshape(phases_[phase_].stream);
             helperStream_->reshape(phases_[phase_].stream);
+            if (trace_)
+                trace_->begin(traceBaseSec_ + elapsedSec_, "page",
+                              "phase",
+                              {{"phase", phases_[phase_].name}});
+        } else if (trace_) {
+            trace_->instant(traceBaseSec_ + elapsedSec_, "page",
+                            "load_complete",
+                            {{"load_time_sec", elapsedSec_}});
         }
     }
 }

@@ -27,6 +27,7 @@ namespace dora
 {
 
 class PageLoad;
+class RunTrace;
 
 /**
  * Task facade for one browser thread (main or helper) of a PageLoad.
@@ -94,6 +95,14 @@ class PageLoad
     /** Restart the load from scratch. */
     void reset();
 
+    /**
+     * Attach a trace sink (null detaches): emits begin/end events for
+     * every render phase, timestamped at @p base_sec plus the elapsed
+     * load time, so phase durations land on the run's simulated
+     * timeline. Call after binding the load, before the first tick.
+     */
+    void setTrace(RunTrace *trace, double base_sec);
+
   private:
     friend class RenderThreadTask;
 
@@ -112,6 +121,9 @@ class PageLoad
     std::vector<double> remainMain_;
     std::vector<double> remainHelper_;
     double elapsedSec_ = 0.0;
+
+    RunTrace *trace_ = nullptr;  //!< null when tracing is disabled
+    double traceBaseSec_ = 0.0;
 
     std::unique_ptr<AddressStream> mainStream_;
     std::unique_ptr<AddressStream> helperStream_;

@@ -1,8 +1,10 @@
 #include "common/logging.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 
 namespace dora
@@ -29,6 +31,17 @@ emit(const char *prefix, const char *fmt, va_list args)
     std::lock_guard<std::mutex> lock(g_emitMutex);
     std::fprintf(stderr, "%s%s%s\n", prefix, buf, ellipsis);
 }
+
+/** Per-format-string warn() tallies, guarded by its own mutex so the
+ *  suppression check never contends with the emit path's formatting. */
+struct WarnTally
+{
+    uint64_t emitted = 0;
+    uint64_t suppressed = 0;
+};
+
+std::mutex g_warnMutex;
+std::map<std::string, WarnTally> g_warnTallies;
 
 } // namespace
 
@@ -58,10 +71,57 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    bool last_before_mute = false;
+    {
+        std::lock_guard<std::mutex> lock(g_warnMutex);
+        WarnTally &tally = g_warnTallies[fmt];
+        if (tally.emitted >= warnEmitLimit()) {
+            ++tally.suppressed;
+            return;
+        }
+        ++tally.emitted;
+        last_before_mute = tally.emitted == warnEmitLimit();
+    }
     va_list args;
     va_start(args, fmt);
     emit("warn: ", fmt, args);
     va_end(args);
+    if (last_before_mute) {
+        std::lock_guard<std::mutex> lock(g_emitMutex);
+        std::fprintf(stderr,
+                     "warn: (repeated %llu times; further instances of "
+                     "this warning are suppressed and counted)\n",
+                     static_cast<unsigned long long>(warnEmitLimit()));
+    }
+}
+
+std::vector<WarnSuppressionEntry>
+warnSuppressionEntries()
+{
+    std::vector<WarnSuppressionEntry> out;
+    std::lock_guard<std::mutex> lock(g_warnMutex);
+    out.reserve(g_warnTallies.size());
+    for (const auto &[key, tally] : g_warnTallies)
+        out.push_back(
+            WarnSuppressionEntry{key, tally.emitted, tally.suppressed});
+    return out;
+}
+
+uint64_t
+warnSuppressedTotal()
+{
+    uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(g_warnMutex);
+    for (const auto &[key, tally] : g_warnTallies)
+        total += tally.suppressed;
+    return total;
+}
+
+void
+resetWarnSuppression()
+{
+    std::lock_guard<std::mutex> lock(g_warnMutex);
+    g_warnTallies.clear();
 }
 
 void

@@ -11,7 +11,9 @@
 #define DORA_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dora
 {
@@ -33,8 +35,36 @@ LogLevel logLevel();
 /** Informative status message (printf-style). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Non-fatal warning about questionable conditions (printf-style). */
+/**
+ * Non-fatal warning about questionable conditions (printf-style).
+ *
+ * Repeated warnings are rate-limited per format string: after
+ * warnEmitLimit() emissions of the same fmt the sink stops printing and
+ * counts instead, so a parallel sweep hitting the same condition in
+ * every cell cannot flood stderr. Suppression totals are queryable
+ * below and surfaced by MetricsRegistry::snapshotText().
+ */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emissions allowed per distinct warn() format string. */
+constexpr uint64_t warnEmitLimit() { return 5; }
+
+/** Suppression tally for one warn() format string. */
+struct WarnSuppressionEntry
+{
+    std::string key;      //!< the format string
+    uint64_t emitted;     //!< lines actually printed
+    uint64_t suppressed;  //!< calls swallowed after the limit
+};
+
+/** Per-key tallies, sorted by key. Thread-safe. */
+std::vector<WarnSuppressionEntry> warnSuppressionEntries();
+
+/** Total warn() calls suppressed across all keys. Thread-safe. */
+uint64_t warnSuppressedTotal();
+
+/** Forget all suppression state (tests). Thread-safe. */
+void resetWarnSuppression();
 
 /** Extra-chatty diagnostics, only shown at LogLevel::Verbose. */
 void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -7,6 +7,7 @@
 #include "common/rng.hh"
 #include "dora/features.hh"
 #include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "power/leakage.hh"
 
 namespace dora
@@ -26,7 +27,11 @@ trainingConfigHash(const TrainerConfig &config)
     std::ostringstream text;
     text.precision(17);
     const ExperimentConfig &e = config.experiment;
-    text << "deadline " << e.deadlineSec << " warmup " << e.warmupSec
+    // experimentConfigHash() carries the measurement-protocol revision
+    // token, so cached bundles retrain whenever the run recipe changes
+    // results (e.g. the rev2 RNG-salt decorrelation).
+    text << "protocol " << experimentConfigHash(e);
+    text << " deadline " << e.deadlineSec << " warmup " << e.warmupSec
          << " dt " << e.dtSec << " maxload " << e.maxLoadSec
          << " measure " << e.measureSec << " ambient " << e.ambientC
          << " warmdie " << e.warmDieDeltaC;
@@ -72,11 +77,14 @@ Trainer::collectSamples(const std::vector<WorkloadSpec> &workloads,
     // Every run constructs its own simulated device, so parallel
     // collection is bit-identical to the legacy serial loop; results
     // are assembled in grid order (workload-major).
+    static MetricCounter &samples_collected =
+        MetricsRegistry::global().counter("trainer.samples_collected");
     const size_t freqs = freq_indices.size();
     auto run_cell = [&](ExperimentRunner &runner, size_t cell) {
         const WorkloadSpec &workload = workloads[cell / freqs];
         const size_t f = freq_indices[cell % freqs];
         const RunMeasurement m = runner.runAtFrequency(workload, f);
+        samples_collected.add();
         const OperatingPoint &opp = runner.freqTable().opp(f);
         TrainingSample s;
         s.x = buildFeatureVector(workload.page->features, m.meanL2Mpki,

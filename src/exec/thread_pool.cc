@@ -1,10 +1,12 @@
 #include "exec/thread_pool.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace dora
 {
@@ -120,11 +122,24 @@ ThreadPool::workerLoop()
 void
 ThreadPool::runBatch(Batch &batch)
 {
+    // Cached registry lookups: one-time name resolution, then each job
+    // costs two relaxed atomic ops and a clock read. Wall-clock
+    // observations stay in the metrics registry (stderr only) — never
+    // in trace artifacts, which must be byte-identical at any job
+    // count.
+    static MetricCounter &jobs_run =
+        MetricsRegistry::global().counter("exec.jobs");
+    static MetricHistogram &job_wall_sec =
+        MetricsRegistry::global().histogram("exec.job_wall_sec");
+    static MetricGauge &queue_depth =
+        MetricsRegistry::global().gauge("exec.queue_depth");
     for (;;) {
         const size_t i =
             batch.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= batch.n)
             return;
+        queue_depth.set(static_cast<double>(batch.n - i - 1));
+        const auto job_start = std::chrono::steady_clock::now();
         try {
             (*batch.fn)(i);
         } catch (...) {
@@ -134,6 +149,9 @@ ThreadPool::runBatch(Batch &batch)
                 batch.errorIndex = i;
             }
         }
+        job_wall_sec.record(std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - job_start).count());
+        jobs_run.add();
         batch.done.fetch_add(1, std::memory_order_acq_rel);
     }
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace dora
 {
 
@@ -95,17 +97,28 @@ FaultInjector::conditionView(GovernorView &view)
     const FaultAction util_action = drawAction();
     const FaultAction temp_action = drawAction();
 
-    auto tally = [this](const FaultAction &a) {
-        if (a.beginStuck)
+    auto tally = [this, now](const FaultAction &a, const char *signal) {
+        if (a.beginStuck) {
             ++counters_.sensorStuckIntervals;
-        else if (a.drop)
+            if (trace_)
+                trace_->instant(now, "fault", "sensor_stuck",
+                                {{"signal", signal}});
+        } else if (a.drop) {
             ++counters_.sensorDrops;
-        else if (a.noiseFactor != 1.0)
+            if (trace_)
+                trace_->instant(now, "fault", "sensor_drop",
+                                {{"signal", signal}});
+        } else if (a.noiseFactor != 1.0) {
             ++counters_.sensorNoisy;
+            if (trace_)
+                trace_->instant(now, "fault", "sensor_noise",
+                                {{"signal", signal},
+                                 {"factor", a.noiseFactor}});
+        }
     };
-    tally(mpki_action);
-    tally(util_action);
-    tally(temp_action);
+    tally(mpki_action, "l2_mpki");
+    tally(util_action, "utilization");
+    tally(temp_action, "temperature");
 
     view.l2Mpki = applyAction(mpki_, mpki_action, now, view.l2Mpki,
                               kFallbackL2Mpki, 0.0, 1e4);
@@ -134,20 +147,23 @@ FaultInjector::actuatorAccepts(double now_sec, size_t requested,
     if (!enabled_ || requested == current)
         return true;
 
-    if (now_sec < actuatorLatchUntilSec_) {
+    const auto reject = [this, now_sec, requested, current] {
         ++counters_.actuatorRejects;
+        if (trace_)
+            trace_->instant(now_sec, "fault", "actuator_reject",
+                            {{"requested", requested},
+                             {"current", current}});
         return false;
-    }
+    };
+    if (now_sec < actuatorLatchUntilSec_)
+        return reject();
     if (rng_.chance(schedule_.actuatorLatchProb)) {
         actuatorLatchUntilSec_ =
             now_sec + schedule_.actuatorLatchDurationSec;
-        ++counters_.actuatorRejects;
-        return false;
+        return reject();
     }
-    if (rng_.chance(schedule_.actuatorRejectProb)) {
-        ++counters_.actuatorRejects;
-        return false;
-    }
+    if (rng_.chance(schedule_.actuatorRejectProb))
+        return reject();
     return true;
 }
 
@@ -161,6 +177,11 @@ FaultInjector::ambientDeltaC(double now_sec)
     if (rng_.chance(schedule_.thermalSpikeProb)) {
         spikeUntilSec_ = now_sec + schedule_.thermalSpikeDurationSec;
         ++counters_.thermalSpikes;
+        if (trace_)
+            trace_->instant(now_sec, "fault", "thermal_spike",
+                            {{"delta_c", schedule_.thermalSpikeDeltaC},
+                             {"duration_sec",
+                              schedule_.thermalSpikeDurationSec}});
         return schedule_.thermalSpikeDeltaC;
     }
     return 0.0;

@@ -32,6 +32,8 @@
 namespace dora
 {
 
+class RunTrace;
+
 /**
  * Deterministic fault source for one experiment run.
  *
@@ -76,6 +78,14 @@ class FaultInjector
 
     const FaultSchedule &schedule() const { return schedule_; }
     const FaultCounters &counters() const { return counters_; }
+
+    /**
+     * Attach a run trace sink (null detaches): every injected fault —
+     * sensor drop/stuck/noise, actuator reject, thermal spike — then
+     * emits a timestamped event. The harness attaches the sink per run
+     * and MUST detach it before the RunTrace is destroyed.
+     */
+    void setTrace(RunTrace *trace) { trace_ = trace; }
 
     /** Fail-safe defaults served when a dropped signal went stale. */
     static constexpr double kFallbackUtilization = 1.0;
@@ -131,6 +141,7 @@ class FaultInjector
     double actuatorLatchUntilSec_ = -1.0;
     double spikeUntilSec_ = -1.0;
     FaultCounters counters_;
+    RunTrace *trace_ = nullptr;  //!< null when tracing is disabled
 };
 
 } // namespace dora

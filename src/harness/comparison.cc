@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
 #include "fault/fault_injector.hh"
+#include "obs/metrics.hh"
 
 namespace dora
 {
@@ -199,6 +200,11 @@ ComparisonHarness::mapWithRunners(
     // parallel results bit-identical to the serial ones.
     const ExperimentConfig config = runner_.config();
     const FaultInjector *shared_injector = runner_.faultInjector();
+    static MetricCounter &cells_queued =
+        MetricsRegistry::global().counter("harness.cells_queued");
+    static MetricCounter &cells_done =
+        MetricsRegistry::global().counter("harness.cells_done");
+    cells_queued.add(n);
     return parallelMap<RunMeasurement>(
         n,
         [&](size_t i) {
@@ -208,7 +214,9 @@ ComparisonHarness::mapWithRunners(
                 injector.emplace(shared_injector->schedule());
                 local.setFaultInjector(&*injector);
             }
-            return fn(local, i);
+            RunMeasurement m = fn(local, i);
+            cells_done.add();
+            return m;
         },
         jobs_);
 }
@@ -243,6 +251,13 @@ RunMeasurement
 ComparisonHarness::pickOfflineOpt(std::vector<RunMeasurement> sweep) const
 {
     const FreqTable &table = runner_.freqTable();
+    // A short sweep used to fall through to a default-constructed
+    // RunMeasurement (governor "", PPW 0) that silently polluted
+    // downstream aggregates; it is a caller bug, so fail loudly.
+    if (sweep.size() < table.size())
+        fatal("pickOfflineOpt: sweep covers %zu OPPs but the table has "
+              "%zu; the offline-optimal search needs every OPP",
+              sweep.size(), table.size());
     RunMeasurement best;
     RunMeasurement fastest;
     bool have_meeting = false;
@@ -292,17 +307,48 @@ ComparisonHarness::offlineOptMany(
     return results;
 }
 
+namespace
+{
+
+/** True when @p record's @p id run or its baseline is censored. */
+bool
+recordCensored(const ComparisonRecord &record, size_t id)
+{
+    return record.measurement(id).censored ||
+        record.measurement(kInteractiveId).censored;
+}
+
+} // namespace
+
 double
 meanNormalizedPpw(const std::vector<ComparisonRecord> &records,
                   const std::string &governor)
 {
-    if (records.empty())
-        return 0.0;
     const size_t id = governorIndex(governor);
     double sum = 0.0;
-    for (const auto &r : records)
+    size_t counted = 0;
+    for (const auto &r : records) {
+        // A censored run's PPW of 0 is a flag, not an observation:
+        // averaging it would reward governors that fail pages outright
+        // over governors that finish them late.
+        if (recordCensored(r, id))
+            continue;
         sum += r.normalizedPpw(id);
-    return sum / static_cast<double>(records.size());
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+size_t
+censoredCount(const std::vector<ComparisonRecord> &records,
+              const std::string &governor)
+{
+    const size_t id = governorIndex(governor);
+    size_t censored = 0;
+    for (const auto &r : records)
+        if (recordCensored(r, id))
+            ++censored;
+    return censored;
 }
 
 double

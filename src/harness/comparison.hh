@@ -132,6 +132,14 @@ class ComparisonHarness
     /** Default governor list used when runAll() gets an empty set. */
     static const std::vector<std::string> &paperGovernors();
 
+    /**
+     * Select the offline-opt winner from an ascending-OPP sweep. The
+     * sweep must cover the full OPP table (fatal() otherwise — a short
+     * sweep once yielded a silent default-constructed result). Public
+     * so tests and custom sweep drivers can reuse the selection rule.
+     */
+    RunMeasurement pickOfflineOpt(std::vector<RunMeasurement> sweep) const;
+
   private:
     /** runOne() against an explicit runner (per-job runners). */
     RunMeasurement runOneWith(ExperimentRunner &runner,
@@ -149,21 +157,35 @@ class ComparisonHarness
         const std::function<RunMeasurement(ExperimentRunner &, size_t)>
             &fn);
 
-    /** Select the offline-opt winner from an ascending-OPP sweep. */
-    RunMeasurement pickOfflineOpt(std::vector<RunMeasurement> sweep) const;
-
     ExperimentRunner runner_;
     std::shared_ptr<const ModelBundle> models_;
     unsigned jobs_;
 };
 
-/** Mean of normalized PPW for @p governor over @p records. */
+/**
+ * Mean of normalized PPW for @p governor over @p records. Censored
+ * records — the governor's run or its interactive baseline never
+ * finished the page — are excluded from the mean (their PPW of 0 is a
+ * flag, not a score); report them via censoredCount() alongside.
+ * Returns 0 when every record is censored.
+ */
 double meanNormalizedPpw(const std::vector<ComparisonRecord> &records,
                          const std::string &governor);
 
-/** Fraction of records whose @p governor run met the deadline. */
+/**
+ * Fraction of records whose @p governor run met the deadline. Censored
+ * runs count as misses (the page provably did not finish in time), so
+ * the denominator is all records.
+ */
 double deadlineMeetRate(const std::vector<ComparisonRecord> &records,
                         const std::string &governor);
+
+/**
+ * Number of records excluded from meanNormalizedPpw() for @p governor:
+ * the governor's own run or its interactive baseline is censored.
+ */
+size_t censoredCount(const std::vector<ComparisonRecord> &records,
+                     const std::string &governor);
 
 } // namespace dora
 

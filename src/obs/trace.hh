@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Structured run tracing: per-run event buffers collected into a
+ * session and exported as a JSONL event stream, a Chrome trace-event
+ * timeline (loadable in chrome://tracing / Perfetto), and a manifest.
+ *
+ * Design constraints (DESIGN.md §5c):
+ *
+ *  - **Byte-identical at any `--jobs` count.** Every run's events are
+ *    recorded into a private RunTrace in whatever worker thread runs
+ *    the simulation; at finalize() the session sorts runs by a
+ *    deterministic key (and, for identical keys, by serialized
+ *    content) before writing, so parallel completion order never
+ *    reaches the files. Only *simulated* time appears in trace
+ *    artifacts — wall-clock observations belong in obs/metrics.hh.
+ *
+ *  - **Near-zero cost when disabled.** TraceSession::active() is one
+ *    relaxed atomic load; instrumented components hold a RunTrace
+ *    pointer that is simply null when no session is installed, so the
+ *    hot path pays a predictable-not-taken branch and no formatting.
+ *    All rendering happens once, at finalize().
+ */
+
+#ifndef DORA_OBS_TRACE_HH
+#define DORA_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dora
+{
+
+/** A typed value attached to a trace event or run meta entry. */
+struct TraceValue
+{
+    enum class Kind { Uint, Int, Real, Text, Boolean };
+
+    Kind kind = Kind::Uint;
+    uint64_t u = 0;
+    int64_t i = 0;
+    double d = 0.0;
+    bool b = false;
+    std::string s;
+
+    TraceValue() = default;
+    template <typename T>
+        requires(std::is_unsigned_v<T> && !std::is_same_v<T, bool>)
+    TraceValue(T v) : kind(Kind::Uint), u(v)
+    {
+    }
+    TraceValue(int64_t v) : kind(Kind::Int), i(v) {}
+    TraceValue(int v) : kind(Kind::Int), i(v) {}
+    TraceValue(double v) : kind(Kind::Real), d(v) {}
+    TraceValue(bool v) : kind(Kind::Boolean), b(v) {}
+    TraceValue(std::string v) : kind(Kind::Text), s(std::move(v)) {}
+    TraceValue(const char *v) : kind(Kind::Text), s(v) {}
+
+    /** Render as a JSON value (deterministic %.17g for reals). */
+    std::string toJson() const;
+};
+
+/** One key/value event argument. */
+struct TraceArg
+{
+    const char *key;  //!< must point at a string literal
+    TraceValue value;
+};
+
+/** One structured event inside a run. Times are *simulated* seconds. */
+struct TraceEvent
+{
+    double tSec = 0.0;
+    double durSec = -1.0;  //!< >= 0 only for phase 'X' (complete)
+    char phase = 'i';      //!< Chrome phases: B, E, i, X
+    const char *cat = "";  //!< string literal
+    const char *name = ""; //!< string literal
+    std::vector<TraceArg> args;
+};
+
+/**
+ * Event buffer for one experiment run. Single-threaded: a run is
+ * simulated entirely on one worker, so recording needs no locks.
+ */
+class RunTrace
+{
+  public:
+    explicit RunTrace(std::string key) : key_(std::move(key)) {}
+
+    const std::string &key() const { return key_; }
+
+    /** Attach run-level metadata (workload, governor, digests...). */
+    void setMeta(const std::string &key, TraceValue value);
+
+    /** Look up a meta value; nullptr when absent. */
+    const TraceValue *meta(const std::string &key) const;
+
+    /** Record an instant event. */
+    void instant(double t_sec, const char *cat, const char *name,
+                 std::initializer_list<TraceArg> args = {});
+
+    /** Record a duration-begin event. */
+    void begin(double t_sec, const char *cat, const char *name,
+               std::initializer_list<TraceArg> args = {});
+
+    /** Record a duration-end event (pairs with begin by nesting). */
+    void end(double t_sec, const char *cat, const char *name);
+
+    /** Record a complete (begin+duration) event. */
+    void complete(double t_sec, double dur_sec, const char *cat,
+                  const char *name,
+                  std::initializer_list<TraceArg> args = {});
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /**
+     * JSONL rendering: one meta line (`{"run":key,"meta":{...}}`)
+     * followed by one line per event, in record order. This string is
+     * also the content half of the session's deterministic sort key.
+     */
+    std::string toJsonl() const;
+
+  private:
+    std::string key_;
+    std::map<std::string, TraceValue> meta_;  //!< sorted rendering
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Collects finished RunTraces (thread-safe submit) and writes the
+ * three per-session artifacts into its directory at finalize():
+ *
+ *   events.jsonl   every run's meta + events, runs in sorted order
+ *   trace.json     Chrome trace-event timeline (one tid per run)
+ *   manifest.json  config hash, base RNG seed, git describe, combined
+ *                  measurement digest, run/event counts
+ *
+ * All three are byte-identical at any `--jobs` count.
+ */
+class TraceSession
+{
+  public:
+    /**
+     * @param dir   output directory (created if missing)
+     * @param label session label recorded in the manifest ("fig09"...)
+     */
+    TraceSession(std::string dir, std::string label);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Move a finished run into the session. Thread-safe. */
+    void submit(RunTrace &&run);
+
+    /** Extra manifest fields ("bench", ad-hoc context). Thread-safe. */
+    void setManifestField(const std::string &key, std::string value);
+
+    /** Number of runs submitted so far. */
+    size_t runCount() const;
+
+    /**
+     * Sort runs, write events.jsonl / trace.json / manifest.json.
+     * Returns false (with a warn) if the directory or files cannot be
+     * written. Idempotent: later calls rewrite the same bytes.
+     */
+    bool finalize();
+
+    /**
+     * The installed session, or nullptr when tracing is disabled —
+     * one relaxed atomic load, safe to query on warm paths.
+     */
+    static TraceSession *active();
+
+    /** Install @p session as the process-wide sink (nullptr clears). */
+    static void install(TraceSession *session);
+
+  private:
+    std::string dir_;
+    std::string label_;
+    mutable std::mutex mutex_;
+    std::vector<RunTrace> runs_;
+    std::map<std::string, std::string> manifestFields_;
+};
+
+/**
+ * RAII observability scope for bench mains: parses `--trace=DIR`
+ * (or `--trace DIR`, or the DORA_TRACE environment variable; the flag
+ * wins), installs a TraceSession for the binary's lifetime, and on
+ * destruction finalizes the session and dumps the metrics snapshot to
+ * stderr. With neither flag nor variable set it is inert.
+ */
+class ObsGuard
+{
+  public:
+    /** @param label manifest label; argv[0]'s basename when empty. */
+    ObsGuard(int argc, char **argv, std::string label = "");
+
+    ObsGuard(const ObsGuard &) = delete;
+    ObsGuard &operator=(const ObsGuard &) = delete;
+
+    ~ObsGuard();
+
+    /** True when a trace session is installed. */
+    bool enabled() const { return session_ != nullptr; }
+
+  private:
+    std::unique_ptr<TraceSession> session_;
+};
+
+/** `git describe --always --dirty` of the cwd; "unknown" on failure. */
+std::string gitDescribe();
+
+/** Hex rendering "0x..." used for hashes/digests in trace artifacts. */
+std::string hexU64(uint64_t value);
+
+} // namespace dora
+
+#endif // DORA_OBS_TRACE_HH

@@ -9,6 +9,8 @@
 #include "common/rng.hh"
 #include "exec/thread_pool.hh"
 #include "fault/fault_injector.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/running_stat.hh"
 #include "workloads/corun_task.hh"
 
@@ -52,6 +54,9 @@ class GovernorDriver
         page_ = page;
         loadStartSec_ = load_start_sec;
     }
+
+    /** Attach a run trace sink (null = tracing disabled). */
+    void setTrace(RunTrace *trace) { trace_ = trace; }
 
     /** Invoke the governor if its interval has elapsed. */
     void maybeDecide()
@@ -98,8 +103,18 @@ class GovernorDriver
                                         : 0.0;
         }
 
-        if (fault_)
+        bool fault_conditioned = false;
+        if (fault_) {
+            const FaultCounters before = fault_->counters();
             fault_->conditionView(view);
+            const FaultCounters &after = fault_->counters();
+            fault_conditioned =
+                after.sensorDrops != before.sensorDrops ||
+                after.sensorStuckIntervals !=
+                    before.sensorStuckIntervals ||
+                after.sensorNoisy != before.sensorNoisy ||
+                after.staleFallbacks != before.staleFallbacks;
+        }
 
         size_t target = governor_.decideFrequencyIndex(view);
         if (target >= view.freqTable->size()) {
@@ -122,10 +137,24 @@ class GovernorDriver
         // Record the *granted* OPP: with actuator faults the write may
         // have been rejected (identical to the request fault-free).
         record.freqIndex = sim_.soc().frequencyIndex();
+        record.requestedFreqIndex = target;
         record.l2Mpki = view.l2Mpki;
         record.corunUtil = view.corunUtilization;
         record.temperatureC = sim_.power().temperatureC();
         decisions_.push_back(record);
+
+        static MetricCounter &decide_count =
+            MetricsRegistry::global().counter("governor.decisions");
+        decide_count.add();
+        if (trace_) {
+            trace_->instant(now, "governor", "decide",
+                            {{"requested", target},
+                             {"granted", record.freqIndex},
+                             {"l2_mpki", view.l2Mpki},
+                             {"corun_util", view.corunUtilization},
+                             {"temp_c", record.temperatureC},
+                             {"fault_conditioned", fault_conditioned}});
+        }
     }
 
     /** All decisions taken so far (warmup included). */
@@ -166,6 +195,13 @@ class GovernorDriver
             now < nextRetrySec_)
             return;
         fault_->noteActuatorRetry();
+        static MetricCounter &retry_count =
+            MetricsRegistry::global().counter("governor.actuator_retries");
+        retry_count.add();
+        if (trace_)
+            trace_->instant(now, "governor", "actuator_retry",
+                            {{"target", pendingTarget_},
+                             {"attempt", retryAttempts_ + 1}});
         if (fault_->actuatorAccepts(now, pendingTarget_,
                                     sim_.soc().frequencyIndex())) {
             sim_.soc().setFrequencyIndex(pendingTarget_);
@@ -176,6 +212,13 @@ class GovernorDriver
             // Give up until the next decision; the governor will see
             // the unchanged OPP and re-decide from there.
             fault_->noteActuatorGiveUp();
+            static MetricCounter &giveup_count =
+                MetricsRegistry::global().counter(
+                    "governor.actuator_give_ups");
+            giveup_count.add();
+            if (trace_)
+                trace_->instant(now, "governor", "actuator_give_up",
+                                {{"target", pendingTarget_}});
             havePendingWrite_ = false;
             return;
         }
@@ -210,6 +253,7 @@ class GovernorDriver
     double loadStartSec_ = 0.0;
     double lastDecisionSec_ = 0.0;
     bool decided_ = false;
+    RunTrace *trace_ = nullptr;  //!< null when tracing is disabled
     std::vector<DecisionRecord> decisions_;
 };
 
@@ -226,7 +270,12 @@ ExperimentRunner::run(const WorkloadSpec &workload, Governor &governor,
 {
     std::unique_ptr<CorunTask> corun;
     if (workload.kernel) {
-        const uint64_t salt = hashLabel(workload.label()) % 4096;
+        // The "corun:" stream tag decorrelates this salt from the
+        // PageLoad salt in runCustom() ("page:" + the same label):
+        // with a shared salt the browser and the co-runner drew
+        // correlated address/phase streams.
+        const uint64_t salt =
+            hashLabel("corun:" + workload.label()) % 4096;
         corun = std::make_unique<CorunTask>(*workload.kernel, salt);
     }
     return runCustom(workload.page, corun.get(), workload.label(),
@@ -257,7 +306,7 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
         config_.warmupSec + config_.maxLoadSec + config_.measureSec + 5.0;
     Simulator sim(soc, power, sim_config);
 
-    const uint64_t salt = hashLabel(label) % 4096;
+    const uint64_t salt = hashLabel("page:" + label) % 4096;
     if (corun_task) {
         corun_task->reset();
         sim.bindTask(kCorunCore, corun_task);
@@ -272,11 +321,37 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
     GovernorDriver driver(sim, governor, config_.deadlineSec,
                           faultInjector_);
 
+    // One relaxed atomic load per *run* decides whether this run is
+    // traced; every per-event site below guards on a plain pointer.
+    TraceSession *session = TraceSession::active();
+    std::unique_ptr<RunTrace> trace;
+    if (session) {
+        std::string key = label + "|" + governor.name();
+        if (initial_freq)
+            key += "|f" + std::to_string(*initial_freq);
+        trace = std::make_unique<RunTrace>(std::move(key));
+        trace->setMeta("workload", label);
+        trace->setMeta("governor", governor.name());
+        trace->setMeta("config_hash",
+                       hexU64(experimentConfigHash(config_)));
+        trace->setMeta("page_salt", salt);
+        if (initial_freq)
+            trace->setMeta("initial_freq",
+                           static_cast<uint64_t>(*initial_freq));
+        trace->setMeta("faults",
+                       faultInjector_ && faultInjector_->enabled());
+        driver.setTrace(trace.get());
+        if (faultInjector_)
+            faultInjector_->setTrace(trace.get());
+    }
+
     // Warmup: co-runner (if any) alone, governor already in control.
     while (sim.nowSec() < config_.warmupSec) {
         driver.maybeDecide();
         sim.step();
     }
+    if (trace)
+        trace->complete(0.0, sim.nowSec(), "run", "warmup");
 
     // Measurement window begins: bind the page load (if any).
     std::unique_ptr<PageLoad> page;
@@ -286,6 +361,8 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
         sim.bindTask(kMainCore, &page->mainTask());
         sim.bindTask(kHelperCore, &page->helperTask());
         driver.setPage(&page_ptr->features, sim.nowSec());
+        if (trace)
+            page->setTrace(trace.get(), sim.nowSec());
     }
 
     const double t0 = sim.nowSec();
@@ -328,13 +405,17 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
     m.workload = label;
     m.governor = governor.name();
     m.pageFinished = page ? page->finished() : false;
+    // An unfinished page is *censored*: the window length below is a
+    // lower bound on the load time, so the run must not contribute a
+    // PPW score (it would reward failing the page over finishing late).
+    m.censored = page != nullptr && !m.pageFinished;
     m.loadTimeSec = page && page->finished() ? page->loadTimeSec()
                                              : window;
     m.meetsDeadline =
         m.pageFinished && m.loadTimeSec <= config_.deadlineSec + 1e-9;
     m.energyJ = power.totalEnergyJ() - e0;
     m.meanPowerW = window > 0.0 ? m.energyJ / window : 0.0;
-    m.ppw = (m.loadTimeSec > 0.0 && m.meanPowerW > 0.0)
+    m.ppw = (!m.censored && m.loadTimeSec > 0.0 && m.meanPowerW > 0.0)
         ? 1.0 / (m.loadTimeSec * m.meanPowerW) : 0.0;
 
     const PerfSnapshot p1 = soc.perfSnapshot();
@@ -360,6 +441,42 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
         m.meanBreakdown.dram = breakdown_sum.dram / n;
         m.meanBreakdown.leakage = breakdown_sum.leakage / n;
         m.meanBreakdown.dvfsSwitch = breakdown_sum.dvfsSwitch / n;
+    }
+
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.counter("runner.runs").add();
+    reg.counter("sim.ticks").add(sim.tickCount());
+    if (m.censored)
+        reg.counter("runner.censored_runs").add();
+    if (faultInjector_ && faultInjector_->enabled()) {
+        const FaultCounters &fc = faultInjector_->counters();
+        reg.counter("fault.sensor_drops").add(fc.sensorDrops);
+        reg.counter("fault.sensor_stuck_intervals")
+            .add(fc.sensorStuckIntervals);
+        reg.counter("fault.sensor_noisy").add(fc.sensorNoisy);
+        reg.counter("fault.stale_fallbacks").add(fc.staleFallbacks);
+        reg.counter("fault.actuator_rejects").add(fc.actuatorRejects);
+        reg.counter("fault.thermal_spikes").add(fc.thermalSpikes);
+    }
+
+    if (trace) {
+        trace->complete(t0, window, "run", "window",
+                        {{"ticks", window_ticks}});
+        trace->instant(t1, "run", "measured",
+                       {{"load_time_sec", m.loadTimeSec},
+                        {"energy_j", m.energyJ},
+                        {"mean_power_w", m.meanPowerW},
+                        {"ppw", m.ppw},
+                        {"page_finished", m.pageFinished},
+                        {"meets_deadline", m.meetsDeadline},
+                        {"censored", m.censored},
+                        {"mean_freq_mhz", m.meanFreqMhz},
+                        {"peak_temp_c", m.peakTempC},
+                        {"freq_switches", m.freqSwitches}});
+        trace->setMeta("digest", hexU64(runMeasurementDigest(m)));
+        if (faultInjector_)
+            faultInjector_->setTrace(nullptr);
+        session->submit(std::move(*trace));
     }
     return m;
 }
@@ -472,6 +589,7 @@ runMeasurementText(const RunMeasurement &m)
     out += '|';
     out += m.pageFinished ? '1' : '0';
     out += m.meetsDeadline ? '1' : '0';
+    out += m.censored ? '1' : '0';
     out += ' ';
     appendHexDouble(out, m.loadTimeSec);
     appendHexDouble(out, m.energyJ);
@@ -488,7 +606,8 @@ runMeasurementText(const RunMeasurement &m)
     out += "dec=";
     for (const auto &d : m.decisions) {
         appendHexDouble(out, d.tSec);
-        out += std::to_string(d.freqIndex) + " ";
+        out += std::to_string(d.freqIndex) + "/" +
+            std::to_string(d.requestedFreqIndex) + " ";
         appendHexDouble(out, d.l2Mpki);
         appendHexDouble(out, d.corunUtil);
         appendHexDouble(out, d.temperatureC);
@@ -507,6 +626,22 @@ uint64_t
 runMeasurementDigest(const RunMeasurement &m)
 {
     return hashLabel(runMeasurementText(m));
+}
+
+uint64_t
+experimentConfigHash(const ExperimentConfig &config)
+{
+    // "rev2": PageLoad/CorunTask salts decorrelated via per-stream
+    // tags. Bump the token whenever the run recipe changes results.
+    std::string text = "measurement-rev2 ";
+    appendHexDouble(text, config.deadlineSec);
+    appendHexDouble(text, config.warmupSec);
+    appendHexDouble(text, config.dtSec);
+    appendHexDouble(text, config.maxLoadSec);
+    appendHexDouble(text, config.measureSec);
+    appendHexDouble(text, config.ambientC);
+    appendHexDouble(text, config.warmDieDeltaC);
+    return hashLabel(text);
 }
 
 } // namespace dora

@@ -61,6 +61,8 @@ struct DecisionRecord
     double tSec = 0.0;        //!< simulated time of the decision
     /** OPP granted by the actuator (== the request when fault-free). */
     size_t freqIndex = 0;
+    /** OPP the governor asked for (before any actuator fault). */
+    size_t requestedFreqIndex = 0;
     double l2Mpki = 0.0;      //!< X6 seen by the governor
     double corunUtil = 0.0;   //!< X9 seen by the governor
     /** True die temperature at the decision (not the sensor reading). */
@@ -76,6 +78,15 @@ struct RunMeasurement
     double loadTimeSec = 0.0;   //!< window length if page didn't finish
     bool pageFinished = false;
     bool meetsDeadline = false;
+    /**
+     * True when the run had a page that did not finish inside the
+     * load-time wall: loadTimeSec is then the *window length*, a lower
+     * bound on the real load time, not an observation of it. Censored
+     * runs report ppw = 0 and must be counted, never averaged —
+     * otherwise a governor that fails a page outright can score better
+     * than one that finishes it late.
+     */
+    bool censored = false;
 
     double energyJ = 0.0;       //!< device energy over the window
     double meanPowerW = 0.0;
@@ -117,6 +128,14 @@ std::string runMeasurementText(const RunMeasurement &m);
 
 /** FNV-1a digest of runMeasurementText(). */
 uint64_t runMeasurementDigest(const RunMeasurement &m);
+
+/**
+ * Hash of the measurement protocol: every ExperimentConfig scalar plus
+ * a revision token that is bumped whenever the run recipe changes in a
+ * way that alters results (e.g. the RNG stream layout). Recorded in
+ * trace manifests and folded into the training-cache key.
+ */
+uint64_t experimentConfigHash(const ExperimentConfig &config);
 
 /**
  * Runs workloads on freshly constructed simulated devices.

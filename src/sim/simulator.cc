@@ -38,6 +38,7 @@ Simulator::step()
     soc_.tick(demands, config_.dtSec, trace.soc);
     trace.power = power_.step(trace.soc, config_.dtSec);
     trace.nowSec = soc_.elapsedSeconds();
+    ++tickCount_;
 
     for (size_t c = 0; c < tasks_.size(); ++c) {
         if (tasks_[c] && !tasks_[c]->finished())
@@ -69,6 +70,7 @@ Simulator::reset()
 {
     soc_.reset();
     power_.reset();
+    tickCount_ = 0;
     for (auto *task : tasks_)
         if (task)
             task->reset();

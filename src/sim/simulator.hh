@@ -75,6 +75,14 @@ class Simulator
     /** Current simulated time in seconds. */
     double nowSec() const { return soc_.elapsedSeconds(); }
 
+    /**
+     * Ticks executed since construction (or the last reset()). The
+     * only observability hook on the tick hot path: one increment, no
+     * branch — the harness folds it into the metrics registry at run
+     * granularity.
+     */
+    uint64_t tickCount() const { return tickCount_; }
+
     /** The SoC under simulation. */
     Soc &soc() { return soc_; }
     const Soc &soc() const { return soc_; }
@@ -100,6 +108,7 @@ class Simulator
     /** Per-tick scratch, reused across ticks (see step()). */
     std::vector<TaskDemand> demands_;
     TickTrace trace_;
+    uint64_t tickCount_ = 0;
 };
 
 } // namespace dora

@@ -64,6 +64,51 @@ TEST_F(LoggingTest, DebugOnlyAtVerbose)
     EXPECT_NE(out.find("debug: shown"), std::string::npos);
 }
 
+TEST_F(LoggingTest, RepeatedWarnIsRateLimited)
+{
+    resetWarnSuppression();
+    ::testing::internal::CaptureStderr();
+    for (int i = 0; i < 8; ++i)
+        warn("flaky sensor %d", i);
+    const std::string out =
+        ::testing::internal::GetCapturedStderr();
+    // The first warnEmitLimit() instances print; the last printed one
+    // carries the suppression notice; the rest are counted silently.
+    size_t emitted = 0;
+    for (size_t pos = 0;
+         (pos = out.find("warn: flaky sensor", pos)) !=
+         std::string::npos;
+         ++pos)
+        ++emitted;
+    EXPECT_EQ(emitted, warnEmitLimit());
+    EXPECT_NE(out.find("suppressed and counted"), std::string::npos);
+
+    const auto entries = warnSuppressionEntries();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].key, "flaky sensor %d");
+    EXPECT_EQ(entries[0].emitted, warnEmitLimit());
+    EXPECT_EQ(entries[0].suppressed, 8 - warnEmitLimit());
+    EXPECT_EQ(warnSuppressedTotal(), 8 - warnEmitLimit());
+    resetWarnSuppression();
+    EXPECT_TRUE(warnSuppressionEntries().empty());
+    EXPECT_EQ(warnSuppressedTotal(), 0u);
+}
+
+TEST_F(LoggingTest, DistinctWarnKeysDoNotShareBudget)
+{
+    resetWarnSuppression();
+    ::testing::internal::CaptureStderr();
+    for (int i = 0; i < 4; ++i) {
+        warn("key-a %d", i);
+        warn("key-b %d", i);
+    }
+    const std::string out =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("suppressed"), std::string::npos);
+    EXPECT_EQ(warnSuppressedTotal(), 0u);
+    resetWarnSuppression();
+}
+
 TEST_F(LoggingTest, FatalExitsWithOneDeathTest)
 {
     EXPECT_EXIT(fatal("bad config %d", 7),

@@ -35,6 +35,21 @@ TEST(SignalCache, ServesFreshValue)
     EXPECT_DOUBLE_EQ(cache.ageSec(1.2), 0.2);
 }
 
+TEST(SignalCache, ExactlyAtStalenessBoundaryIsFresh)
+{
+    // The deadline is inclusive: a value whose age equals the
+    // staleness window is still served (now - last == staleness).
+    // This is the boundary a <-vs-<= regression would flip.
+    SignalCache cache(0.5);
+    cache.push(1.0, 5.0);
+    EXPECT_TRUE(cache.fresh(1.5));
+    EXPECT_DOUBLE_EQ(cache.value(1.5, 9.0), 5.0);
+    EXPECT_DOUBLE_EQ(cache.ageSec(1.5), cache.stalenessSec());
+    // One tick past the boundary falls back.
+    EXPECT_FALSE(cache.fresh(1.5 + 1e-9));
+    EXPECT_DOUBLE_EQ(cache.value(1.5 + 1e-9, 9.0), 9.0);
+}
+
 TEST(SignalCache, StaleValueFallsBack)
 {
     SignalCache cache(0.5);

@@ -19,15 +19,19 @@ namespace
 {
 
 ComparisonRecord
-fabricatedRecord(double base_ppw, double dora_ppw, bool dora_meets)
+fabricatedRecord(double base_ppw, double dora_ppw, bool dora_meets,
+                 bool dora_censored = false,
+                 bool base_censored = false)
 {
     ComparisonRecord r;
     RunMeasurement base;
-    base.ppw = base_ppw;
-    base.meetsDeadline = true;
+    base.ppw = base_censored ? 0.0 : base_ppw;
+    base.meetsDeadline = !base_censored;
+    base.censored = base_censored;
     RunMeasurement dora;
-    dora.ppw = dora_ppw;
+    dora.ppw = dora_censored ? 0.0 : dora_ppw;
     dora.meetsDeadline = dora_meets;
+    dora.censored = dora_censored;
     r.setMeasurement("interactive", base);
     r.setMeasurement("DORA", dora);
     return r;
@@ -79,6 +83,67 @@ TEST(HarnessStats, EmptyRecordsAreZero)
 {
     EXPECT_DOUBLE_EQ(meanNormalizedPpw({}, "DORA"), 0.0);
     EXPECT_DOUBLE_EQ(deadlineMeetRate({}, "DORA"), 0.0);
+}
+
+TEST(HarnessStats, CensoredRunsAreCountedNotAveraged)
+{
+    // Two clean records averaging 1.2, one record whose DORA run is
+    // censored (PPW 0 — a flag, not a score), one whose interactive
+    // baseline is censored (no denominator exists). Both censored
+    // records must leave the mean untouched and show up in the count.
+    std::vector<ComparisonRecord> records;
+    records.push_back(fabricatedRecord(0.2, 0.22, true));
+    records.push_back(fabricatedRecord(0.2, 0.26, true));
+    records.push_back(fabricatedRecord(0.2, 0.0, false,
+                                       /*dora_censored=*/true));
+    records.push_back(fabricatedRecord(0.2, 0.24, true,
+                                       /*dora_censored=*/false,
+                                       /*base_censored=*/true));
+    EXPECT_NEAR(meanNormalizedPpw(records, "DORA"), 1.2, 1e-12);
+    EXPECT_EQ(censoredCount(records, "DORA"), 2u);
+    // A censored DORA run provably missed the deadline, so the meet
+    // rate keeps the full denominator: 3 of 4.
+    EXPECT_NEAR(deadlineMeetRate(records, "DORA"), 3.0 / 4.0, 1e-12);
+}
+
+TEST(HarnessStats, AllCensoredMeansZero)
+{
+    std::vector<ComparisonRecord> records;
+    records.push_back(fabricatedRecord(0.2, 0.0, false, true));
+    EXPECT_DOUBLE_EQ(meanNormalizedPpw(records, "DORA"), 0.0);
+    EXPECT_EQ(censoredCount(records, "DORA"), 1u);
+}
+
+TEST(OfflineOpt, ShortSweepIsFatal)
+{
+    // A sweep shorter than the OPP table once returned a silent
+    // default-constructed measurement; it must now fail loudly.
+    ComparisonHarness harness(ExperimentConfig{}, nullptr, 1);
+    std::vector<RunMeasurement> sweep(3);
+    EXPECT_EXIT(harness.pickOfflineOpt(sweep),
+                ::testing::ExitedWithCode(1),
+                "pickOfflineOpt: sweep covers 3 OPPs");
+}
+
+TEST(OfflineOpt, PicksBestMeetingPpwOrFastestFallback)
+{
+    ComparisonHarness harness(ExperimentConfig{}, nullptr, 1);
+    const size_t opps = harness.runner().freqTable().size();
+    std::vector<RunMeasurement> sweep(opps);
+    for (size_t f = 0; f < opps; ++f) {
+        sweep[f].ppw = 1.0 + 0.1 * static_cast<double>(f);
+        sweep[f].meetsDeadline = (f == 2 || f == 5);
+    }
+    const RunMeasurement best = harness.pickOfflineOpt(sweep);
+    EXPECT_EQ(best.governor, "offline_opt");
+    EXPECT_DOUBLE_EQ(best.ppw, 1.5);
+    // No OPP meets the deadline -> flat-out fallback.
+    for (auto &m : sweep)
+        m.meetsDeadline = false;
+    const RunMeasurement fallback = harness.pickOfflineOpt(sweep);
+    EXPECT_DOUBLE_EQ(
+        fallback.ppw,
+        sweep[harness.runner().freqTable().maxIndex()].ppw);
 }
 
 TEST(ComparisonHarness, PaperGovernorList)

@@ -135,6 +135,46 @@ TEST_F(RunnerTest, DeadlineFlagRespectsConfig)
     EXPECT_FALSE(m.meetsDeadline);  // aliexpress+high misses 3 s
 }
 
+TEST_F(RunnerTest, UnfinishedPageIsCensoredWithZeroPpw)
+{
+    // A load wall far shorter than any real load time: the page
+    // cannot finish, so the measurement is censored — loadTimeSec is
+    // the window (a lower bound), PPW is the 0 flag, and the deadline
+    // provably cannot have been met.
+    const auto w = WorkloadSets::combo(PageCorpus::byName("espn"),
+                                       MemIntensity::High);
+    ExperimentConfig config;
+    config.maxLoadSec = 0.05;
+    ExperimentRunner walled(config);
+    const RunMeasurement m =
+        walled.runAtFrequency(w, walled.freqTable().maxIndex());
+    EXPECT_FALSE(m.pageFinished);
+    EXPECT_TRUE(m.censored);
+    EXPECT_DOUBLE_EQ(m.ppw, 0.0);
+    EXPECT_NEAR(m.loadTimeSec, config.maxLoadSec,
+                2.0 * config.dtSec);
+    EXPECT_FALSE(m.meetsDeadline);
+    EXPECT_GT(m.meanPowerW, 0.0);  // energy was still spent
+    // The censored flag is part of the measurement identity.
+    RunMeasurement uncensored = m;
+    uncensored.censored = false;
+    EXPECT_NE(runMeasurementDigest(m),
+              runMeasurementDigest(uncensored));
+}
+
+TEST_F(RunnerTest, KernelOnlyRunIsNotCensored)
+{
+    // No page means nothing to censor: the fixed measurement window
+    // ending with pageFinished == false is the intended design.
+    const auto w = WorkloadSets::kernelOnly(
+        KernelCatalog::byName("backprop"));
+    const RunMeasurement m =
+        runner_.runAtFrequency(w, runner_.freqTable().maxIndex());
+    EXPECT_FALSE(m.pageFinished);
+    EXPECT_FALSE(m.censored);
+    EXPECT_GT(m.ppw, 0.0);
+}
+
 TEST_F(RunnerTest, GovernorSwitchesAreCounted)
 {
     const auto w = WorkloadSets::combo(PageCorpus::byName("amazon"),
