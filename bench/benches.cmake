@@ -34,3 +34,8 @@ target_link_libraries(ovh_overhead PRIVATE benchmark::benchmark)
 
 dora_add_bench(ovh_hotpath)
 target_link_libraries(ovh_hotpath PRIVATE benchmark::benchmark)
+
+dora_add_bench(ovh_memsample)
+target_link_libraries(ovh_memsample PRIVATE benchmark::benchmark)
+
+dora_add_bench(ext_adaptive_accuracy)

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "common/exact_ticks.hh"
 #include "mem/cache_model.hh"
 #include "obs/trace.hh"
 #include "power/device_power.hh"
@@ -139,7 +140,9 @@ printTickRate()
     const auto t1 = std::chrono::steady_clock::now();
     const double sec =
         std::chrono::duration<double>(t1 - t0).count();
-    std::cout << "HOTPATH_TICKS_PER_SEC "
+    std::cout << "HOTPATH_MODE "
+              << (exactTicksMode() ? "exact" : "adaptive") << "\n"
+              << "HOTPATH_TICKS_PER_SEC "
               << static_cast<uint64_t>(kTicks / sec) << "\n";
 }
 
@@ -148,7 +151,8 @@ printTickRate()
 int
 main(int argc, char **argv)
 {
-    // Before benchmark::Initialize so --trace is seen pre-filtering.
+    // Before benchmark::Initialize so --trace and --exact-ticks are
+    // seen pre-filtering (ObsGuard parses both).
     ObsGuard obs(argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

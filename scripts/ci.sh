@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Single-entry CI pipeline: configure + build, run the full test
-# suite, sweep the sanitizer builds, and gate the simulation hot path
+# suite, sweep the sanitizer builds, gate the adaptive fast path's
+# accuracy against exact-ticks mode, and gate the simulation hot path
 # against the recorded BENCH_parallel.json baseline so tick-rate
 # regressions (e.g. from observability instrumentation) fail loudly.
 #
@@ -39,6 +40,12 @@ if [[ "${skip_sanitizers}" -eq 0 ]]; then
     echo "== sanitizers: thread =="
     "${repo_root}/scripts/run_sanitized_tests.sh" --sanitize=thread
 fi
+
+echo "== adaptive accuracy gate =="
+# Exact-vs-adaptive contract: governor rankings preserved, per-cell
+# load-time/PPW deltas <= 1 %, deadline/censoring verdicts identical.
+# The bench exits non-zero on any violation.
+"${build_dir}/bench/ext_adaptive_accuracy"
 
 echo "== hot-path overhead gate =="
 baseline_json="${repo_root}/BENCH_parallel.json"

@@ -4,7 +4,9 @@
 #
 #   - bench/ext_parallel_scaling: wall-clock of the fig07 slice at
 #     jobs=1 and jobs=N plus the byte-identity self-check
-#   - bench/ovh_hotpath: sustained simulator ticks/sec (hot-path guard)
+#   - bench/ovh_hotpath: sustained simulator ticks/sec on the default
+#     adaptive path AND under --exact-ticks (hot-path guards)
+#   - bench/ovh_memsample: ns per sampled cache access + per stream draw
 #   - fig01/fig03: serial wall-clock of the two cheapest paper figures
 #
 # Usage: scripts/run_benches.sh [--jobs N] [--build-dir DIR]
@@ -25,7 +27,7 @@ done
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" --target \
-    ext_parallel_scaling ovh_hotpath \
+    ext_parallel_scaling ovh_hotpath ovh_memsample \
     fig01_interference_loadtime fig03_fopt_tradeoff >/dev/null
 
 bench="${build_dir}/bench"
@@ -34,10 +36,11 @@ out="${repo_root}/BENCH_parallel.json"
 echo "== ext_parallel_scaling (jobs=${jobs}) =="
 scaling_log="$(mktemp)"
 "${bench}/ext_parallel_scaling" --jobs "${jobs}" | tee "${scaling_log}"
-wall_serial="$(awk '/^SCALING jobs=1 /{sub("wall=","",$3); print $3}' \
+# First/last match: on a 1-thread host both runs print "jobs=1".
+wall_serial="$(awk '/^SCALING jobs=1 /{sub("wall=","",$3); print $3; exit}' \
     "${scaling_log}")"
 wall_parallel="$(awk -v j="${jobs}" \
-    '$1=="SCALING" && $2=="jobs="j {sub("wall=","",$3); print $3}' \
+    '$1=="SCALING" && $2=="jobs="j {sub("wall=","",$3); v=$3} END{print v}' \
     "${scaling_log}")"
 speedup="$(awk '/^SCALING speedup=/{sub("speedup=","",$2); print $2}' \
     "${scaling_log}")"
@@ -46,11 +49,27 @@ identical="$(awk '/^SCALING speedup=/{sub("identical=","",$3); print $3}' \
 [[ "${identical}" == "1" ]] && identical=true || identical=false
 rm -f "${scaling_log}"
 
-echo "== ovh_hotpath =="
+echo "== ovh_hotpath (adaptive) =="
 hotpath_log="$(mktemp)"
 "${bench}/ovh_hotpath" --benchmark_min_time=0.1s | tee "${hotpath_log}"
 ticks="$(awk '/^HOTPATH_TICKS_PER_SEC /{print $2}' "${hotpath_log}")"
+
+echo "== ovh_hotpath (--exact-ticks) =="
+"${bench}/ovh_hotpath" --exact-ticks --benchmark_filter=NONE \
+    | tee "${hotpath_log}"
+ticks_exact="$(awk '/^HOTPATH_TICKS_PER_SEC /{print $2}' \
+    "${hotpath_log}")"
 rm -f "${hotpath_log}"
+
+echo "== ovh_memsample =="
+memsample_log="$(mktemp)"
+"${bench}/ovh_memsample" --benchmark_min_time=0.1s \
+    | tee "${memsample_log}"
+walk_ns="$(awk '/^MEMSAMPLE_WALK_NS_PER_SAMPLE /{print $2}' \
+    "${memsample_log}")"
+next_ns="$(awk '/^MEMSAMPLE_STREAM_NEXT_NS /{print $2}' \
+    "${memsample_log}")"
+rm -f "${memsample_log}"
 
 time_bench() {
     local start end
@@ -78,7 +97,12 @@ cat > "${out}" <<EOF
     "identical": ${identical}
   },
   "ovh_hotpath": {
-    "ticks_per_sec": ${ticks}
+    "ticks_per_sec": ${ticks},
+    "ticks_per_sec_exact": ${ticks_exact}
+  },
+  "ovh_memsample": {
+    "walk_ns_per_sample": ${walk_ns},
+    "stream_next_ns": ${next_ns}
   },
   "figures_serial": {
     "fig01_interference_loadtime_sec": ${fig01_sec},

@@ -1,0 +1,61 @@
+#include "common/exact_ticks.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace dora
+{
+
+namespace
+{
+
+/** -1 = unresolved, 0 = adaptive, 1 = exact. */
+std::atomic<int> g_exact{-1};
+
+int
+resolveFromEnv()
+{
+    const char *env = std::getenv("DORA_EXACT_TICKS");
+    return (env && std::strcmp(env, "1") == 0) ? 1 : 0;
+}
+
+} // namespace
+
+bool
+exactTicksMode()
+{
+    int state = g_exact.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = resolveFromEnv();
+        // Benign race: concurrent first readers resolve to the same
+        // value; an explicit setExactTicksMode() wins via exchange
+        // ordering below only if it ran first, which is the documented
+        // construction-time contract anyway.
+        int expected = -1;
+        g_exact.compare_exchange_strong(expected, state,
+                                        std::memory_order_relaxed);
+        state = g_exact.load(std::memory_order_relaxed);
+    }
+    return state == 1;
+}
+
+void
+setExactTicksMode(bool exact)
+{
+    g_exact.store(exact ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool
+parseExactTicksFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i] && std::strcmp(argv[i], "--exact-ticks") == 0) {
+            setExactTicksMode(true);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace dora

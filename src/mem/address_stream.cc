@@ -1,6 +1,7 @@
 #include "mem/address_stream.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.hh"
 #include "common/units.hh"
@@ -8,11 +9,30 @@
 namespace dora
 {
 
+namespace
+{
+
+/**
+ * Process-wide stream-id source. Ids are compared only for equality
+ * (phase-change detection), so the allocation order dependence of the
+ * raw values is harmless — two live streams never share an id.
+ */
+uint64_t
+nextStreamId()
+{
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
+
 AddressStream::AddressStream(const AddressStreamSpec &spec,
                              uint64_t base_line, Rng rng)
-    : spec_(spec), baseLine_(base_line), rng_(rng)
+    : spec_(spec), baseLine_(base_line), rng_(rng),
+      streamId_(nextStreamId())
 {
     reshape(spec);
+    generation_ = 0;  // construction is generation 0, not a reshape
 }
 
 void
@@ -29,13 +49,17 @@ AddressStream::reshape(const AddressStreamSpec &spec)
         1, static_cast<uint64_t>(
                static_cast<double>(wsLines_) * spec.hotSetFraction));
     burstLeft_ = 0;
+    cursor_ = 0;
+    ++generation_;
 }
 
 uint64_t
 AddressStream::next()
 {
     if (burstLeft_ == 0) {
-        // Start a new burst: pick a region, then a random line within it.
+        // Start a new burst: draw the region and the burst length up
+        // front, then pick a random line within the region. The draw
+        // is < span <= wsLines_, so the cursor invariant holds.
         const bool hot = rng_.chance(spec_.hotFraction);
         const uint64_t span = hot ? hotLines_ : wsLines_;
         cursor_ = rng_.below(span);
@@ -43,8 +67,12 @@ AddressStream::next()
                                       spec_.burstCap);
     }
     --burstLeft_;
-    const uint64_t line = baseLine_ + (cursor_ % wsLines_);
-    ++cursor_;
+    // cursor_ < wsLines_ by invariant; a conditional wrap keeps it so,
+    // emitting the same base + ((start + k) mod wsLines) sequence the
+    // old per-access modulo produced without the divide.
+    const uint64_t line = baseLine_ + cursor_;
+    if (++cursor_ == wsLines_)
+        cursor_ = 0;
     return line;
 }
 

@@ -75,11 +75,33 @@ class AddressStream
     /** The spec this stream was built from. */
     const AddressStreamSpec &spec() const { return spec_; }
 
+    /** Working-set span in lines (the range next() draws from). */
+    uint64_t wsLines() const { return wsLines_; }
+
     /**
      * Replace the statistical shape mid-stream (used when a render task
-     * transitions between phases with different locality).
+     * transitions between phases with different locality). Bumps the
+     * phase generation().
      */
     void reshape(const AddressStreamSpec &spec);
+
+    /**
+     * Process-unique identity of this stream object. Stable for the
+     * stream's lifetime and never reused, so the adaptive sampling
+     * layer can detect task starts/finishes (stream swaps) by value
+     * without dereferencing possibly-dead pointers. Only equality of
+     * ids is meaningful — the values themselves depend on allocation
+     * order.
+     */
+    uint64_t streamId() const { return streamId_; }
+
+    /**
+     * Phase generation: starts at 0 and increments on every reshape().
+     * (streamId, generation) therefore names one statistical phase of
+     * one stream — the phase-signature component the MissRateEstimator
+     * keys its cached sample results on.
+     */
+    uint64_t generation() const { return generation_; }
 
   private:
     AddressStreamSpec spec_;
@@ -87,8 +109,11 @@ class AddressStream
     uint64_t wsLines_;
     uint64_t hotLines_;
     Rng rng_;
+    uint64_t streamId_;
+    uint64_t generation_ = 0;
 
-    // Current burst state.
+    // Current burst state. Invariant: cursor_ < wsLines_, so next()
+    // never needs a modulo on the emitted line.
     uint64_t cursor_ = 0;
     uint64_t burstLeft_ = 0;
 };

@@ -68,22 +68,26 @@ void
 MemSystem::tickSample(const std::vector<MemSampleRequest> &requests,
                       std::vector<MemSampleResult> &results)
 {
+    // One walk-state slot per request, index-parallel: zero-sample
+    // requests keep a dead slot (remaining == 0) so the result pairing
+    // below is a direct index lookup instead of a pointer search.
     auto &live = liveScratch_;
     live.clear();
+    live.reserve(requests.size());
+    bool any = false;
     for (const auto &req : requests) {
         if (req.core >= config_.numCores)
             panic("MemSystem::tickSample: core %u out of range", req.core);
         if (req.samples > 0 && req.stream == nullptr)
             panic("MemSystem::tickSample: null stream with samples");
-        if (req.samples > 0)
-            live.push_back(LiveStream{&req, req.samples, 0, 0});
+        live.push_back(LiveStream{&req, req.samples, 0, 0});
+        any = any || req.samples > 0;
     }
 
     // Weighted round-robin in chunks: each pass, every still-live stream
     // issues up to interleaveChunk accesses. This approximates the
     // fine-grained interleaving of concurrently executing cores.
     const uint32_t chunk = std::max<uint32_t>(1, config_.interleaveChunk);
-    bool any = !live.empty();
     while (any) {
         any = false;
         for (auto &lv : live) {
@@ -106,20 +110,19 @@ MemSystem::tickSample(const std::vector<MemSampleRequest> &requests,
 
     results.clear();
     results.reserve(requests.size());
-    for (const auto &req : requests) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const MemSampleRequest &req = requests[i];
+        const LiveStream &lv = live[i];
         MemSampleResult res;
         res.core = req.core;
         res.samplesIssued = req.samples;
-        for (const auto &lv : live) {
-            if (lv.req != &req)
-                continue;
+        if (req.samples > 0) {
             res.l1MissRate = static_cast<double>(lv.l1Misses) /
                 static_cast<double>(req.samples);
             res.l2LocalMissRate = lv.l1Misses
                 ? static_cast<double>(lv.l2Misses) /
                     static_cast<double>(lv.l1Misses)
                 : 0.0;
-            break;
         }
         results.push_back(res);
     }

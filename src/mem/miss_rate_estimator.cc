@@ -1,0 +1,318 @@
+#include "mem/miss_rate_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/logging.hh"
+#include "mem/address_stream.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+/**
+ * Agreement test for one pair of rates measured as @p a and @p b
+ * successes over @p n Bernoulli trials each: the difference must be
+ * within z sigma of the pooled binomial noise plus a small absolute
+ * floor. @p floor_tol guards the near-zero regime where the normal
+ * approximation collapses.
+ */
+bool
+rateWithinNoise(double a, double b, double n, double floor_tol)
+{
+    constexpr double kZ = 2.5;
+    const double p = std::clamp(0.5 * (a + b), 1e-6, 1.0 - 1e-6);
+    const double sigma = std::sqrt(p * (1.0 - p) * 2.0 / n);
+    return std::abs(a - b) <= floor_tol + kZ * sigma;
+}
+
+} // namespace
+
+MissRateEstimator::MissRateEstimator(const MissRateEstimatorConfig &config,
+                                     bool force_disabled)
+    : config_(config), enabled_(config.enabled && !force_disabled)
+{
+    if (config.refreshTicks == 0)
+        fatal("MissRateEstimator: refreshTicks must be >= 1");
+    if (config.convergeTicks == 0)
+        fatal("MissRateEstimator: convergeTicks must be >= 1");
+    if (config.maxEntries == 0)
+        fatal("MissRateEstimator: maxEntries must be >= 1");
+    if (config.warmCoverage <= 0.0)
+        fatal("MissRateEstimator: warmCoverage must be > 0");
+    entries_.reserve(config.maxEntries);
+}
+
+void
+MissRateEstimator::setL2Lines(uint64_t lines)
+{
+    if (lines == 0)
+        fatal("MissRateEstimator: L2 line count must be >= 1");
+    l2Lines_ = lines;
+}
+
+bool
+MissRateEstimator::ratesAgree(const std::vector<MemSampleResult> &a,
+                              const std::vector<MemSampleResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t c = 0; c < a.size(); ++c) {
+        const MemSampleResult &ra = a[c];
+        const MemSampleResult &rb = b[c];
+        if ((ra.samplesIssued == 0) != (rb.samplesIssued == 0))
+            return false;
+        if (ra.samplesIssued == 0)
+            continue;
+        const double n = std::min(ra.samplesIssued, rb.samplesIssued);
+        // L1 miss rate: per-sample Bernoulli over the full walk.
+        if (!rateWithinNoise(ra.l1MissRate, rb.l1MissRate, n, 0.005))
+            return false;
+        // L2 misses per *sample* (l1 x l2local): the quantity that
+        // feeds MPKI and DRAM demand, and the one whose slow decay
+        // marks an still-warming cache. Tight floor: MPKI class bands
+        // sit at miss-per-access levels of ~1e-3.
+        const double qa = ra.l1MissRate * ra.l2LocalMissRate;
+        const double qb = rb.l1MissRate * rb.l2LocalMissRate;
+        if (!rateWithinNoise(qa, qb, n, 0.0005))
+            return false;
+    }
+    return true;
+}
+
+void
+MissRateEstimator::beginConvergence(
+    Entry &entry, const std::vector<MemSampleResult> &results)
+{
+    entry.converged = false;
+    entry.walks = 1;
+    entry.nextCheckWalks = std::max<uint32_t>(2, config_.convergeTicks);
+    entry.checkpoint = results;
+    entry.results = results;
+    entry.reusesSinceSample = 0;
+}
+
+bool
+MissRateEstimator::creditWalkProbes(
+    const std::vector<MemSampleRequest> &requests)
+{
+    // Warmth belongs to the cache contents a stream has accumulated, so
+    // it is keyed on (streamId, generation) alone — not on the phase
+    // signature. An OPP switch renames the phase but not the stream, so
+    // the new phase starts warm and converges via the statistical test.
+    constexpr size_t kMaxTracked = 64;
+    bool all_warm = true;
+    for (const MemSampleRequest &req : requests) {
+        if (req.samples == 0 || req.stream == nullptr)
+            continue;
+        CoreKey key;
+        key.streamId = req.stream->streamId();
+        key.generation = req.stream->generation();
+        StreamWarmth *slot = nullptr;
+        for (StreamWarmth &w : warmth_) {
+            if (w.key == key) {
+                slot = &w;
+                break;
+            }
+        }
+        if (slot == nullptr) {
+            if (warmth_.size() >= kMaxTracked) {
+                size_t victim = 0;
+                for (size_t i = 1; i < warmth_.size(); ++i)
+                    if (warmth_[i].lastUseTick <
+                        warmth_[victim].lastUseTick)
+                        victim = i;
+                warmth_.erase(warmth_.begin() +
+                              static_cast<std::ptrdiff_t>(victim));
+            }
+            StreamWarmth w;
+            w.key = key;
+            // Cold region: the lines outside the quickly-warmed hot
+            // subset that can actually stay cached (bounded by the L2).
+            // Probes land there with ~(1 - hotFraction) probability, so
+            // covering it takes ~lines / coldFraction probes; kappa
+            // scales the coupon-collector slack.
+            const AddressStreamSpec &spec = req.stream->spec();
+            const double warmable = static_cast<double>(
+                std::min(req.stream->wsLines(), l2Lines_));
+            const double cold_frac =
+                std::max(1.0 - spec.hotFraction, 0.05);
+            w.targetProbes =
+                config_.warmCoverage * warmable / cold_frac;
+            warmth_.push_back(w);
+            slot = &warmth_.back();
+        }
+        slot->probes += static_cast<double>(req.samples);
+        slot->lastUseTick = tickSerial_;
+        if (slot->probes < slot->targetProbes)
+            all_warm = false;
+    }
+    return all_warm;
+}
+
+bool
+MissRateEstimator::beginTick(const std::vector<MemSampleRequest> &requests,
+                             uint64_t opp_index, uint32_t interleave_chunk)
+{
+    if (!enabled_)
+        return true;
+
+    ++tickSerial_;
+    scratchSig_.cores.resize(requests.size());
+    for (size_t c = 0; c < requests.size(); ++c) {
+        CoreKey &key = scratchSig_.cores[c];
+        const MemSampleRequest &req = requests[c];
+        if (req.samples > 0 && req.stream != nullptr) {
+            key.streamId = req.stream->streamId();
+            key.generation = req.stream->generation();
+        } else {
+            key.streamId = 0;
+            key.generation = 0;
+        }
+    }
+    scratchSig_.oppIndex = opp_index;
+    scratchSig_.interleaveChunk = interleave_chunk;
+
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        Entry &entry = entries_[i];
+        if (!(entry.signature == scratchSig_))
+            continue;
+        currentEntry_ = i;
+        const bool ran_last_tick = entry.lastUseTick + 1 == tickSerial_;
+        entry.lastUseTick = tickSerial_;
+        if (!entry.converged) {
+            pending_ = Pending::Converging;
+            pendingWarm_ = creditWalkProbes(requests);
+            ++sampledTicks_;
+            return true;
+        }
+        if (!ran_last_tick ||
+            entry.reusesSinceSample >= config_.refreshTicks) {
+            // Confidence refresh, or the phase returns from dormancy
+            // (other phases may have perturbed the shared caches):
+            // walk once and test agreement with the cached rates.
+            pending_ = Pending::Revalidate;
+            pendingWarm_ = creditWalkProbes(requests);
+            ++sampledTicks_;
+            return true;
+        }
+        ++entry.reusesSinceSample;
+        pending_ = Pending::None;
+        ++reusedTicks_;
+        return false;
+    }
+
+    // Unknown phase: sample, then store() installs a new entry.
+    pending_ = Pending::Install;
+    pendingWarm_ = creditWalkProbes(requests);
+    currentEntry_ = entries_.size();
+    ++sampledTicks_;
+    return true;
+}
+
+void
+MissRateEstimator::store(const std::vector<MemSampleResult> &results)
+{
+    if (!enabled_ || pending_ == Pending::None)
+        return;
+    const Pending pending = pending_;
+    pending_ = Pending::None;
+
+    if (pending == Pending::Install) {
+        if (entries_.size() >= config_.maxEntries) {
+            // Deterministic LRU eviction.
+            size_t victim = 0;
+            for (size_t i = 1; i < entries_.size(); ++i)
+                if (entries_[i].lastUseTick <
+                    entries_[victim].lastUseTick)
+                    victim = i;
+            entries_.erase(entries_.begin() +
+                           static_cast<std::ptrdiff_t>(victim));
+        }
+        Entry entry;
+        entry.signature = scratchSig_;
+        entry.lastUseTick = tickSerial_;
+        beginConvergence(entry, results);
+        entries_.push_back(std::move(entry));
+        currentEntry_ = entries_.size() - 1;
+        return;
+    }
+
+    Entry &entry = entries_[currentEntry_];
+    if (pending == Pending::Revalidate) {
+        if (ratesAgree(entry.results, results)) {
+            entry.results = results;
+            entry.reusesSinceSample = 0;
+        } else {
+            // The phase drifted under its frozen rates (slow cache
+            // transient, contention shift): back to dense sampling.
+            ++demotions_;
+            beginConvergence(entry, results);
+        }
+        return;
+    }
+
+    // Pending::Converging — dense sampling; compare doubling-window
+    // checkpoints until two in a row agree within noise. The warm-up
+    // floor gates the verdict: a slow transient drifts below per-walk
+    // noise, so until the streams' cumulative probes cover their cold
+    // regions a checkpoint agreement proves nothing — keep walking on
+    // a short, non-doubling cadence instead.
+    entry.results = results;
+    entry.reusesSinceSample = 0;
+    ++entry.walks;
+    if (entry.walks >= entry.nextCheckWalks) {
+        if (!pendingWarm_) {
+            entry.checkpoint = results;
+            entry.nextCheckWalks =
+                entry.walks + std::max<uint32_t>(2, config_.convergeTicks);
+        } else if (ratesAgree(entry.checkpoint, results)) {
+            entry.converged = true;
+        } else {
+            entry.checkpoint = results;
+            if (entry.nextCheckWalks >
+                (1u << 30))  // overflow guard; effectively unreachable
+                entry.nextCheckWalks = 1u << 30;
+            else
+                entry.nextCheckWalks *= 2;
+        }
+    }
+}
+
+void
+MissRateEstimator::fill(std::vector<MemSampleResult> &results) const
+{
+    if (currentEntry_ >= entries_.size())
+        panic("MissRateEstimator::fill without a cached entry");
+    results = entries_[currentEntry_].results;
+}
+
+void
+MissRateEstimator::invalidate()
+{
+    if (!enabled_)
+        return;
+    entries_.clear();
+    pending_ = Pending::None;
+    ++invalidations_;
+}
+
+void
+MissRateEstimator::reset()
+{
+    entries_.clear();
+    warmth_.clear();
+    pending_ = Pending::None;
+    pendingWarm_ = false;
+    currentEntry_ = 0;
+    tickSerial_ = 0;
+    reusedTicks_ = 0;
+    sampledTicks_ = 0;
+    demotions_ = 0;
+    invalidations_ = 0;
+}
+
+} // namespace dora

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/exact_ticks.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "obs/metrics.hh"
@@ -389,6 +390,9 @@ traceDirFromArgs(int argc, char **argv)
 
 ObsGuard::ObsGuard(int argc, char **argv, std::string label)
 {
+    // Every bench wraps main in an ObsGuard, so this is the single
+    // place the --exact-ticks escape hatch is honored process-wide.
+    parseExactTicksFlag(argc, argv);
     if (label.empty() && argc > 0 && argv && argv[0])
         label = std::filesystem::path(argv[0]).filename().string();
     const std::string dir = traceDirFromArgs(argc, argv);

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "browser/page_load.hh"
+#include "common/exact_ticks.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "exec/thread_pool.hh"
@@ -114,6 +115,10 @@ class GovernorDriver
                     before.sensorStuckIntervals ||
                 after.sensorNoisy != before.sensorNoisy ||
                 after.staleFallbacks != before.staleFallbacks;
+            // Conservative: a fault-conditioned decision marks a phase
+            // boundary for the adaptive sampler too.
+            if (fault_conditioned)
+                sim_.soc().invalidateSampling();
         }
 
         size_t target = governor_.decideFrequencyIndex(view);
@@ -161,6 +166,23 @@ class GovernorDriver
     const std::vector<DecisionRecord> &decisions() const
     {
         return decisions_;
+    }
+
+    /**
+     * Earliest simulated time at which this driver can act again: the
+     * next decision boundary, or a pending actuator retry, whichever
+     * comes first. The event horizon for macro-tick batching — between
+     * now and this time, maybeDecide() is a guaranteed no-op, so the
+     * ticks in between are quiescent and may be batched.
+     */
+    double nextEventSec() const
+    {
+        double next = decided_
+            ? lastDecisionSec_ + governor_.decisionIntervalSec()
+            : sim_.nowSec();
+        if (havePendingWrite_)
+            next = std::min(next, nextRetrySec_);
+        return next;
     }
 
   private:
@@ -233,6 +255,10 @@ class GovernorDriver
         if (delta != appliedAmbientDeltaC_) {
             sim_.power().thermal().setAmbientC(baseAmbientC_ + delta);
             appliedAmbientDeltaC_ = delta;
+            // A thermal emergency may shift behaviour without moving
+            // the phase signature: drop the cached miss rates so the
+            // next tick re-samples (no-op in exact-ticks mode).
+            sim_.soc().invalidateSampling();
         }
     }
 
@@ -346,9 +372,21 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
     }
 
     // Warmup: co-runner (if any) alone, governor already in control.
+    // Macro-tick fast-forward: between a decision and the driver's next
+    // event the ticks are quiescent, so they run as one batch — the
+    // per-tick arithmetic is identical (Simulator::fastForward), only
+    // the bookkeeping between ticks is elided. --exact-ticks forces the
+    // legacy 1-tick loop.
+    const bool exact = exactTicksMode();
     while (sim.nowSec() < config_.warmupSec) {
         driver.maybeDecide();
-        sim.step();
+        if (exact) {
+            sim.step();
+            continue;
+        }
+        const double horizon =
+            std::min(driver.nextEventSec(), config_.warmupSec);
+        sim.fastForward(sim.ticksUntil(horizon));
     }
     if (trace)
         trace->complete(0.0, sim.nowSec(), "run", "warmup");
@@ -380,15 +418,9 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
 
     const double window_wall =
         page_ptr ? config_.maxLoadSec : config_.measureSec;
-    while (sim.nowSec() - t0 < window_wall) {
-        if (page && page->finished())
-            break;
-        driver.maybeDecide();
-        const double mhz = soc.operatingPoint().coreMhz;
-        residency[soc.frequencyIndex()] += config_.dtSec;
-        const TickTrace &trace = sim.step();
+    const double window_end = t0 + window_wall;
+    const auto accumulate = [&](const TickTrace &trace) {
         temp_stat.push(power.temperatureC());
-        freq_time_mhz += mhz * config_.dtSec;
         breakdown_sum.baseline += trace.power.baseline;
         breakdown_sum.coreDynamic += trace.power.coreDynamic;
         breakdown_sum.l2Traffic += trace.power.l2Traffic;
@@ -396,6 +428,34 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
         breakdown_sum.leakage += trace.power.leakage;
         breakdown_sum.dvfsSwitch += trace.power.dvfsSwitch;
         ++window_ticks;
+    };
+    while (sim.nowSec() - t0 < window_wall) {
+        if (page && page->finished())
+            break;
+        driver.maybeDecide();
+        if (exact) {
+            const double mhz = soc.operatingPoint().coreMhz;
+            residency[soc.frequencyIndex()] += config_.dtSec;
+            const TickTrace &trace = sim.step();
+            freq_time_mhz += mhz * config_.dtSec;
+            accumulate(trace);
+            continue;
+        }
+        // The OPP is constant inside a batch (decisions and retries
+        // happen only at batch boundaries), so the residency and
+        // MHz-time integrals use values latched here; the page-finish
+        // predicate still ends the window on the exact tick.
+        const double mhz = soc.operatingPoint().coreMhz;
+        const size_t freq_index = soc.frequencyIndex();
+        const double horizon =
+            std::min(driver.nextEventSec(), window_end);
+        sim.fastForward(
+            sim.ticksUntil(horizon), [&](const TickTrace &trace) {
+                residency[freq_index] += config_.dtSec;
+                freq_time_mhz += mhz * config_.dtSec;
+                accumulate(trace);
+                return page && page->finished();
+            });
     }
 
     const double t1 = sim.nowSec();
@@ -446,6 +506,11 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
     MetricsRegistry &reg = MetricsRegistry::global();
     reg.counter("runner.runs").add();
     reg.counter("sim.ticks").add(sim.tickCount());
+    reg.counter("sim.macrotick.batches").add(sim.macroBatches());
+    reg.counter("sim.macrotick.batched_ticks")
+        .add(sim.macroBatchedTicks());
+    reg.counter("mem.sample.walks").add(soc.sampling().sampledTicks());
+    reg.counter("mem.sample.reused").add(soc.sampling().reusedTicks());
     if (m.censored)
         reg.counter("runner.censored_runs").add();
     if (faultInjector_ && faultInjector_->enabled()) {
@@ -631,9 +696,11 @@ runMeasurementDigest(const RunMeasurement &m)
 uint64_t
 experimentConfigHash(const ExperimentConfig &config)
 {
-    // "rev2": PageLoad/CorunTask salts decorrelated via per-stream
-    // tags. Bump the token whenever the run recipe changes results.
-    std::string text = "measurement-rev2 ";
+    // "rev3": adaptive memory-sampling reuse. Bump the token whenever
+    // the run recipe changes results. The sampling tunables shape
+    // adaptive-mode results, so they are part of the protocol;
+    // exact-ticks mode (or sampling.enabled = false) keys separately.
+    std::string text = "measurement-rev3 ";
     appendHexDouble(text, config.deadlineSec);
     appendHexDouble(text, config.warmupSec);
     appendHexDouble(text, config.dtSec);
@@ -641,6 +708,17 @@ experimentConfigHash(const ExperimentConfig &config)
     appendHexDouble(text, config.measureSec);
     appendHexDouble(text, config.ambientC);
     appendHexDouble(text, config.warmDieDeltaC);
+    const bool adaptive =
+        config.soc.sampling.enabled && !exactTicksMode();
+    if (adaptive) {
+        text += "adaptive r" +
+            std::to_string(config.soc.sampling.refreshTicks) + " c" +
+            std::to_string(config.soc.sampling.convergeTicks) + " e" +
+            std::to_string(config.soc.sampling.maxEntries) + " w";
+        appendHexDouble(text, config.soc.sampling.warmCoverage);
+    } else {
+        text += "exact";
+    }
     return hashLabel(text);
 }
 

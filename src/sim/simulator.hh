@@ -60,6 +60,42 @@ class Simulator
      */
     const TickTrace &step();
 
+    /** Outcome of one fastForward() batch. */
+    struct FastForwardResult
+    {
+        uint64_t ticks = 0;    //!< ticks actually executed
+        bool stopped = false;  //!< per_tick returned true (early stop)
+    };
+
+    /**
+     * Macro-tick fast-forward: advance up to @p max_ticks in one
+     * batched call. Every tick applies the *identical* per-tick
+     * arithmetic as step() — task demand and progress, sampled (or
+     * reused) miss rates, DRAM demand, power, and thermal state — so a
+     * K=1 batch is bit-for-bit equal to step(), and a K-tick batch is
+     * bit-for-bit equal to K step() calls. The caller guarantees the
+     * batch is *quiescent*: no external intervention (governor
+     * decision, actuator retry, fault event) is due before the event
+     * horizon implied by @p max_ticks.
+     *
+     * @param per_tick optional observer evaluated after every tick;
+     *                 returning true stops the batch early (page
+     *                 finished, stop predicate hit).
+     */
+    FastForwardResult
+    fastForward(uint64_t max_ticks,
+                const std::function<bool(const TickTrace &)> &per_tick =
+                    nullptr);
+
+    /**
+     * Ticks until simulated time reaches @p target_sec, clamped to at
+     * least one: the event-horizon helper for fastForward() callers.
+     * Computed conservatively (never overshoots the first tick whose
+     * *pre-tick* time is >= target), so horizon boundaries land on
+     * exactly the tick edges the legacy 1-tick loop would observe.
+     */
+    uint64_t ticksUntil(double target_sec) const;
+
     /**
      * Run until @p stop returns true (checked after every tick) or
      * config().maxSeconds elapses.
@@ -82,6 +118,12 @@ class Simulator
      * granularity.
      */
     uint64_t tickCount() const { return tickCount_; }
+
+    /** fastForward() calls with max_ticks > 1 since construction. */
+    uint64_t macroBatches() const { return macroBatches_; }
+
+    /** Ticks executed inside batched (max_ticks > 1) fast-forwards. */
+    uint64_t macroBatchedTicks() const { return macroBatchedTicks_; }
 
     /** The SoC under simulation. */
     Soc &soc() { return soc_; }
@@ -109,6 +151,8 @@ class Simulator
     std::vector<TaskDemand> demands_;
     TickTrace trace_;
     uint64_t tickCount_ = 0;
+    uint64_t macroBatches_ = 0;
+    uint64_t macroBatchedTicks_ = 0;
 };
 
 } // namespace dora

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/exact_ticks.hh"
 #include "common/logging.hh"
 
 namespace dora
@@ -22,10 +23,13 @@ withCoreCount(MemSystemConfig mem, uint32_t cores)
 Soc::Soc(const SocConfig &config, FreqTable freq_table)
     : config_(config), freqTable_(std::move(freq_table)),
       mem_(withCoreCount(config.mem, config.numCores)),
+      sampling_(config.sampling, exactTicksMode()),
       freqIndex_(freqTable_.maxIndex())
 {
     if (config.numCores == 0)
         fatal("Soc: need at least one core");
+    sampling_.setL2Lines(mem_.config().l2.sizeBytes /
+                         mem_.config().l2.lineBytes);
     cores_.reserve(config.numCores);
     for (uint32_t c = 0; c < config.numCores; ++c)
         cores_.emplace_back(c, config.coreTiming);
@@ -79,9 +83,17 @@ Soc::tick(const std::vector<TaskDemand> &demands, double dt_sec,
         requests.push_back(
             cores_[c].planTick(effective[c], dt_sec, opp.coreMhz));
 
-    // Phase 2: interleaved shared-hierarchy walk.
+    // Phase 2: interleaved shared-hierarchy walk — or, in adaptive
+    // mode, reuse of the converged rates cached for this phase
+    // signature (stream identities/generations + OPP + interleaving).
     auto &sample_results = resultScratch_;
-    mem_.tickSample(requests, sample_results);
+    if (sampling_.beginTick(requests, freqIndex_,
+                            mem_.config().interleaveChunk)) {
+        mem_.tickSample(requests, sample_results);
+        sampling_.store(sample_results);
+    } else {
+        sampling_.fill(sample_results);
+    }
 
     // Phase 3: timing + accounting.
     summary.perCore.clear();
@@ -150,6 +162,7 @@ void
 Soc::reset()
 {
     mem_.reset();
+    sampling_.reset();
     for (auto &core : cores_)
         core.reset();
     freqIndex_ = freqTable_.maxIndex();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/mem_system.hh"
+#include "mem/miss_rate_estimator.hh"
 #include "soc/core_model.hh"
 #include "soc/freq_table.hh"
 
@@ -33,6 +34,12 @@ struct SocConfig
     uint32_t numCores = 4;
     CoreTimingConfig coreTiming;
     MemSystemConfig mem;
+    /**
+     * Adaptive memory-sampling reuse (see mem/miss_rate_estimator.hh).
+     * Enabled by default; exact-ticks mode (DORA_EXACT_TICKS=1 or
+     * setExactTicksMode) overrides it at Soc construction.
+     */
+    MissRateEstimatorConfig sampling;
     /** Core-stall time charged per frequency transition (seconds). */
     double freqSwitchPenaltySec = 60e-6;
     /** Extra energy per frequency transition (joules; PLL + PMIC). */
@@ -124,6 +131,17 @@ class Soc
     /** Cumulative counters for governors (cheap to copy). */
     PerfSnapshot perfSnapshot() const;
 
+    /**
+     * Drop all cached miss-rate phases: the next tick re-samples. The
+     * harness calls this on fault conditioning and thermal emergencies
+     * (events that may shift behaviour without moving the phase
+     * signature). A no-op in exact-ticks mode.
+     */
+    void invalidateSampling() { sampling_.invalidate(); }
+
+    /** The adaptive sampling layer (reuse/sample counters, config). */
+    const MissRateEstimator &sampling() const { return sampling_; }
+
     /** Simulated seconds elapsed since reset. */
     double elapsedSeconds() const { return elapsedSeconds_; }
 
@@ -136,6 +154,7 @@ class Soc
     SocConfig config_;
     FreqTable freqTable_;
     MemSystem mem_;
+    MissRateEstimator sampling_;
     std::vector<CoreModel> cores_;
     size_t freqIndex_;
     double pendingSwitchStallSec_ = 0.0;

@@ -129,6 +129,50 @@ TEST(AddressStream, CoversWorkingSetEventually)
     EXPECT_EQ(seen.size(), 256u);
 }
 
+TEST(AddressStream, WrapStaysInRangeUnderHeavyBursting)
+{
+    // Tiny working set + near-certain burst continuation: the cursor
+    // wraps constantly, exercising the conditional-wrap fast path that
+    // replaced the per-access modulo.
+    AddressStreamSpec spec;
+    spec.workingSetBytes = 16 * kCacheLineBytes;
+    spec.hotFraction = 0.3;
+    spec.hotSetFraction = 0.25;
+    spec.burstContinueProb = 0.99;
+    spec.burstCap = 64;
+    const uint64_t base = 5000;
+    AddressStream stream(spec, base, Rng(21));
+    uint64_t prev = stream.next();
+    int wraps = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const uint64_t cur = stream.next();
+        ASSERT_GE(cur, base);
+        ASSERT_LT(cur, base + 16);
+        // Within a burst the only legal discontinuity is the wrap to
+        // the base line from the last line of the working set.
+        if (cur < prev && cur == base && prev == base + 15)
+            ++wraps;
+        prev = cur;
+    }
+    EXPECT_GT(wraps, 100);  // the wrap path actually ran
+}
+
+TEST(AddressStream, StreamIdentityAndGenerations)
+{
+    const AddressStreamSpec spec = basicSpec();
+    AddressStream a(spec, 0, Rng(22));
+    AddressStream b(spec, 0, Rng(22));
+    // Ids are process-unique even for identically-built streams.
+    EXPECT_NE(a.streamId(), b.streamId());
+    EXPECT_EQ(a.generation(), 0u);
+    const uint64_t id = a.streamId();
+    a.reshape(spec);
+    EXPECT_EQ(a.streamId(), id);  // identity survives reshape
+    EXPECT_EQ(a.generation(), 1u);
+    a.reshape(spec);
+    EXPECT_EQ(a.generation(), 2u);
+}
+
 /** Property sweep: every spec shape keeps addresses in range. */
 class AddressStreamSpecSweep
     : public ::testing::TestWithParam<std::tuple<double, double, double>>

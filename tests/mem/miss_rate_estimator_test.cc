@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the adaptive miss-rate reuse layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/address_stream.hh"
+#include "mem/miss_rate_estimator.hh"
+
+namespace dora
+{
+namespace
+{
+
+/** A stream whose warm-up floor is met by the first walk. */
+AddressStreamSpec
+tinySpec()
+{
+    AddressStreamSpec spec;
+    spec.workingSetBytes = 64 * 64;  // 64 lines
+    return spec;
+}
+
+MissRateEstimatorConfig
+fastConfig()
+{
+    MissRateEstimatorConfig config;
+    config.refreshTicks = 8;
+    config.convergeTicks = 2;
+    config.maxEntries = 4;
+    return config;
+}
+
+std::vector<MemSampleRequest>
+requestFor(AddressStream &stream, uint32_t samples = 512)
+{
+    MemSampleRequest req;
+    req.core = 0;
+    req.stream = &stream;
+    req.samples = samples;
+    return {req};
+}
+
+std::vector<MemSampleResult>
+resultsWith(double l1, double l2, uint32_t samples = 512)
+{
+    MemSampleResult r;
+    r.core = 0;
+    r.l1MissRate = l1;
+    r.l2LocalMissRate = l2;
+    r.samplesIssued = samples;
+    return {r};
+}
+
+/** Feed identical walk results until the estimator starts reusing. */
+int
+driveToConvergence(MissRateEstimator &est, AddressStream &stream,
+                   double l1 = 0.3, double l2 = 0.2, int limit = 64)
+{
+    int walks = 0;
+    for (int i = 0; i < limit; ++i) {
+        if (!est.beginTick(requestFor(stream), 0, 8))
+            return walks;
+        est.store(resultsWith(l1, l2));
+        ++walks;
+    }
+    return -1;  // never converged
+}
+
+TEST(MissRateEstimator, DisabledAlwaysWalks)
+{
+    MissRateEstimatorConfig config = fastConfig();
+    config.enabled = false;
+    MissRateEstimator est(config, false);
+    AddressStream stream(tinySpec(), 0, Rng(1));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(est.beginTick(requestFor(stream), 0, 8));
+    EXPECT_EQ(est.reusedTicks(), 0u);
+}
+
+TEST(MissRateEstimator, ForceDisabledOverridesConfig)
+{
+    MissRateEstimator est(fastConfig(), /*force_disabled=*/true);
+    EXPECT_FALSE(est.enabled());
+    AddressStream stream(tinySpec(), 0, Rng(2));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(est.beginTick(requestFor(stream), 0, 8));
+}
+
+TEST(MissRateEstimator, ConvergesThenServesCachedRates)
+{
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(tinySpec(), 0, Rng(3));
+    const int walks = driveToConvergence(est, stream, 0.37, 0.11);
+    ASSERT_GT(walks, 0);
+    std::vector<MemSampleResult> served;
+    est.fill(served);
+    ASSERT_EQ(served.size(), 1u);
+    EXPECT_DOUBLE_EQ(served[0].l1MissRate, 0.37);
+    EXPECT_DOUBLE_EQ(served[0].l2LocalMissRate, 0.11);
+    EXPECT_GT(est.reusedTicks(), 0u);
+}
+
+TEST(MissRateEstimator, RefreshWalksEveryRefreshTicks)
+{
+    MissRateEstimatorConfig config = fastConfig();
+    MissRateEstimator est(config, false);
+    AddressStream stream(tinySpec(), 0, Rng(4));
+    ASSERT_GT(driveToConvergence(est, stream), 0);
+    // driveToConvergence consumed the first reused tick; count the
+    // rest until the next requested walk: the refresh cadence.
+    int reuses = 1;
+    for (int i = 0; i < 100; ++i) {
+        if (est.beginTick(requestFor(stream), 0, 8)) {
+            est.store(resultsWith(0.3, 0.2));
+            break;
+        }
+        ++reuses;
+    }
+    EXPECT_EQ(reuses, static_cast<int>(config.refreshTicks));
+}
+
+TEST(MissRateEstimator, OppChangeStartsNewPhase)
+{
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(tinySpec(), 0, Rng(5));
+    ASSERT_GT(driveToConvergence(est, stream), 0);
+    // New OPP index -> unknown signature -> walk.
+    EXPECT_TRUE(est.beginTick(requestFor(stream), 1, 8));
+    est.store(resultsWith(0.3, 0.2));
+    EXPECT_EQ(est.cachedPhases(), 2u);
+    // Returning to the old OPP: the phase is cached but dormant, so a
+    // re-validation walk is required before reuse resumes.
+    EXPECT_TRUE(est.beginTick(requestFor(stream), 0, 8));
+}
+
+TEST(MissRateEstimator, ReshapeStartsNewPhase)
+{
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(tinySpec(), 0, Rng(6));
+    ASSERT_GT(driveToConvergence(est, stream), 0);
+    stream.reshape(tinySpec());  // bumps generation, same shape
+    EXPECT_TRUE(est.beginTick(requestFor(stream), 0, 8));
+}
+
+TEST(MissRateEstimator, InvalidateDropsAllPhases)
+{
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(tinySpec(), 0, Rng(7));
+    ASSERT_GT(driveToConvergence(est, stream), 0);
+    est.invalidate();
+    EXPECT_EQ(est.cachedPhases(), 0u);
+    EXPECT_EQ(est.invalidations(), 1u);
+    EXPECT_TRUE(est.beginTick(requestFor(stream), 0, 8));
+}
+
+TEST(MissRateEstimator, RevalidationDemotesDriftedPhase)
+{
+    MissRateEstimatorConfig config = fastConfig();
+    MissRateEstimator est(config, false);
+    AddressStream stream(tinySpec(), 0, Rng(8));
+    ASSERT_GT(driveToConvergence(est, stream, 0.30, 0.20), 0);
+    // Reuse until the refresh walk, then answer it with rates far
+    // outside the sampling noise of the cached ones.
+    for (int i = 0; i < 100; ++i) {
+        if (est.beginTick(requestFor(stream), 0, 8)) {
+            est.store(resultsWith(0.80, 0.70));
+            break;
+        }
+    }
+    EXPECT_EQ(est.demotions(), 1u);
+    // Demoted: back to dense sampling until re-converged.
+    EXPECT_TRUE(est.beginTick(requestFor(stream), 0, 8));
+}
+
+TEST(MissRateEstimator, EntriesBoundedByLru)
+{
+    MissRateEstimatorConfig config = fastConfig();
+    config.maxEntries = 2;
+    MissRateEstimator est(config, false);
+    AddressStream stream(tinySpec(), 0, Rng(9));
+    for (uint64_t opp = 0; opp < 5; ++opp) {
+        ASSERT_TRUE(est.beginTick(requestFor(stream), opp, 8));
+        est.store(resultsWith(0.3, 0.2));
+        EXPECT_LE(est.cachedPhases(), 2u);
+    }
+}
+
+TEST(MissRateEstimator, ColdLargeStreamKeepsWalking)
+{
+    // A working set far larger than the warm-up floor can cover in a
+    // few ticks: identical checkpoint results must NOT freeze the
+    // phase while the modeled caches are still filling.
+    AddressStreamSpec big;
+    big.workingSetBytes = 32ull << 20;  // 524288 lines >> L2
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(big, 0, Rng(10));
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(est.beginTick(requestFor(stream, 128), 0, 8))
+            << "froze a cold phase at tick " << i;
+        est.store(resultsWith(0.5, 0.5, 128));
+    }
+    EXPECT_EQ(est.reusedTicks(), 0u);
+}
+
+TEST(MissRateEstimator, ResetClearsStateAndCounters)
+{
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(tinySpec(), 0, Rng(11));
+    ASSERT_GT(driveToConvergence(est, stream), 0);
+    est.reset();
+    EXPECT_EQ(est.cachedPhases(), 0u);
+    EXPECT_EQ(est.reusedTicks(), 0u);
+    EXPECT_EQ(est.sampledTicks(), 0u);
+    EXPECT_TRUE(est.beginTick(requestFor(stream), 0, 8));
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * End-to-end tolerance test: the default adaptive sampling + macro-tick
+ * path must reproduce exact-ticks measurements within the documented
+ * 1 % contract on a representative browser + co-runner workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "browser/page_corpus.hh"
+#include "common/exact_ticks.hh"
+#include "runner/experiment.hh"
+#include "runner/workload.hh"
+#include "workloads/kernel.hh"
+
+namespace dora
+{
+namespace
+{
+
+/** Restore the process-wide default (adaptive) on scope exit. */
+struct ModeGuard
+{
+    ~ModeGuard() { setExactTicksMode(false); }
+};
+
+double
+relDelta(double exact, double adaptive)
+{
+    if (exact == 0.0)
+        return adaptive == 0.0 ? 0.0 : 1.0;
+    return std::abs(adaptive - exact) / std::abs(exact);
+}
+
+RunMeasurement
+measure(const WorkloadSpec &workload, bool exact)
+{
+    setExactTicksMode(exact);
+    ExperimentRunner runner;
+    return runner.runAtFrequency(workload,
+                                 runner.freqTable().maxIndex());
+}
+
+TEST(AdaptiveVsExact, PinnedFrequencyRunWithinOnePercent)
+{
+    ModeGuard guard;
+    const WorkloadSpec workload = WorkloadSets::combo(
+        PageCorpus::byName("amazon"), MemIntensity::Medium);
+    const RunMeasurement e = measure(workload, true);
+    const RunMeasurement a = measure(workload, false);
+
+    EXPECT_EQ(e.censored, a.censored);
+    EXPECT_EQ(e.meetsDeadline, a.meetsDeadline);
+    EXPECT_EQ(e.pageFinished, a.pageFinished);
+    ASSERT_FALSE(e.censored);
+    EXPECT_LE(relDelta(e.loadTimeSec, a.loadTimeSec), 0.01)
+        << "exact " << e.loadTimeSec << " s vs adaptive "
+        << a.loadTimeSec << " s";
+    EXPECT_LE(relDelta(e.ppw, a.ppw), 0.01)
+        << "exact " << e.ppw << " vs adaptive " << a.ppw;
+    EXPECT_LE(relDelta(e.energyJ, a.energyJ), 0.01);
+}
+
+TEST(AdaptiveVsExact, KernelOnlyMpkiStaysInBand)
+{
+    ModeGuard guard;
+    const WorkloadSpec workload =
+        WorkloadSets::kernelOnly(KernelCatalog::byName("bfs"));
+    const RunMeasurement e = measure(workload, true);
+    const RunMeasurement a = measure(workload, false);
+    // MPKI drives the paper's Low/Medium/High classification; the
+    // adaptive path may not move a kernel across a band edge.
+    EXPECT_EQ(classifyMpki(e.meanL2Mpki), classifyMpki(a.meanL2Mpki))
+        << "exact " << e.meanL2Mpki << " vs adaptive " << a.meanL2Mpki;
+    EXPECT_LE(relDelta(e.ppw, a.ppw), 0.01);
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Equivalence tests for the macro-tick fast-forward path.
+ *
+ * The contract of Simulator::fastForward is that a K-tick batch runs
+ * the IDENTICAL per-tick arithmetic as K step() calls — batching only
+ * removes loop overhead, never changes results. These tests compare
+ * two independent simulators tick for tick with bit-exact equality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/address_stream.hh"
+#include "sim/simulator.hh"
+
+namespace dora
+{
+namespace
+{
+
+/** A never-finishing memory-heavy task (deterministic per seed). */
+class LoopTask : public Task
+{
+  public:
+    explicit LoopTask(uint64_t seed)
+        : name_("loop"), stream_(makeSpec(), 0, Rng(seed))
+    {
+    }
+
+    TaskDemand demand(double) override
+    {
+        TaskDemand d;
+        d.active = true;
+        d.baseCpi = 1.2;
+        d.memRefsPerInstr = 0.3;
+        d.instrBudget = 1e18;
+        d.stream = &stream_;
+        return d;
+    }
+
+    void advance(const TickResult &, double) override {}
+    bool finished() const override { return false; }
+    const std::string &name() const override { return name_; }
+    void reset() override {}
+
+  private:
+    static AddressStreamSpec makeSpec()
+    {
+        AddressStreamSpec spec;
+        spec.workingSetBytes = 1 << 20;
+        spec.hotFraction = 0.8;
+        return spec;
+    }
+
+    std::string name_;
+    AddressStream stream_;
+};
+
+/** All observable per-tick outputs, for bit-exact comparison. */
+struct TickDigest
+{
+    double nowSec;
+    double powerTotal;
+    double busMhz;
+    std::vector<double> instructions;
+    std::vector<double> l2Misses;
+
+    explicit TickDigest(const TickTrace &trace)
+        : nowSec(trace.nowSec), powerTotal(trace.power.total()),
+          busMhz(trace.soc.busMhz)
+    {
+        for (const TickResult &r : trace.soc.perCore) {
+            instructions.push_back(r.instructions);
+            l2Misses.push_back(r.l2Misses);
+        }
+    }
+
+    bool operator==(const TickDigest &o) const
+    {
+        return nowSec == o.nowSec && powerTotal == o.powerTotal &&
+            busMhz == o.busMhz && instructions == o.instructions &&
+            l2Misses == o.l2Misses;
+    }
+};
+
+/** A simulator plus everything it borrows, identically seeded. */
+struct Rig
+{
+    Soc soc = Soc::nexus5();
+    DevicePower power{DevicePowerConfig{}, LeakageModel::msm8974Truth()};
+    LoopTask task{42};
+    Simulator sim;
+
+    Rig() : sim(soc, power, SimConfig{}) { sim.bindTask(0, &task); }
+};
+
+TEST(MacroTick, FastForwardOneEqualsStep)
+{
+    Rig stepped, batched;
+    for (int i = 0; i < 50; ++i) {
+        const TickDigest a(stepped.sim.step());
+        TickDigest *b = nullptr;
+        TickDigest captured(TickTrace{});
+        batched.sim.fastForward(1, [&](const TickTrace &trace) {
+            captured = TickDigest(trace);
+            b = &captured;
+            return false;
+        });
+        ASSERT_NE(b, nullptr);
+        EXPECT_TRUE(a == *b) << "divergence at tick " << i;
+    }
+}
+
+TEST(MacroTick, BatchEqualsStepSequence)
+{
+    Rig stepped, batched;
+    constexpr int kTicks = 120;
+    std::vector<TickDigest> a, b;
+    for (int i = 0; i < kTicks; ++i)
+        a.emplace_back(stepped.sim.step());
+    const auto result =
+        batched.sim.fastForward(kTicks, [&](const TickTrace &trace) {
+            b.emplace_back(trace);
+            return false;
+        });
+    EXPECT_EQ(result.ticks, static_cast<uint64_t>(kTicks));
+    EXPECT_FALSE(result.stopped);
+    ASSERT_EQ(a.size(), b.size());
+    for (int i = 0; i < kTicks; ++i)
+        EXPECT_TRUE(a[i] == b[i]) << "divergence at tick " << i;
+    EXPECT_DOUBLE_EQ(stepped.sim.nowSec(), batched.sim.nowSec());
+}
+
+TEST(MacroTick, CallbackStopsBatchOnExactTick)
+{
+    Rig rig;
+    int seen = 0;
+    const auto result =
+        rig.sim.fastForward(100, [&](const TickTrace &) {
+            return ++seen == 7;
+        });
+    EXPECT_TRUE(result.stopped);
+    EXPECT_EQ(result.ticks, 7u);
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(MacroTick, TicksUntilNeverOvershoots)
+{
+    Rig rig;
+    const double dt = rig.sim.config().dtSec;
+    rig.sim.step();
+    rig.sim.step();
+    for (int k = 1; k <= 200; k += 13) {
+        const double target = rig.sim.nowSec() + k * dt;
+        const uint64_t ticks = rig.sim.ticksUntil(target);
+        // Conservative: lands at or before the boundary, and within
+        // one tick of it (the caller single-steps the remainder).
+        EXPECT_GE(ticks, 1u);
+        EXPECT_LE(rig.sim.nowSec() + static_cast<double>(ticks) * dt,
+                  target + 1e-9);
+        EXPECT_GE(static_cast<double>(ticks), k - 1.001);
+    }
+}
+
+TEST(MacroTick, TicksUntilPastTargetClampsToOne)
+{
+    Rig rig;
+    for (int i = 0; i < 5; ++i)
+        rig.sim.step();
+    EXPECT_EQ(rig.sim.ticksUntil(rig.sim.nowSec()), 1u);
+    EXPECT_EQ(rig.sim.ticksUntil(rig.sim.nowSec() - 1.0), 1u);
+}
+
+TEST(MacroTick, RunUntilMatchesManualStepping)
+{
+    Rig manual, batched;
+    // Manual: legacy one-step loop with the same stop predicate.
+    int manual_ticks = 0;
+    while (manual.sim.nowSec() < 0.123)
+        ++manual_ticks, manual.sim.step();
+    // runUntil batches internally via fastForward + ticksUntil.
+    int batched_ticks = 0;
+    batched.sim.runUntil(
+        [&] { return batched.sim.nowSec() >= 0.123; },
+        [&](const TickTrace &) { ++batched_ticks; });
+    EXPECT_EQ(manual_ticks, batched_ticks);
+    EXPECT_DOUBLE_EQ(manual.sim.nowSec(), batched.sim.nowSec());
+    EXPECT_GT(batched.sim.macroBatches(), 0u);
+}
+
+} // namespace
+} // namespace dora
