@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Single-entry CI pipeline: configure + build, run the full test
-# suite, sweep the sanitizer builds, gate the adaptive fast path's
-# accuracy against exact-ticks mode, and gate the simulation hot path
-# against the recorded BENCH_parallel.json baseline so tick-rate
-# regressions (e.g. from observability instrumentation) fail loudly.
+# Single-entry CI pipeline: configure + build, run the lint stage
+# (dora-lint zero-findings gate, clang-tidy, clang thread-safety
+# build), run the full test suite, sweep the sanitizer builds, gate
+# the adaptive fast path's accuracy against exact-ticks mode, and
+# gate the simulation hot path against the recorded
+# BENCH_parallel.json baseline so tick-rate regressions (e.g. from
+# observability instrumentation) fail loudly.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers] [--build-dir DIR]
 #
 # Environment:
+#   DORA_SKIP_LINT=1         skip the whole lint stage (dora-lint,
+#                            clang-tidy, thread-safety build)
 #   DORA_CI_HOTPATH_TOL_PCT  allowed ticks/sec regression vs the
 #                            baseline, percent (default 5; wall-clock
 #                            measurements on shared hosts are noisy,
@@ -30,6 +34,50 @@ done
 echo "== build =="
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)"
+
+if [[ "${DORA_SKIP_LINT:-0}" -eq 1 ]]; then
+    echo "== lint == (skipped: DORA_SKIP_LINT=1)"
+else
+    echo "== lint: dora-lint =="
+    # Zero-findings gate over the project invariant rules. Suppress
+    # intentional exceptions inline with // NOLINT(dora-rule-id),
+    # never here.
+    "${build_dir}/tools/lint/dora-lint" --repo "${repo_root}"
+
+    echo "== lint: clang-tidy =="
+    if command -v clang-tidy >/dev/null 2>&1; then
+        # Library + tool sources only; tests/benches get coverage via
+        # the dora-lint walk and the compiler's -Werror.
+        (cd "${repo_root}" &&
+            find src tools -name '*.cc' -print0 |
+            xargs -0 -P "$(nproc)" -n 8 \
+                clang-tidy -p "${build_dir}" --quiet \
+                --warnings-as-errors='*')
+    else
+        echo "NOTICE: clang-tidy not installed; skipping the" \
+             ".clang-tidy check set. Install clang-tidy to run the" \
+             "full lint stage."
+    fi
+
+    echo "== lint: clang thread-safety =="
+    clangxx="$(command -v clang++ || true)"
+    if [[ -n "${clangxx}" ]]; then
+        # Dedicated clang build tree with -Wthread-safety; -Werror is
+        # already global, so any capability violation fails the build.
+        ts_dir="${repo_root}/build-threadsafety"
+        cmake -B "${ts_dir}" -S "${repo_root}" \
+            -DCMAKE_CXX_COMPILER="${clangxx}" \
+            -DDORA_THREAD_SAFETY=ON >/dev/null
+        cmake --build "${ts_dir}" -j "$(nproc)"
+    else
+        echo "**********************************************************"
+        echo "NOTICE: clang++ not installed — the thread-safety"
+        echo "annotation leg of the lint stage CANNOT run. GCC compiles"
+        echo "GUARDED_BY/REQUIRES/EXCLUDES to no-ops, so nothing is"
+        echo "being checked. Install clang to restore this gate."
+        echo "**********************************************************"
+    fi
+fi
 
 echo "== tests =="
 (cd "${build_dir}" && ctest --output-on-failure)

@@ -8,6 +8,11 @@
 #                      --sanitize=thread runs TSan over the parallel
 #                      execution engine.
 #
+# This script covers runtime checking only; static checking (the
+# dora-lint invariant rules, clang-tidy, and the clang
+# -Wthread-safety build) lives in the `lint` stage of scripts/ci.sh
+# (skippable via DORA_SKIP_LINT=1).
+#
 # Every sanitizer set gets its own build tree (build-sanitize-<set>).
 # If a tree already exists but was configured with a different
 # DORA_SANITIZE value, the script fails loudly instead of silently

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace dora
 {
@@ -16,7 +18,7 @@ namespace
 std::atomic<LogLevel> g_level{LogLevel::Normal};
 
 /** Serializes emission so concurrent workers never interleave lines. */
-std::mutex g_emitMutex;
+Mutex g_emitMutex;
 
 void
 emit(const char *prefix, const char *fmt, va_list args)
@@ -28,7 +30,7 @@ emit(const char *prefix, const char *fmt, va_list args)
     const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
     const char *ellipsis =
         n >= static_cast<int>(sizeof(buf)) ? "..." : "";
-    std::lock_guard<std::mutex> lock(g_emitMutex);
+    MutexLock lock(g_emitMutex);
     std::fprintf(stderr, "%s%s%s\n", prefix, buf, ellipsis);
 }
 
@@ -40,8 +42,8 @@ struct WarnTally
     uint64_t suppressed = 0;
 };
 
-std::mutex g_warnMutex;
-std::map<std::string, WarnTally> g_warnTallies;
+Mutex g_warnMutex;
+std::map<std::string, WarnTally> g_warnTallies GUARDED_BY(g_warnMutex);
 
 } // namespace
 
@@ -73,7 +75,7 @@ warn(const char *fmt, ...)
 {
     bool last_before_mute = false;
     {
-        std::lock_guard<std::mutex> lock(g_warnMutex);
+        MutexLock lock(g_warnMutex);
         WarnTally &tally = g_warnTallies[fmt];
         if (tally.emitted >= warnEmitLimit()) {
             ++tally.suppressed;
@@ -87,7 +89,7 @@ warn(const char *fmt, ...)
     emit("warn: ", fmt, args);
     va_end(args);
     if (last_before_mute) {
-        std::lock_guard<std::mutex> lock(g_emitMutex);
+        MutexLock lock(g_emitMutex);
         std::fprintf(stderr,
                      "warn: (repeated %llu times; further instances of "
                      "this warning are suppressed and counted)\n",
@@ -99,7 +101,7 @@ std::vector<WarnSuppressionEntry>
 warnSuppressionEntries()
 {
     std::vector<WarnSuppressionEntry> out;
-    std::lock_guard<std::mutex> lock(g_warnMutex);
+    MutexLock lock(g_warnMutex);
     out.reserve(g_warnTallies.size());
     for (const auto &[key, tally] : g_warnTallies)
         out.push_back(
@@ -111,7 +113,7 @@ uint64_t
 warnSuppressedTotal()
 {
     uint64_t total = 0;
-    std::lock_guard<std::mutex> lock(g_warnMutex);
+    MutexLock lock(g_warnMutex);
     for (const auto &[key, tally] : g_warnTallies)
         total += tally.suppressed;
     return total;
@@ -120,7 +122,7 @@ warnSuppressedTotal()
 void
 resetWarnSuppression()
 {
-    std::lock_guard<std::mutex> lock(g_warnMutex);
+    MutexLock lock(g_warnMutex);
     g_warnTallies.clear();
 }
 

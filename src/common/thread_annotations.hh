@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Clang thread-safety capability attributes (no-ops elsewhere).
+ *
+ * These macros expose clang's `-Wthread-safety` static analysis
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) to the
+ * codebase: fields carry GUARDED_BY(mutex) declarations, functions
+ * declare REQUIRES/EXCLUDES contracts, and the analysis proves at
+ * compile time that every guarded access happens under its lock.
+ * Under GCC (the default toolchain here) every macro expands to
+ * nothing, so annotations are pure documentation there; under clang
+ * with -DDORA_THREAD_SAFETY=ON the build runs with
+ * `-Wthread-safety -Werror` and a missing lock is a build break
+ * (see tests/lint/thread_safety/ for the negative-compile proof and
+ * DESIGN.md §5e for the policy).
+ *
+ * Use the annotated dora::Mutex / dora::MutexLock (common/mutex.hh)
+ * rather than raw std::mutex for any state you annotate: libstdc++'s
+ * std::mutex carries no capability attributes, so the analysis cannot
+ * see its lock()/unlock() calls.
+ */
+
+#ifndef DORA_COMMON_THREAD_ANNOTATIONS_HH
+#define DORA_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DORA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DORA_THREAD_ANNOTATION(x) // no-op
+#endif
+
+/** Marks a class as a lockable capability ("mutex", "flock"...). */
+#define CAPABILITY(x) DORA_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define SCOPED_CAPABILITY DORA_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field may only be read/written while holding @p x. */
+#define GUARDED_BY(x) DORA_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be dereferenced while holding @p x. */
+#define PT_GUARDED_BY(x) DORA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the listed capabilities exclusively. */
+#define REQUIRES(...) \
+    DORA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the listed capabilities at least shared. */
+#define REQUIRES_SHARED(...) \
+    DORA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability and does not release it. */
+#define ACQUIRE(...) \
+    DORA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function acquires the capability shared. */
+#define ACQUIRE_SHARED(...) \
+    DORA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define RELEASE(...) \
+    DORA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function releases a shared capability. */
+#define RELEASE_SHARED(...) \
+    DORA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p b. */
+#define TRY_ACQUIRE(...) \
+    DORA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define EXCLUDES(...) DORA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Asserts (at runtime) that the capability is held. */
+#define ASSERT_CAPABILITY(x) \
+    DORA_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define RETURN_CAPABILITY(x) DORA_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disable the analysis for one function. */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    DORA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // DORA_COMMON_THREAD_ANNOTATIONS_HH

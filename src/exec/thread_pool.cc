@@ -81,7 +81,7 @@ ThreadPool::ThreadPool(unsigned jobs)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     workCv_.notify_all();
@@ -96,11 +96,13 @@ ThreadPool::workerLoop()
     for (;;) {
         Batch *batch = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workCv_.wait(lock, [this, seen] {
-                return stopping_ ||
-                    (batch_ != nullptr && generation_ != seen);
-            });
+            MutexLock lock(mutex_);
+            // Explicit wait loop (not the predicate overload): the
+            // guarded fields are read here, where the analysis can see
+            // mutex_ is held, instead of inside an unannotated lambda.
+            while (!stopping_ &&
+                   !(batch_ != nullptr && generation_ != seen))
+                workCv_.wait(lock);
             if (stopping_)
                 return;
             seen = generation_;
@@ -112,7 +114,7 @@ ThreadPool::workerLoop()
         }
         runBatch(*batch);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --batch->workersInside;
         }
         doneCv_.notify_all();
@@ -143,7 +145,7 @@ ThreadPool::runBatch(Batch &batch)
         try {
             (*batch.fn)(i);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(batch.errorMutex);
+            MutexLock lock(batch.errorMutex);
             if (!batch.error || i < batch.errorIndex) {
                 batch.error = std::current_exception();
                 batch.errorIndex = i;
@@ -172,7 +174,7 @@ ThreadPool::forEach(size_t n, const std::function<void(size_t)> &fn)
     batch.n = n;
     batch.fn = &fn;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         batch_ = &batch;
         ++generation_;
     }
@@ -182,20 +184,26 @@ ThreadPool::forEach(size_t n, const std::function<void(size_t)> &fn)
     runBatch(batch);
 
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // The batch is drained only when every index ran AND every
         // worker has left runBatch — a worker's final (empty-handed)
         // next.fetch_add must not outlive this stack frame.
-        doneCv_.wait(lock, [&batch] {
-            return batch.done.load(std::memory_order_acquire) ==
-                batch.n && batch.workersInside == 0;
-        });
+        while (batch.done.load(std::memory_order_acquire) != batch.n ||
+               batch.workersInside != 0)
+            doneCv_.wait(lock);
         // Detach the batch; late-waking workers re-check batch_ under
         // the lock and keep waiting.
         batch_ = nullptr;
     }
-    if (batch.error)
-        std::rethrow_exception(batch.error);
+    // The drain above made workers quiescent, but the analysis (and
+    // TSan) still wants the guarded read under its lock.
+    std::exception_ptr error;
+    {
+        MutexLock lock(batch.errorMutex);
+        error = batch.error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void

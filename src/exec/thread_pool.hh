@@ -32,13 +32,14 @@
 #define DORA_EXEC_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace dora
 {
@@ -87,7 +88,8 @@ class ThreadPool
      * invocation throws, the exception from the lowest index is
      * rethrown here after the batch drains.
      */
-    void forEach(size_t n, const std::function<void(size_t)> &fn);
+    void forEach(size_t n, const std::function<void(size_t)> &fn)
+        EXCLUDES(mutex_);
 
   private:
     /** One forEach() invocation in flight. */
@@ -97,26 +99,32 @@ class ThreadPool
         const std::function<void(size_t)> *fn = nullptr;
         std::atomic<size_t> next{0};
         std::atomic<size_t> done{0};
-        /** Workers currently in runBatch (guarded by pool mutex_). */
+        /**
+         * Workers currently in runBatch. Guarded by the owning pool's
+         * mutex_ — a cross-object invariant the capability attributes
+         * cannot name from this nested struct, so it stays a comment.
+         */
         unsigned workersInside = 0;
-        std::mutex errorMutex;
-        size_t errorIndex = 0;
-        std::exception_ptr error;
+        Mutex errorMutex;
+        size_t errorIndex GUARDED_BY(errorMutex) = 0;
+        std::exception_ptr error GUARDED_BY(errorMutex);
     };
 
-    void workerLoop();
+    void workerLoop() EXCLUDES(mutex_);
 
     /** Pull and run indices until the batch is exhausted. */
-    void runBatch(Batch &batch);
+    void runBatch(Batch &batch) EXCLUDES(mutex_);
 
     unsigned jobs_;
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable workCv_;  //!< wakes workers for a batch
-    std::condition_variable doneCv_;  //!< wakes the caller on drain
-    Batch *batch_ = nullptr;          //!< current batch; null when idle
-    uint64_t generation_ = 0;         //!< bumped per forEach()
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar workCv_;  //!< wakes workers for a batch
+    CondVar doneCv_;  //!< wakes the caller on drain
+    /** Current batch; null when idle. */
+    Batch *batch_ GUARDED_BY(mutex_) = nullptr;
+    /** Bumped per forEach(). */
+    uint64_t generation_ GUARDED_BY(mutex_) = 0;
+    bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "dora/trainer.hh"
 
 namespace dora
@@ -24,10 +25,10 @@ namespace
  * filesystem without lock support) degrades to the old unlocked
  * behaviour instead of blocking the run.
  */
-class BundleCacheLock
+class SCOPED_CAPABILITY BundleCacheLock
 {
   public:
-    explicit BundleCacheLock(const std::string &cache_path)
+    explicit BundleCacheLock(const std::string &cache_path) ACQUIRE()
     {
         const std::string lock_path = cache_path + ".lock";
         fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
@@ -48,7 +49,7 @@ class BundleCacheLock
     BundleCacheLock(const BundleCacheLock &) = delete;
     BundleCacheLock &operator=(const BundleCacheLock &) = delete;
 
-    ~BundleCacheLock()
+    ~BundleCacheLock() RELEASE()
     {
         if (fd_ >= 0) {
             ::flock(fd_, LOCK_UN);

@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace dora
 {
@@ -138,10 +140,13 @@ class MetricsRegistry
     void resetForTest();
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
-    std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
-    std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::unique_ptr<MetricCounter>> counters_
+        GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<MetricGauge>> gauges_
+        GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_
+        GUARDED_BY(mutex_);
 };
 
 } // namespace dora

@@ -193,7 +193,7 @@ TraceSession::TraceSession(std::string dir, std::string label)
 void
 TraceSession::submit(RunTrace &&run)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     runs_.push_back(std::move(run));
 }
 
@@ -201,21 +201,21 @@ void
 TraceSession::setManifestField(const std::string &key,
                                std::string value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     manifestFields_[key] = std::move(value);
 }
 
 size_t
 TraceSession::runCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return runs_.size();
 }
 
 bool
 TraceSession::finalize()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
 
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
@@ -411,6 +411,9 @@ ObsGuard::~ObsGuard()
     if (session_->finalize())
         inform("obs: wrote %zu run traces to %s",
                session_->runCount(), session_->dir().c_str());
+    // The metrics snapshot is a multi-line block dump; the
+    // rate-limited log sink is per-line.
+    // NOLINTNEXTLINE(dora-hyg-stream)
     std::fputs(MetricsRegistry::global().snapshotText().c_str(),
                stderr);
 }

@@ -30,10 +30,12 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace dora
 {
@@ -183,9 +185,10 @@ class TraceSession
   private:
     std::string dir_;
     std::string label_;
-    mutable std::mutex mutex_;
-    std::vector<RunTrace> runs_;
-    std::map<std::string, std::string> manifestFields_;
+    mutable Mutex mutex_;
+    std::vector<RunTrace> runs_ GUARDED_BY(mutex_);
+    std::map<std::string, std::string> manifestFields_
+        GUARDED_BY(mutex_);
 };
 
 /**

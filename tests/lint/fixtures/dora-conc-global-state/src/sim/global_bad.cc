@@ -1,0 +1,3 @@
+// Fixture: unsynchronized mutable statics.
+int g_tickCount = 0;
+void tick() { static double lastValue; lastValue += 1.0; }

@@ -1,0 +1,3 @@
+// Fixture: justified single-threaded registration table.
+// NOLINTNEXTLINE(dora-conc-global-state)
+int g_registrations = 0;

@@ -1,0 +1,7 @@
+// Fixture: every static here is safe.
+#include <atomic>
+std::atomic<int> g_flag{0};
+const int g_limit = 3;
+constexpr double kStep = 0.5;
+struct Helper { static Helper make(); };
+static int squared(int x) { return x * x; }

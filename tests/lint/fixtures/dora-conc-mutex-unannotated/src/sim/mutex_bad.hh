@@ -1,0 +1,6 @@
+// Fixture: mutex member but nothing is GUARDED_BY it.
+#include <mutex>
+class Cache {
+    std::mutex mutex_;
+    int hits_ = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: justified unannotated mutex.
+#include <mutex>
+class Cache {
+    std::mutex mutex_; // NOLINT(dora-conc-mutex-unannotated): fixture
+    int hits_ = 0;
+};

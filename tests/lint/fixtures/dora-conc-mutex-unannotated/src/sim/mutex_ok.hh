@@ -1,0 +1,6 @@
+// Fixture: annotated guarded field satisfies the rule.
+#include "common/mutex.hh"
+class Cache {
+    dora::Mutex mutex_;
+    int hits_ GUARDED_BY(mutex_) = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: wall-clock token in a file feeding the config hash.
+#include <chrono>
+unsigned long experimentConfigHash();
+double salt() {
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// Fixture: suppressed wall-clock near the config hash.
+#include <chrono>
+unsigned long experimentConfigHash();
+double salt() {
+    // NOLINTNEXTLINE(dora-det-confighash)
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Fixture: wall-clock is fine in bench files that do not touch the
+// config hash (benches measure host speedups on purpose).
+#include <chrono>
+double wall() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,4 @@
+// Fixture: unseeded RNG in simulation code (positive hits).
+int noise() { return rand(); }
+#include <random>
+std::random_device g_entropy; // also dora-conc-global-state exempt: matches det-rand line

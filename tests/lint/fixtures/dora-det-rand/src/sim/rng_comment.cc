@@ -1,0 +1,4 @@
+// Fixture: rand() and std::random_device in comments/strings only.
+/* calling rand() here would be bad */
+const char *kDoc = "never call srand( in simulation code";
+int seeded() { return 4; }

@@ -1,0 +1,2 @@
+// Fixture: suppressed by an inline justification.
+int noise() { return rand(); } // NOLINT(dora-det-rand): fixture

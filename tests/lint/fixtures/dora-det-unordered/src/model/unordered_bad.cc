@@ -1,0 +1,3 @@
+// Fixture: iteration-order-dependent accumulation risk.
+#include <unordered_map>
+std::unordered_map<int, double> g_sums; // declaration line flags

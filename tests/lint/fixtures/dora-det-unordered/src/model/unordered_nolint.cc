@@ -1,0 +1,4 @@
+// Fixture: justified use (keyed lookup only, never iterated).
+#include <unordered_set>
+// NOLINTNEXTLINE(dora-det-unordered)
+std::unordered_set<int> g_seen;

@@ -1,0 +1,3 @@
+// Fixture: allowlisted path — obs never feeds result tables.
+#include <unordered_map>
+std::unordered_map<int, double> g_sums;

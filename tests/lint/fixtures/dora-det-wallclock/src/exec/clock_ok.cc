@@ -1,0 +1,5 @@
+// Fixture: allowlisted path — host timing is src/exec's job.
+#include <chrono>
+double now() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

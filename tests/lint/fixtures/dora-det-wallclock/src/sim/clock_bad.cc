@@ -1,0 +1,5 @@
+// Fixture: wall-clock read inside simulation code.
+#include <chrono>
+double now() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

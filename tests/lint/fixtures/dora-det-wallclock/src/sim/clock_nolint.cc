@@ -1,0 +1,6 @@
+// Fixture: suppressed with NOLINTNEXTLINE.
+#include <ctime>
+long stamp() {
+    // NOLINTNEXTLINE(dora-det-wallclock)
+    return time(nullptr);
+}

@@ -1,0 +1,3 @@
+// Fixture: Release builds compile this guard away.
+#include <cassert>
+void check(int sweeps) { assert(sweeps > 3); }

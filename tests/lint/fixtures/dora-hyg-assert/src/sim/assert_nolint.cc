@@ -1,0 +1,3 @@
+// Fixture: suppressed (documented debug-only probe).
+#include <cassert>
+void check(int n) { assert(n > 0); } // NOLINT(dora-hyg-assert): fixture

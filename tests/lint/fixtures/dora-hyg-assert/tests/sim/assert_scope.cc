@@ -1,0 +1,3 @@
+// Fixture: tests are out of scope for the assert rule.
+#include <cassert>
+void check(int sweeps) { assert(sweeps > 3); }

@@ -1,0 +1,9 @@
+// Fixture: silent swallow.
+void risky();
+void guard() {
+    try {
+        risky();
+    } catch (...) {
+        // nothing: the fault vanishes
+    }
+}

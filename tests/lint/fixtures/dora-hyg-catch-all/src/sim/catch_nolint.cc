@@ -1,0 +1,10 @@
+// Fixture: justified swallow (probing an optional backend).
+void risky();
+bool available() {
+    try {
+        risky();
+        return true;
+    } catch (...) { // NOLINT(dora-hyg-catch-all): fixture
+        return false;
+    }
+}

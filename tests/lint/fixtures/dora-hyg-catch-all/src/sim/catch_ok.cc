@@ -1,0 +1,11 @@
+// Fixture: handler logs and rethrows.
+void warn(const char *fmt, ...);
+void risky();
+void guard() {
+    try {
+        risky();
+    } catch (...) {
+        warn("risky failed");
+        throw;
+    }
+}

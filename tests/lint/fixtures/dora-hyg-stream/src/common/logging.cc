@@ -1,0 +1,3 @@
+// Fixture: the log sink itself is the one allowlisted writer.
+#include <cstdio>
+void sinkWrite(const char *line) { std::fprintf(stderr, "%s\n", line); }

@@ -1,0 +1,7 @@
+// Fixture: direct console writes from library code.
+#include <cstdio>
+#include <iostream>
+void report(int n) {
+    std::cout << n << "\n";
+    printf("%d\n", n);
+}

@@ -1,0 +1,5 @@
+// Fixture: suppressed one-off diagnostic.
+#include <cstdio>
+void report(int n) {
+    printf("%d\n", n); // NOLINT(dora-hyg-stream): fixture
+}

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the dora-lint rule engine (tools/lint/lint_engine.hh):
+ * scanner unit tests, one golden-file suite per rule (positive hit,
+ * allowlisted path, NOLINT suppression — fixtures are real files
+ * under tests/lint/fixtures/<rule>/ with repo-like virtual paths),
+ * and a self-scan asserting the shipped tree is clean, which is the
+ * same zero-findings contract scripts/ci.sh enforces.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_engine.hh"
+
+namespace fs = std::filesystem;
+using dora::lint::Finding;
+using dora::lint::ScannedFile;
+using dora::lint::scanSource;
+
+namespace
+{
+
+std::string
+repoRoot()
+{
+    return DORA_SOURCE_DIR;
+}
+
+/** Lint a single in-memory file under a virtual repo path. */
+std::vector<Finding>
+lintText(const std::string &virtual_path, const std::string &content)
+{
+    std::vector<Finding> findings;
+    dora::lint::lintFile(scanSource(virtual_path, content), findings);
+    return findings;
+}
+
+/** "path:line:rule" rendering used to diff against expect.txt. */
+std::vector<std::string>
+keysOf(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const auto &f : findings)
+        keys.push_back(f.path + ":" + std::to_string(f.line) + ":" +
+                       f.rule);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ //
+// Scanner: comment / string stripping and NOLINT collection          //
+// ------------------------------------------------------------------ //
+
+TEST(LintScanner, StripsCommentsAndStringLiterals)
+{
+    const ScannedFile f = scanSource(
+        "src/sim/x.cc",
+        "int a; // rand() here is comment\n"
+        "const char *s = \"rand()\";\n"
+        "/* rand() in block\n   more rand() */ int b;\n");
+    ASSERT_EQ(f.code.size(), 4u);
+    EXPECT_EQ(f.code[0].find("rand"), std::string::npos);
+    EXPECT_EQ(f.code[1].find("rand"), std::string::npos);
+    EXPECT_NE(f.code[1].find("const char *s"), std::string::npos);
+    EXPECT_EQ(f.code[2].find("rand"), std::string::npos);
+    EXPECT_NE(f.code[3].find("int b;"), std::string::npos);
+}
+
+TEST(LintScanner, RawStringContentsAreBlanked)
+{
+    const ScannedFile f = scanSource(
+        "src/sim/x.cc",
+        "const char *re = R\"(time( rand( )\" ;\n"
+        "int after = 1;\n");
+    EXPECT_EQ(f.code[0].find("time("), std::string::npos);
+    EXPECT_EQ(f.code[0].find("rand("), std::string::npos);
+    EXPECT_NE(f.code[1].find("after"), std::string::npos);
+}
+
+TEST(LintScanner, EscapedQuoteStaysInsideString)
+{
+    const ScannedFile f = scanSource(
+        "src/sim/x.cc",
+        "const char *s = \"a\\\"rand()\\\"b\";\nint tail = 2;\n");
+    EXPECT_EQ(f.code[0].find("rand"), std::string::npos);
+    EXPECT_NE(f.code[1].find("tail"), std::string::npos);
+}
+
+TEST(LintScanner, CollectsNolintAndNolintNextline)
+{
+    const ScannedFile f = scanSource(
+        "src/sim/x.cc",
+        "int a; // NOLINT(dora-det-rand, dora-hyg-assert)\n"
+        "// NOLINTNEXTLINE(dora-det-wallclock)\n"
+        "int b;\n"
+        "int c; // NOLINT\n");
+    EXPECT_TRUE(f.nolint[0].count("dora-det-rand"));
+    EXPECT_TRUE(f.nolint[0].count("dora-hyg-assert"));
+    EXPECT_TRUE(f.nolint[2].count("dora-det-wallclock"));
+    EXPECT_TRUE(f.nolint[3].count("*"));
+    EXPECT_TRUE(f.nolint[1].empty());
+}
+
+// ------------------------------------------------------------------ //
+// Rule engine spot checks (virtual paths, in-memory sources)         //
+// ------------------------------------------------------------------ //
+
+TEST(LintRules, CatalogHasUniqueStableIds)
+{
+    std::set<std::string> ids;
+    for (const auto &rule : dora::lint::ruleCatalog())
+        EXPECT_TRUE(ids.insert(rule.id).second)
+            << "duplicate rule id " << rule.id;
+    EXPECT_EQ(ids.size(), 9u);
+}
+
+TEST(LintRules, WallclockScopesToSimulationCode)
+{
+    const std::string clock_use =
+        "#include <chrono>\n"
+        "double t() { return std::chrono::steady_clock::now()"
+        ".time_since_epoch().count(); }\n";
+    EXPECT_EQ(lintText("src/sim/a.cc", clock_use).size(), 1u);
+    EXPECT_TRUE(lintText("src/exec/a.cc", clock_use).empty());
+    EXPECT_TRUE(lintText("src/obs/a.cc", clock_use).empty());
+    EXPECT_TRUE(lintText("bench/a.cc", clock_use).empty());
+    EXPECT_TRUE(lintText("tests/sim/a.cc", clock_use).empty());
+}
+
+TEST(LintRules, StaticFunctionDeclarationsAreNotGlobalState)
+{
+    const std::string decls =
+        "class T {\n"
+        "    static T make();\n"
+        "    static std::vector<int>\n"
+        "    split(const std::string &text);\n"
+        "};\n"
+        "static int helper(int x) { return x; }\n";
+    EXPECT_TRUE(lintText("src/sim/a.hh", decls).empty());
+}
+
+TEST(LintRules, MutableStaticIsFlaggedEvenMidLine)
+{
+    const auto findings = lintText(
+        "src/sim/a.cc",
+        "void tick() { static double last; last += 1.0; }\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "dora-conc-global-state");
+}
+
+TEST(LintRules, GuardedAndAtomicGlobalsPass)
+{
+    EXPECT_TRUE(lintText("src/sim/a.cc",
+                         "std::atomic<int> g_n{0};\n"
+                         "Mutex g_mu;\n"
+                         "std::map<int, int> g_m GUARDED_BY(g_mu);\n")
+                    .empty());
+}
+
+TEST(LintRules, ConfigHashRuleNeedsBothTokens)
+{
+    const std::string clock_only =
+        "double t() { return time(nullptr); }\n";
+    const std::string both =
+        "unsigned long experimentConfigHash();\n" + clock_only;
+    EXPECT_TRUE(lintText("bench/a.cc", clock_only).empty());
+    const auto findings = lintText("bench/a.cc", both);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "dora-det-confighash");
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintRules, SnprintfIsNotAStreamWrite)
+{
+    EXPECT_TRUE(
+        lintText("src/sim/a.cc",
+                 "void f(char *b) { std::snprintf(b, 4, \"x\"); }\n")
+            .empty());
+}
+
+TEST(LintRules, CatchAllAcceptsRethrowAcrossLines)
+{
+    const std::string ok =
+        "void g() {\n"
+        "    try { r(); } catch (...) {\n"
+        "        cleanup();\n"
+        "        throw;\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(lintText("src/sim/a.cc", ok).empty());
+    const std::string bad =
+        "void g() {\n"
+        "    try { r(); } catch (...) {\n"
+        "        cleanup();\n"
+        "    }\n"
+        "}\n";
+    const auto findings = lintText("src/sim/a.cc", bad);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "dora-hyg-catch-all");
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintRules, JsonReportIsWellFormedAndOrdered)
+{
+    std::vector<Finding> findings = {
+        {"src/b.cc", 2, "dora-det-rand", "m\"sg"},
+        {"src/a.cc", 9, "dora-hyg-assert", "msg"},
+    };
+    const std::string json = dora::lint::renderJson(findings);
+    EXPECT_NE(json.find("\"file\": \"src/b.cc\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"sg"), std::string::npos);
+    EXPECT_EQ(json.front(), '[');
+}
+
+// ------------------------------------------------------------------ //
+// Golden-file fixtures: one directory per rule                       //
+// ------------------------------------------------------------------ //
+
+namespace
+{
+
+/** Lint every fixture file under @p rule_dir with its virtual path. */
+std::vector<std::string>
+lintFixtureDir(const fs::path &rule_dir)
+{
+    std::vector<Finding> findings;
+    std::vector<fs::path> files;
+    for (const auto &entry :
+         fs::recursive_directory_iterator(rule_dir))
+        if (entry.is_regular_file() &&
+            entry.path().filename() != "expect.txt")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (const auto &path : files) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream content;
+        content << in.rdbuf();
+        const std::string virtual_path =
+            path.lexically_relative(rule_dir).generic_string();
+        dora::lint::lintFile(scanSource(virtual_path, content.str()),
+                             findings);
+    }
+    return keysOf(findings);
+}
+
+std::vector<std::string>
+readExpect(const fs::path &expect_path)
+{
+    std::ifstream in(expect_path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        lines.push_back(line);
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+class LintGolden : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+TEST_P(LintGolden, FixtureFindingsMatchExpectFile)
+{
+    const fs::path rule_dir =
+        fs::path(repoRoot()) / "tests/lint/fixtures" / GetParam();
+    ASSERT_TRUE(fs::exists(rule_dir)) << rule_dir;
+    ASSERT_TRUE(fs::exists(rule_dir / "expect.txt")) << rule_dir;
+    EXPECT_EQ(lintFixtureDir(rule_dir),
+              readExpect(rule_dir / "expect.txt"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintGolden,
+    ::testing::Values("dora-det-rand", "dora-det-wallclock",
+                      "dora-det-unordered", "dora-det-confighash",
+                      "dora-conc-global-state",
+                      "dora-conc-mutex-unannotated", "dora-hyg-stream",
+                      "dora-hyg-catch-all", "dora-hyg-assert"),
+    [](const auto &info) {
+        std::string name = info.param;
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+TEST(LintGoldenCoverage, EveryRuleHasAFixtureDirectory)
+{
+    const fs::path fixtures =
+        fs::path(repoRoot()) / "tests/lint/fixtures";
+    for (const auto &rule : dora::lint::ruleCatalog())
+        EXPECT_TRUE(fs::is_directory(fixtures / rule.id))
+            << "missing fixture dir for " << rule.id;
+}
+
+// ------------------------------------------------------------------ //
+// Self-scan: the shipped tree must be clean                          //
+// ------------------------------------------------------------------ //
+
+TEST(LintSelfScan, ShippedTreeHasZeroFindings)
+{
+    std::vector<std::string> scanned;
+    const auto findings = dora::lint::lintTree(
+        repoRoot(), {"src", "tests", "bench"}, &scanned);
+    EXPECT_GT(scanned.size(), 100u)
+        << "self-scan walked suspiciously few files — wrong root?";
+    EXPECT_TRUE(findings.empty())
+        << "tree is not lint-clean:\n"
+        << dora::lint::renderText(findings);
+}
+
+TEST(LintSelfScan, FixtureFilesAreExcludedFromTreeWalks)
+{
+    std::vector<std::string> scanned;
+    dora::lint::lintTree(repoRoot(), {"tests"}, &scanned);
+    for (const auto &path : scanned)
+        EXPECT_EQ(path.find("tests/lint/fixtures/"),
+                  std::string::npos)
+            << path;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Control fixture for the negative-compile check: identical shape to
+ * violation.cc but every access to the GUARDED_BY field holds the
+ * mutex through a MutexLock. This file MUST compile cleanly under
+ * clang -Wthread-safety -Werror; if it does not, the failure seen on
+ * violation.cc would prove nothing (the flags themselves could be
+ * broken).
+ */
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace
+{
+
+class Account
+{
+  public:
+    void
+    deposit(long amount)
+    {
+        dora::MutexLock lock(mutex_);
+        balance_ += amount;
+    }
+
+    long
+    balance() const
+    {
+        dora::MutexLock lock(mutex_);
+        return balance_;
+    }
+
+  private:
+    mutable dora::Mutex mutex_;
+    long balance_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Account account;
+    account.deposit(1);
+    return account.balance() == 1 ? 0 : 1;
+}

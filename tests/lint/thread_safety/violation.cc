@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Negative-compile fixture: reads and writes a GUARDED_BY field
+ * without holding its mutex. Under clang with -Wthread-safety
+ * -Werror this translation unit MUST fail to compile; the ctest
+ * driver (check_thread_safety.cmake) asserts exactly that, proving
+ * the annotations in src/common/thread_annotations.hh are live and
+ * not silently compiled away.
+ */
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace
+{
+
+class Account
+{
+  public:
+    void
+    deposit(long amount)
+    {
+        balance_ += amount; // write without acquiring mutex_
+    }
+
+    long
+    balance() const
+    {
+        return balance_; // read without acquiring mutex_
+    }
+
+  private:
+    mutable dora::Mutex mutex_;
+    long balance_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Account account;
+    account.deposit(1);
+    return account.balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * dora-lint command-line driver.
+ *
+ *   dora-lint [--repo DIR] [--json FILE] [--list-rules] [subdirs...]
+ *
+ * Walks src/ tests/ bench/ (or the given subdirs) under the repo
+ * root, applies every project-invariant rule (lint_engine.hh), prints
+ * findings as `path:line: [rule-id] message`, optionally writes the
+ * machine-readable JSON report, and exits 1 if anything was found —
+ * which is how scripts/ci.sh turns the rule set into a gate.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint_engine.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--repo DIR] [--json FILE] [--list-rules] "
+        "[subdirs...]\n"
+        "  --repo DIR    repository root to scan (default: .)\n"
+        "  --json FILE   also write findings as a JSON report\n"
+        "  --list-rules  print the rule catalog and exit\n"
+        "  subdirs       repo-relative roots (default: src tests "
+        "bench)\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string repo = ".";
+    std::string json_path;
+    std::vector<std::string> subdirs;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--repo" && i + 1 < argc) {
+            repo = argv[++i];
+        } else if (arg.rfind("--repo=", 0) == 0) {
+            repo = arg.substr(7);
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "dora-lint: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            subdirs.push_back(arg);
+        }
+    }
+
+    if (list_rules) {
+        for (const auto &rule : dora::lint::ruleCatalog())
+            std::printf("%-28s %s\n", rule.id, rule.summary);
+        return 0;
+    }
+
+    if (subdirs.empty())
+        subdirs = {"src", "tests", "bench"};
+
+    std::vector<std::string> scanned;
+    const std::vector<dora::lint::Finding> findings =
+        dora::lint::lintTree(repo, subdirs, &scanned);
+
+    std::fputs(dora::lint::renderText(findings).c_str(), stdout);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::trunc);
+        out << dora::lint::renderJson(findings);
+        if (!out.good()) {
+            std::fprintf(stderr,
+                         "dora-lint: cannot write JSON report to %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+    }
+
+    std::fprintf(stderr, "dora-lint: %zu finding%s in %zu files\n",
+                 findings.size(), findings.size() == 1 ? "" : "s",
+                 scanned.size());
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,625 @@
+#include "lint_engine.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace dora::lint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------- //
+// Source preparation                                               //
+// ---------------------------------------------------------------- //
+
+/** Split comment text into NOLINT directives for the scanned file. */
+void
+applyNolintDirectives(const std::string &comment_text, size_t line_idx,
+                      ScannedFile &file)
+{
+    // NOLINTNEXTLINE must be matched before NOLINT (shared prefix).
+    static const std::regex directive_re(
+        R"(NOLINT(NEXTLINE)?(\(([^)]*)\))?)");
+    for (auto it = std::sregex_iterator(comment_text.begin(),
+                                        comment_text.end(),
+                                        directive_re);
+         it != std::sregex_iterator(); ++it) {
+        const bool next_line = (*it)[1].matched;
+        const size_t target = line_idx + (next_line ? 1 : 0);
+        if (target >= file.nolint.size())
+            continue;
+        if (!(*it)[2].matched) {
+            file.nolint[target].insert("*");
+            continue;
+        }
+        // Comma/space-separated rule ids inside the parentheses.
+        std::string ids = (*it)[3].str();
+        std::string id;
+        std::istringstream stream(ids);
+        while (std::getline(stream, id, ',')) {
+            const size_t b = id.find_first_not_of(" \t");
+            const size_t e = id.find_last_not_of(" \t");
+            if (b == std::string::npos)
+                continue;
+            file.nolint[target].insert(id.substr(b, e - b + 1));
+        }
+    }
+}
+
+} // namespace
+
+ScannedFile
+scanSource(std::string path, const std::string &content)
+{
+    ScannedFile file;
+    file.path = std::move(path);
+
+    // Pre-split so NOLINTNEXTLINE on the final line has a slot to
+    // target (and so nolint[] is sized before directives apply).
+    size_t line_count = 1 +
+        static_cast<size_t>(
+            std::count(content.begin(), content.end(), '\n'));
+    file.code.reserve(line_count);
+    file.nolint.assign(line_count + 1, {});
+
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+    State state = State::Code;
+    std::string code_line, comment_line, raw_delim;
+    size_t line_idx = 0;
+
+    auto flush_line = [&]() {
+        applyNolintDirectives(comment_line, line_idx, file);
+        file.code.push_back(code_line);
+        code_line.clear();
+        comment_line.clear();
+        ++line_idx;
+    };
+
+    const size_t n = content.size();
+    for (size_t i = 0; i < n; ++i) {
+        const char c = content[i];
+        const char next = i + 1 < n ? content[i + 1] : '\0';
+        if (c == '\n') {
+            if (state == State::LineComment)
+                state = State::Code;
+            flush_line();
+            continue;
+        }
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                code_line += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                code_line += "  ";
+                ++i;
+            } else if (c == '"' && i > 0 && content[i - 1] == 'R' &&
+                       (i < 2 ||
+                        !(std::isalnum(static_cast<unsigned char>(
+                              content[i - 2])) ||
+                          content[i - 2] == '_') ||
+                        content[i - 2] == 'u' ||
+                        content[i - 2] == 'U' ||
+                        content[i - 2] == 'L' ||
+                        content[i - 2] == '8')) {
+                // R"delim( ... )delim" — capture the delimiter.
+                state = State::RawString;
+                code_line += '"';
+                raw_delim.clear();
+                while (i + 1 < n && content[i + 1] != '(' &&
+                       content[i + 1] != '\n') {
+                    raw_delim += content[i + 1];
+                    ++i;
+                }
+                if (i + 1 < n && content[i + 1] == '(')
+                    ++i;
+            } else if (c == '"') {
+                state = State::String;
+                code_line += '"';
+            } else if (c == '\'') {
+                state = State::Char;
+                code_line += '\'';
+            } else {
+                code_line += c;
+            }
+            break;
+          case State::LineComment:
+            comment_line += c;
+            code_line += ' ';
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                code_line += "  ";
+                ++i;
+            } else {
+                comment_line += c;
+                code_line += ' ';
+            }
+            break;
+          case State::String:
+            if (c == '\\' && next != '\0' && next != '\n') {
+                code_line += "  ";
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                code_line += '"';
+            } else {
+                code_line += ' ';
+            }
+            break;
+          case State::Char:
+            if (c == '\\' && next != '\0' && next != '\n') {
+                code_line += "  ";
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                code_line += '\'';
+            } else {
+                code_line += ' ';
+            }
+            break;
+          case State::RawString: {
+            // Close only on )delim" — otherwise blank the content.
+            const std::string close = ")" + raw_delim + "\"";
+            if (c == ')' && content.compare(i, close.size(), close) == 0) {
+                code_line += '"';
+                i += close.size() - 1;
+                state = State::Code;
+            } else {
+                code_line += ' ';
+            }
+            break;
+          }
+        }
+    }
+    if (!code_line.empty() || !comment_line.empty())
+        flush_line();
+    while (file.nolint.size() < file.code.size())
+        file.nolint.push_back({});
+    return file;
+}
+
+namespace
+{
+
+// ---------------------------------------------------------------- //
+// Path scoping helpers                                             //
+// ---------------------------------------------------------------- //
+
+bool
+hasPrefix(const std::string &path, const char *prefix)
+{
+    return path.rfind(prefix, 0) == 0;
+}
+
+bool
+hasSuffix(const std::string &path, const char *suffix)
+{
+    const size_t len = std::char_traits<char>::length(suffix);
+    return path.size() >= len &&
+        path.compare(path.size() - len, len, suffix) == 0;
+}
+
+bool
+anyPrefix(const std::string &path,
+          std::initializer_list<const char *> prefixes)
+{
+    for (const char *p : prefixes)
+        if (hasPrefix(path, p))
+            return true;
+    return false;
+}
+
+bool
+fileMentions(const ScannedFile &file, const char *token)
+{
+    for (const auto &line : file.code)
+        if (line.find(token) != std::string::npos)
+            return true;
+    return false;
+}
+
+void
+emitMatches(const ScannedFile &file, const std::regex &re,
+            const char *rule, const char *message,
+            std::vector<Finding> &out)
+{
+    for (size_t i = 0; i < file.code.size(); ++i)
+        if (std::regex_search(file.code[i], re))
+            out.push_back(Finding{file.path, static_cast<int>(i + 1),
+                                  rule, message});
+}
+
+// ---------------------------------------------------------------- //
+// Determinism rules                                                //
+// ---------------------------------------------------------------- //
+
+/** dora-det-rand: unseeded / process-global randomness. */
+void
+ruleDetRand(const ScannedFile &f, std::vector<Finding> &out)
+{
+    static const std::regex re(
+        R"((^|[^\w])(std::)?(rand|srand|drand48|lrand48|mrand48|random)\s*\(|std::random_device)");
+    emitMatches(f, re, "dora-det-rand",
+                "unseeded/global randomness breaks bit-identical "
+                "replay; derive a seeded stream from common/rng.hh",
+                out);
+}
+
+/** The wall-clock token set shared by two rules. */
+const std::regex &
+wallClockRe()
+{
+    static const std::regex re(
+        R"(system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|timespec_get|__DATE__|__TIME__|__TIMESTAMP__|(^|[^\w.])(time|clock|localtime|gmtime|ctime|asctime|strftime|mktime)\s*\()");
+    return re;
+}
+
+/** dora-det-wallclock: wall-clock reads inside simulation code. */
+void
+ruleDetWallclock(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!hasPrefix(f.path, "src/"))
+        return;
+    // Timing the *host* is the purpose of the execution engine's job
+    // metrics and the obs layer; simulated components must derive all
+    // time from tick arithmetic.
+    if (anyPrefix(f.path, {"src/exec/", "src/obs/"}))
+        return;
+    emitMatches(f, wallClockRe(), "dora-det-wallclock",
+                "wall-clock input in simulation code makes results "
+                "machine/schedule-dependent; use simulated ticks "
+                "(allowlisted: src/exec, src/obs)",
+                out);
+}
+
+/** dora-det-unordered: iteration-order-dependent accumulation risk. */
+void
+ruleDetUnordered(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!hasPrefix(f.path, "src/"))
+        return;
+    if (anyPrefix(f.path, {"src/exec/", "src/obs/"}))
+        return;
+    static const std::regex re(
+        R"(std::unordered_(map|set|multimap|multiset)\b)");
+    emitMatches(f, re, "dora-det-unordered",
+                "unordered-container iteration order is "
+                "implementation-defined; result-producing code must "
+                "use std::map / sorted vectors (or justify with "
+                "NOLINT)",
+                out);
+}
+
+/** dora-det-confighash: wall-clock near config-hash producers. */
+void
+ruleDetConfigHash(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!anyPrefix(f.path, {"src/", "bench/"}))
+        return;
+    if (!fileMentions(f, "ConfigHash"))
+        return;
+    for (size_t i = 0; i < f.code.size(); ++i)
+        if (std::regex_search(f.code[i], wallClockRe()))
+            out.push_back(Finding{
+                f.path, static_cast<int>(i + 1), "dora-det-confighash",
+                "wall-clock/date input in a file feeding "
+                "experimentConfigHash/trainingConfigHash poisons "
+                "cache keys and silently mixes incompatible runs"});
+}
+
+// ---------------------------------------------------------------- //
+// Concurrency rules                                                //
+// ---------------------------------------------------------------- //
+
+/** dora-conc-global-state: mutable statics without synchronization. */
+void
+ruleConcGlobalState(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!hasPrefix(f.path, "src/"))
+        return;
+    static const std::regex static_re(R"((^|\s)(static)\s+)");
+    static const std::regex global_re(
+        R"((^|[^\w])g_\w+\s*(=[^=]|\{|;))");
+    static const std::regex safe_re(
+        R"(\b(const|constexpr|constinit|thread_local|once_flag)\b|atomic|[Mm]utex|GUARDED_BY)");
+    static const std::regex reference_re(R"(static\s+[^=;(]*&)");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        // For `static` declarations analyze from the keyword onward
+        // (a one-line function body may precede it); for g_ globals
+        // analyze the whole line (the type, e.g. std::atomic, usually
+        // precedes the name).
+        std::smatch m;
+        std::string stmt;
+        if (std::regex_search(f.code[i], m, static_re))
+            stmt = "static" + f.code[i].substr(
+                static_cast<size_t>(m.position(2)) + 6);
+        else if (std::regex_search(f.code[i], global_re))
+            stmt = f.code[i];
+        else
+            continue;
+        // Join continuation lines until the statement's shape is
+        // decidable (`static Foo\n  bar(...);` spans two lines).
+        for (size_t j = i + 1;
+             j < f.code.size() && j < i + 4 &&
+             stmt.find_first_of("(={;") == std::string::npos;
+             ++j)
+            stmt += " " + f.code[j];
+        if (std::regex_search(stmt, safe_re))
+            continue;
+        if (std::regex_search(stmt, reference_re))
+            continue;
+        // A '(' before any '=' marks a function declaration/definition
+        // (`static Foo bar(...)`), not a data definition.
+        const size_t paren = stmt.find('(');
+        const size_t eq = stmt.find('=');
+        if (paren != std::string::npos &&
+            (eq == std::string::npos || paren < eq))
+            continue;
+        out.push_back(Finding{
+            f.path, static_cast<int>(i + 1), "dora-conc-global-state",
+            "mutable file-scope/static state must be std::atomic, "
+            "mutex-guarded (GUARDED_BY), or NOLINT-justified"});
+    }
+}
+
+/** dora-conc-mutex-unannotated: header mutexes with no GUARDED_BY. */
+void
+ruleConcMutexUnannotated(const ScannedFile &f,
+                         std::vector<Finding> &out)
+{
+    if (!hasPrefix(f.path, "src/") || !hasSuffix(f.path, ".hh"))
+        return;
+    static const std::regex member_re(
+        R"((^|\s)(mutable\s+)?((std::)?(mutex|recursive_mutex|shared_mutex|timed_mutex)|(dora::)?Mutex)\s+\w+\s*;)");
+    if (fileMentions(f, "GUARDED_BY"))
+        return;
+    emitMatches(f, member_re, "dora-conc-mutex-unannotated",
+                "mutex member declared but no field in this header is "
+                "GUARDED_BY it; annotate the guarded state "
+                "(common/thread_annotations.hh) so clang "
+                "-Wthread-safety can check the locking discipline",
+                out);
+}
+
+// ---------------------------------------------------------------- //
+// Hygiene rules                                                    //
+// ---------------------------------------------------------------- //
+
+/** dora-hyg-stream: direct console output from library code. */
+void
+ruleHygStream(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!hasPrefix(f.path, "src/"))
+        return;
+    // The log sink is the one place that may write to stderr.
+    if (f.path == "src/common/logging.cc")
+        return;
+    static const std::regex re(
+        R"(std::cout|std::cerr|std::clog|(^|[^\w])(printf|vprintf|fprintf|vfprintf|puts|fputs|putchar|fputc)\s*\()");
+    emitMatches(f, re, "dora-hyg-stream",
+                "library code must not write to the console directly; "
+                "route through inform()/warn()/debugLog() "
+                "(common/logging.hh) so output is serialized and "
+                "rate-limited",
+                out);
+}
+
+/** dora-hyg-catch-all: catch (...) that swallows silently. */
+void
+ruleHygCatchAll(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!anyPrefix(f.path, {"src/", "bench/"}))
+        return;
+    static const std::regex catch_re(R"(catch\s*\(\s*\.\.\.\s*\))");
+    static const std::regex handled_re(
+        R"(\bthrow\b|rethrow_exception|current_exception|\b(warn|fatal|panic|inform|debugLog|abort)\s*\(|std::exit)");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(f.code[i], m, catch_re))
+            continue;
+        // Collect the handler block: everything from the catch up to
+        // the brace that balances the handler's opening '{', then
+        // look for a rethrow or a log call inside it.
+        std::string block;
+        int depth = 0;
+        bool entered = false, closed = false;
+        size_t k = static_cast<size_t>(m.position(0)) + m.length(0);
+        for (size_t j = i; j < f.code.size() && !closed; ++j, k = 0) {
+            const std::string &code = f.code[j];
+            for (; k < code.size() && !closed; ++k) {
+                const char c = code[k];
+                block += c;
+                if (c == '{') {
+                    ++depth;
+                    entered = true;
+                } else if (c == '}' && entered && --depth <= 0) {
+                    closed = true;
+                }
+            }
+            block += '\n';
+        }
+        if (!std::regex_search(block, handled_re))
+            out.push_back(Finding{
+                f.path, static_cast<int>(i + 1), "dora-hyg-catch-all",
+                "catch (...) must rethrow, capture, or log the "
+                "exception; silent swallowing hides injected faults "
+                "and real bugs alike"});
+    }
+}
+
+/** dora-hyg-assert: Release-compiled-out guards. */
+void
+ruleHygAssert(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!anyPrefix(f.path, {"src/", "bench/"}))
+        return;
+    static const std::regex re(R"((^|[^\w])assert\s*\()");
+    emitMatches(f, re, "dora-hyg-assert",
+                "assert() vanishes in Release builds (NDEBUG); "
+                "invariant guards must use fatal()/panic() "
+                "(common/logging.hh) so short sweeps and bad configs "
+                "fail loudly everywhere",
+                out);
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {"dora-det-rand",
+         "no unseeded/global RNG (rand, srand, std::random_device)"},
+        {"dora-det-wallclock",
+         "no wall-clock reads in simulation code (allow: src/exec, "
+         "src/obs)"},
+        {"dora-det-unordered",
+         "no std::unordered_* containers in result-producing code"},
+        {"dora-det-confighash",
+         "no wall-clock/date input in files feeding "
+         "experiment/training config hashes"},
+        {"dora-conc-global-state",
+         "mutable static/global state must be atomic, mutex-guarded, "
+         "or NOLINT-justified"},
+        {"dora-conc-mutex-unannotated",
+         "header mutex members need GUARDED_BY-annotated fields"},
+        {"dora-hyg-stream",
+         "no direct console writes from library code (log sink only)"},
+        {"dora-hyg-catch-all",
+         "no catch (...) that swallows without rethrow/log"},
+        {"dora-hyg-assert",
+         "no assert() guards (compiled out in Release); use "
+         "fatal()/panic()"},
+    };
+    return catalog;
+}
+
+void
+lintFile(const ScannedFile &file, std::vector<Finding> &out)
+{
+    std::vector<Finding> raw;
+    ruleDetRand(file, raw);
+    ruleDetWallclock(file, raw);
+    ruleDetUnordered(file, raw);
+    ruleDetConfigHash(file, raw);
+    ruleConcGlobalState(file, raw);
+    ruleConcMutexUnannotated(file, raw);
+    ruleHygStream(file, raw);
+    ruleHygCatchAll(file, raw);
+    ruleHygAssert(file, raw);
+
+    for (auto &finding : raw) {
+        const size_t idx = static_cast<size_t>(finding.line) - 1;
+        if (idx < file.nolint.size()) {
+            const auto &suppressed = file.nolint[idx];
+            if (suppressed.count("*") || suppressed.count(finding.rule))
+                continue;
+        }
+        out.push_back(std::move(finding));
+    }
+}
+
+std::vector<Finding>
+lintTree(const std::string &repoRoot,
+         const std::vector<std::string> &subdirs,
+         std::vector<std::string> *scannedPaths)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    for (const auto &subdir : subdirs) {
+        const fs::path root = fs::path(repoRoot) / subdir;
+        if (!fs::exists(root))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(root)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".cc" && ext != ".hh")
+                continue;
+            std::string rel =
+                entry.path().lexically_relative(repoRoot)
+                    .generic_string();
+            // Golden-test fixtures are deliberate violations.
+            if (rel.find("tests/lint/fixtures/") != std::string::npos)
+                continue;
+            paths.push_back(std::move(rel));
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<Finding> findings;
+    for (const auto &rel : paths) {
+        std::ifstream in(fs::path(repoRoot) / rel, std::ios::binary);
+        std::ostringstream content;
+        content << in.rdbuf();
+        const ScannedFile file = scanSource(rel, content.str());
+        lintFile(file, findings);
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    if (scannedPaths)
+        *scannedPaths = std::move(paths);
+    return findings;
+}
+
+std::string
+renderText(const std::vector<Finding> &findings)
+{
+    std::ostringstream out;
+    for (const auto &f : findings)
+        out << f.path << ":" << f.line << ": [" << f.rule << "] "
+            << f.message << "\n";
+    return out.str();
+}
+
+std::string
+renderJson(const std::vector<Finding> &findings)
+{
+    auto escape = [](const std::string &text) {
+        std::string out;
+        for (const char c : text) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    std::ostringstream out;
+    out << "[\n";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out << "  {\"file\": \"" << escape(f.path)
+            << "\", \"line\": " << f.line << ", \"rule\": \""
+            << escape(f.rule) << "\", \"message\": \""
+            << escape(f.message) << "\"}"
+            << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return out.str();
+}
+
+} // namespace dora::lint

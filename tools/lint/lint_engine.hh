@@ -1,0 +1,101 @@
+/**
+ * @file
+ * dora-lint: a project-invariant lint engine for the DORA tree.
+ *
+ * The simulator's headline results are only reproducible while a set
+ * of cross-cutting invariants holds: bit-identical artifacts at any
+ * `--jobs`, no wall-clock or unseeded randomness inside simulation
+ * code, mutex discipline on the little shared state the process has,
+ * and guards that survive Release builds. This engine turns those
+ * conventions (DESIGN.md §5e) into machine-checked rules.
+ *
+ * Model: every rule has a stable id (`dora-det-*`, `dora-conc-*`,
+ * `dora-hyg-*`), a path scope (which of src/tests/bench it applies
+ * to) and an allowlist of path prefixes where the construct is
+ * legitimate (e.g. wall-clock reads are the *purpose* of src/exec
+ * job timing and src/obs metrics). Sources are pre-scanned so that
+ * comments and string-literal contents never trigger rules, and a
+ * finding can be suppressed in place with
+ *
+ *     code;  // NOLINT(dora-rule-id): justification
+ *     // NOLINTNEXTLINE(dora-rule-id): justification
+ *
+ * A bare `NOLINT` (no rule list) suppresses every rule on that line.
+ * The engine is a plain library (no dependency on dora_common) so the
+ * `dora-lint` binary and the tests/lint golden tests share it.
+ */
+
+#ifndef DORA_TOOLS_LINT_ENGINE_HH
+#define DORA_TOOLS_LINT_ENGINE_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dora::lint
+{
+
+/** One rule violation at a specific source line. */
+struct Finding
+{
+    std::string path;     //!< repo-relative, '/'-separated
+    int line = 0;         //!< 1-based
+    std::string rule;     //!< rule id, e.g. "dora-det-wallclock"
+    std::string message;  //!< human-readable explanation
+};
+
+/** Catalog entry for --list-rules and the docs table. */
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+/** Every rule the engine knows, in stable (documentation) order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/**
+ * A source file prepared for rule matching: per-line code text with
+ * comments and string/char-literal contents blanked to spaces (line
+ * structure preserved), plus per-line NOLINT suppression sets.
+ */
+struct ScannedFile
+{
+    std::string path;
+    std::vector<std::string> code;
+    /** Rule ids suppressed on each line; "*" suppresses all rules. */
+    std::vector<std::set<std::string>> nolint;
+};
+
+/**
+ * Strip comments/literals (handling //, block comments, raw strings)
+ * and collect NOLINT / NOLINTNEXTLINE directives. @p path must be the
+ * repo-relative path — rules scope and allowlist by path prefix.
+ */
+ScannedFile scanSource(std::string path, const std::string &content);
+
+/** Run every rule over one scanned file, appending findings. */
+void lintFile(const ScannedFile &file, std::vector<Finding> &out);
+
+/**
+ * Walk @p subdirs (repo-relative, e.g. {"src","tests","bench"}) under
+ * @p repoRoot, lint every *.cc / *.hh file, and return the findings
+ * sorted by (path, line, rule). Paths under tests/lint/fixtures/ are
+ * skipped — they are deliberate violations used by the golden tests.
+ * When @p scannedPaths is non-null the repo-relative path of every
+ * linted file is appended (sorted), for reporting.
+ */
+std::vector<Finding>
+lintTree(const std::string &repoRoot,
+         const std::vector<std::string> &subdirs,
+         std::vector<std::string> *scannedPaths = nullptr);
+
+/** `path:line: [rule] message` lines, one per finding. */
+std::string renderText(const std::vector<Finding> &findings);
+
+/** Machine-readable report: a JSON array of finding objects. */
+std::string renderJson(const std::vector<Finding> &findings);
+
+} // namespace dora::lint
+
+#endif // DORA_TOOLS_LINT_ENGINE_HH
