@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "exec/thread_pool.hh"
 #include "harness/bundle_cache.hh"
@@ -36,6 +37,45 @@ benchJobs(int argc, char **argv)
     std::cerr << "[bench] jobs=" << jobs
               << (jobs == 1 ? " (serial)" : "") << "\n";
     return jobs;
+}
+
+/**
+ * Resolve the process-tier worker count of a bench binary:
+ * `--workers N` / `--workers=N` on the command line, else
+ * $DORA_WORKERS, else 0 (in-process execution). Results are
+ * bit-identical at any worker count; workers > 0 additionally buys
+ * crash isolation and checkpoint/resume (see exec/proc).
+ */
+inline unsigned
+benchWorkers(int argc, char **argv)
+{
+    long workers = 0;
+    const char *from = nullptr;
+    if (const char *env = std::getenv("DORA_WORKERS")) {
+        workers = std::strtol(env, nullptr, 10);
+        from = "$DORA_WORKERS";
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--workers" && i + 1 < argc)
+            value = argv[i + 1];
+        else if (arg.rfind("--workers=", 0) == 0)
+            value = arg.substr(10);
+        else
+            continue;
+        char *end = nullptr;
+        workers = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || workers < 0)
+            fatal("--workers: malformed value '%s'", value.c_str());
+        from = "--workers";
+    }
+    if (workers < 0)
+        workers = 0;
+    if (workers > 0)
+        std::cerr << "[bench] workers=" << workers << " (" << from
+                  << "; process tier with checkpoint/resume)\n";
+    return static_cast<unsigned>(workers);
 }
 
 /**

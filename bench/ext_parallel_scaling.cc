@@ -77,19 +77,39 @@ main(int argc, char **argv)
     const double parallel_sec = wallSeconds(t0);
     std::printf("SCALING jobs=%u wall=%.3f\n", jobs, parallel_sec);
 
-    // --- 1. byte-identity of every cell. ---
-    bool identical = serial_records.size() == parallel_records.size();
+    // Process tier (exec/proc): same campaign sharded across worker
+    // subprocesses — the crash-resilient path used by --workers=N.
+    const unsigned workers = std::min(jobs, 4u);
+    ComparisonHarness proc(ExperimentConfig{}, nullptr, 1);
+    proc.setWorkers(workers);
+    t0 = std::chrono::steady_clock::now();
+    const auto proc_records = proc.runAll(workloads, governors);
+    const double proc_sec = wallSeconds(t0);
+    std::printf("SCALING workers=%u wall=%.3f\n", workers, proc_sec);
+
+    // --- 1. byte-identity of every cell, across both tiers. ---
+    bool identical = serial_records.size() == parallel_records.size() &&
+        serial_records.size() == proc_records.size();
     for (size_t w = 0; identical && w < serial_records.size(); ++w) {
         for (const auto &name : governors) {
             const std::string a = runMeasurementText(
                 serial_records[w].measurement(name));
             const std::string b = runMeasurementText(
                 parallel_records[w].measurement(name));
+            const std::string c = runMeasurementText(
+                proc_records[w].measurement(name));
             if (a != b) {
                 identical = false;
                 std::cerr << "MISMATCH " << workloads[w].label() << " x "
                           << name << "\n  jobs=1: " << a
                           << "\n  jobs=" << jobs << ": " << b << "\n";
+            }
+            if (a != c) {
+                identical = false;
+                std::cerr << "MISMATCH " << workloads[w].label() << " x "
+                          << name << "\n  jobs=1: " << a
+                          << "\n  workers=" << workers << ": " << c
+                          << "\n";
             }
         }
     }

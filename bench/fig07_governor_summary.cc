@@ -28,8 +28,16 @@ main(int argc, char **argv)
 {
     ObsGuard obs(argc, argv);
     const unsigned jobs = benchJobs(argc, argv);
+    const unsigned workers = benchWorkers(argc, argv);
     auto bundle = benchBundle();
     ComparisonHarness harness(ExperimentConfig{}, bundle, jobs);
+    if (workers > 0) {
+        // Process tier: campaigns shard across worker subprocesses and
+        // journal completed cells, so an interrupted/crashed bench run
+        // resumes instead of restarting (results stay bit-identical).
+        harness.setWorkers(workers);
+        harness.setProcJournalStem("fig07.journal");
+    }
 
     const auto workloads = WorkloadSets::paperCombinations();
     std::cerr << "[bench] running " << workloads.size()

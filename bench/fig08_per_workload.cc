@@ -21,8 +21,13 @@ main(int argc, char **argv)
 {
     ObsGuard obs(argc, argv);
     const unsigned jobs = benchJobs(argc, argv);
+    const unsigned workers = benchWorkers(argc, argv);
     auto bundle = benchBundle();
     ComparisonHarness harness(ExperimentConfig{}, bundle, jobs);
+    if (workers > 0) {
+        harness.setWorkers(workers);
+        harness.setProcJournalStem("fig08.journal");
+    }
 
     const auto workloads = WorkloadSets::paperCombinations();
     std::cerr << "[bench] running " << workloads.size()

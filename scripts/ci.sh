@@ -82,6 +82,17 @@ fi
 echo "== tests =="
 (cd "${build_dir}" && ctest --output-on-failure)
 
+echo "== crash: process-tier resilience =="
+# Named gate over the crash-resilience ladder (DESIGN.md §5f): wire
+# protocol corruption handling, journal torn-tail truncation,
+# worker/supervisor SIGKILL + retry + journal resume (byte-identical
+# to --workers=0), stale bundle-cache lock recovery, and the
+# truncated-trace flush of a signalled bench. The same suites also
+# run under ASan/UBSan (full sweep below) and the supervisor suites
+# under TSan (default TSan scope in run_sanitized_tests.sh).
+(cd "${build_dir}" && ctest --output-on-failure \
+    -R 'ProcWire|ProcJournalTest|ProcSupervisorTest|KillResume|BundleCacheLockTest|ObsGuardSignal')
+
 if [[ "${skip_sanitizers}" -eq 0 ]]; then
     echo "== sanitizers: address,undefined =="
     "${repo_root}/scripts/run_sanitized_tests.sh"

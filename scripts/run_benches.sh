@@ -47,6 +47,12 @@ speedup="$(awk '/^SCALING speedup=/{sub("speedup=","",$2); print $2}' \
 identical="$(awk '/^SCALING speedup=/{sub("identical=","",$3); print $3}' \
     "${scaling_log}")"
 [[ "${identical}" == "1" ]] && identical=true || identical=false
+# Process-tier row: the same slice sharded over worker subprocesses
+# (checkpoint/resume path); identical above also covers its bytes.
+workers_n="$(awk '/^SCALING workers=/{sub("workers=","",$2); print $2}' \
+    "${scaling_log}")"
+wall_workers="$(awk '/^SCALING workers=/{sub("wall=","",$3); print $3}' \
+    "${scaling_log}")"
 rm -f "${scaling_log}"
 
 echo "== ovh_hotpath (adaptive) =="
@@ -93,6 +99,8 @@ cat > "${out}" <<EOF
   "ext_parallel_scaling": {
     "wall_jobs1_sec": ${wall_serial},
     "wall_jobsN_sec": ${wall_parallel},
+    "workers": ${workers_n},
+    "wall_workersN_sec": ${wall_workers},
     "speedup": ${speedup},
     "identical": ${identical}
   },

@@ -63,6 +63,6 @@ cd "${build_dir}"
 if [[ "${sanitize}" == "thread" && ${#ctest_args[@]} -eq 0 ]]; then
     # Default TSan scope: the concurrency-bearing suites. Pass explicit
     # ctest args to widen it.
-    ctest_args=(-R 'JobCount|ParallelFor|ParallelMap|ThreadPool|ParallelDeterminism')
+    ctest_args=(-R 'JobCount|ParallelFor|ParallelMap|ThreadPool|ParallelDeterminism|ProcSupervisorTest|KillResume')
 fi
 ctest --output-on-failure "${ctest_args[@]}"

@@ -130,4 +130,20 @@ Rng::fork(std::string_view salt)
     return Rng(next() ^ hashLabel(salt));
 }
 
+Rng::State
+Rng::state() const
+{
+    State st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    return st;
+}
+
+void
+Rng::setState(const State &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+}
+
 } // namespace dora

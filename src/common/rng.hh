@@ -63,6 +63,23 @@ class Rng
     /** Derive a child generator from this one plus a salt label. */
     Rng fork(std::string_view salt);
 
+    /**
+     * Serializable stream state: the four xoshiro256** words. A
+     * generator restored via setState() continues the exact draw
+     * sequence of the captured one — the enabling primitive for
+     * checkpoint/replay of simulation state (common/snapshot.hh).
+     */
+    struct State
+    {
+        uint64_t s[4] = {0, 0, 0, 0};
+    };
+
+    /** Capture the current stream state. */
+    State state() const;
+
+    /** Resume from a captured stream state. */
+    void setState(const State &state);
+
   private:
     uint64_t s_[4];
 };

@@ -1,0 +1,340 @@
+#include "common/snapshot.hh"
+
+#include <cstring>
+
+#include "common/rng.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+/** Field type markers, one byte ahead of every field. */
+enum : uint8_t
+{
+    kTagU8 = 0x01,
+    kTagU32 = 0x02,
+    kTagU64 = 0x03,
+    kTagDouble = 0x04,
+    kTagString = 0x05,
+    kTagDoubles = 0x06,
+    kTagU64s = 0x07,
+    kTagU32s = 0x08,
+    kTagSection = 0x09,
+};
+
+constexpr size_t kChecksumBytes = sizeof(uint64_t);
+
+} // namespace
+
+void
+SnapshotWriter::beginSection(std::string_view tag, uint32_t version)
+{
+    bytes_.push_back(static_cast<char>(kTagSection));
+    // Fixed-width 4-char tag; shorter tags are space-padded.
+    char four[4] = {' ', ' ', ' ', ' '};
+    std::memcpy(four, tag.data(), tag.size() < 4 ? tag.size() : 4);
+    bytes_.append(four, 4);
+    putU32(version);
+}
+
+void
+SnapshotWriter::putU8(uint8_t v)
+{
+    bytes_.push_back(static_cast<char>(kTagU8));
+    bytes_.push_back(static_cast<char>(v));
+}
+
+void
+SnapshotWriter::putU32(uint32_t v)
+{
+    bytes_.push_back(static_cast<char>(kTagU32));
+    bytes_.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+SnapshotWriter::putU64(uint64_t v)
+{
+    bytes_.push_back(static_cast<char>(kTagU64));
+    bytes_.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+SnapshotWriter::putDouble(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    bytes_.push_back(static_cast<char>(kTagDouble));
+    bytes_.append(reinterpret_cast<const char *>(&bits), sizeof(bits));
+}
+
+void
+SnapshotWriter::putString(std::string_view s)
+{
+    bytes_.push_back(static_cast<char>(kTagString));
+    const uint64_t len = s.size();
+    bytes_.append(reinterpret_cast<const char *>(&len), sizeof(len));
+    bytes_.append(s.data(), s.size());
+}
+
+void
+SnapshotWriter::putDoubles(const std::vector<double> &v)
+{
+    bytes_.push_back(static_cast<char>(kTagDoubles));
+    const uint64_t len = v.size();
+    bytes_.append(reinterpret_cast<const char *>(&len), sizeof(len));
+    for (double d : v) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        bytes_.append(reinterpret_cast<const char *>(&bits),
+                      sizeof(bits));
+    }
+}
+
+void
+SnapshotWriter::putU64s(const std::vector<uint64_t> &v)
+{
+    bytes_.push_back(static_cast<char>(kTagU64s));
+    const uint64_t len = v.size();
+    bytes_.append(reinterpret_cast<const char *>(&len), sizeof(len));
+    if (!v.empty())
+        bytes_.append(reinterpret_cast<const char *>(v.data()),
+                      v.size() * sizeof(uint64_t));
+}
+
+void
+SnapshotWriter::putU32s(const std::vector<uint32_t> &v)
+{
+    bytes_.push_back(static_cast<char>(kTagU32s));
+    const uint64_t len = v.size();
+    bytes_.append(reinterpret_cast<const char *>(&len), sizeof(len));
+    if (!v.empty())
+        bytes_.append(reinterpret_cast<const char *>(v.data()),
+                      v.size() * sizeof(uint32_t));
+}
+
+std::string
+SnapshotWriter::finish() const
+{
+    std::string out = bytes_;
+    const uint64_t sum = hashLabel(out);
+    out.append(reinterpret_cast<const char *>(&sum), sizeof(sum));
+    return out;
+}
+
+bool
+SnapshotReader::checksumOk() const
+{
+    if (bytes_.size() < kChecksumBytes)
+        return false;
+    const size_t payload = bytes_.size() - kChecksumBytes;
+    uint64_t stored;
+    std::memcpy(&stored, bytes_.data() + payload, sizeof(stored));
+    return stored == hashLabel(bytes_.substr(0, payload));
+}
+
+bool
+SnapshotReader::take(void *out, size_t n)
+{
+    if (bytes_.size() < kChecksumBytes ||
+        pos_ + n > bytes_.size() - kChecksumBytes)
+        return false;
+    if (n > 0)
+        std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+bool
+SnapshotReader::beginSection(std::string_view tag, uint32_t version)
+{
+    const size_t saved = pos_;
+    uint8_t marker;
+    char four[4];
+    if (!take(&marker, 1) || marker != kTagSection ||
+        !take(four, 4)) {
+        pos_ = saved;
+        return false;
+    }
+    char want[4] = {' ', ' ', ' ', ' '};
+    std::memcpy(want, tag.data(), tag.size() < 4 ? tag.size() : 4);
+    uint32_t got_version;
+    if (std::memcmp(four, want, 4) != 0 || !getU32(&got_version) ||
+        got_version != version) {
+        pos_ = saved;
+        return false;
+    }
+    return true;
+}
+
+bool
+SnapshotReader::getU8(uint8_t *out)
+{
+    const size_t saved = pos_;
+    uint8_t marker, v;
+    if (!take(&marker, 1) || marker != kTagU8 || !take(&v, 1)) {
+        pos_ = saved;
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+SnapshotReader::getU32(uint32_t *out)
+{
+    const size_t saved = pos_;
+    uint8_t marker;
+    uint32_t v;
+    if (!take(&marker, 1) || marker != kTagU32 ||
+        !take(&v, sizeof(v))) {
+        pos_ = saved;
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+SnapshotReader::getU64(uint64_t *out)
+{
+    const size_t saved = pos_;
+    uint8_t marker;
+    uint64_t v;
+    if (!take(&marker, 1) || marker != kTagU64 ||
+        !take(&v, sizeof(v))) {
+        pos_ = saved;
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+SnapshotReader::getDouble(double *out)
+{
+    const size_t saved = pos_;
+    uint8_t marker;
+    uint64_t bits;
+    if (!take(&marker, 1) || marker != kTagDouble ||
+        !take(&bits, sizeof(bits))) {
+        pos_ = saved;
+        return false;
+    }
+    std::memcpy(out, &bits, sizeof(bits));
+    return true;
+}
+
+bool
+SnapshotReader::getBool(bool *out)
+{
+    uint8_t v;
+    if (!getU8(&v))
+        return false;
+    *out = v != 0;
+    return true;
+}
+
+bool
+SnapshotReader::getSize(size_t *out)
+{
+    uint64_t v;
+    if (!getU64(&v))
+        return false;
+    *out = static_cast<size_t>(v);
+    return true;
+}
+
+bool
+SnapshotReader::getString(std::string *out)
+{
+    const size_t saved = pos_;
+    uint8_t marker;
+    uint64_t len;
+    if (!take(&marker, 1) || marker != kTagString ||
+        !take(&len, sizeof(len))) {
+        pos_ = saved;
+        return false;
+    }
+    std::string s(static_cast<size_t>(len), '\0');
+    if (!take(s.data(), s.size())) {
+        pos_ = saved;
+        return false;
+    }
+    *out = std::move(s);
+    return true;
+}
+
+bool
+SnapshotReader::getDoubles(std::vector<double> *out)
+{
+    const size_t saved = pos_;
+    uint8_t marker;
+    uint64_t len;
+    if (!take(&marker, 1) || marker != kTagDoubles ||
+        !take(&len, sizeof(len))) {
+        pos_ = saved;
+        return false;
+    }
+    std::vector<double> v(static_cast<size_t>(len));
+    for (auto &d : v) {
+        uint64_t bits;
+        if (!take(&bits, sizeof(bits))) {
+            pos_ = saved;
+            return false;
+        }
+        std::memcpy(&d, &bits, sizeof(bits));
+    }
+    *out = std::move(v);
+    return true;
+}
+
+bool
+SnapshotReader::getU64s(std::vector<uint64_t> *out)
+{
+    const size_t saved = pos_;
+    uint8_t marker;
+    uint64_t len;
+    if (!take(&marker, 1) || marker != kTagU64s ||
+        !take(&len, sizeof(len))) {
+        pos_ = saved;
+        return false;
+    }
+    std::vector<uint64_t> v(static_cast<size_t>(len));
+    if (!take(v.data(), v.size() * sizeof(uint64_t))) {
+        pos_ = saved;
+        return false;
+    }
+    *out = std::move(v);
+    return true;
+}
+
+bool
+SnapshotReader::getU32s(std::vector<uint32_t> *out)
+{
+    const size_t saved = pos_;
+    uint8_t marker;
+    uint64_t len;
+    if (!take(&marker, 1) || marker != kTagU32s ||
+        !take(&len, sizeof(len))) {
+        pos_ = saved;
+        return false;
+    }
+    std::vector<uint32_t> v(static_cast<size_t>(len));
+    if (!take(v.data(), v.size() * sizeof(uint32_t))) {
+        pos_ = saved;
+        return false;
+    }
+    *out = std::move(v);
+    return true;
+}
+
+bool
+SnapshotReader::atEnd() const
+{
+    return bytes_.size() >= kChecksumBytes &&
+        pos_ == bytes_.size() - kChecksumBytes;
+}
+
+} // namespace dora

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "dora/features.hh"
 
 namespace dora
@@ -55,6 +56,42 @@ PredictiveGovernor::reset()
     haveLastGood_ = false;
     lastGoodIndex_ = 0;
     warnedBadInterval_ = false;
+}
+
+void
+PredictiveGovernor::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("govp", 1);
+    // Construction-derived, not run state: verified on restore.
+    w.putBool(modelsUsable_);
+    w.putSize(badStreak_);
+    w.putU64(badIntervals_);
+    w.putBool(haveLastGood_);
+    w.putSize(lastGoodIndex_);
+    w.putBool(warnedBadInterval_);
+    idleFallback_.snapshot(w);
+}
+
+bool
+PredictiveGovernor::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("govp", 1))
+        return false;
+    bool models_usable, have_last_good, warned;
+    size_t bad_streak, last_good_index;
+    uint64_t bad_intervals;
+    if (!r.getBool(&models_usable) || models_usable != modelsUsable_ ||
+        !r.getSize(&bad_streak) || !r.getU64(&bad_intervals) ||
+        !r.getBool(&have_last_good) || !r.getSize(&last_good_index) ||
+        !r.getBool(&warned) || !idleFallback_.tryRestore(r))
+        return false;
+    badStreak_ = bad_streak;
+    badIntervals_ = bad_intervals;
+    haveLastGood_ = have_last_good;
+    lastGoodIndex_ = last_good_index;
+    warnedBadInterval_ = warned;
+    lastEval_.clear();
+    return true;
 }
 
 size_t

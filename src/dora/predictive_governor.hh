@@ -83,6 +83,14 @@ class PredictiveGovernor : public Governor
     void reset() override;
 
     /**
+     * Serialize degradation tracking and the embedded fallback. The
+     * candidate table (lastEval_) is an output record recomputed at
+     * every decision and is deliberately excluded.
+     */
+    void snapshot(SnapshotWriter &w) const override;
+    [[nodiscard]] bool tryRestore(SnapshotReader &r) override;
+
+    /**
      * The per-OPP evaluation table from the most recent decision
      * (empty before the first page-context decision). Exposed for the
      * fig06/fig11 benches and tests.

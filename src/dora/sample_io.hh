@@ -13,12 +13,28 @@
 #define DORA_DORA_SAMPLE_IO_HH
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dora/trainer.hh"
 
 namespace dora
 {
+
+/**
+ * Bit-exact binary encoding of one sample (checksummed, versioned)
+ * for the process execution tier: samples computed in a worker
+ * subprocess cross the pipe and the results journal as these bytes.
+ * CSV is for human/export use; this is the lossless wire form.
+ */
+std::string serializeTrainingSample(const TrainingSample &s);
+
+/**
+ * Decode serializeTrainingSample() output. Returns false (leaving
+ * @p out untouched) on checksum/version/shape mismatch.
+ */
+[[nodiscard]] bool tryDeserializeTrainingSample(std::string_view bytes,
+                                                TrainingSample *out);
 
 /** Serialize samples as CSV (header + one row per sample). */
 std::string samplesToCsv(const std::vector<TrainingSample> &samples);

@@ -1,13 +1,17 @@
 #include "dora/trainer.hh"
 
 #include <cmath>
+#include <csignal>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "dora/features.hh"
+#include "dora/sample_io.hh"
+#include "exec/proc/supervisor.hh"
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "power/leakage.hh"
 
 namespace dora
@@ -44,9 +48,11 @@ trainingConfigHash(const TrainerConfig &config)
     text << " timeridge " << config.timeRidge << " powerridge "
          << config.powerRidge << " maxworkloads "
          << config.maxTrainingWorkloads;
-    // config.jobs is deliberately not hashed: parallel collection is
-    // bit-identical to serial, so the job count does not shape the
-    // trained coefficients and must not invalidate cached bundles.
+    // config.jobs, config.workers, and config.procJournalStem are
+    // deliberately not hashed: parallel and process-tier collection
+    // are bit-identical to serial, so the execution tier does not
+    // shape the trained coefficients and must not invalidate cached
+    // bundles.
     return hashLabel(text.str());
 }
 
@@ -99,6 +105,60 @@ Trainer::collectSamples(const std::vector<WorkloadSpec> &workloads,
     };
 
     const size_t cells = workloads.size() * freqs;
+    const ExperimentConfig experiment_config = runner_.config();
+    if (config_.workers > 0 && cells > 0) {
+        // Process tier: shard the campaign across worker subprocesses
+        // (crash isolation + checkpoint/resume). Cells are keyed by
+        // grid index and each constructs its own device, so the
+        // samples are bit-identical to the in-process paths.
+        ProcSweepConfig proc;
+        proc.workers = config_.workers;
+        std::ostringstream salt;
+        salt << "collectSamples " << trainingConfigHash(config_)
+             << " cells " << cells;
+        for (const auto &w : workloads)
+            salt << " " << w.label();
+        for (size_t f : freq_indices)
+            salt << " " << f;
+        proc.campaignHash = hashLabel(salt.str());
+        if (!config_.procJournalStem.empty())
+            proc.journalPath = config_.procJournalStem + "." +
+                hexU64(proc.campaignHash) + ".jrn";
+
+        const ProcSweepReport report = runProcSweep(
+            proc, cells, [&](uint64_t cell) {
+                ExperimentRunner local(experiment_config);
+                return serializeTrainingSample(
+                    run_cell(local, static_cast<size_t>(cell)));
+            });
+        if (report.drained) {
+            warn("trainer: campaign interrupted by signal %d with "
+                 "%llu cells journaled; re-run to resume",
+                 report.drainSignal,
+                 static_cast<unsigned long long>(report.unitsRun +
+                                                 report.unitsResumed));
+            ::raise(report.drainSignal);
+            fatal("trainer: campaign interrupted");
+        }
+        std::vector<TrainingSample> out(cells);
+        for (size_t cell = 0; cell < cells; ++cell) {
+            if (!report.completed[cell]) {
+                warn("trainer: cell %zu was quarantined by the "
+                     "process tier; recomputing in-process",
+                     cell);
+                ExperimentRunner local(experiment_config);
+                out[cell] = run_cell(local, cell);
+                continue;
+            }
+            if (!tryDeserializeTrainingSample(report.results[cell],
+                                              &out[cell]))
+                fatal("trainer: cell %zu payload from the process "
+                      "tier does not deserialize (journal from an "
+                      "older build?); delete the journal and re-run",
+                      cell);
+        }
+        return out;
+    }
     const unsigned jobs =
         config_.jobs ? config_.jobs : defaultJobCount();
     if (jobs <= 1 || cells <= 1) {

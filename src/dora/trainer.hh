@@ -71,6 +71,21 @@ struct TrainerConfig
      * parallelism stays cache-valid.
      */
     unsigned jobs = 0;
+
+    /**
+     * Route the measurement campaign through the crash-resilient
+     * process tier (exec/proc): worker subprocesses per campaign
+     * (0 = in-process thread pool, the default). Bit-identical to
+     * workers=0 and, like jobs, excluded from trainingConfigHash().
+     */
+    unsigned workers = 0;
+
+    /**
+     * Journal stem for process-tier campaigns: completed cells land in
+     * `<stem>.<campaign-hash>.jrn` and a rerun resumes from them.
+     * Empty disables journaling. Excluded from trainingConfigHash().
+     */
+    std::string procJournalStem;
 };
 
 /** One (features -> targets) observation from a measurement run. */

@@ -1,0 +1,107 @@
+#include "exec/proc/wire.hh"
+
+#include <cstring>
+
+#include "common/rng.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+constexpr uint32_t kMagic = 0x31465044u;  // "DPF1" little-endian
+constexpr size_t kHeaderBytes = 4 + 1 + 8 + 4 + 4;
+constexpr size_t kChecksumBytes = 8;
+
+void
+putRaw(std::string &out, const void *p, size_t n)
+{
+    out.append(static_cast<const char *>(p), n);
+}
+
+bool
+validType(uint8_t t)
+{
+    return t >= static_cast<uint8_t>(FrameType::Dispatch) &&
+        t <= static_cast<uint8_t>(FrameType::Shutdown);
+}
+
+} // namespace
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    std::string out;
+    out.reserve(kHeaderBytes + frame.payload.size() + kChecksumBytes);
+    putRaw(out, &kMagic, sizeof(kMagic));
+    const uint8_t type = static_cast<uint8_t>(frame.type);
+    putRaw(out, &type, sizeof(type));
+    putRaw(out, &frame.unit, sizeof(frame.unit));
+    putRaw(out, &frame.attempt, sizeof(frame.attempt));
+    const uint32_t len = static_cast<uint32_t>(frame.payload.size());
+    putRaw(out, &len, sizeof(len));
+    out += frame.payload;
+    const uint64_t fnv = hashLabel(
+        std::string_view(out.data() + sizeof(kMagic),
+                         out.size() - sizeof(kMagic)));
+    putRaw(out, &fnv, sizeof(fnv));
+    return out;
+}
+
+void
+FrameParser::feed(const char *data, size_t n)
+{
+    if (corrupted_)
+        return;
+    // Compact the already-decoded prefix before growing (keeps the
+    // buffer bounded by one in-flight frame, not the whole stream).
+    if (consumed_ > 0) {
+        buf_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+bool
+FrameParser::next(Frame *out)
+{
+    if (corrupted_)
+        return false;
+    const size_t avail = buf_.size() - consumed_;
+    if (avail < kHeaderBytes)
+        return false;
+    const char *p = buf_.data() + consumed_;
+
+    uint32_t magic;
+    std::memcpy(&magic, p, sizeof(magic));
+    uint8_t type;
+    std::memcpy(&type, p + 4, sizeof(type));
+    uint32_t len;
+    std::memcpy(&len, p + 17, sizeof(len));
+    if (magic != kMagic || !validType(type) || len > kMaxFramePayload) {
+        corrupted_ = true;
+        return false;
+    }
+    const size_t total = kHeaderBytes + len + kChecksumBytes;
+    if (avail < total)
+        return false;
+
+    uint64_t fnv;
+    std::memcpy(&fnv, p + kHeaderBytes + len, sizeof(fnv));
+    const uint64_t expect = hashLabel(std::string_view(
+        p + sizeof(magic), kHeaderBytes - sizeof(magic) + len));
+    if (fnv != expect) {
+        corrupted_ = true;
+        return false;
+    }
+
+    out->type = static_cast<FrameType>(type);
+    std::memcpy(&out->unit, p + 5, sizeof(out->unit));
+    std::memcpy(&out->attempt, p + 13, sizeof(out->attempt));
+    out->payload.assign(p + kHeaderBytes, len);
+    consumed_ += total;
+    return true;
+}
+
+} // namespace dora

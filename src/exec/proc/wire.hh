@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Framed pipe protocol between the sweep supervisor and its worker
+ * subprocesses (DESIGN.md §5f).
+ *
+ * Every message travelling either direction is one frame:
+ *
+ *   magic   u32   'DPF1' — resync sentinel
+ *   type    u8    Dispatch / Result / Heartbeat / WorkerError
+ *   unit    u64   work-unit index (0 for pure heartbeats)
+ *   attempt u32   1-based attempt number of that unit
+ *   len     u32   payload byte count
+ *   payload u8[len]
+ *   fnv     u64   FNV-1a over type..payload (everything after magic)
+ *
+ * The parser is incremental (pipes deliver arbitrary fragments) and
+ * treats any malformed byte — wrong magic, oversized length, checksum
+ * mismatch — as *stream corruption*, not a skippable frame: a desynced
+ * worker pipe cannot be trusted again, so the supervisor kills and
+ * respawns the worker, which is exactly the crash path frames exist to
+ * make detectable.
+ */
+
+#ifndef DORA_EXEC_PROC_WIRE_HH
+#define DORA_EXEC_PROC_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dora
+{
+
+/** Message kinds of the supervisor/worker pipe protocol. */
+enum class FrameType : uint8_t
+{
+    Dispatch = 1,     //!< supervisor -> worker: run this unit
+    Result = 2,       //!< worker -> supervisor: serialized unit result
+    Heartbeat = 3,    //!< worker -> supervisor: liveness while working
+    WorkerError = 4,  //!< worker -> supervisor: unit failed in-process
+    Shutdown = 5,     //!< supervisor -> worker: exit cleanly
+};
+
+/** One decoded protocol message. */
+struct Frame
+{
+    FrameType type = FrameType::Heartbeat;
+    uint64_t unit = 0;
+    uint32_t attempt = 0;
+    std::string payload;
+};
+
+/** Frames larger than this are rejected as corruption (64 MiB). */
+constexpr uint32_t kMaxFramePayload = 64u * 1024 * 1024;
+
+/** Serialize @p frame into its wire form (magic through checksum). */
+std::string encodeFrame(const Frame &frame);
+
+/**
+ * Incremental frame decoder over an arbitrary byte stream.
+ * feed() bytes as they arrive, then drain next() until it returns
+ * false. After corrupted() turns true the parser stays dead — the
+ * owning stream must be torn down.
+ */
+class FrameParser
+{
+  public:
+    /** Append raw bytes read from the pipe. */
+    void feed(const char *data, size_t n);
+
+    /**
+     * Extract the next complete frame into @p out.
+     * @return true when a valid frame was produced; false when more
+     *         bytes are needed or the stream is corrupted.
+     */
+    [[nodiscard]] bool next(Frame *out);
+
+    /** True once any malformed byte has been seen (terminal). */
+    bool corrupted() const { return corrupted_; }
+
+  private:
+    std::string buf_;
+    size_t consumed_ = 0;  //!< prefix of buf_ already decoded
+    bool corrupted_ = false;
+};
+
+} // namespace dora
+
+#endif // DORA_EXEC_PROC_WIRE_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -29,6 +30,18 @@ sanitizedUtilization(double util)
 }
 
 } // namespace
+
+void
+Governor::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("govs", 1);
+}
+
+bool
+Governor::tryRestore(SnapshotReader &r)
+{
+    return r.beginSection("govs", 1);
+}
 
 PerformanceGovernor::PerformanceGovernor()
     : name_("performance")
@@ -69,6 +82,25 @@ void
 FixedGovernor::setFrequencyIndex(size_t freq_index)
 {
     freqIndex_ = freq_index;
+}
+
+void
+FixedGovernor::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("govf", 1);
+    w.putSize(freqIndex_);
+}
+
+bool
+FixedGovernor::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("govf", 1))
+        return false;
+    size_t freq_index;
+    if (!r.getSize(&freq_index))
+        return false;
+    freqIndex_ = freq_index;
+    return true;
 }
 
 InteractiveGovernor::InteractiveGovernor(const InteractiveConfig &config)
@@ -116,6 +148,25 @@ InteractiveGovernor::decideFrequencyIndex(const GovernorView &view)
         view.nowSec - lastHighLoadSec_ < config_.minSampleTimeSec)
         return view.freqIndex;
     return target_idx;
+}
+
+void
+InteractiveGovernor::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("govi", 1);
+    w.putDouble(lastHighLoadSec_);
+}
+
+bool
+InteractiveGovernor::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("govi", 1))
+        return false;
+    double last_high;
+    if (!r.getDouble(&last_high))
+        return false;
+    lastHighLoadSec_ = last_high;
+    return true;
 }
 
 OndemandGovernor::OndemandGovernor(const OndemandConfig &config)

@@ -21,6 +21,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * Snapshot of runtime state handed to a governor at each decision.
  * All windowed quantities cover the interval since the previous
@@ -62,6 +65,16 @@ class Governor
 
     /** Clear internal state for a fresh run. */
     virtual void reset() {}
+
+    /**
+     * Serialize decision-relevant internal state. The default covers
+     * stateless governors (writes an empty marker section); stateful
+     * governors override both methods with a section of their own.
+     */
+    virtual void snapshot(SnapshotWriter &w) const;
+
+    /** Restore state written by snapshot(); false on mismatch. */
+    [[nodiscard]] virtual bool tryRestore(SnapshotReader &r);
 };
 
 /**
@@ -112,6 +125,9 @@ class FixedGovernor : public Governor
     /** Change the pinned OPP (takes effect at the next decision). */
     void setFrequencyIndex(size_t freq_index);
 
+    void snapshot(SnapshotWriter &w) const override;
+    [[nodiscard]] bool tryRestore(SnapshotReader &r) override;
+
   private:
     size_t freqIndex_;
     std::string name_;
@@ -145,6 +161,9 @@ class InteractiveGovernor : public Governor
     }
     size_t decideFrequencyIndex(const GovernorView &view) override;
     void reset() override;
+
+    void snapshot(SnapshotWriter &w) const override;
+    [[nodiscard]] bool tryRestore(SnapshotReader &r) override;
 
     const InteractiveConfig &config() const { return config_; }
 

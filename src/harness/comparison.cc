@@ -1,11 +1,17 @@
 #include "harness/comparison.hh"
 
+#include <csignal>
 #include <optional>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "exec/proc/supervisor.hh"
 #include "exec/thread_pool.hh"
 #include "fault/fault_injector.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "runner/measurement_io.hh"
 
 namespace dora
 {
@@ -177,11 +183,117 @@ ComparisonHarness::runOne(const WorkloadSpec &workload,
     return runOneWith(runner_, workload, governor);
 }
 
+namespace
+{
+
+/**
+ * Identity of one process-tier campaign: everything that shapes its
+ * results (measurement protocol + fault schedule) and its shape
+ * (cell count + the caller's grid salt). Journals are keyed by this,
+ * so a journal can only resume the exact campaign that wrote it.
+ */
+uint64_t
+procCampaignHash(const ExperimentConfig &config,
+                 const FaultInjector *injector, size_t n,
+                 uint64_t campaign_salt)
+{
+    std::ostringstream text;
+    text.precision(17);
+    text << "proc-campaign " << experimentConfigHash(config)
+         << " cells " << n << " salt " << campaign_salt;
+    if (injector) {
+        const FaultSchedule &s = injector->schedule();
+        text << " fault " << s.seed << " " << s.sensorDropProb << " "
+             << s.sensorStuckProb << " " << s.sensorNoiseSd << " "
+             << s.sensorStuckDurationSec << " " << s.sensorStalenessSec
+             << " " << s.actuatorRejectProb << " " << s.actuatorLatchProb
+             << " " << s.actuatorLatchDurationSec << " "
+             << s.thermalSpikeProb << " " << s.thermalSpikeDeltaC << " "
+             << s.thermalSpikeDurationSec;
+    }
+    return hashLabel(text.str());
+}
+
+} // namespace
+
 std::vector<RunMeasurement>
-ComparisonHarness::mapWithRunners(
-    size_t n,
+ComparisonHarness::mapWithWorkers(
+    size_t n, uint64_t campaign_salt,
     const std::function<RunMeasurement(ExperimentRunner &, size_t)> &fn)
 {
+    const ExperimentConfig config = runner_.config();
+    const FaultInjector *shared_injector = runner_.faultInjector();
+    // Same cloning contract as the thread-pool arm: every cell gets a
+    // fresh runner (and a private injector built from the shared
+    // schedule), which is what makes any execution tier bit-identical
+    // to the serial loop.
+    const auto run_cell = [&](size_t i) {
+        ExperimentRunner local(config);
+        std::optional<FaultInjector> injector;
+        if (shared_injector) {
+            injector.emplace(shared_injector->schedule());
+            local.setFaultInjector(&*injector);
+        }
+        return fn(local, i);
+    };
+
+    ProcSweepConfig proc;
+    proc.workers = workers_;
+    proc.campaignHash =
+        procCampaignHash(config, shared_injector, n, campaign_salt);
+    if (!procJournalStem_.empty())
+        proc.journalPath = procJournalStem_ + "." +
+            hexU64(proc.campaignHash) + ".jrn";
+
+    const ProcSweepReport report = runProcSweep(
+        proc, n, [&run_cell](uint64_t unit) {
+            return serializeRunMeasurement(
+                run_cell(static_cast<size_t>(unit)));
+        });
+
+    if (report.drained) {
+        // Progress (if journaled) is durable; exit the way a Ctrl-C'd
+        // process should so callers/scripts see the conventional
+        // signal status. A rerun resumes from the journal.
+        warn("harness: campaign interrupted by signal %d with %llu "
+             "cells journaled; re-run to resume",
+             report.drainSignal,
+             static_cast<unsigned long long>(report.unitsRun +
+                                             report.unitsResumed));
+        ::raise(report.drainSignal);
+        fatal("harness: campaign interrupted");  // signal was ignored
+    }
+
+    std::vector<RunMeasurement> results(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (!report.completed[i]) {
+            // Quarantined cell (worker kept dying on it): recompute
+            // in-process so the sweep still returns a full grid — a
+            // deterministic crash will then surface here, in a
+            // debuggable process, instead of vanishing into a report.
+            warn("harness: cell %zu was quarantined by the process "
+                 "tier; recomputing in-process",
+                 i);
+            results[i] = run_cell(i);
+            continue;
+        }
+        if (!tryDeserializeRunMeasurement(report.results[i],
+                                          &results[i]))
+            fatal("harness: cell %zu payload from the process tier "
+                  "does not deserialize (journal from an older "
+                  "build?); delete the journal and re-run",
+                  i);
+    }
+    return results;
+}
+
+std::vector<RunMeasurement>
+ComparisonHarness::mapWithRunners(
+    size_t n, uint64_t campaign_salt,
+    const std::function<RunMeasurement(ExperimentRunner &, size_t)> &fn)
+{
+    if (workers_ > 0 && n > 0)
+        return mapWithWorkers(n, campaign_salt, fn);
     if (jobs_ <= 1 || n <= 1) {
         // Legacy serial path: every cell on the member runner.
         std::vector<RunMeasurement> results;
@@ -227,8 +339,15 @@ ComparisonHarness::runAll(const std::vector<WorkloadSpec> &workloads,
 {
     const auto &names = governors.empty() ? paperGovernors() : governors;
     const size_t cells = workloads.size() * names.size();
+    std::ostringstream salt;
+    salt << "runAll";
+    for (const auto &w : workloads)
+        salt << " " << w.label();
+    for (const auto &g : names)
+        salt << " " << g;
     std::vector<RunMeasurement> flat = mapWithRunners(
-        cells, [&](ExperimentRunner &runner, size_t i) {
+        cells, hashLabel(salt.str()),
+        [&](ExperimentRunner &runner, size_t i) {
             const WorkloadSpec &workload = workloads[i / names.size()];
             const std::string &name = names[i % names.size()];
             return runOneWith(runner, workload, name);
@@ -280,7 +399,8 @@ ComparisonHarness::offlineOpt(const WorkloadSpec &workload)
 {
     const size_t freqs = runner_.freqTable().size();
     return pickOfflineOpt(mapWithRunners(
-        freqs, [&](ExperimentRunner &runner, size_t f) {
+        freqs, hashLabel("offlineOpt " + workload.label()),
+        [&](ExperimentRunner &runner, size_t f) {
             return runner.runAtFrequency(workload, f);
         }));
 }
@@ -290,8 +410,12 @@ ComparisonHarness::offlineOptMany(
     const std::vector<WorkloadSpec> &workloads)
 {
     const size_t freqs = runner_.freqTable().size();
+    std::ostringstream salt;
+    salt << "offlineOptMany";
+    for (const auto &w : workloads)
+        salt << " " << w.label();
     std::vector<RunMeasurement> flat = mapWithRunners(
-        workloads.size() * freqs,
+        workloads.size() * freqs, hashLabel(salt.str()),
         [&](ExperimentRunner &runner, size_t i) {
             return runner.runAtFrequency(workloads[i / freqs], i % freqs);
         });

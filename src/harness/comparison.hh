@@ -97,6 +97,30 @@ class ComparisonHarness
     unsigned jobs() const { return jobs_; }
 
     /**
+     * Route fan-outs through the crash-resilient process tier
+     * (exec/proc): @p workers worker subprocesses per campaign.
+     * 0 (the default) keeps everything in-process — the thread-pool
+     * path, bit-identical to the legacy serial loop. Results under
+     * any worker count are bit-identical to workers=0: cells are
+     * keyed by grid index and every cell constructs its own device.
+     */
+    void setWorkers(unsigned workers) { workers_ = workers; }
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Enable checkpoint/resume for process-tier campaigns: completed
+     * cells are journaled to `<stem>.<campaign-hash>.jrn` and a rerun
+     * resumes from the journal instead of recomputing them. The hash
+     * covers the experiment config, fault schedule, and campaign
+     * shape, so a stale journal from a different sweep is refused.
+     * Empty (the default) disables journaling. No effect at workers=0.
+     */
+    void setProcJournalStem(std::string stem)
+    {
+        procJournalStem_ = std::move(stem);
+    }
+
+    /**
      * Run @p workloads under every governor in the comparison set.
      * @param governors subset of {"interactive", "performance", "DL",
      *        "EE", "DORA", "DORA_no_lkg", "powersave"}; empty = the
@@ -150,16 +174,27 @@ class ComparisonHarness
      * Run fn(runner, i) for i in [0, n) across jobs_ workers, each
      * worker batch using a runner cloned from runner_ (same config,
      * same fault schedule); with jobs_ == 1 every call uses runner_
-     * itself — the exact legacy path.
+     * itself — the exact legacy path. With workers_ > 0 the grid is
+     * instead sharded across worker subprocesses (see setWorkers());
+     * @p campaign_salt distinguishes campaigns of the same size for
+     * the journal identity.
      */
     std::vector<RunMeasurement> mapWithRunners(
-        size_t n,
+        size_t n, uint64_t campaign_salt,
+        const std::function<RunMeasurement(ExperimentRunner &, size_t)>
+            &fn);
+
+    /** The process-tier (workers_ > 0) arm of mapWithRunners(). */
+    std::vector<RunMeasurement> mapWithWorkers(
+        size_t n, uint64_t campaign_salt,
         const std::function<RunMeasurement(ExperimentRunner &, size_t)>
             &fn);
 
     ExperimentRunner runner_;
     std::shared_ptr<const ModelBundle> models_;
     unsigned jobs_;
+    unsigned workers_ = 0;
+    std::string procJournalStem_;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "common/units.hh"
 
 namespace dora
@@ -74,6 +75,62 @@ AddressStream::next()
     if (++cursor_ == wsLines_)
         cursor_ = 0;
     return line;
+}
+
+void
+AddressStream::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("astr", 1);
+    w.putU64(streamId_);
+    w.putU64(spec_.workingSetBytes);
+    w.putDouble(spec_.hotFraction);
+    w.putDouble(spec_.hotSetFraction);
+    w.putDouble(spec_.burstContinueProb);
+    w.putU64(spec_.burstCap);
+    w.putU64(baseLine_);
+    w.putU64(wsLines_);
+    w.putU64(hotLines_);
+    const Rng::State rng = rng_.state();
+    for (uint64_t word : rng.s)
+        w.putU64(word);
+    w.putU64(generation_);
+    w.putU64(cursor_);
+    w.putU64(burstLeft_);
+}
+
+bool
+AddressStream::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("astr", 1))
+        return false;
+    uint64_t stream_id;
+    AddressStreamSpec spec;
+    uint64_t base_line, ws_lines, hot_lines;
+    Rng::State rng;
+    uint64_t generation, cursor, burst_left;
+    if (!r.getU64(&stream_id) || stream_id != streamId_ ||
+        !r.getU64(&spec.workingSetBytes) ||
+        !r.getDouble(&spec.hotFraction) ||
+        !r.getDouble(&spec.hotSetFraction) ||
+        !r.getDouble(&spec.burstContinueProb) ||
+        !r.getU64(&spec.burstCap) || !r.getU64(&base_line) ||
+        !r.getU64(&ws_lines) || !r.getU64(&hot_lines))
+        return false;
+    for (uint64_t &word : rng.s)
+        if (!r.getU64(&word))
+            return false;
+    if (!r.getU64(&generation) || !r.getU64(&cursor) ||
+        !r.getU64(&burst_left))
+        return false;
+    spec_ = spec;
+    baseLine_ = base_line;
+    wsLines_ = ws_lines;
+    hotLines_ = hot_lines;
+    rng_.setState(rng);
+    generation_ = generation;
+    cursor_ = cursor;
+    burstLeft_ = burst_left;
+    return true;
 }
 
 } // namespace dora

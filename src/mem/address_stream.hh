@@ -23,6 +23,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * Statistical description of a reference stream.
  *
@@ -102,6 +105,20 @@ class AddressStream
      * keys its cached sample results on.
      */
     uint64_t generation() const { return generation_; }
+
+    /**
+     * Serialize the full draw state (spec, RNG words, burst cursor).
+     * streamId() is identity, not state: it is recorded only as a
+     * fingerprint and never overwritten on restore.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restore into this stream object (same-process replay: the
+     * estimator's cached signatures reference streamId()s, which stay
+     * valid only for the original objects). False on mismatch.
+     */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
   private:
     AddressStreamSpec spec_;

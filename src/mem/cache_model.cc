@@ -1,6 +1,7 @@
 #include "mem/cache_model.hh"
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -267,6 +268,78 @@ CacheModel::occupancyFractionScan(uint32_t requestor) const
         if (lastUse_[i] != 0 && owners_[i] == requestor)
             ++owned;
     return static_cast<double>(owned) / static_cast<double>(tags_.size());
+}
+
+void
+CacheModel::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("cach", 1);
+    // Geometry fingerprint: restore only into an identical cache.
+    w.putU64(config_.sizeBytes);
+    w.putU32(config_.associativity);
+    w.putU32(config_.lineBytes);
+    w.putU32(config_.numRequestors);
+    w.putU8(static_cast<uint8_t>(config_.policy));
+    w.putU64s(tags_);
+    w.putU64s(lastUse_);
+    w.putU32s(owners_);
+    w.putU64s(owned_);
+    for (const CacheStats &s : stats_) {
+        w.putU64(s.accesses);
+        w.putU64(s.misses);
+        w.putU64(s.interferenceEvictions);
+        w.putU64(s.selfEvictions);
+    }
+    w.putU32s(plruBits_);
+    w.putU64(accessClock_);
+    w.putU64(randState_);
+}
+
+bool
+CacheModel::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("cach", 1))
+        return false;
+    uint64_t size_bytes;
+    uint32_t assoc, line_bytes, requestors;
+    uint8_t policy;
+    if (!r.getU64(&size_bytes) || !r.getU32(&assoc) ||
+        !r.getU32(&line_bytes) || !r.getU32(&requestors) ||
+        !r.getU8(&policy))
+        return false;
+    if (size_bytes != config_.sizeBytes ||
+        assoc != config_.associativity ||
+        line_bytes != config_.lineBytes ||
+        requestors != config_.numRequestors ||
+        policy != static_cast<uint8_t>(config_.policy))
+        return false;
+    std::vector<uint64_t> tags, last_use, owned;
+    std::vector<uint32_t> owners, plru;
+    if (!r.getU64s(&tags) || !r.getU64s(&last_use) ||
+        !r.getU32s(&owners) || !r.getU64s(&owned))
+        return false;
+    if (tags.size() != tags_.size() || last_use.size() != tags_.size() ||
+        owners.size() != tags_.size() || owned.size() != owned_.size())
+        return false;
+    std::vector<CacheStats> stats(stats_.size());
+    for (CacheStats &s : stats)
+        if (!r.getU64(&s.accesses) || !r.getU64(&s.misses) ||
+            !r.getU64(&s.interferenceEvictions) ||
+            !r.getU64(&s.selfEvictions))
+            return false;
+    uint64_t clock, rand_state;
+    if (!r.getU32s(&plru) || plru.size() != plruBits_.size() ||
+        !r.getU64(&clock) || !r.getU64(&rand_state))
+        return false;
+    tags_ = std::move(tags);
+    lastUse_ = std::move(last_use);
+    owners_ = std::move(owners);
+    owned_ = std::move(owned);
+    stats_ = std::move(stats);
+    plruBits_ = std::move(plru);
+    accessClock_ = clock;
+    randState_ = rand_state;
+    return true;
 }
 
 } // namespace dora

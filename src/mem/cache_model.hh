@@ -30,6 +30,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Replacement policy of a cache instance. */
 enum class ReplacementPolicy
 {
@@ -118,6 +121,16 @@ class CacheModel
      * never call it on a hot path.
      */
     double occupancyFractionScan(uint32_t requestor) const;
+
+    /** Serialize tags, recency, ownership, and statistics. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restore a snapshot taken from a cache with identical geometry.
+     * False (state untouched on the failing field) on section, version,
+     * or geometry mismatch.
+     */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
   private:
     /** Pick the victim way index within @p set per the policy. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -58,6 +59,35 @@ DramModel::reset()
     effectiveLatencyNs_ = config_.baseLatencyNs;
     lastTickEnergyJ_ = 0.0;
     totalBytes_ = 0.0;
+}
+
+void
+DramModel::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("dram", 1);
+    w.putDouble(pendingBytes_);
+    w.putDouble(utilization_);
+    w.putDouble(effectiveLatencyNs_);
+    w.putDouble(lastTickEnergyJ_);
+    w.putDouble(totalBytes_);
+}
+
+bool
+DramModel::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("dram", 1))
+        return false;
+    double pending, util, latency, energy, total;
+    if (!r.getDouble(&pending) || !r.getDouble(&util) ||
+        !r.getDouble(&latency) || !r.getDouble(&energy) ||
+        !r.getDouble(&total))
+        return false;
+    pendingBytes_ = pending;
+    utilization_ = util;
+    effectiveLatencyNs_ = latency;
+    lastTickEnergyJ_ = energy;
+    totalBytes_ = total;
+    return true;
 }
 
 } // namespace dora

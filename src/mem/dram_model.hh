@@ -20,6 +20,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Configuration of the DRAM/bus model. */
 struct DramConfig
 {
@@ -82,6 +85,12 @@ class DramModel
 
     /** Reset counters and latency state. */
     void reset();
+
+    /** Serialize utilization/latency/energy state. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore a snapshot; false on section/version mismatch. */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
     const DramConfig &config() const { return config_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "common/units.hh"
 #include "mem/address_stream.hh"
 
@@ -194,6 +195,49 @@ MemSystem::reset()
     l2_.resetStats();
     dram_.reset();
     std::fill(counters_.begin(), counters_.end(), CoreMemCounters());
+}
+
+void
+MemSystem::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("mems", 1);
+    w.putSize(l1s_.size());
+    for (const auto &l1 : l1s_)
+        l1.snapshot(w);
+    l2_.snapshot(w);
+    dram_.snapshot(w);
+    w.putSize(counters_.size());
+    for (const auto &c : counters_) {
+        w.putDouble(c.l1Accesses);
+        w.putDouble(c.l1Misses);
+        w.putDouble(c.l2Accesses);
+        w.putDouble(c.l2Misses);
+    }
+}
+
+bool
+MemSystem::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("mems", 1))
+        return false;
+    size_t l1_count;
+    if (!r.getSize(&l1_count) || l1_count != l1s_.size())
+        return false;
+    for (auto &l1 : l1s_)
+        if (!l1.tryRestore(r))
+            return false;
+    if (!l2_.tryRestore(r) || !dram_.tryRestore(r))
+        return false;
+    size_t counter_count;
+    if (!r.getSize(&counter_count) || counter_count != counters_.size())
+        return false;
+    std::vector<CoreMemCounters> counters(counters_.size());
+    for (auto &c : counters)
+        if (!r.getDouble(&c.l1Accesses) || !r.getDouble(&c.l1Misses) ||
+            !r.getDouble(&c.l2Accesses) || !r.getDouble(&c.l2Misses))
+            return false;
+    counters_ = std::move(counters);
+    return true;
 }
 
 } // namespace dora

@@ -26,6 +26,8 @@ namespace dora
 {
 
 class AddressStream;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** Configuration of the full hierarchy (defaults mirror Table II). */
 struct MemSystemConfig
@@ -132,6 +134,16 @@ class MemSystem
 
     /** Invalidate all caches and reset counters (new experiment run). */
     void reset();
+
+    /** Serialize every cache, the DRAM model, and scaled counters. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restore a snapshot taken from a hierarchy with identical
+     * geometry; false (and partial sub-restores rolled into the next
+     * mismatch) on section or shape mismatch.
+     */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
     const MemSystemConfig &config() const { return config_; }
 

@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "mem/address_stream.hh"
 
 namespace dora
@@ -313,6 +314,143 @@ MissRateEstimator::reset()
     sampledTicks_ = 0;
     demotions_ = 0;
     invalidations_ = 0;
+}
+
+namespace
+{
+
+void
+putResults(SnapshotWriter &w,
+           const std::vector<MemSampleResult> &results)
+{
+    w.putSize(results.size());
+    for (const auto &s : results) {
+        w.putU32(s.core);
+        w.putDouble(s.l1MissRate);
+        w.putDouble(s.l2LocalMissRate);
+        w.putU32(s.samplesIssued);
+    }
+}
+
+[[nodiscard]] bool
+getResults(SnapshotReader &r, std::vector<MemSampleResult> *out)
+{
+    size_t count;
+    if (!r.getSize(&count))
+        return false;
+    std::vector<MemSampleResult> results(count);
+    for (auto &s : results)
+        if (!r.getU32(&s.core) || !r.getDouble(&s.l1MissRate) ||
+            !r.getDouble(&s.l2LocalMissRate) ||
+            !r.getU32(&s.samplesIssued))
+            return false;
+    *out = std::move(results);
+    return true;
+}
+
+} // namespace
+
+void
+MissRateEstimator::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("mre ", 1);
+    w.putBool(enabled_);
+    w.putU64(l2Lines_);
+    w.putSize(entries_.size());
+    for (const auto &e : entries_) {
+        w.putSize(e.signature.cores.size());
+        for (const auto &c : e.signature.cores) {
+            w.putU64(c.streamId);
+            w.putU64(c.generation);
+        }
+        w.putU64(e.signature.oppIndex);
+        w.putU32(e.signature.interleaveChunk);
+        putResults(w, e.results);
+        putResults(w, e.checkpoint);
+        w.putBool(e.converged);
+        w.putU32(e.walks);
+        w.putU32(e.nextCheckWalks);
+        w.putU32(e.reusesSinceSample);
+        w.putU64(e.lastUseTick);
+    }
+    w.putSize(warmth_.size());
+    for (const auto &s : warmth_) {
+        w.putU64(s.key.streamId);
+        w.putU64(s.key.generation);
+        w.putDouble(s.probes);
+        w.putDouble(s.targetProbes);
+        w.putU64(s.lastUseTick);
+    }
+    w.putSize(currentEntry_);
+    w.putU8(static_cast<uint8_t>(pending_));
+    w.putBool(pendingWarm_);
+    w.putU64(tickSerial_);
+    w.putU64(reusedTicks_);
+    w.putU64(sampledTicks_);
+    w.putU64(demotions_);
+    w.putU64(invalidations_);
+}
+
+bool
+MissRateEstimator::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("mre ", 1))
+        return false;
+    bool enabled;
+    uint64_t l2_lines;
+    size_t entry_count;
+    if (!r.getBool(&enabled) || enabled != enabled_ ||
+        !r.getU64(&l2_lines) || !r.getSize(&entry_count))
+        return false;
+    std::vector<Entry> entries(entry_count);
+    for (auto &e : entries) {
+        size_t core_count;
+        if (!r.getSize(&core_count))
+            return false;
+        e.signature.cores.resize(core_count);
+        for (auto &c : e.signature.cores)
+            if (!r.getU64(&c.streamId) || !r.getU64(&c.generation))
+                return false;
+        if (!r.getU64(&e.signature.oppIndex) ||
+            !r.getU32(&e.signature.interleaveChunk) ||
+            !getResults(r, &e.results) ||
+            !getResults(r, &e.checkpoint) || !r.getBool(&e.converged) ||
+            !r.getU32(&e.walks) || !r.getU32(&e.nextCheckWalks) ||
+            !r.getU32(&e.reusesSinceSample) ||
+            !r.getU64(&e.lastUseTick))
+            return false;
+    }
+    size_t warmth_count;
+    if (!r.getSize(&warmth_count))
+        return false;
+    std::vector<StreamWarmth> warmth(warmth_count);
+    for (auto &s : warmth)
+        if (!r.getU64(&s.key.streamId) || !r.getU64(&s.key.generation) ||
+            !r.getDouble(&s.probes) || !r.getDouble(&s.targetProbes) ||
+            !r.getU64(&s.lastUseTick))
+            return false;
+    size_t current_entry;
+    uint8_t pending;
+    bool pending_warm;
+    uint64_t tick_serial, reused, sampled, demotions, invalidations;
+    if (!r.getSize(&current_entry) || !r.getU8(&pending) ||
+        pending > static_cast<uint8_t>(Pending::Install) ||
+        !r.getBool(&pending_warm) || !r.getU64(&tick_serial) ||
+        !r.getU64(&reused) || !r.getU64(&sampled) ||
+        !r.getU64(&demotions) || !r.getU64(&invalidations))
+        return false;
+    l2Lines_ = l2_lines;
+    entries_ = std::move(entries);
+    warmth_ = std::move(warmth);
+    currentEntry_ = current_entry;
+    pending_ = static_cast<Pending>(pending);
+    pendingWarm_ = pending_warm;
+    tickSerial_ = tick_serial;
+    reusedTicks_ = reused;
+    sampledTicks_ = sampled;
+    demotions_ = demotions;
+    invalidations_ = invalidations;
+    return true;
 }
 
 } // namespace dora

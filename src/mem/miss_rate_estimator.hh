@@ -67,6 +67,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Tunables of the adaptive sampling layer. */
 struct MissRateEstimatorConfig
 {
@@ -167,6 +170,18 @@ class MissRateEstimator
 
     /** Clear all cached state and counters (new run). */
     void reset();
+
+    /**
+     * Serialize cached phases, warm-up accounts, and counters. Cached
+     * signatures embed streamId()s, which are process-unique object
+     * identities — a restored estimator is only meaningful in the same
+     * process with the same stream objects (checkpoint/replay), never
+     * across processes.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore a snapshot; false on section/version mismatch. */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
     const MissRateEstimatorConfig &config() const { return config_; }
 

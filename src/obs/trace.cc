@@ -216,7 +216,25 @@ bool
 TraceSession::finalize()
 {
     MutexLock lock(mutex_);
+    return finalizeLocked();
+}
 
+bool
+TraceSession::finalizeOnSignal(int sig)
+{
+    // Handler context: never block. A submit in flight on another
+    // thread means we lose the flush, not the process's last moments.
+    if (!mutex_.try_lock())
+        return false;
+    manifestFields_["truncated"] = "signal " + std::to_string(sig);
+    const bool ok = finalizeLocked();
+    mutex_.unlock();
+    return ok;
+}
+
+bool
+TraceSession::finalizeLocked()
+{
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec) {
@@ -370,6 +388,25 @@ TraceSession::install(TraceSession *session)
 namespace
 {
 
+/** Session visible to the SIGINT/SIGTERM flush handler. */
+std::atomic<TraceSession *> g_signalSession{nullptr};
+
+/**
+ * Best-effort-flush the active session with a `truncated` marker,
+ * then die by the original signal (default disposition) so scripts
+ * see the conventional exit status.
+ */
+void
+traceSignalHandler(int sig)
+{
+    TraceSession *session =
+        g_signalSession.load(std::memory_order_relaxed);
+    if (session)
+        session->finalizeOnSignal(sig);
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
 /** Resolve the trace directory from --trace / DORA_TRACE ("" = off). */
 std::string
 traceDirFromArgs(int argc, char **argv)
@@ -401,12 +438,28 @@ ObsGuard::ObsGuard(int argc, char **argv, std::string label)
     session_ = std::make_unique<TraceSession>(dir, label);
     TraceSession::install(session_.get());
     inform("obs: tracing to %s", dir.c_str());
+
+    // A killed bench should still land its partial trace: flush with
+    // a `truncated` marker, then re-raise so the exit status is the
+    // conventional signal death.
+    g_signalSession.store(session_.get());
+    struct sigaction action = {};
+    action.sa_handler = traceSignalHandler;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &oldInt_);
+    ::sigaction(SIGTERM, &action, &oldTerm_);
+    signalHooked_ = true;
 }
 
 ObsGuard::~ObsGuard()
 {
     if (!session_)
         return;
+    if (signalHooked_) {
+        g_signalSession.store(nullptr);
+        ::sigaction(SIGINT, &oldInt_, nullptr);
+        ::sigaction(SIGTERM, &oldTerm_, nullptr);
+    }
     TraceSession::install(nullptr);
     if (session_->finalize())
         inform("obs: wrote %zu run traces to %s",

@@ -34,6 +34,8 @@
 #include <type_traits>
 #include <vector>
 
+#include <signal.h>
+
 #include "common/mutex.hh"
 #include "common/thread_annotations.hh"
 
@@ -174,6 +176,19 @@ class TraceSession
     bool finalize();
 
     /**
+     * Best-effort flush from a SIGINT/SIGTERM handler: records a
+     * `truncated` marker (the delivering signal) in manifest.json and
+     * writes whatever runs were submitted before the interrupt, so a
+     * killed bench still lands a usable partial trace. Uses try_lock:
+     * if the session mutex is held mid-submit, gives up (returns
+     * false) instead of deadlocking inside the handler. Everything
+     * downstream is technically async-signal-unsafe; that is accepted
+     * only because the process is about to die anyway, and the worst
+     * case is a torn artifact that finalize() would have overwritten.
+     */
+    bool finalizeOnSignal(int sig);
+
+    /**
      * The installed session, or nullptr when tracing is disabled —
      * one relaxed atomic load, safe to query on warm paths.
      */
@@ -183,6 +198,9 @@ class TraceSession
     static void install(TraceSession *session);
 
   private:
+    /** finalize() body; callers hold mutex_. */
+    bool finalizeLocked() REQUIRES(mutex_);
+
     std::string dir_;
     std::string label_;
     mutable Mutex mutex_;
@@ -197,6 +215,12 @@ class TraceSession
  * wins), installs a TraceSession for the binary's lifetime, and on
  * destruction finalizes the session and dumps the metrics snapshot to
  * stderr. With neither flag nor variable set it is inert.
+ *
+ * While a session is installed the guard also hooks SIGINT/SIGTERM: a
+ * killed bench best-effort-flushes its partial trace with a
+ * `truncated` marker in manifest.json (see finalizeOnSignal()), then
+ * re-raises the signal so the exit status stays conventional. The
+ * previous handlers are restored on destruction.
  */
 class ObsGuard
 {
@@ -214,6 +238,9 @@ class ObsGuard
 
   private:
     std::unique_ptr<TraceSession> session_;
+    bool signalHooked_ = false;
+    struct sigaction oldInt_ = {};
+    struct sigaction oldTerm_ = {};
 };
 
 /** `git describe --always --dirty` of the cwd; "unknown" on failure. */

@@ -1,6 +1,7 @@
 #include "power/device_power.hh"
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -55,6 +56,31 @@ DevicePower::reset()
     totalEnergyJ_ = 0.0;
     totalSeconds_ = 0.0;
     thermal_.reset();
+}
+
+void
+DevicePower::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("dpow", 1);
+    w.putDouble(lastPower_);
+    w.putDouble(totalEnergyJ_);
+    w.putDouble(totalSeconds_);
+    thermal_.snapshot(w);
+}
+
+bool
+DevicePower::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("dpow", 1))
+        return false;
+    double last_power, total_energy, total_seconds;
+    if (!r.getDouble(&last_power) || !r.getDouble(&total_energy) ||
+        !r.getDouble(&total_seconds) || !thermal_.tryRestore(r))
+        return false;
+    lastPower_ = last_power;
+    totalEnergyJ_ = total_energy;
+    totalSeconds_ = total_seconds;
+    return true;
 }
 
 void

@@ -29,6 +29,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Configuration of the whole-device power integrator. */
 struct DevicePowerConfig
 {
@@ -97,6 +100,12 @@ class DevicePower
 
     /** Reset energy/time integration and die temperature. */
     void reset();
+
+    /** Serialize integration state and the thermal model. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore a snapshot; false on section/version mismatch. */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
     const DevicePowerConfig &config() const { return config_; }
 

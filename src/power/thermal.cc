@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -44,6 +45,28 @@ void
 ThermalModel::reset()
 {
     tempC_ = config_.initialC;
+}
+
+void
+ThermalModel::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("thrm", 1);
+    w.putDouble(tempC_);
+    // ambientC is mutable via setAmbientC(), so it is run state.
+    w.putDouble(config_.ambientC);
+}
+
+bool
+ThermalModel::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("thrm", 1))
+        return false;
+    double temp_c, ambient_c;
+    if (!r.getDouble(&temp_c) || !r.getDouble(&ambient_c))
+        return false;
+    tempC_ = temp_c;
+    config_.ambientC = ambient_c;
+    return true;
 }
 
 } // namespace dora

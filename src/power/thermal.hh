@@ -20,6 +20,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Thermal RC parameters. */
 struct ThermalConfig
 {
@@ -61,6 +64,12 @@ class ThermalModel
 
     /** Reset the die to the initial temperature. */
     void reset();
+
+    /** Serialize die temperature and the (mutable) ambient. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore a snapshot; false on section/version mismatch. */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
     const ThermalConfig &config() const { return config_; }
 

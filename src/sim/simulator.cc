@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -119,6 +120,33 @@ Simulator::reset()
     for (auto *task : tasks_)
         if (task)
             task->reset();
+}
+
+void
+Simulator::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("sim ", 1);
+    w.putU64(tickCount_);
+    w.putU64(macroBatches_);
+    w.putU64(macroBatchedTicks_);
+    soc_.snapshot(w);
+    power_.snapshot(w);
+}
+
+bool
+Simulator::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("sim ", 1))
+        return false;
+    uint64_t ticks, batches, batched;
+    if (!r.getU64(&ticks) || !r.getU64(&batches) || !r.getU64(&batched))
+        return false;
+    if (!soc_.tryRestore(r) || !power_.tryRestore(r))
+        return false;
+    tickCount_ = ticks;
+    macroBatches_ = batches;
+    macroBatchedTicks_ = batched;
+    return true;
 }
 
 } // namespace dora

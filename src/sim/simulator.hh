@@ -22,6 +22,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Simulation kernel configuration. */
 struct SimConfig
 {
@@ -140,6 +143,16 @@ class Simulator
      * are kept).
      */
     void reset();
+
+    /**
+     * Serialize tick counters plus the borrowed SoC and power state.
+     * Bound tasks are NOT covered (they are borrowed, polymorphic, and
+     * own their streams) — the caller checkpoints them separately.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore a snapshot; false on section/version mismatch. */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
   private:
     Soc &soc_;

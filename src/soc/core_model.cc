@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "mem/address_stream.hh"
 
 namespace dora
@@ -107,6 +108,32 @@ CoreModel::reset()
     lastCpi_ = 1.0;
     totalInstructions_ = 0.0;
     totalBusySeconds_ = 0.0;
+}
+
+void
+CoreModel::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("core", 1);
+    w.putU32(id_);
+    w.putDouble(lastCpi_);
+    w.putDouble(totalInstructions_);
+    w.putDouble(totalBusySeconds_);
+}
+
+bool
+CoreModel::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("core", 1))
+        return false;
+    uint32_t id;
+    double cpi, instructions, busy;
+    if (!r.getU32(&id) || id != id_ || !r.getDouble(&cpi) ||
+        !r.getDouble(&instructions) || !r.getDouble(&busy))
+        return false;
+    lastCpi_ = cpi;
+    totalInstructions_ = instructions;
+    totalBusySeconds_ = busy;
+    return true;
 }
 
 } // namespace dora

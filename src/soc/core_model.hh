@@ -26,6 +26,8 @@ namespace dora
 {
 
 class AddressStream;
+class SnapshotReader;
+class SnapshotWriter;
 
 /** What a task demands from its core for one tick. */
 struct TaskDemand
@@ -113,6 +115,12 @@ class CoreModel
 
     /** Reset cumulative counters (new run). */
     void reset();
+
+    /** Serialize cumulative counters and the CPI feedback state. */
+    void snapshot(SnapshotWriter &w) const;
+
+    /** Restore a snapshot; false on section/version mismatch. */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
   private:
     /** Clamp a scaled sample count into [minSamples, maxSamples]. */

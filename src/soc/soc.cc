@@ -4,6 +4,7 @@
 
 #include "common/exact_ticks.hh"
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -171,6 +172,52 @@ Soc::reset()
     switchCount_ = 0;
     switchStallSeconds_ = 0.0;
     elapsedSeconds_ = 0.0;
+}
+
+void
+Soc::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("soc ", 1);
+    w.putSize(freqIndex_);
+    w.putDouble(pendingSwitchStallSec_);
+    w.putDouble(pendingSwitchEnergyJ_);
+    w.putU64(switchCount_);
+    w.putDouble(switchStallSeconds_);
+    w.putDouble(elapsedSeconds_);
+    w.putSize(cores_.size());
+    for (const auto &core : cores_)
+        core.snapshot(w);
+    mem_.snapshot(w);
+    sampling_.snapshot(w);
+}
+
+bool
+Soc::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("soc ", 1))
+        return false;
+    size_t freq_index;
+    double pending_stall, pending_energy, switch_stall, elapsed;
+    uint64_t switch_count;
+    size_t core_count;
+    if (!r.getSize(&freq_index) || freq_index >= freqTable_.size() ||
+        !r.getDouble(&pending_stall) || !r.getDouble(&pending_energy) ||
+        !r.getU64(&switch_count) || !r.getDouble(&switch_stall) ||
+        !r.getDouble(&elapsed) || !r.getSize(&core_count) ||
+        core_count != cores_.size())
+        return false;
+    for (auto &core : cores_)
+        if (!core.tryRestore(r))
+            return false;
+    if (!mem_.tryRestore(r) || !sampling_.tryRestore(r))
+        return false;
+    freqIndex_ = freq_index;
+    pendingSwitchStallSec_ = pending_stall;
+    pendingSwitchEnergyJ_ = pending_energy;
+    switchCount_ = switch_count;
+    switchStallSeconds_ = switch_stall;
+    elapsedSeconds_ = elapsed;
+    return true;
 }
 
 } // namespace dora

@@ -28,6 +28,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** SoC-wide configuration. */
 struct SocConfig
 {
@@ -147,6 +150,19 @@ class Soc
 
     /** Reset all state (caches, counters, time) for a new run. */
     void reset();
+
+    /**
+     * Serialize DVFS state, elapsed time, cores, memory hierarchy, and
+     * the sampling estimator. Bound address streams are owned by tasks
+     * and snapshotted by their owners, not here.
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restore a snapshot taken from an identically configured SoC;
+     * false on section, version, or shape mismatch.
+     */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
     const SocConfig &config() const { return config_; }
 

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * BundleCacheLock tests, including the stale-lock regression: a lock
+ * holder that forks (the exec/proc tier does) and then dies leaves the
+ * flock held by the inherited file description; acquisition must
+ * detect the dead holder and break the lock instead of blocking
+ * forever.
+ */
+
+#include "harness/bundle_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace dora
+{
+namespace
+{
+
+class BundleCacheLockTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        cache_ = ::testing::TempDir() + "bundle_cache_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name();
+        lockPath_ = cache_ + ".lock";
+        std::remove(lockPath_.c_str());
+    }
+
+    void TearDown() override { std::remove(lockPath_.c_str()); }
+
+    /** flock(LOCK_NB) verdict from an independent file description. */
+    bool lockIsContended() const
+    {
+        const int fd =
+            ::open(lockPath_.c_str(), O_RDWR | O_CLOEXEC, 0644);
+        if (fd < 0)
+            return false;
+        const bool contended =
+            ::flock(fd, LOCK_EX | LOCK_NB) != 0 && errno == EWOULDBLOCK;
+        if (!contended)
+            ::flock(fd, LOCK_UN);
+        ::close(fd);
+        return contended;
+    }
+
+    std::string cache_, lockPath_;
+};
+
+TEST_F(BundleCacheLockTest, AcquireRecordsHolderAndReleases)
+{
+    {
+        BundleCacheLock lock(cache_);
+        EXPECT_TRUE(lock.held());
+        EXPECT_EQ(BundleCacheLock::readHolderPid(lockPath_),
+                  static_cast<int>(::getpid()));
+        EXPECT_TRUE(lockIsContended());
+    }
+    // Destructor released the lock: a fresh acquire succeeds at once.
+    BundleCacheLock again(cache_);
+    EXPECT_TRUE(again.held());
+}
+
+TEST_F(BundleCacheLockTest, StaleLockFromDeadHolderIsBroken)
+{
+    int pid_pipe[2];
+    ASSERT_EQ(::pipe(pid_pipe), 0);
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: take the lock, fork a grandchild that inherits the
+        // flocked file description, then die without releasing. The
+        // grandchild keeps the description open, so the flock stays
+        // held on behalf of a pid that no longer exists — exactly
+        // what a crashed bench with live proc-tier workers leaves
+        // behind.
+        ::close(pid_pipe[0]);
+        BundleCacheLock lock(cache_);
+        if (!lock.held())
+            ::_exit(2);
+        const pid_t grandchild = ::fork();
+        if (grandchild < 0)
+            ::_exit(3);
+        if (grandchild == 0) {
+            ::close(pid_pipe[1]);
+            for (int i = 0; i < 300; ++i)
+                ::usleep(100 * 1000);  // outlive the whole test
+            ::_exit(0);
+        }
+        const ssize_t w =
+            ::write(pid_pipe[1], &grandchild, sizeof(grandchild));
+        ::_exit(w == sizeof(grandchild) ? 0 : 4);
+    }
+
+    ::close(pid_pipe[1]);
+    pid_t grandchild = -1;
+    ASSERT_EQ(::read(pid_pipe[0], &grandchild, sizeof(grandchild)),
+              static_cast<ssize_t>(sizeof(grandchild)));
+    ::close(pid_pipe[0]);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "lock-holder child failed: status " << status;
+
+    // The holder is dead, yet the lock is still held (grandchild's
+    // inherited fd) and records the dead holder's pid.
+    ASSERT_TRUE(lockIsContended());
+    EXPECT_EQ(BundleCacheLock::readHolderPid(lockPath_),
+              static_cast<int>(child));
+
+    // Regression: without stale-lock recovery this blocked forever.
+    BundleCacheLock lock(cache_);
+    EXPECT_TRUE(lock.held());
+    EXPECT_EQ(BundleCacheLock::readHolderPid(lockPath_),
+              static_cast<int>(::getpid()));
+
+    ::kill(grandchild, SIGKILL);
+}
+
+TEST_F(BundleCacheLockTest, WaitsForALiveHolder)
+{
+    // A live holder must NOT be broken: the second acquirer blocks
+    // until release, then takes over.
+    BundleCacheLock *first = new BundleCacheLock(cache_);
+    ASSERT_TRUE(first->held());
+
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        delete first;  // releases the lock
+    });
+    // Same process but an independent file description: flock treats
+    // it as a separate acquirer (descriptions, not processes, own
+    // flock locks), and the recorded holder pid is alive, so this
+    // waits for the release instead of breaking the lock.
+    BundleCacheLock second(cache_);
+    releaser.join();
+    EXPECT_TRUE(second.held());
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,29 @@
+// Fixture: discarded try*() results the rule must flag.
+#include "common/snapshot.hh"
+
+struct State
+{
+    bool tryRestore(dora::SnapshotReader &r);
+};
+
+void
+restoreAll(dora::SnapshotReader &r, State &state, State *other)
+{
+    state.tryRestore(r);
+    other->tryRestore(r);
+    (void)state.tryRestore(r);
+    if (r.checksumOk())
+        state.tryRestore(r);
+}
+
+bool
+tryRestoreFreeStanding(dora::SnapshotReader &r)
+{
+    return r.atEnd();
+}
+
+void
+freeCall(dora::SnapshotReader &r)
+{
+    tryRestoreFreeStanding(r);
+}

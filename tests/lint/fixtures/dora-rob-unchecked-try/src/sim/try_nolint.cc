@@ -1,0 +1,17 @@
+// Fixture: justified suppressions must silence the rule.
+#include "common/snapshot.hh"
+
+struct State
+{
+    bool tryRestore(dora::SnapshotReader &r);
+};
+
+void
+restoreBestEffort(dora::SnapshotReader &r, State &state)
+{
+    // Best-effort warm-start: a stale snapshot just means a cold
+    // start, so the verdict is intentionally irrelevant here.
+    // NOLINTNEXTLINE(dora-rob-unchecked-try)
+    state.tryRestore(r);
+    state.tryRestore(r);  // NOLINT(dora-rob-unchecked-try)
+}

@@ -1,0 +1,37 @@
+// Fixture: checked try*() results and look-alikes that must pass.
+#include "common/logging.hh"
+#include "common/snapshot.hh"
+
+struct State
+{
+    bool tryRestore(dora::SnapshotReader &r);
+};
+
+bool
+restoreChecked(dora::SnapshotReader &r, State &state)
+{
+    if (!state.tryRestore(r))
+        return false;
+    const bool ok =
+        state.tryRestore(r);
+    bool also_ok = state.tryRestore(r) && r.atEnd();
+    if (!ok || !also_ok)
+        dora::fatal("restore failed");
+    return state.tryRestore(r);
+}
+
+bool
+State::tryRestore(dora::SnapshotReader &r)
+{
+    return r.atEnd();
+}
+
+void
+lowercaseIsNotFallible(dora::Mutex &mu)
+{
+    // try_lock is the std naming convention, not the snapshot
+    // contract; a dedicated clang warning covers it.
+    while (!mu.try_lock()) {
+    }
+    mu.unlock();
+}

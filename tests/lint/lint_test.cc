@@ -122,7 +122,7 @@ TEST(LintRules, CatalogHasUniqueStableIds)
     for (const auto &rule : dora::lint::ruleCatalog())
         EXPECT_TRUE(ids.insert(rule.id).second)
             << "duplicate rule id " << rule.id;
-    EXPECT_EQ(ids.size(), 9u);
+    EXPECT_EQ(ids.size(), 10u);
 }
 
 TEST(LintRules, WallclockScopesToSimulationCode)
@@ -211,6 +211,36 @@ TEST(LintRules, CatchAllAcceptsRethrowAcrossLines)
     EXPECT_EQ(findings[0].line, 2);
 }
 
+TEST(LintRules, UncheckedTryFlagsStatementInitialCallsOnly)
+{
+    const std::string bad =
+        "void f(SnapshotReader &r, Sim &sim) {\n"
+        "    sim.tryRestore(r);\n"
+        "}\n";
+    const auto findings = lintText("src/sim/a.cc", bad);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "dora-rob-unchecked-try");
+    EXPECT_EQ(findings[0].line, 2);
+
+    const std::string ok =
+        "bool f(SnapshotReader &r, Sim &sim) {\n"
+        "    const bool warm =\n"
+        "        sim.tryRestore(r);\n"
+        "    if (!tryDeserialize(t, &s))\n"
+        "        return false;\n"
+        "    return warm && sim.tryRestore(r);\n"
+        "}\n"
+        "bool\n"
+        "tryRestoreAll(SnapshotReader &r)\n"
+        "{\n"
+        "    return r.atEnd();\n"
+        "}\n";
+    EXPECT_TRUE(lintText("src/sim/a.cc", ok).empty());
+    // Out of scope: tests may exercise failure paths however they
+    // like.
+    EXPECT_TRUE(lintText("tests/sim/a.cc", bad).empty());
+}
+
 TEST(LintRules, JsonReportIsWellFormedAndOrdered)
 {
     std::vector<Finding> findings = {
@@ -291,7 +321,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "dora-det-unordered", "dora-det-confighash",
                       "dora-conc-global-state",
                       "dora-conc-mutex-unannotated", "dora-hyg-stream",
-                      "dora-hyg-catch-all", "dora-hyg-assert"),
+                      "dora-hyg-catch-all", "dora-hyg-assert",
+                      "dora-rob-unchecked-try"),
     [](const auto &info) {
         std::string name = info.param;
         std::replace(name.begin(), name.end(), '-', '_');

@@ -8,10 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "harness/comparison.hh"
@@ -260,6 +265,49 @@ TEST(ObsGuardFlag, ParsesTraceFlagAndFinalizesOnExit)
               std::string::npos);
     EXPECT_NE(slurp(dir + "/manifest.json")
                   .find("\"label\": \"bench_fake\""),
+              std::string::npos);
+}
+
+/**
+ * Robustness contract: a SIGTERM'd bench still lands its partial
+ * trace, with a `truncated` marker naming the signal, and dies by
+ * that signal (conventional exit status). Run in a forked child so
+ * the kill cannot take the test runner with it.
+ */
+TEST(ObsGuardSignal, SigtermFlushesPartialTraceWithTruncatedMarker)
+{
+    const std::string dir =
+        ::testing::TempDir() + "obs_guard_sigterm";
+    std::filesystem::remove_all(dir);
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        const std::string flag = "--trace=" + dir;
+        const char *argv[] = {"bench_fake", flag.c_str()};
+        ObsGuard guard(2, const_cast<char **>(argv));
+        if (!guard.enabled())
+            ::_exit(2);
+        RunTrace run("w|g");
+        run.instant(0.0, "run", "partial_marker");
+        TraceSession::active()->submit(std::move(run));
+        // Die mid-bench: the guard's handler must flush, then
+        // re-raise so we exit by the signal, never reaching _exit.
+        ::kill(::getpid(), SIGTERM);
+        ::_exit(3);
+    }
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited normally with status " << status;
+    EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+    const std::string manifest = slurp(dir + "/manifest.json");
+    EXPECT_NE(manifest.find("\"truncated\": \"signal 15\""),
+              std::string::npos)
+        << manifest;
+    EXPECT_NE(slurp(dir + "/events.jsonl").find("\"partial_marker\""),
               std::string::npos);
 }
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Crash-resilience acceptance tests for the process-level execution
+ * tier (DESIGN.md §5f), driven through the real comparison harness:
+ *
+ *  - `--workers=N` is byte-identical to the in-process `--workers=0`
+ *    path for N in {1, 4};
+ *  - a worker SIGKILLed mid-unit is retried and the final aggregate is
+ *    still byte-identical;
+ *  - a supervisor SIGKILLed mid-campaign leaves a journal from which a
+ *    rerun resumes, and the resumed aggregate is byte-identical.
+ *
+ * Identity is checked through runMeasurementText() (hex-float
+ * rendering), so any single-ULP divergence fails. scripts/ci.sh runs
+ * this binary in its `crash` stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/comparison.hh"
+#include "obs/metrics.hh"
+#include "workloads/kernel.hh"
+
+namespace fs = std::filesystem;
+
+namespace dora
+{
+namespace
+{
+
+/** Cheap kernel-only workloads (no page => short 1 s windows). */
+std::vector<WorkloadSpec>
+cheapWorkloads()
+{
+    return {
+        WorkloadSets::kernelOnly(KernelCatalog::byName("kmeans")),
+        WorkloadSets::kernelOnly(KernelCatalog::byName("srad2")),
+        WorkloadSets::kernelOnly(KernelCatalog::byName("backprop")),
+    };
+}
+
+/** Model-free governors so no training campaign is needed. */
+const std::vector<std::string> kGovernors = {"interactive",
+                                             "performance", "ondemand"};
+
+/**
+ * One string per cell, in grid order — the byte-identity aggregate.
+ * @param workers    process-tier width (0 = in-process path)
+ * @param stem       journal stem ("" disables journaling)
+ */
+std::vector<std::string>
+campaignTexts(unsigned workers, const std::string &stem)
+{
+    ComparisonHarness harness(ExperimentConfig{}, nullptr, 2);
+    if (workers > 0) {
+        harness.setWorkers(workers);
+        harness.setProcJournalStem(stem);
+    }
+    const auto records = harness.runAll(cheapWorkloads(), kGovernors);
+    std::vector<std::string> texts;
+    for (const auto &r : records)
+        for (const auto &g : kGovernors)
+            texts.push_back(runMeasurementText(r.measurement(g)));
+    return texts;
+}
+
+/** Remove journal files left by a previous run of @p stem. */
+void
+clearJournals(const std::string &stem)
+{
+    const fs::path dir = fs::path(stem).parent_path();
+    const std::string prefix = fs::path(stem).filename().string();
+    if (!fs::exists(dir))
+        return;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().filename().string().rfind(prefix, 0) == 0)
+            fs::remove(entry.path());
+}
+
+/** The journal file for @p stem, or "" while none exists yet. */
+std::string
+findJournal(const std::string &stem)
+{
+    const fs::path dir = fs::path(stem).parent_path();
+    const std::string prefix = fs::path(stem).filename().string();
+    if (fs::exists(dir))
+        for (const auto &entry : fs::directory_iterator(dir))
+            if (entry.path().filename().string().rfind(prefix, 0) == 0)
+                return entry.path().string();
+    return "";
+}
+
+/** Direct children of this process, via /proc (Linux). */
+std::vector<pid_t>
+childPids()
+{
+    std::vector<pid_t> pids;
+    DIR *proc = ::opendir("/proc");
+    if (!proc)
+        return pids;
+    const pid_t self = ::getpid();
+    while (const dirent *entry = ::readdir(proc)) {
+        if (!std::isdigit(
+                static_cast<unsigned char>(entry->d_name[0])))
+            continue;
+        std::ifstream stat("/proc/" + std::string(entry->d_name) +
+                           "/stat");
+        std::string pid_str, comm, state;
+        pid_t ppid = -1;
+        if (stat >> pid_str >> comm >> state >> ppid && ppid == self)
+            pids.push_back(
+                static_cast<pid_t>(std::atol(pid_str.c_str())));
+    }
+    ::closedir(proc);
+    return pids;
+}
+
+std::string
+uniqueStem(const char *name)
+{
+    return ::testing::TempDir() + "kill_resume_" + name;
+}
+
+TEST(KillResume, WorkerCountsAreByteIdentical)
+{
+    const auto baseline = campaignTexts(0, "");
+    for (const unsigned workers : {1u, 4u}) {
+        const std::string stem =
+            uniqueStem(("w" + std::to_string(workers)).c_str());
+        clearJournals(stem);
+        const auto proc = campaignTexts(workers, stem);
+        ASSERT_EQ(proc.size(), baseline.size());
+        for (size_t i = 0; i < baseline.size(); ++i)
+            EXPECT_EQ(proc[i], baseline[i])
+                << "workers=" << workers << " cell " << i;
+        clearJournals(stem);
+    }
+}
+
+TEST(KillResume, WorkerSigkillMidUnitStillByteIdentical)
+{
+    const std::string stem = uniqueStem("worker_kill");
+    clearJournals(stem);
+    const auto baseline = campaignTexts(0, "");
+    const uint64_t crashes_before =
+        MetricsRegistry::global().counter("proc.worker_crashes")
+            .value();
+
+    // The campaign runs in this process (it is the supervisor); a
+    // watcher thread SIGKILLs the first worker subprocess it sees,
+    // ~30 ms in — mid-first-unit at ~65 ms/cell.
+    std::thread killer([] {
+        for (int i = 0; i < 200; ++i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            if (i < 2)
+                continue;  // let the first dispatches land
+            const auto pids = childPids();
+            if (!pids.empty()) {
+                ::kill(pids.front(), SIGKILL);
+                return;
+            }
+        }
+    });
+    const auto survived = campaignTexts(2, stem);
+    killer.join();
+
+    const uint64_t crashes_after =
+        MetricsRegistry::global().counter("proc.worker_crashes")
+            .value();
+    EXPECT_GE(crashes_after, crashes_before + 1)
+        << "the injected SIGKILL never hit a busy worker";
+    ASSERT_EQ(survived.size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i)
+        EXPECT_EQ(survived[i], baseline[i]) << "cell " << i;
+    clearJournals(stem);
+}
+
+TEST(KillResume, SupervisorSigkillThenJournalResumeByteIdentical)
+{
+    const std::string stem = uniqueStem("supervisor_kill");
+    clearJournals(stem);
+    const auto baseline = campaignTexts(0, "");
+
+    // First attempt runs in a forked child so SIGKILL models a hard
+    // supervisor death (no destructors, no drain).
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        campaignTexts(2, stem);
+        ::_exit(0);
+    }
+
+    // Kill as soon as the journal holds at least one record (header
+    // is 36 bytes), i.e. mid-campaign with real progress on disk.
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::seconds(60);
+    std::string journal;
+    while (std::chrono::steady_clock::now() < deadline) {
+        journal = findJournal(stem);
+        std::error_code ec;
+        if (!journal.empty() && fs::file_size(journal, ec) > 36 && !ec)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_FALSE(journal.empty())
+        << "campaign never journaled a record";
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+    // Resume in-process: the journal must contribute completed cells
+    // and the final aggregate must match the uninterrupted baseline.
+    const uint64_t resumed_before =
+        MetricsRegistry::global().counter("proc.units_resumed")
+            .value();
+    const auto resumed = campaignTexts(2, stem);
+    const uint64_t resumed_after =
+        MetricsRegistry::global().counter("proc.units_resumed")
+            .value();
+    EXPECT_GE(resumed_after, resumed_before + 1)
+        << "rerun recomputed everything instead of resuming";
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i)
+        EXPECT_EQ(resumed[i], baseline[i]) << "cell " << i;
+    clearJournals(stem);
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Results-journal tests: resume, torn-tail truncation, cross-campaign
+ * refusal, corruption detection.
+ */
+
+#include "exec/proc/journal.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace dora
+{
+namespace
+{
+
+class ProcJournalTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "proc_journal_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name() +
+            ".jrn";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string readFile() const
+    {
+        std::ifstream in(path_, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+
+    void writeFile(const std::string &bytes) const
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    std::string path_;
+};
+
+TEST_F(ProcJournalTest, FreshJournalRoundTrips)
+{
+    {
+        ResultsJournal journal;
+        ASSERT_TRUE(journal.open(path_, 0xc0ffee, 4)) << journal.error();
+        EXPECT_TRUE(journal.loaded().empty());
+        ASSERT_TRUE(journal.append(2, "unit two"));
+        ASSERT_TRUE(journal.append(0, std::string("\x00nul", 4)));
+        journal.close();
+    }
+    ResultsJournal journal;
+    ASSERT_TRUE(journal.open(path_, 0xc0ffee, 4)) << journal.error();
+    ASSERT_EQ(journal.loaded().size(), 2u);
+    EXPECT_EQ(journal.loaded()[0].first, 2u);
+    EXPECT_EQ(journal.loaded()[0].second, "unit two");
+    EXPECT_EQ(journal.loaded()[1].first, 0u);
+    EXPECT_EQ(journal.loaded()[1].second, std::string("\x00nul", 4));
+    EXPECT_FALSE(journal.truncatedTail());
+}
+
+TEST_F(ProcJournalTest, TornTailIsTruncatedAtEveryCutPoint)
+{
+    std::string full;
+    {
+        ResultsJournal journal;
+        ASSERT_TRUE(journal.open(path_, 1, 4));
+        ASSERT_TRUE(journal.append(0, "intact record"));
+        journal.close();
+        full = readFile();
+    }
+    const std::string one_record = full;
+    {
+        ResultsJournal journal;
+        ASSERT_TRUE(journal.open(path_, 1, 4));
+        ASSERT_TRUE(journal.append(1, "torn record"));
+        journal.close();
+        full = readFile();
+    }
+    // Cut the second record at every possible point: the first record
+    // must always survive, the torn one never.
+    for (size_t cut = one_record.size() + 1; cut < full.size(); ++cut) {
+        writeFile(full.substr(0, cut));
+        ResultsJournal journal;
+        ASSERT_TRUE(journal.open(path_, 1, 4))
+            << "cut=" << cut << ": " << journal.error();
+        ASSERT_EQ(journal.loaded().size(), 1u) << "cut=" << cut;
+        EXPECT_EQ(journal.loaded()[0].second, "intact record");
+        EXPECT_TRUE(journal.truncatedTail()) << "cut=" << cut;
+        // Appends continue from the truncated tail.
+        ASSERT_TRUE(journal.append(1, "torn record"));
+        journal.close();
+        EXPECT_EQ(readFile(), full) << "cut=" << cut;
+    }
+}
+
+TEST_F(ProcJournalTest, CorruptRecordPayloadDropsTail)
+{
+    std::string clean;
+    {
+        ResultsJournal journal;
+        ASSERT_TRUE(journal.open(path_, 1, 2));
+        ASSERT_TRUE(journal.append(0, "first"));
+        clean = readFile();
+        ASSERT_TRUE(journal.append(1, "second"));
+        journal.close();
+    }
+    std::string bytes = readFile();
+    bytes[clean.size() + 13] ^= 0x01;  // a byte inside record 2
+    writeFile(bytes);
+    ResultsJournal journal;
+    ASSERT_TRUE(journal.open(path_, 1, 2)) << journal.error();
+    ASSERT_EQ(journal.loaded().size(), 1u);
+    EXPECT_EQ(journal.loaded()[0].second, "first");
+    EXPECT_TRUE(journal.truncatedTail());
+}
+
+TEST_F(ProcJournalTest, CrossCampaignResumeIsRefused)
+{
+    {
+        ResultsJournal journal;
+        ASSERT_TRUE(journal.open(path_, 0xaaaa, 8));
+        ASSERT_TRUE(journal.append(0, "x"));
+        journal.close();
+    }
+    {
+        ResultsJournal journal;
+        EXPECT_FALSE(journal.open(path_, 0xbbbb, 8));  // wrong hash
+        EXPECT_FALSE(journal.error().empty());
+    }
+    {
+        ResultsJournal journal;
+        EXPECT_FALSE(journal.open(path_, 0xaaaa, 9));  // wrong count
+    }
+    {
+        // The refused opens must not have damaged the journal.
+        ResultsJournal journal;
+        ASSERT_TRUE(journal.open(path_, 0xaaaa, 8)) << journal.error();
+        ASSERT_EQ(journal.loaded().size(), 1u);
+    }
+}
+
+TEST_F(ProcJournalTest, GarbageFileIsRefused)
+{
+    writeFile("this is not a journal at all, not even close........");
+    ResultsJournal journal;
+    EXPECT_FALSE(journal.open(path_, 1, 1));
+    EXPECT_FALSE(journal.error().empty());
+}
+
+TEST_F(ProcJournalTest, AppendOnClosedJournalFails)
+{
+    ResultsJournal journal;
+    EXPECT_FALSE(journal.append(0, "x"));
+    EXPECT_FALSE(journal.error().empty());
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Frame codec tests: round trip, incremental parse, corruption.
+ */
+
+#include "exec/proc/wire.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace dora
+{
+namespace
+{
+
+Frame
+makeFrame(FrameType type, uint64_t unit, uint32_t attempt,
+          std::string payload)
+{
+    Frame f;
+    f.type = type;
+    f.unit = unit;
+    f.attempt = attempt;
+    f.payload = std::move(payload);
+    return f;
+}
+
+TEST(ProcWire, RoundTripAllTypes)
+{
+    const FrameType types[] = {FrameType::Dispatch, FrameType::Result,
+                               FrameType::Heartbeat,
+                               FrameType::WorkerError,
+                               FrameType::Shutdown};
+    for (const FrameType type : types) {
+        const Frame sent =
+            makeFrame(type, 0x0123456789abcdefull, 7, "payload bytes");
+        const std::string bytes = encodeFrame(sent);
+        FrameParser parser;
+        parser.feed(bytes.data(), bytes.size());
+        Frame got;
+        ASSERT_TRUE(parser.next(&got));
+        EXPECT_EQ(got.type, sent.type);
+        EXPECT_EQ(got.unit, sent.unit);
+        EXPECT_EQ(got.attempt, sent.attempt);
+        EXPECT_EQ(got.payload, sent.payload);
+        EXPECT_FALSE(parser.next(&got));
+        EXPECT_FALSE(parser.corrupted());
+    }
+}
+
+TEST(ProcWire, EmptyAndLargePayloadsRoundTrip)
+{
+    const std::string large(1 << 20, '\xa5');
+    for (const std::string &payload : {std::string(), large}) {
+        const std::string bytes = encodeFrame(
+            makeFrame(FrameType::Result, 3, 1, payload));
+        FrameParser parser;
+        parser.feed(bytes.data(), bytes.size());
+        Frame got;
+        ASSERT_TRUE(parser.next(&got));
+        EXPECT_EQ(got.payload, payload);
+    }
+}
+
+TEST(ProcWire, ByteAtATimeFeedReassembles)
+{
+    const std::string bytes = encodeFrame(
+        makeFrame(FrameType::Result, 42, 2, "split across reads"));
+    FrameParser parser;
+    Frame got;
+    for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+        parser.feed(bytes.data() + i, 1);
+        EXPECT_FALSE(parser.next(&got));
+    }
+    parser.feed(bytes.data() + bytes.size() - 1, 1);
+    ASSERT_TRUE(parser.next(&got));
+    EXPECT_EQ(got.unit, 42u);
+    EXPECT_EQ(got.payload, "split across reads");
+}
+
+TEST(ProcWire, BackToBackFramesBothDecode)
+{
+    std::string bytes =
+        encodeFrame(makeFrame(FrameType::Result, 1, 1, "first"));
+    bytes += encodeFrame(makeFrame(FrameType::Heartbeat, 2, 1, ""));
+    FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    Frame a, b, c;
+    ASSERT_TRUE(parser.next(&a));
+    ASSERT_TRUE(parser.next(&b));
+    EXPECT_EQ(a.payload, "first");
+    EXPECT_EQ(b.type, FrameType::Heartbeat);
+    EXPECT_FALSE(parser.next(&c));
+}
+
+TEST(ProcWire, FlippedPayloadBitIsTerminalCorruption)
+{
+    std::string bytes = encodeFrame(
+        makeFrame(FrameType::Result, 9, 1, "checksummed payload"));
+    bytes[bytes.size() - 12] ^= 0x01;  // payload byte, not checksum
+    FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    Frame got;
+    EXPECT_FALSE(parser.next(&got));
+    EXPECT_TRUE(parser.corrupted());
+    // Corruption is terminal: further feeds/next never recover.
+    const std::string clean =
+        encodeFrame(makeFrame(FrameType::Result, 10, 1, "ok"));
+    parser.feed(clean.data(), clean.size());
+    EXPECT_FALSE(parser.next(&got));
+    EXPECT_TRUE(parser.corrupted());
+}
+
+TEST(ProcWire, BadMagicAndBadTypeAreCorruption)
+{
+    {
+        std::string bytes =
+            encodeFrame(makeFrame(FrameType::Result, 1, 1, "x"));
+        bytes[0] ^= 0xff;
+        FrameParser parser;
+        parser.feed(bytes.data(), bytes.size());
+        Frame got;
+        EXPECT_FALSE(parser.next(&got));
+        EXPECT_TRUE(parser.corrupted());
+    }
+    {
+        std::string bytes =
+            encodeFrame(makeFrame(FrameType::Result, 1, 1, "x"));
+        bytes[4] = 0x7f;  // not a FrameType
+        FrameParser parser;
+        parser.feed(bytes.data(), bytes.size());
+        Frame got;
+        EXPECT_FALSE(parser.next(&got));
+        EXPECT_TRUE(parser.corrupted());
+    }
+}
+
+TEST(ProcWire, OversizedLengthIsCorruptionNotAllocation)
+{
+    std::string bytes =
+        encodeFrame(makeFrame(FrameType::Result, 1, 1, "x"));
+    const uint32_t huge = kMaxFramePayload + 1;
+    std::memcpy(bytes.data() + 17, &huge, sizeof(huge));
+    FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    Frame got;
+    EXPECT_FALSE(parser.next(&got));
+    EXPECT_TRUE(parser.corrupted());
+}
+
+} // namespace
+} // namespace dora

@@ -479,6 +479,53 @@ ruleHygAssert(const ScannedFile &f, std::vector<Finding> &out)
                 out);
 }
 
+// ---------------------------------------------------------------- //
+// Robustness rules                                                  //
+// ---------------------------------------------------------------- //
+
+/** dora-rob-unchecked-try: discarded try*() fallible-call results. */
+void
+ruleRobUncheckedTry(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!anyPrefix(f.path, {"src/", "bench/"}))
+        return;
+    // A tryRestore/tryDeserialize-style call (the snapshot/journal
+    // contract of common/snapshot.hh: failure is the return value,
+    // never an exception) whose statement *starts* with the call —
+    // optionally behind a (void) cast or an object expression — has
+    // its verdict discarded. Calls feeding if/return/assignments
+    // never start the statement, so they pass.
+    static const std::regex call_re(
+        R"(^\s*(\(\s*void\s*\)\s*)?(\w+\s*(::|\.|->)\s*)*try[A-Z]\w*\s*\()");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        if (!std::regex_search(f.code[i], call_re))
+            continue;
+        // Only a statement-initial call discards the result: the
+        // previous non-blank code line must have ended a statement
+        // or opened a block/control body. This also skips function
+        // definitions (repo style puts the return type on the line
+        // above the name).
+        bool statement_start = true;
+        for (size_t j = i; j-- > 0;) {
+            const size_t last = f.code[j].find_last_not_of(" \t");
+            if (last == std::string::npos)
+                continue;
+            const char c = f.code[j][last];
+            statement_start =
+                c == ';' || c == '{' || c == '}' || c == ')';
+            break;
+        }
+        if (!statement_start)
+            continue;
+        out.push_back(Finding{
+            f.path, static_cast<int>(i + 1), "dora-rob-unchecked-try",
+            "a try*() call reports failure through its return value; "
+            "discarding it turns corrupt snapshots/journals into "
+            "silent state divergence — check the result (or NOLINT "
+            "with justification)"});
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -507,6 +554,9 @@ ruleCatalog()
         {"dora-hyg-assert",
          "no assert() guards (compiled out in Release); use "
          "fatal()/panic()"},
+        {"dora-rob-unchecked-try",
+         "no discarded try*() results (tryRestore/tryDeserialize "
+         "report failure by return value)"},
     };
     return catalog;
 }
@@ -524,6 +574,7 @@ lintFile(const ScannedFile &file, std::vector<Finding> &out)
     ruleHygStream(file, raw);
     ruleHygCatchAll(file, raw);
     ruleHygAssert(file, raw);
+    ruleRobUncheckedTry(file, raw);
 
     for (auto &finding : raw) {
         const size_t idx = static_cast<size_t>(finding.line) - 1;
