@@ -87,9 +87,20 @@ main(int argc, char **argv)
     const double proc_sec = wallSeconds(t0);
     std::printf("SCALING workers=%u wall=%.3f\n", workers, proc_sec);
 
-    // --- 1. byte-identity of every cell, across both tiers. ---
+    // Lane tier (sim/lane_batch): the same campaign advanced four
+    // runs per batch on one thread — the --lanes=N path.
+    const unsigned lanes = 4;
+    ComparisonHarness lane(ExperimentConfig{}, nullptr, 1);
+    lane.setLanes(lanes);
+    t0 = std::chrono::steady_clock::now();
+    const auto lane_records = lane.runAll(workloads, governors);
+    const double lane_sec = wallSeconds(t0);
+    std::printf("SCALING lanes=%u wall=%.3f\n", lanes, lane_sec);
+
+    // --- 1. byte-identity of every cell, across all tiers. ---
     bool identical = serial_records.size() == parallel_records.size() &&
-        serial_records.size() == proc_records.size();
+        serial_records.size() == proc_records.size() &&
+        serial_records.size() == lane_records.size();
     for (size_t w = 0; identical && w < serial_records.size(); ++w) {
         for (const auto &name : governors) {
             const std::string a = runMeasurementText(
@@ -98,6 +109,8 @@ main(int argc, char **argv)
                 parallel_records[w].measurement(name));
             const std::string c = runMeasurementText(
                 proc_records[w].measurement(name));
+            const std::string d = runMeasurementText(
+                lane_records[w].measurement(name));
             if (a != b) {
                 identical = false;
                 std::cerr << "MISMATCH " << workloads[w].label() << " x "
@@ -110,6 +123,12 @@ main(int argc, char **argv)
                           << name << "\n  jobs=1: " << a
                           << "\n  workers=" << workers << ": " << c
                           << "\n";
+            }
+            if (a != d) {
+                identical = false;
+                std::cerr << "MISMATCH " << workloads[w].label() << " x "
+                          << name << "\n  jobs=1: " << a
+                          << "\n  lanes=" << lanes << ": " << d << "\n";
             }
         }
     }
@@ -128,7 +147,22 @@ main(int argc, char **argv)
               << serial_records.size() * governors.size() << " cells\n";
 
     // --- 2. speedup target (only meaningful with real cores). ---
-    if (hardwareJobs() >= 4 && jobs >= 4) {
+    if (hardwareJobs() < 2) {
+        // On a single-thread host jobs=N serializes onto one core, so
+        // any "speedup" is pure scheduling noise — asserting on it
+        // would be vacuous at best and flaky at worst. Shout so CI
+        // logs show the gate did NOT run, and keep the byte-identity
+        // verdict above as the enforced contract.
+        std::cerr
+            << "**********************************************************\n"
+            << "NOTICE: host has " << hardwareJobs()
+            << " hardware thread(s) — the >= 2x parallel speedup\n"
+            << "target CANNOT be validated here and was SKIPPED.\n"
+            << "Byte-identity across jobs/workers/lanes tiers was\n"
+            << "still enforced. Re-run on a multi-core host to check\n"
+            << "scaling.\n"
+            << "**********************************************************\n";
+    } else if (hardwareJobs() >= 4 && jobs >= 4) {
         if (speedup < 2.0) {
             std::cerr << "FAIL: speedup " << speedup
                       << "x below the 2x target with " << jobs

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/snapshot.hh"
 #include "common/units.hh"
 #include "obs/trace.hh"
 
@@ -160,6 +161,41 @@ PageLoad::setTrace(RunTrace *trace, double base_sec)
     if (trace_ && !finished())
         trace_->begin(traceBaseSec_ + elapsedSec_, "page", "phase",
                       {{"phase", phases_[phase_].name}});
+}
+
+void
+PageLoad::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("page", 1);
+    w.putU64(static_cast<uint64_t>(phase_));
+    w.putDouble(elapsedSec_);
+    w.putDoubles(remainMain_);
+    w.putDoubles(remainHelper_);
+    mainStream_->snapshot(w);
+    helperStream_->snapshot(w);
+}
+
+bool
+PageLoad::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("page", 1))
+        return false;
+    uint64_t phase;
+    double elapsed;
+    std::vector<double> remain_main, remain_helper;
+    if (!r.getU64(&phase) || !r.getDouble(&elapsed) ||
+        !r.getDoubles(&remain_main) || !r.getDoubles(&remain_helper))
+        return false;
+    if (phase > phases_.size() || remain_main.size() != phases_.size() ||
+        remain_helper.size() != phases_.size())
+        return false;
+    if (!mainStream_->tryRestore(r) || !helperStream_->tryRestore(r))
+        return false;
+    phase_ = static_cast<size_t>(phase);
+    elapsedSec_ = elapsed;
+    remainMain_ = std::move(remain_main);
+    remainHelper_ = std::move(remain_helper);
+    return true;
 }
 
 void

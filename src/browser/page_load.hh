@@ -103,6 +103,19 @@ class PageLoad
      */
     void setTrace(RunTrace *trace, double base_sec);
 
+    /**
+     * Serialize load progress (phase cursor, remaining work, streams).
+     * Trace attachment is deliberately excluded: snapshots are gated to
+     * untraced runs (RunContext refuses otherwise).
+     */
+    void snapshot(SnapshotWriter &w) const;
+
+    /**
+     * Restore into the same PageLoad object the snapshot was taken
+     * from (streams restore in place). All-or-nothing.
+     */
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
+
   private:
     friend class RenderThreadTask;
 

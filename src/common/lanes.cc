@@ -1,0 +1,50 @@
+#include "common/lanes.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+unsigned
+parseLanes(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const long lanes = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || lanes < 1)
+        fatal("%s: malformed lane count '%s' (want a positive integer)",
+              origin, text);
+    return static_cast<unsigned>(lanes);
+}
+
+} // namespace
+
+unsigned
+defaultLaneCount()
+{
+    const char *env = std::getenv("DORA_LANES");
+    if (env == nullptr || *env == '\0')
+        return 1;
+    return parseLanes(env, "$DORA_LANES");
+}
+
+unsigned
+laneCountFromArgs(int argc, char **argv)
+{
+    unsigned lanes = defaultLaneCount();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--lanes" && i + 1 < argc)
+            lanes = parseLanes(argv[i + 1], "--lanes");
+        else if (arg.rfind("--lanes=", 0) == 0)
+            lanes = parseLanes(arg.c_str() + 8, "--lanes");
+    }
+    return lanes;
+}
+
+} // namespace dora

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Process-wide default lane count for lane-batched execution.
+ *
+ * Lane batching (sim/lane_batch.hh) advances N independent runs
+ * interleaved on one thread so their memory-walk miss chains overlap.
+ * The knob parallels the --jobs/--workers tiers: `--lanes N` on a
+ * bench command line, else $DORA_LANES, else 1 (the exact legacy
+ * per-run path). Results are bit-identical at every lane count, so
+ * the setting is pure throughput policy, never protocol.
+ */
+
+#ifndef DORA_COMMON_LANES_HH
+#define DORA_COMMON_LANES_HH
+
+namespace dora
+{
+
+/**
+ * Default lane count: $DORA_LANES when set to a positive integer,
+ * else 1. A malformed value is fatal (a silent fallback would make a
+ * mistyped sweep quietly run serial).
+ */
+unsigned defaultLaneCount();
+
+/**
+ * Scan @p argv for `--lanes N` / `--lanes=N` (benches); falls back to
+ * defaultLaneCount(). Unknown arguments are left for other parsers.
+ */
+unsigned laneCountFromArgs(int argc, char **argv);
+
+} // namespace dora
+
+#endif // DORA_COMMON_LANES_HH

@@ -1,9 +1,11 @@
 #include "harness/comparison.hh"
 
+#include <algorithm>
 #include <csignal>
 #include <optional>
 #include <sstream>
 
+#include "common/lanes.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "exec/proc/supervisor.hh"
@@ -12,6 +14,8 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "runner/measurement_io.hh"
+#include "sim/lane_batch.hh"
+#include "workloads/corun_task.hh"
 
 namespace dora
 {
@@ -123,7 +127,7 @@ ComparisonHarness::ComparisonHarness(
     const ExperimentConfig &config,
     std::shared_ptr<const ModelBundle> models, unsigned jobs)
     : runner_(config), models_(std::move(models)),
-      jobs_(jobs ? jobs : defaultJobCount())
+      jobs_(jobs ? jobs : defaultJobCount()), lanes_(defaultLaneCount())
 {
 }
 
@@ -136,44 +140,74 @@ ComparisonHarness::paperGovernors()
     return names;
 }
 
+std::unique_ptr<Governor>
+ComparisonHarness::makeGovernor(const std::string &governor) const
+{
+    if (governor == "interactive")
+        return std::make_unique<InteractiveGovernor>();
+    if (governor == "performance")
+        return std::make_unique<PerformanceGovernor>();
+    if (governor == "powersave")
+        return std::make_unique<PowersaveGovernor>();
+    if (governor == "ondemand")
+        return std::make_unique<OndemandGovernor>();
+    if (governor == "DL")
+        return std::make_unique<PredictiveGovernor>(makeDl(models_));
+    if (governor == "EE")
+        return std::make_unique<PredictiveGovernor>(makeEe(models_));
+    if (governor == "DORA")
+        return std::make_unique<PredictiveGovernor>(makeDora(models_));
+    if (governor == "DORA_no_lkg")
+        return std::make_unique<PredictiveGovernor>(
+            makeDoraNoLeakage(models_));
+    fatal("ComparisonHarness: unknown governor '%s'", governor.c_str());
+}
+
 RunMeasurement
 ComparisonHarness::runOneWith(ExperimentRunner &runner,
                               const WorkloadSpec &workload,
                               const std::string &governor)
 {
-    if (governor == "interactive") {
-        InteractiveGovernor g;
-        return runner.run(workload, g);
+    const std::unique_ptr<Governor> g = makeGovernor(governor);
+    return runner.run(workload, *g);
+}
+
+ComparisonHarness::LaneCell
+ComparisonHarness::makeLaneCell(const WorkloadSpec &workload,
+                                const std::string &governor) const
+{
+    LaneCell cell;
+    cell.page = workload.page;
+    if (workload.kernel) {
+        // Same salt recipe as ExperimentRunner::run(): the "corun:"
+        // tag decorrelates the co-runner streams from the PageLoad
+        // salt ("page:" + the same label).
+        const uint64_t salt =
+            hashLabel("corun:" + workload.label()) % 4096;
+        cell.corun = std::make_unique<CorunTask>(*workload.kernel, salt);
     }
-    if (governor == "performance") {
-        PerformanceGovernor g;
-        return runner.run(workload, g);
+    cell.label = workload.label();
+    cell.governor = makeGovernor(governor);
+    return cell;
+}
+
+ComparisonHarness::LaneCell
+ComparisonHarness::makeLaneCell(const WorkloadSpec &workload,
+                                size_t freq_index) const
+{
+    // Mirrors runAtFrequency(): a FixedGovernor pinned at the OPP,
+    // which is also the initial frequency.
+    LaneCell cell;
+    cell.page = workload.page;
+    if (workload.kernel) {
+        const uint64_t salt =
+            hashLabel("corun:" + workload.label()) % 4096;
+        cell.corun = std::make_unique<CorunTask>(*workload.kernel, salt);
     }
-    if (governor == "powersave") {
-        PowersaveGovernor g;
-        return runner.run(workload, g);
-    }
-    if (governor == "ondemand") {
-        OndemandGovernor g;
-        return runner.run(workload, g);
-    }
-    if (governor == "DL") {
-        PredictiveGovernor g = makeDl(models_);
-        return runner.run(workload, g);
-    }
-    if (governor == "EE") {
-        PredictiveGovernor g = makeEe(models_);
-        return runner.run(workload, g);
-    }
-    if (governor == "DORA") {
-        PredictiveGovernor g = makeDora(models_);
-        return runner.run(workload, g);
-    }
-    if (governor == "DORA_no_lkg") {
-        PredictiveGovernor g = makeDoraNoLeakage(models_);
-        return runner.run(workload, g);
-    }
-    fatal("ComparisonHarness: unknown governor '%s'", governor.c_str());
+    cell.label = workload.label();
+    cell.governor = std::make_unique<FixedGovernor>(freq_index);
+    cell.initialFreq = freq_index;
+    return cell;
 }
 
 RunMeasurement
@@ -195,12 +229,17 @@ namespace
 uint64_t
 procCampaignHash(const ExperimentConfig &config,
                  const FaultInjector *injector, size_t n,
-                 uint64_t campaign_salt)
+                 uint64_t campaign_salt, unsigned lanes = 1)
 {
     std::ostringstream text;
     text.precision(17);
     text << "proc-campaign " << experimentConfigHash(config)
          << " cells " << n << " salt " << campaign_salt;
+    // Lane-batched campaigns key their journal separately: units are
+    // batches, so payload shapes differ from the cell-keyed journal
+    // even though the measurements inside are bit-identical.
+    if (lanes > 1)
+        text << " lanes " << lanes;
     if (injector) {
         const FaultSchedule &s = injector->schedule();
         text << " fault " << s.seed << " " << s.sensorDropProb << " "
@@ -288,12 +327,161 @@ ComparisonHarness::mapWithWorkers(
 }
 
 std::vector<RunMeasurement>
+ComparisonHarness::runLaneBatch(size_t first, size_t count,
+                                const LaneCellFn &make_cell)
+{
+    // Same cloning contract as the thread/process tiers: every lane
+    // owns a private fault injector built from the shared schedule,
+    // reset at RunContext construction, so each lane reproduces the
+    // serial per-run fault stream exactly.
+    const FaultInjector *shared_injector = runner_.faultInjector();
+    std::vector<LaneCell> cells;
+    std::vector<std::unique_ptr<FaultInjector>> injectors;
+    std::vector<RunContext::Params> specs;
+    cells.reserve(count);
+    injectors.reserve(count);
+    specs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        cells.push_back(make_cell(first + i));
+        const LaneCell &cell = cells.back();
+        RunContext::Params p;
+        p.page = cell.page;
+        p.corun = cell.corun.get();
+        p.label = cell.label;
+        p.governor = cell.governor.get();
+        p.initialFreq = cell.initialFreq;
+        if (shared_injector) {
+            injectors.push_back(std::make_unique<FaultInjector>(
+                shared_injector->schedule()));
+            p.fault = injectors.back().get();
+        }
+        specs.push_back(std::move(p));
+    }
+    LaneBatchSimulator batch(runner_.config(), std::move(specs));
+    return batch.finishAll();
+}
+
+std::vector<RunMeasurement>
+ComparisonHarness::mapWithLanes(size_t n, const LaneCellFn &make_cell)
+{
+    const size_t batches = (n + lanes_ - 1) / lanes_;
+    const auto run_batch = [&](size_t b) {
+        const size_t first = b * lanes_;
+        const size_t count = std::min<size_t>(lanes_, n - first);
+        return runLaneBatch(first, count, make_cell);
+    };
+    static MetricCounter &cells_queued =
+        MetricsRegistry::global().counter("harness.cells_queued");
+    static MetricCounter &cells_done =
+        MetricsRegistry::global().counter("harness.cells_done");
+    cells_queued.add(n);
+
+    std::vector<std::vector<RunMeasurement>> per_batch;
+    if (jobs_ <= 1 || batches <= 1) {
+        per_batch.reserve(batches);
+        for (size_t b = 0; b < batches; ++b)
+            per_batch.push_back(run_batch(b));
+    } else {
+        per_batch = parallelMap<std::vector<RunMeasurement>>(
+            batches, run_batch, jobs_);
+    }
+    std::vector<RunMeasurement> results;
+    results.reserve(n);
+    for (auto &batch : per_batch)
+        for (auto &m : batch) {
+            results.push_back(std::move(m));
+            cells_done.add();
+        }
+    return results;
+}
+
+std::vector<RunMeasurement>
+ComparisonHarness::mapWithWorkersLanes(size_t n, uint64_t campaign_salt,
+                                       const LaneCellFn &make_cell)
+{
+    const size_t batches = (n + lanes_ - 1) / lanes_;
+    const auto run_batch = [&](size_t b) {
+        const size_t first = b * lanes_;
+        const size_t count = std::min<size_t>(lanes_, n - first);
+        return runLaneBatch(first, count, make_cell);
+    };
+
+    ProcSweepConfig proc;
+    proc.workers = workers_;
+    proc.campaignHash =
+        procCampaignHash(runner_.config(), runner_.faultInjector(), n,
+                         campaign_salt, lanes_);
+    if (!procJournalStem_.empty())
+        proc.journalPath = procJournalStem_ + "." +
+            hexU64(proc.campaignHash) + ".jrn";
+
+    const ProcSweepReport report = runProcSweep(
+        proc, batches, [&run_batch](uint64_t b) {
+            const std::vector<RunMeasurement> ms =
+                run_batch(static_cast<size_t>(b));
+            std::vector<std::string> payloads;
+            payloads.reserve(ms.size());
+            for (const RunMeasurement &m : ms)
+                payloads.push_back(serializeRunMeasurement(m));
+            return packPayloads(payloads);
+        });
+
+    if (report.drained) {
+        warn("harness: campaign interrupted by signal %d with %llu "
+             "batches journaled; re-run to resume",
+             report.drainSignal,
+             static_cast<unsigned long long>(report.unitsRun +
+                                             report.unitsResumed));
+        ::raise(report.drainSignal);
+        fatal("harness: campaign interrupted");  // signal was ignored
+    }
+
+    std::vector<RunMeasurement> results(n);
+    for (size_t b = 0; b < batches; ++b) {
+        const size_t first = b * lanes_;
+        const size_t count = std::min<size_t>(lanes_, n - first);
+        if (!report.completed[b]) {
+            warn("harness: batch %zu was quarantined by the process "
+                 "tier; recomputing in-process",
+                 b);
+            std::vector<RunMeasurement> ms = run_batch(b);
+            for (size_t i = 0; i < count; ++i)
+                results[first + i] = std::move(ms[i]);
+            continue;
+        }
+        std::vector<std::string> payloads;
+        if (!tryUnpackPayloads(report.results[b], &payloads) ||
+            payloads.size() != count)
+            fatal("harness: batch %zu payload from the process tier "
+                  "does not unpack (journal from an older build or a "
+                  "different lane count?); delete the journal and "
+                  "re-run",
+                  b);
+        for (size_t i = 0; i < count; ++i)
+            if (!tryDeserializeRunMeasurement(payloads[i],
+                                              &results[first + i]))
+                fatal("harness: batch %zu cell %zu payload from the "
+                      "process tier does not deserialize; delete the "
+                      "journal and re-run",
+                      b, i);
+    }
+    return results;
+}
+
+std::vector<RunMeasurement>
 ComparisonHarness::mapWithRunners(
     size_t n, uint64_t campaign_salt,
-    const std::function<RunMeasurement(ExperimentRunner &, size_t)> &fn)
+    const std::function<RunMeasurement(ExperimentRunner &, size_t)> &fn,
+    const LaneCellFn &make_cell)
 {
-    if (workers_ > 0 && n > 0)
+    const bool lane_tier = lanes_ > 1 && n > 1 && make_cell != nullptr;
+    if (workers_ > 0 && n > 0) {
+        if (lane_tier)
+            return mapWithWorkersLanes(n, campaign_salt, make_cell);
         return mapWithWorkers(n, campaign_salt, fn);
+    }
+    if (lane_tier)
+        return mapWithLanes(n, make_cell);
     if (jobs_ <= 1 || n <= 1) {
         // Legacy serial path: every cell on the member runner.
         std::vector<RunMeasurement> results;
@@ -351,6 +539,10 @@ ComparisonHarness::runAll(const std::vector<WorkloadSpec> &workloads,
             const WorkloadSpec &workload = workloads[i / names.size()];
             const std::string &name = names[i % names.size()];
             return runOneWith(runner, workload, name);
+        },
+        [&](size_t i) {
+            return makeLaneCell(workloads[i / names.size()],
+                                names[i % names.size()]);
         });
 
     std::vector<ComparisonRecord> records;
@@ -402,7 +594,8 @@ ComparisonHarness::offlineOpt(const WorkloadSpec &workload)
         freqs, hashLabel("offlineOpt " + workload.label()),
         [&](ExperimentRunner &runner, size_t f) {
             return runner.runAtFrequency(workload, f);
-        }));
+        },
+        [&](size_t f) { return makeLaneCell(workload, f); }));
 }
 
 std::vector<RunMeasurement>
@@ -418,6 +611,9 @@ ComparisonHarness::offlineOptMany(
         workloads.size() * freqs, hashLabel(salt.str()),
         [&](ExperimentRunner &runner, size_t i) {
             return runner.runAtFrequency(workloads[i / freqs], i % freqs);
+        },
+        [&](size_t i) {
+            return makeLaneCell(workloads[i / freqs], i % freqs);
         });
 
     std::vector<RunMeasurement> results;

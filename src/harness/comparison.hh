@@ -27,6 +27,9 @@
 namespace dora
 {
 
+class FaultInjector;
+class Task;
+
 /**
  * Registry of governor names the harness can run. The index of a name
  * is its storage key inside ComparisonRecord (a small dense id, stable
@@ -121,6 +124,18 @@ class ComparisonHarness
     }
 
     /**
+     * Lane batching (sim/lane_batch.hh): pack fan-out cells into
+     * batches of @p lanes runs advanced interleaved on one thread, so
+     * independent memory-walk miss chains overlap. Composes with the
+     * thread tier (each pool job runs a batch) and the process tier
+     * (each worker unit is a batch). lanes <= 1 is the exact legacy
+     * per-run path; results are bit-identical at every lane count.
+     * The constructor default is $DORA_LANES (see common/lanes.hh).
+     */
+    void setLanes(unsigned lanes) { lanes_ = lanes ? lanes : 1; }
+    unsigned lanes() const { return lanes_; }
+
+    /**
      * Run @p workloads under every governor in the comparison set.
      * @param governors subset of {"interactive", "performance", "DL",
      *        "EE", "DORA", "DORA_no_lkg", "powersave"}; empty = the
@@ -165,10 +180,36 @@ class ComparisonHarness
     RunMeasurement pickOfflineOpt(std::vector<RunMeasurement> sweep) const;
 
   private:
+    /**
+     * One lane-tier cell: everything a RunContext lane needs, owned
+     * (the governor/co-runner must outlive the whole batch, unlike the
+     * stack-scoped objects of the per-run path).
+     */
+    struct LaneCell
+    {
+        const WebPage *page = nullptr;
+        std::unique_ptr<Task> corun;
+        std::string label;
+        std::unique_ptr<Governor> governor;
+        std::optional<size_t> initialFreq;
+    };
+    using LaneCellFn = std::function<LaneCell(size_t)>;
+
     /** runOne() against an explicit runner (per-job runners). */
     RunMeasurement runOneWith(ExperimentRunner &runner,
                               const WorkloadSpec &workload,
                               const std::string &governor);
+
+    /** Fresh governor instance by registry name; fatal() on unknown. */
+    std::unique_ptr<Governor> makeGovernor(const std::string &name) const;
+
+    /** Lane cell for (workload, named governor) — the runAll grid. */
+    LaneCell makeLaneCell(const WorkloadSpec &workload,
+                          const std::string &governor) const;
+
+    /** Lane cell for (workload, pinned OPP) — the offline-opt grid. */
+    LaneCell makeLaneCell(const WorkloadSpec &workload,
+                          size_t freq_index) const;
 
     /**
      * Run fn(runner, i) for i in [0, n) across jobs_ workers, each
@@ -177,12 +218,15 @@ class ComparisonHarness
      * itself — the exact legacy path. With workers_ > 0 the grid is
      * instead sharded across worker subprocesses (see setWorkers());
      * @p campaign_salt distinguishes campaigns of the same size for
-     * the journal identity.
+     * the journal identity. With lanes_ > 1 and a non-null
+     * @p make_cell the cells run lane-batched instead (bit-identical
+     * by the LaneBatchSimulator contract).
      */
     std::vector<RunMeasurement> mapWithRunners(
         size_t n, uint64_t campaign_salt,
         const std::function<RunMeasurement(ExperimentRunner &, size_t)>
-            &fn);
+            &fn,
+        const LaneCellFn &make_cell = {});
 
     /** The process-tier (workers_ > 0) arm of mapWithRunners(). */
     std::vector<RunMeasurement> mapWithWorkers(
@@ -190,10 +234,23 @@ class ComparisonHarness
         const std::function<RunMeasurement(ExperimentRunner &, size_t)>
             &fn);
 
+    /** The in-process lane tier: batches fanned across the pool. */
+    std::vector<RunMeasurement> mapWithLanes(size_t n,
+                                             const LaneCellFn &make_cell);
+
+    /** Process tier with lane batching: each worker unit is a batch. */
+    std::vector<RunMeasurement> mapWithWorkersLanes(
+        size_t n, uint64_t campaign_salt, const LaneCellFn &make_cell);
+
+    /** Build and drive one batch of cells [first, first+count). */
+    std::vector<RunMeasurement> runLaneBatch(size_t first, size_t count,
+                                             const LaneCellFn &make_cell);
+
     ExperimentRunner runner_;
     std::shared_ptr<const ModelBundle> models_;
     unsigned jobs_;
     unsigned workers_ = 0;
+    unsigned lanes_;
     std::string procJournalStem_;
 };
 

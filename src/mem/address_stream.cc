@@ -78,6 +78,48 @@ AddressStream::next()
 }
 
 void
+AddressStream::nextRuns(uint64_t *out, uint32_t n)
+{
+    // Mirrors next() exactly: a new burst draws region, start line, and
+    // length in the same order from the same generator, and the burst
+    // then advances the cursor one line per access (wrapping at the
+    // working-set edge, with the burst continuing across the wrap).
+    // Instead of re-entering per access, each burst is emitted as up to
+    // three capped sequential fills (burst left / request left / lines
+    // to the wrap), so the generator state is only touched per burst.
+    uint64_t cur = cursor_;
+    uint64_t left = burstLeft_;
+    const uint64_t ws = wsLines_;
+    const uint64_t hot = hotLines_;
+    const uint64_t base = baseLine_;
+    uint32_t i = 0;
+    while (i < n) {
+        if (left == 0) {
+            const uint64_t span = rng_.chance(spec_.hotFraction) ? hot
+                                                                 : ws;
+            cur = rng_.below(span);
+            left = rng_.burstLength(spec_.burstContinueProb,
+                                    spec_.burstCap);
+        }
+        uint64_t k = left;
+        if (k > n - i)
+            k = n - i;
+        if (k > ws - cur)
+            k = ws - cur;
+        const uint64_t first = base + cur;
+        for (uint64_t j = 0; j < k; ++j)
+            out[i + j] = first + j;
+        i += static_cast<uint32_t>(k);
+        cur += k;
+        left -= k;
+        if (cur == ws)
+            cur = 0;
+    }
+    cursor_ = cur;
+    burstLeft_ = left;
+}
+
+void
 AddressStream::snapshot(SnapshotWriter &w) const
 {
     w.beginSection("astr", 1);

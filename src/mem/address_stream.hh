@@ -75,6 +75,16 @@ class AddressStream
     /** Next line address in the stream. */
     uint64_t next();
 
+    /**
+     * Emit the next @p n line addresses into @p out — exactly the
+     * sequence n successive next() calls would produce (same RNG draw
+     * order and count, same final cursor/burst state), but generated
+     * burst-run-at-a-time so the inner loop is a sequential fill
+     * instead of a per-access call. The batched walk kernel's phase-A
+     * generator (DESIGN.md §5g).
+     */
+    void nextRuns(uint64_t *out, uint32_t n);
+
     /** The spec this stream was built from. */
     const AddressStreamSpec &spec() const { return spec_; }
 

@@ -133,6 +133,14 @@ class CacheModel
     [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
   private:
+    /**
+     * The batched walk kernel (MemSystem::walkBatched, DESIGN.md §5g)
+     * replays access() semantics over the raw arrays with hoisted
+     * pointers; it is the one sanctioned bypass of the public API and
+     * its bit-identity to access() is enforced by tests/mem.
+     */
+    friend class MemSystem;
+
     /** Pick the victim way index within @p set per the policy. */
     uint32_t chooseVictim(uint32_t set);
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/logging.hh"
 #include "common/snapshot.hh"
 #include "common/units.hh"
@@ -9,6 +13,36 @@
 
 namespace dora
 {
+
+namespace
+{
+
+#if defined(__SSE2__)
+
+/**
+ * Bitmask of the ways in an 8-way tag row whose tag equals @p tag
+ * (validity is the caller's problem). Baseline SSE2 has no 64-bit
+ * equality, so each 128-bit lane pair is compared as 32-bit lanes and
+ * a 64-bit way matches iff both of its movemask byte-halves are full.
+ */
+inline uint32_t
+tagMatchMask8(const uint64_t *row, uint64_t tag)
+{
+    const __m128i t = _mm_set1_epi64x(static_cast<long long>(tag));
+    uint32_t mask = 0;
+    for (int i = 0; i < 4; ++i) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row + 2 * i));
+        const int m = _mm_movemask_epi8(_mm_cmpeq_epi32(v, t));
+        mask |= static_cast<uint32_t>((m & 0xFF) == 0xFF) << (2 * i);
+        mask |= static_cast<uint32_t>((m >> 8) == 0xFF) << (2 * i + 1);
+    }
+    return mask;
+}
+
+#endif // __SSE2__
+
+} // namespace
 
 MemSystemConfig::MemSystemConfig()
 {
@@ -69,9 +103,21 @@ void
 MemSystem::tickSample(const std::vector<MemSampleRequest> &requests,
                       std::vector<MemSampleResult> &results)
 {
+    if (buildLive(requests)) {
+        if (batchedWalk_ && batchedWalkEligible(requests))
+            walkBatched(liveScratch_);
+        else
+            walkInterleaved(liveScratch_);
+    }
+    fillResults(requests, results);
+}
+
+bool
+MemSystem::buildLive(const std::vector<MemSampleRequest> &requests)
+{
     // One walk-state slot per request, index-parallel: zero-sample
     // requests keep a dead slot (remaining == 0) so the result pairing
-    // below is a direct index lookup instead of a pointer search.
+    // in fillResults() is a direct index lookup, not a pointer search.
     auto &live = liveScratch_;
     live.clear();
     live.reserve(requests.size());
@@ -84,11 +130,85 @@ MemSystem::tickSample(const std::vector<MemSampleRequest> &requests,
         live.push_back(LiveStream{&req, req.samples, 0, 0});
         any = any || req.samples > 0;
     }
+    return any;
+}
 
+void
+MemSystem::fillResults(const std::vector<MemSampleRequest> &requests,
+                       std::vector<MemSampleResult> &results) const
+{
+    const auto &live = liveScratch_;
+    results.clear();
+    results.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const MemSampleRequest &req = requests[i];
+        const LiveStream &lv = live[i];
+        MemSampleResult res;
+        res.core = req.core;
+        res.samplesIssued = req.samples;
+        if (req.samples > 0) {
+            res.l1MissRate = static_cast<double>(lv.l1Misses) /
+                static_cast<double>(req.samples);
+            res.l2LocalMissRate = lv.l1Misses
+                ? static_cast<double>(lv.l2Misses) /
+                    static_cast<double>(lv.l1Misses)
+                : 0.0;
+        }
+        results.push_back(res);
+    }
+}
+
+void
+MemSystem::tickSampleMany(WalkJob *jobs, size_t n)
+{
+    // First sweep: every system sizes its walk. Eligible batched-walk
+    // systems stop after phases A+B (generation + private L1s, both
+    // lane-local); the rest complete their whole walk here, exactly as
+    // a standalone tickSample() would.
+    for (size_t j = 0; j < n; ++j) {
+        MemSystem &m = *jobs[j].mem;
+        jobs[j].fused = false;
+        if (m.buildLive(*jobs[j].requests)) {
+            if (m.batchedWalk_ &&
+                m.batchedWalkEligible(*jobs[j].requests)) {
+                m.walkBatchedPrepare(m.liveScratch_);
+                jobs[j].fused = true;
+            } else {
+                m.walkInterleaved(m.liveScratch_);
+            }
+        }
+    }
+
+    // Second sweep: interleave the shared-L2 drains of the fused
+    // systems at round-robin pass granularity. Each system executes
+    // its own passes in order — per-system results stay bit-identical
+    // to tickSample() — but consecutive passes touch different
+    // hierarchies, so their independent miss chains overlap in the
+    // host pipeline instead of serializing lane after lane.
+    bool more = true;
+    for (uint64_t p = 0; more; ++p) {
+        more = false;
+        for (size_t j = 0; j < n; ++j) {
+            MemSystem &m = *jobs[j].mem;
+            if (!jobs[j].fused || p >= m.walkPasses_)
+                continue;
+            m.walkBatchedDrain(m.liveScratch_, p, p + 1);
+            more = more || p + 1 < m.walkPasses_;
+        }
+    }
+
+    for (size_t j = 0; j < n; ++j)
+        jobs[j].mem->fillResults(*jobs[j].requests, *jobs[j].results);
+}
+
+void
+MemSystem::walkInterleaved(std::vector<LiveStream> &live)
+{
     // Weighted round-robin in chunks: each pass, every still-live stream
     // issues up to interleaveChunk accesses. This approximates the
     // fine-grained interleaving of concurrently executing cores.
     const uint32_t chunk = std::max<uint32_t>(1, config_.interleaveChunk);
+    bool any = true;
     while (any) {
         any = false;
         for (auto &lv : live) {
@@ -108,24 +228,254 @@ MemSystem::tickSample(const std::vector<MemSampleRequest> &requests,
             any = any || lv.remaining > 0;
         }
     }
+}
 
-    results.clear();
-    results.reserve(requests.size());
-    for (size_t i = 0; i < requests.size(); ++i) {
-        const MemSampleRequest &req = requests[i];
-        const LiveStream &lv = live[i];
-        MemSampleResult res;
-        res.core = req.core;
-        res.samplesIssued = req.samples;
-        if (req.samples > 0) {
-            res.l1MissRate = static_cast<double>(lv.l1Misses) /
-                static_cast<double>(req.samples);
-            res.l2LocalMissRate = lv.l1Misses
-                ? static_cast<double>(lv.l2Misses) /
-                    static_cast<double>(lv.l1Misses)
-                : 0.0;
+bool
+MemSystem::batchedWalkEligible(
+    const std::vector<MemSampleRequest> &requests) const
+{
+    // The kernel's phase split assumes private L1s (one stream per
+    // core, so requestor cores are strictly increasing, as Soc submits
+    // them) and pure-LRU replacement in both levels; anything else
+    // takes the reference walk.
+    if (config_.l1.policy != ReplacementPolicy::Lru ||
+        config_.l2.policy != ReplacementPolicy::Lru)
+        return false;
+    for (size_t i = 1; i < requests.size(); ++i)
+        if (requests[i].core <= requests[i - 1].core)
+            return false;
+    return true;
+}
+
+void
+MemSystem::walkBatched(std::vector<LiveStream> &live)
+{
+    // Three-phase replay of walkInterleaved() with identical results
+    // (DESIGN.md §5g). Phase A draws every stream's sample up front
+    // (burst-run fills, same RNG draw order); phase B probes each
+    // private L1 stream-at-a-time — legal because an L1 is touched
+    // only by its own core, so the interleaved schedule restricted to
+    // one L1 *is* stream order — collecting L1-miss index lists; phase
+    // C drains those misses into the shared L2 along the legacy
+    // round-robin chunk schedule, so the shared-state access order is
+    // untouched. Inner loops run over hoisted raw pointers (enforced
+    // by the dora-perf-lane-alias lint rule). The phase split is also
+    // the fusion point for lane batches: tickSampleMany() runs phases
+    // A+B per lane and interleaves the drains pass by pass.
+    walkBatchedPrepare(live);
+    walkBatchedDrain(live, 0, walkPasses_);
+}
+
+void
+MemSystem::walkBatchedPrepare(std::vector<LiveStream> &live)
+{
+    const uint32_t chunk = std::max<uint32_t>(1, config_.interleaveChunk);
+    const size_t n_req = live.size();
+
+    // Slice the flat scratch: request r's lines and miss-index list
+    // live at [walkOffsets_[r], walkOffsets_[r] + samples).
+    walkOffsets_.resize(n_req + 1);
+    size_t total = 0;
+    uint32_t max_samples = 0;
+    for (size_t r = 0; r < n_req; ++r) {
+        walkOffsets_[r] = total;
+        total += live[r].req->samples;
+        max_samples = std::max(max_samples, live[r].req->samples);
+    }
+    walkOffsets_[n_req] = total;
+    if (walkLines_.size() < total) {
+        walkLines_.resize(total);
+        walkMiss_.resize(total);
+    }
+    walkMissCount_.assign(n_req, 0);
+    walkCursor_.assign(n_req, 0);
+    walkPasses_ =
+        (static_cast<uint64_t>(max_samples) + chunk - 1) / chunk;
+
+    // Phase A: generation.
+    for (size_t r = 0; r < n_req; ++r)
+        if (live[r].req->samples > 0)
+            live[r].req->stream->nextRuns(&walkLines_[walkOffsets_[r]],
+                                          live[r].req->samples);
+
+    // Phase B: private L1 probes (branchy early-exit scan beats SIMD
+    // here: at typical sampled miss rates the probe usually fails all
+    // four ways and the fill path dominates).
+    for (size_t r = 0; r < n_req; ++r) {
+        const uint32_t samples = live[r].req->samples;
+        if (samples == 0)
+            continue;
+        CacheModel &l1 = l1s_[live[r].req->core];
+        const uint64_t *lines = &walkLines_[walkOffsets_[r]];
+        uint32_t *miss = &walkMiss_[walkOffsets_[r]];
+        const uint32_t assoc = l1.config_.associativity;
+        const uint32_t set_mask = l1.numSets_ - 1;
+        uint64_t *tags = l1.tags_.data();
+        uint64_t *use = l1.lastUse_.data();
+        uint64_t clock = l1.accessClock_;
+        uint64_t self_ev = 0;
+        uint64_t invalid_fills = 0;
+        uint32_t miss_count = 0;
+        // dora:lane-kernel-begin
+        for (uint32_t i = 0; i < samples; ++i) {
+            const uint64_t line = lines[i];
+            ++clock;
+            const size_t base =
+                (static_cast<uint32_t>(line) & set_mask) *
+                static_cast<size_t>(assoc);
+            uint32_t w = 0;
+            for (; w < assoc; ++w)
+                if (tags[base + w] == line && use[base + w] != 0)
+                    break;
+            if (w < assoc) {
+                // Hit: the L1 has one requestor, so no ownership moves.
+                use[base + w] = clock;
+                continue;
+            }
+            uint32_t victim = 0;
+            uint64_t best = use[base];
+            for (uint32_t v = 1; v < assoc; ++v) {
+                const bool better = use[base + v] < best;
+                best = better ? use[base + v] : best;
+                victim = better ? v : victim;
+            }
+            self_ev += best != 0;
+            invalid_fills += best == 0;
+            tags[base + victim] = line;
+            use[base + victim] = clock;
+            miss[miss_count] = i;
+            ++miss_count;
         }
-        results.push_back(res);
+        // dora:lane-kernel-end
+        l1.accessClock_ = clock;
+        CacheStats &st = l1.stats_[0];
+        st.accesses += samples;
+        st.misses += miss_count;
+        // Every valid L1 victim belongs to the sole requestor, and a
+        // valid-victim fill leaves its owned-line count unchanged.
+        st.selfEvictions += self_ev;
+        l1.owned_[0] += invalid_fills;
+        walkMissCount_[r] = miss_count;
+        live[r].l1Misses = miss_count;
+    }
+}
+
+void
+MemSystem::walkBatchedDrain(std::vector<LiveStream> &live,
+                            uint64_t pass_begin, uint64_t pass_end)
+{
+    // Phase C: shared-L2 drain along the round-robin chunk schedule.
+    // Pass p admits each stream's access indices below (p+1)*chunk, in
+    // request order — exactly the subsequence of the interleaved
+    // schedule that reached the L2.
+    const uint32_t chunk = std::max<uint32_t>(1, config_.interleaveChunk);
+    const size_t n_req = live.size();
+    CacheModel &l2 = l2_;
+    const uint32_t assoc2 = l2.config_.associativity;
+    const uint32_t set_mask2 = l2.numSets_ - 1;
+    uint64_t *tags2 = l2.tags_.data();
+    uint64_t *use2 = l2.lastUse_.data();
+    uint32_t *owners2 = l2.owners_.data();
+    uint64_t *owned2 = l2.owned_.data();
+    CacheStats *stats2 = l2.stats_.data();
+    uint64_t clock2 = l2.accessClock_;
+    constexpr uint32_t kPrefetchDist = 8;
+
+    for (uint64_t p = pass_begin; p < pass_end; ++p) {
+        const uint64_t window_end =
+            (p + 1) * static_cast<uint64_t>(chunk);
+        for (size_t r = 0; r < n_req; ++r) {
+            const uint32_t core = live[r].req->core;
+            const uint64_t *lines = &walkLines_[walkOffsets_[r]];
+            const uint32_t *miss = &walkMiss_[walkOffsets_[r]];
+            const uint32_t miss_count = walkMissCount_[r];
+            uint32_t cur = walkCursor_[r];
+            uint64_t l2_misses = 0;
+            // dora:lane-kernel-begin
+            while (cur < miss_count && miss[cur] < window_end) {
+                const uint64_t line = lines[miss[cur]];
+                ++cur;
+                if (cur + kPrefetchDist < miss_count) {
+                    const uint64_t pf = lines[miss[cur + kPrefetchDist]];
+                    const size_t pb =
+                        (static_cast<uint32_t>(pf) & set_mask2) *
+                        static_cast<size_t>(assoc2);
+                    __builtin_prefetch(&tags2[pb]);
+                    __builtin_prefetch(&use2[pb]);
+                    __builtin_prefetch(&owners2[pb]);
+                }
+                ++clock2;
+                const size_t base =
+                    (static_cast<uint32_t>(line) & set_mask2) *
+                    static_cast<size_t>(assoc2);
+                uint32_t way = assoc2;
+#if defined(__SSE2__)
+                if (assoc2 == 8) {
+                    uint32_t m = tagMatchMask8(&tags2[base], line);
+                    while (m) {
+                        const uint32_t w =
+                            static_cast<uint32_t>(__builtin_ctz(m));
+                        if (use2[base + w] != 0) {
+                            way = w;
+                            break;
+                        }
+                        m &= m - 1;
+                    }
+                } else
+#endif
+                {
+                    for (uint32_t w = 0; w < assoc2; ++w)
+                        if (tags2[base + w] == line &&
+                            use2[base + w] != 0) {
+                            way = w;
+                            break;
+                        }
+                }
+                if (way < assoc2) {
+                    const uint32_t owner = owners2[base + way];
+                    if (owner != core) {
+                        --owned2[owner];
+                        ++owned2[core];
+                        owners2[base + way] = core;
+                    }
+                    use2[base + way] = clock2;
+                    continue;
+                }
+                ++l2_misses;
+                uint32_t victim = 0;
+                uint64_t best = use2[base];
+                for (uint32_t v = 1; v < assoc2; ++v) {
+                    const bool better = use2[base + v] < best;
+                    best = better ? use2[base + v] : best;
+                    victim = better ? v : victim;
+                }
+                if (best != 0) {
+                    const uint32_t vo = owners2[base + victim];
+                    if (vo == core)
+                        ++stats2[vo].selfEvictions;
+                    else
+                        ++stats2[vo].interferenceEvictions;
+                    --owned2[vo];
+                }
+                ++owned2[core];
+                tags2[base + victim] = line;
+                owners2[base + victim] = core;
+                use2[base + victim] = clock2;
+            }
+            // dora:lane-kernel-end
+            walkCursor_[r] = cur;
+            live[r].l2Misses += l2_misses;
+        }
+    }
+    l2.accessClock_ = clock2;
+    // Stats commit exactly once per walk, after the final pass (drains
+    // may arrive one pass at a time through tickSampleMany()).
+    if (pass_end >= walkPasses_) {
+        for (size_t r = 0; r < n_req; ++r) {
+            CacheStats &st = stats2[live[r].req->core];
+            st.accesses += walkMissCount_[r];
+            st.misses += live[r].l2Misses;
+        }
     }
 }
 

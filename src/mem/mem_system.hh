@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hh"
 #include "mem/cache_model.hh"
 #include "mem/dram_model.hh"
 
@@ -132,6 +133,48 @@ class MemSystem
     /** Private L1 of @p core. */
     const CacheModel &l1(uint32_t core) const;
 
+    /**
+     * Select the batched walk kernel for subsequent ticks. The kernel
+     * generates each stream's sample up front (AddressStream::nextRuns),
+     * probes the private L1s stream-at-a-time, and drains L1 misses
+     * into the shared L2 along the legacy round-robin chunk schedule
+     * with hoisted raw-pointer loops, SIMD tag compares, and next-miss
+     * prefetch (DESIGN.md §5g). Results are bit-identical to the
+     * per-access walk; ticks fall back to it automatically whenever a
+     * request shape or replacement policy the kernel does not cover
+     * shows up. Off by default (the legacy path is the reference).
+     */
+    void setBatchedWalk(bool on) { batchedWalk_ = on; }
+
+    /** True when the batched walk kernel is selected. */
+    bool batchedWalk() const { return batchedWalk_; }
+
+    /**
+     * One hierarchy's walk work for tickSampleMany(): the target system
+     * plus borrowed request/result buffers. @c fused is scratch the
+     * call uses to remember which jobs joined the interleaved drain.
+     */
+    struct WalkJob
+    {
+        MemSystem *mem = nullptr;
+        const std::vector<MemSampleRequest> *requests = nullptr;
+        std::vector<MemSampleResult> *results = nullptr;
+        bool fused = false;  //!< written by tickSampleMany()
+    };
+
+    /**
+     * tickSample() over @p n independent hierarchies (one per lane of a
+     * lane batch), with the shared-L2 drains of all batched-walk-
+     * eligible systems interleaved at round-robin pass granularity.
+     * Each system's own access order is exactly its tickSample() order
+     * — results are bit-identical per system at any job count — but
+     * consecutive drain passes come from different systems, so their
+     * independent miss chains overlap in the host pipeline (cross-lane
+     * memory parallelism). Systems whose knob or request shape the
+     * kernel does not cover simply run their own tickSample() inline.
+     */
+    static void tickSampleMany(WalkJob *jobs, size_t n);
+
     /** Invalidate all caches and reset counters (new experiment run). */
     void reset();
 
@@ -157,12 +200,54 @@ class MemSystem
         uint64_t l2Misses = 0;
     };
 
+    /** Legacy reference walk: per-access interleaved L1 -> L2 probes. */
+    void walkInterleaved(std::vector<LiveStream> &live);
+
+    /**
+     * Batched walk kernel: phase-separated, raw-pointer replay of
+     * walkInterleaved() with identical results (DESIGN.md §5g).
+     */
+    void walkBatched(std::vector<LiveStream> &live);
+
+    /**
+     * Phases A+B of walkBatched(): generate every stream's sample,
+     * probe the private L1s, and size the shared-L2 drain (the pass
+     * count lands in walkPasses_).
+     */
+    void walkBatchedPrepare(std::vector<LiveStream> &live);
+
+    /** Phase C of walkBatched() over passes [begin, end). */
+    void walkBatchedDrain(std::vector<LiveStream> &live,
+                          uint64_t pass_begin, uint64_t pass_end);
+
+    /** True when walkBatched() covers this tick's request shape. */
+    bool batchedWalkEligible(
+        const std::vector<MemSampleRequest> &requests) const;
+
+    /** tickSample() head: fill liveScratch_; true if any samples. */
+    bool buildLive(const std::vector<MemSampleRequest> &requests);
+
+    /** tickSample() tail: rates from liveScratch_ into @p results. */
+    void fillResults(const std::vector<MemSampleRequest> &requests,
+                     std::vector<MemSampleResult> &results) const;
+
     MemSystemConfig config_;
     std::vector<CacheModel> l1s_;
     CacheModel l2_;
     DramModel dram_;
     std::vector<CoreMemCounters> counters_;
     std::vector<LiveStream> liveScratch_;  //!< reused across ticks
+    bool batchedWalk_ = false;
+
+    // Batched-walk scratch, reused across ticks: the generated lines
+    // and per-stream L1-miss index lists live in flat 64B-aligned
+    // buffers sliced by walkOffsets_.
+    AlignedVec<uint64_t> walkLines_;
+    AlignedVec<uint32_t> walkMiss_;
+    std::vector<size_t> walkOffsets_;
+    std::vector<uint32_t> walkMissCount_;
+    std::vector<uint32_t> walkCursor_;
+    uint64_t walkPasses_ = 0;  //!< drain passes sized by prepare
 };
 
 } // namespace dora

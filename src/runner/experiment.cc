@@ -4,286 +4,14 @@
 #include <cstdio>
 #include <memory>
 
-#include "browser/page_load.hh"
 #include "common/exact_ticks.hh"
-#include "common/logging.hh"
 #include "common/rng.hh"
 #include "exec/thread_pool.hh"
-#include "fault/fault_injector.hh"
-#include "obs/metrics.hh"
-#include "obs/trace.hh"
-#include "stats/running_stat.hh"
+#include "runner/run_context.hh"
 #include "workloads/corun_task.hh"
 
 namespace dora
 {
-
-namespace
-{
-
-/** Core pinning per the paper: browser on 0-1, co-runner on 2, 3 off. */
-constexpr uint32_t kMainCore = 0;
-constexpr uint32_t kHelperCore = 1;
-constexpr uint32_t kCorunCore = 2;
-
-/** Bounded-retry policy for rejected DVFS writes. */
-constexpr int kMaxActuatorRetries = 3;
-constexpr double kActuatorRetryBackoffSec = 0.005;  //!< doubles per try
-
-/**
- * Drives a governor at its decision interval, computing the windowed
- * signals (utilizations, MPKI) from perf-counter deltas exactly as a
- * userspace daemon would. An optional FaultInjector perturbs the
- * sensor, actuator, and thermal paths; without one (or with an empty
- * schedule) the driver behaves exactly as the fault-free original.
- */
-class GovernorDriver
-{
-  public:
-    GovernorDriver(Simulator &sim, Governor &governor, double deadline_sec,
-                   FaultInjector *fault = nullptr)
-        : sim_(sim), governor_(governor), deadlineSec_(deadline_sec),
-          prev_(sim.soc().perfSnapshot()),
-          fault_(fault && fault->enabled() ? fault : nullptr),
-          baseAmbientC_(sim.power().thermal().ambientC())
-    {
-    }
-
-    /** Set the page context (null while no page is loading). */
-    void setPage(const WebPageFeatures *page, double load_start_sec)
-    {
-        page_ = page;
-        loadStartSec_ = load_start_sec;
-    }
-
-    /** Attach a run trace sink (null = tracing disabled). */
-    void setTrace(RunTrace *trace) { trace_ = trace; }
-
-    /** Invoke the governor if its interval has elapsed. */
-    void maybeDecide()
-    {
-        const double now = sim_.nowSec();
-        maybeRetryActuator(now);
-        if (decided_ && now - lastDecisionSec_ <
-                governor_.decisionIntervalSec() - 1e-12)
-            return;
-
-        if (fault_)
-            applyThermalEmergency(now);
-
-        const PerfSnapshot snap = sim_.soc().perfSnapshot();
-        const double dt = snap.seconds - prev_.seconds;
-
-        GovernorView view;
-        view.nowSec = now;
-        view.freqIndex = sim_.soc().frequencyIndex();
-        view.freqTable = &sim_.soc().freqTable();
-        view.temperatureC = sim_.power().temperatureC();
-        view.page = page_;
-        view.deadlineSec = deadlineSec_;
-        view.elapsedLoadSec = page_ ? now - loadStartSec_ : 0.0;
-
-        if (dt > 0.0) {
-            double max_util = 0.0;
-            for (size_t c = 0; c < snap.coreBusySeconds.size(); ++c) {
-                const double util =
-                    (snap.coreBusySeconds[c] - prev_.coreBusySeconds[c]) /
-                    dt;
-                max_util = std::max(max_util, util);
-                if (c == kMainCore || c == kHelperCore)
-                    view.browserUtilization =
-                        std::max(view.browserUtilization, util);
-                if (c == kCorunCore)
-                    view.corunUtilization = util;
-            }
-            view.totalUtilization = max_util;
-            const double d_instr =
-                snap.totalInstructions - prev_.totalInstructions;
-            const double d_miss = snap.totalL2Misses - prev_.totalL2Misses;
-            view.l2Mpki = d_instr > 0.0 ? d_miss / (d_instr / 1000.0)
-                                        : 0.0;
-        }
-
-        bool fault_conditioned = false;
-        if (fault_) {
-            const FaultCounters before = fault_->counters();
-            fault_->conditionView(view);
-            const FaultCounters &after = fault_->counters();
-            fault_conditioned =
-                after.sensorDrops != before.sensorDrops ||
-                after.sensorStuckIntervals !=
-                    before.sensorStuckIntervals ||
-                after.sensorNoisy != before.sensorNoisy ||
-                after.staleFallbacks != before.staleFallbacks;
-            // Conservative: a fault-conditioned decision marks a phase
-            // boundary for the adaptive sampler too.
-            if (fault_conditioned)
-                sim_.soc().invalidateSampling();
-        }
-
-        size_t target = governor_.decideFrequencyIndex(view);
-        if (target >= view.freqTable->size()) {
-            if (!warnedOutOfRange_) {
-                warn("GovernorDriver: governor '%s' returned OPP index "
-                     "%zu outside the %zu-entry table; clamping",
-                     governor_.name().c_str(), target,
-                     view.freqTable->size());
-                warnedOutOfRange_ = true;
-            }
-            target = view.freqTable->maxIndex();
-        }
-        applyFrequency(now, target);
-        prev_ = snap;
-        lastDecisionSec_ = now;
-        decided_ = true;
-
-        DecisionRecord record;
-        record.tSec = now;
-        // Record the *granted* OPP: with actuator faults the write may
-        // have been rejected (identical to the request fault-free).
-        record.freqIndex = sim_.soc().frequencyIndex();
-        record.requestedFreqIndex = target;
-        record.l2Mpki = view.l2Mpki;
-        record.corunUtil = view.corunUtilization;
-        record.temperatureC = sim_.power().temperatureC();
-        decisions_.push_back(record);
-
-        static MetricCounter &decide_count =
-            MetricsRegistry::global().counter("governor.decisions");
-        decide_count.add();
-        if (trace_) {
-            trace_->instant(now, "governor", "decide",
-                            {{"requested", target},
-                             {"granted", record.freqIndex},
-                             {"l2_mpki", view.l2Mpki},
-                             {"corun_util", view.corunUtilization},
-                             {"temp_c", record.temperatureC},
-                             {"fault_conditioned", fault_conditioned}});
-        }
-    }
-
-    /** All decisions taken so far (warmup included). */
-    const std::vector<DecisionRecord> &decisions() const
-    {
-        return decisions_;
-    }
-
-    /**
-     * Earliest simulated time at which this driver can act again: the
-     * next decision boundary, or a pending actuator retry, whichever
-     * comes first. The event horizon for macro-tick batching — between
-     * now and this time, maybeDecide() is a guaranteed no-op, so the
-     * ticks in between are quiescent and may be batched.
-     */
-    double nextEventSec() const
-    {
-        double next = decided_
-            ? lastDecisionSec_ + governor_.decisionIntervalSec()
-            : sim_.nowSec();
-        if (havePendingWrite_)
-            next = std::min(next, nextRetrySec_);
-        return next;
-    }
-
-  private:
-    /**
-     * Write @p target through the (possibly faulty) DVFS actuator. A
-     * rejected write arms a bounded retry with exponential backoff; a
-     * fresh decision supersedes any retry still pending.
-     */
-    void applyFrequency(double now, size_t target)
-    {
-        havePendingWrite_ = false;
-        if (fault_ == nullptr) {
-            sim_.soc().setFrequencyIndex(target);
-            return;
-        }
-        if (fault_->actuatorAccepts(now, target,
-                                    sim_.soc().frequencyIndex())) {
-            sim_.soc().setFrequencyIndex(target);
-            return;
-        }
-        havePendingWrite_ = true;
-        pendingTarget_ = target;
-        retryAttempts_ = 0;
-        retryBackoffSec_ = kActuatorRetryBackoffSec;
-        nextRetrySec_ = now + retryBackoffSec_;
-    }
-
-    /** Retry a previously rejected DVFS write once its backoff expires. */
-    void maybeRetryActuator(double now)
-    {
-        if (!havePendingWrite_ || fault_ == nullptr ||
-            now < nextRetrySec_)
-            return;
-        fault_->noteActuatorRetry();
-        static MetricCounter &retry_count =
-            MetricsRegistry::global().counter("governor.actuator_retries");
-        retry_count.add();
-        if (trace_)
-            trace_->instant(now, "governor", "actuator_retry",
-                            {{"target", pendingTarget_},
-                             {"attempt", retryAttempts_ + 1}});
-        if (fault_->actuatorAccepts(now, pendingTarget_,
-                                    sim_.soc().frequencyIndex())) {
-            sim_.soc().setFrequencyIndex(pendingTarget_);
-            havePendingWrite_ = false;
-            return;
-        }
-        if (++retryAttempts_ >= kMaxActuatorRetries) {
-            // Give up until the next decision; the governor will see
-            // the unchanged OPP and re-decide from there.
-            fault_->noteActuatorGiveUp();
-            static MetricCounter &giveup_count =
-                MetricsRegistry::global().counter(
-                    "governor.actuator_give_ups");
-            giveup_count.add();
-            if (trace_)
-                trace_->instant(now, "governor", "actuator_give_up",
-                                {{"target", pendingTarget_}});
-            havePendingWrite_ = false;
-            return;
-        }
-        retryBackoffSec_ *= 2.0;
-        nextRetrySec_ = now + retryBackoffSec_;
-    }
-
-    /** Track thermal-emergency windows by shifting the ambient. */
-    void applyThermalEmergency(double now)
-    {
-        const double delta = fault_->ambientDeltaC(now);
-        if (delta != appliedAmbientDeltaC_) {
-            sim_.power().thermal().setAmbientC(baseAmbientC_ + delta);
-            appliedAmbientDeltaC_ = delta;
-            // A thermal emergency may shift behaviour without moving
-            // the phase signature: drop the cached miss rates so the
-            // next tick re-samples (no-op in exact-ticks mode).
-            sim_.soc().invalidateSampling();
-        }
-    }
-
-    Simulator &sim_;
-    Governor &governor_;
-    double deadlineSec_;
-    PerfSnapshot prev_;
-    FaultInjector *fault_;          //!< null when fault-free
-    double baseAmbientC_;
-    double appliedAmbientDeltaC_ = 0.0;
-    bool havePendingWrite_ = false;
-    size_t pendingTarget_ = 0;
-    int retryAttempts_ = 0;
-    double retryBackoffSec_ = 0.0;
-    double nextRetrySec_ = 0.0;
-    bool warnedOutOfRange_ = false;
-    const WebPageFeatures *page_ = nullptr;
-    double loadStartSec_ = 0.0;
-    double lastDecisionSec_ = 0.0;
-    bool decided_ = false;
-    RunTrace *trace_ = nullptr;  //!< null when tracing is disabled
-    std::vector<DecisionRecord> decisions_;
-};
-
-} // namespace
 
 ExperimentRunner::ExperimentRunner(const ExperimentConfig &config)
     : config_(config), freqTable_(FreqTable::msm8974())
@@ -313,237 +41,17 @@ ExperimentRunner::runCustom(const WebPage *page_ptr, Task *corun_task,
                             const std::string &label, Governor &governor,
                             std::optional<size_t> initial_freq)
 {
-    Soc soc = Soc::nexus5(config_.soc);
-    DevicePowerConfig power_config = config_.power;
-    power_config.thermal.ambientC = config_.ambientC;
-    // Page loads are short next to the thermal time constant, so the
-    // die temperature during a load is dominated by the *starting*
-    // temperature. Measurements begin on a warm device (the phone has
-    // been in use), i.e. near the steady state of a moderate sustained
-    // load — matching the paper's 58-65 degC observations at room
-    // ambient (Section V-F).
-    power_config.thermal.initialC =
-        config_.ambientC + config_.warmDieDeltaC;
-    DevicePower power(power_config, LeakageModel::msm8974Truth());
-
-    SimConfig sim_config;
-    sim_config.dtSec = config_.dtSec;
-    sim_config.maxSeconds =
-        config_.warmupSec + config_.maxLoadSec + config_.measureSec + 5.0;
-    Simulator sim(soc, power, sim_config);
-
-    const uint64_t salt = hashLabel("page:" + label) % 4096;
-    if (corun_task) {
-        corun_task->reset();
-        sim.bindTask(kCorunCore, corun_task);
-    }
-
-    governor.reset();
-    if (initial_freq)
-        soc.setFrequencyIndex(*initial_freq);
-
-    if (faultInjector_)
-        faultInjector_->reset();
-    GovernorDriver driver(sim, governor, config_.deadlineSec,
-                          faultInjector_);
-
-    // One relaxed atomic load per *run* decides whether this run is
-    // traced; every per-event site below guards on a plain pointer.
-    TraceSession *session = TraceSession::active();
-    std::unique_ptr<RunTrace> trace;
-    if (session) {
-        std::string key = label + "|" + governor.name();
-        if (initial_freq)
-            key += "|f" + std::to_string(*initial_freq);
-        trace = std::make_unique<RunTrace>(std::move(key));
-        trace->setMeta("workload", label);
-        trace->setMeta("governor", governor.name());
-        trace->setMeta("config_hash",
-                       hexU64(experimentConfigHash(config_)));
-        trace->setMeta("page_salt", salt);
-        if (initial_freq)
-            trace->setMeta("initial_freq",
-                           static_cast<uint64_t>(*initial_freq));
-        trace->setMeta("faults",
-                       faultInjector_ && faultInjector_->enabled());
-        driver.setTrace(trace.get());
-        if (faultInjector_)
-            faultInjector_->setTrace(trace.get());
-    }
-
-    // Warmup: co-runner (if any) alone, governor already in control.
-    // Macro-tick fast-forward: between a decision and the driver's next
-    // event the ticks are quiescent, so they run as one batch — the
-    // per-tick arithmetic is identical (Simulator::fastForward), only
-    // the bookkeeping between ticks is elided. --exact-ticks forces the
-    // legacy 1-tick loop.
-    const bool exact = exactTicksMode();
-    while (sim.nowSec() < config_.warmupSec) {
-        driver.maybeDecide();
-        if (exact) {
-            sim.step();
-            continue;
-        }
-        const double horizon =
-            std::min(driver.nextEventSec(), config_.warmupSec);
-        sim.fastForward(sim.ticksUntil(horizon));
-    }
-    if (trace)
-        trace->complete(0.0, sim.nowSec(), "run", "warmup");
-
-    // Measurement window begins: bind the page load (if any).
-    std::unique_ptr<PageLoad> page;
-    RenderCostModel cost;
-    if (page_ptr) {
-        page = std::make_unique<PageLoad>(*page_ptr, cost, salt);
-        sim.bindTask(kMainCore, &page->mainTask());
-        sim.bindTask(kHelperCore, &page->helperTask());
-        driver.setPage(&page_ptr->features, sim.nowSec());
-        if (trace)
-            page->setTrace(trace.get(), sim.nowSec());
-    }
-
-    const double t0 = sim.nowSec();
-    const double e0 = power.totalEnergyJ();
-    const PerfSnapshot p0 = soc.perfSnapshot();
-    const uint64_t switches0 = soc.switchCount();
-    const double corun_busy0 =
-        soc.core(kCorunCore).totalBusySeconds();
-
-    RunningStat temp_stat;
-    double freq_time_mhz = 0.0;  // integral of core MHz over the window
-    std::vector<double> residency(soc.freqTable().size(), 0.0);
-    PowerBreakdown breakdown_sum;
-    uint64_t window_ticks = 0;
-
-    const double window_wall =
-        page_ptr ? config_.maxLoadSec : config_.measureSec;
-    const double window_end = t0 + window_wall;
-    const auto accumulate = [&](const TickTrace &trace) {
-        temp_stat.push(power.temperatureC());
-        breakdown_sum.baseline += trace.power.baseline;
-        breakdown_sum.coreDynamic += trace.power.coreDynamic;
-        breakdown_sum.l2Traffic += trace.power.l2Traffic;
-        breakdown_sum.dram += trace.power.dram;
-        breakdown_sum.leakage += trace.power.leakage;
-        breakdown_sum.dvfsSwitch += trace.power.dvfsSwitch;
-        ++window_ticks;
-    };
-    while (sim.nowSec() - t0 < window_wall) {
-        if (page && page->finished())
-            break;
-        driver.maybeDecide();
-        if (exact) {
-            const double mhz = soc.operatingPoint().coreMhz;
-            residency[soc.frequencyIndex()] += config_.dtSec;
-            const TickTrace &trace = sim.step();
-            freq_time_mhz += mhz * config_.dtSec;
-            accumulate(trace);
-            continue;
-        }
-        // The OPP is constant inside a batch (decisions and retries
-        // happen only at batch boundaries), so the residency and
-        // MHz-time integrals use values latched here; the page-finish
-        // predicate still ends the window on the exact tick.
-        const double mhz = soc.operatingPoint().coreMhz;
-        const size_t freq_index = soc.frequencyIndex();
-        const double horizon =
-            std::min(driver.nextEventSec(), window_end);
-        sim.fastForward(
-            sim.ticksUntil(horizon), [&](const TickTrace &trace) {
-                residency[freq_index] += config_.dtSec;
-                freq_time_mhz += mhz * config_.dtSec;
-                accumulate(trace);
-                return page && page->finished();
-            });
-    }
-
-    const double t1 = sim.nowSec();
-    const double window = t1 - t0;
-
-    RunMeasurement m;
-    m.workload = label;
-    m.governor = governor.name();
-    m.pageFinished = page ? page->finished() : false;
-    // An unfinished page is *censored*: the window length below is a
-    // lower bound on the load time, so the run must not contribute a
-    // PPW score (it would reward failing the page over finishing late).
-    m.censored = page != nullptr && !m.pageFinished;
-    m.loadTimeSec = page && page->finished() ? page->loadTimeSec()
-                                             : window;
-    m.meetsDeadline =
-        m.pageFinished && m.loadTimeSec <= config_.deadlineSec + 1e-9;
-    m.energyJ = power.totalEnergyJ() - e0;
-    m.meanPowerW = window > 0.0 ? m.energyJ / window : 0.0;
-    m.ppw = (!m.censored && m.loadTimeSec > 0.0 && m.meanPowerW > 0.0)
-        ? 1.0 / (m.loadTimeSec * m.meanPowerW) : 0.0;
-
-    const PerfSnapshot p1 = soc.perfSnapshot();
-    const double d_instr = p1.totalInstructions - p0.totalInstructions;
-    const double d_miss = p1.totalL2Misses - p0.totalL2Misses;
-    m.meanL2Mpki = d_instr > 0.0 ? d_miss / (d_instr / 1000.0) : 0.0;
-    m.meanCorunUtil = window > 0.0
-        ? (soc.core(kCorunCore).totalBusySeconds() - corun_busy0) / window
-        : 0.0;
-    m.meanTempC = temp_stat.mean();
-    m.peakTempC = temp_stat.max();
-    m.meanFreqMhz = window > 0.0 ? freq_time_mhz / window : 0.0;
-    m.freqSwitches = soc.switchCount() - switches0;
-    m.freqResidencySec = std::move(residency);
-    for (const auto &d : driver.decisions())
-        if (d.tSec >= t0 - 1e-12)
-            m.decisions.push_back(d);
-    if (window_ticks > 0) {
-        const double n = static_cast<double>(window_ticks);
-        m.meanBreakdown.baseline = breakdown_sum.baseline / n;
-        m.meanBreakdown.coreDynamic = breakdown_sum.coreDynamic / n;
-        m.meanBreakdown.l2Traffic = breakdown_sum.l2Traffic / n;
-        m.meanBreakdown.dram = breakdown_sum.dram / n;
-        m.meanBreakdown.leakage = breakdown_sum.leakage / n;
-        m.meanBreakdown.dvfsSwitch = breakdown_sum.dvfsSwitch / n;
-    }
-
-    MetricsRegistry &reg = MetricsRegistry::global();
-    reg.counter("runner.runs").add();
-    reg.counter("sim.ticks").add(sim.tickCount());
-    reg.counter("sim.macrotick.batches").add(sim.macroBatches());
-    reg.counter("sim.macrotick.batched_ticks")
-        .add(sim.macroBatchedTicks());
-    reg.counter("mem.sample.walks").add(soc.sampling().sampledTicks());
-    reg.counter("mem.sample.reused").add(soc.sampling().reusedTicks());
-    if (m.censored)
-        reg.counter("runner.censored_runs").add();
-    if (faultInjector_ && faultInjector_->enabled()) {
-        const FaultCounters &fc = faultInjector_->counters();
-        reg.counter("fault.sensor_drops").add(fc.sensorDrops);
-        reg.counter("fault.sensor_stuck_intervals")
-            .add(fc.sensorStuckIntervals);
-        reg.counter("fault.sensor_noisy").add(fc.sensorNoisy);
-        reg.counter("fault.stale_fallbacks").add(fc.staleFallbacks);
-        reg.counter("fault.actuator_rejects").add(fc.actuatorRejects);
-        reg.counter("fault.thermal_spikes").add(fc.thermalSpikes);
-    }
-
-    if (trace) {
-        trace->complete(t0, window, "run", "window",
-                        {{"ticks", window_ticks}});
-        trace->instant(t1, "run", "measured",
-                       {{"load_time_sec", m.loadTimeSec},
-                        {"energy_j", m.energyJ},
-                        {"mean_power_w", m.meanPowerW},
-                        {"ppw", m.ppw},
-                        {"page_finished", m.pageFinished},
-                        {"meets_deadline", m.meetsDeadline},
-                        {"censored", m.censored},
-                        {"mean_freq_mhz", m.meanFreqMhz},
-                        {"peak_temp_c", m.peakTempC},
-                        {"freq_switches", m.freqSwitches}});
-        trace->setMeta("digest", hexU64(runMeasurementDigest(m)));
-        if (faultInjector_)
-            faultInjector_->setTrace(nullptr);
-        session->submit(std::move(*trace));
-    }
-    return m;
+    RunContext::Params params;
+    params.page = page_ptr;
+    params.corun = corun_task;
+    params.label = label;
+    params.governor = &governor;
+    params.initialFreq = initial_freq;
+    params.fault = faultInjector_;
+    RunContext ctx(config_, params);
+    while (!ctx.done())
+        ctx.advance();
+    return ctx.finish();
 }
 
 RunMeasurement

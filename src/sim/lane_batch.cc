@@ -1,0 +1,87 @@
+#include "sim/lane_batch.hh"
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+LaneBatchSimulator::LaneBatchSimulator(
+    const ExperimentConfig &config, std::vector<RunContext::Params> specs)
+{
+    if (specs.empty())
+        fatal("LaneBatchSimulator: no lanes");
+    lanes_.reserve(specs.size());
+    for (const auto &spec : specs)
+        lanes_.push_back(std::make_unique<RunContext>(config, spec));
+    exact_ = lanes_.front()->exactTicks();
+    if (lanes_.size() > 1)
+        for (auto &lane : lanes_)
+            lane->soc().mem().setBatchedWalk(true);
+}
+
+bool
+LaneBatchSimulator::tickAll()
+{
+    if (exact_ && lanes_.size() > 1)
+        return tickAllFused();
+    bool any_live = false;
+    for (auto &lane : lanes_) {
+        if (lane->done())
+            continue;
+        any_live = true;
+        lane->advance();
+    }
+    return any_live;
+}
+
+bool
+LaneBatchSimulator::tickAllFused()
+{
+    // Lock-step round: begin every live lane's step, fuse the pending
+    // memory walks into one cross-lane batch, then finish every step.
+    jobs_.clear();
+    walkLanes_.clear();
+    stepLanes_.clear();
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+        RunContext &lane = *lanes_[i];
+        if (lane.done())
+            continue;
+        const RunContext::StepPlan plan = lane.advanceBegin();
+        if (plan == RunContext::StepPlan::Finished)
+            continue;
+        stepLanes_.push_back(i);
+        if (plan == RunContext::StepPlan::Walk) {
+            jobs_.push_back(lane.soc().walkJob());
+            walkLanes_.push_back(i);
+        }
+    }
+    if (stepLanes_.empty())
+        return false;
+    if (!jobs_.empty())
+        MemSystem::tickSampleMany(jobs_.data(), jobs_.size());
+    for (size_t i : walkLanes_)
+        lanes_[i]->soc().tickWalkStore();
+    for (size_t i : stepLanes_)
+        lanes_[i]->advanceFinish();
+    return true;
+}
+
+void
+LaneBatchSimulator::runAll()
+{
+    while (tickAll()) {
+    }
+}
+
+std::vector<RunMeasurement>
+LaneBatchSimulator::finishAll()
+{
+    runAll();
+    std::vector<RunMeasurement> out;
+    out.reserve(lanes_.size());
+    for (auto &lane : lanes_)
+        out.push_back(lane->finish());
+    return out;
+}
+
+} // namespace dora

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * LaneBatchSimulator: advance N independent measurement runs ("lanes")
+ * interleaved on one thread.
+ *
+ * Why: one run at a time leaves the core idle on every L2/DRAM miss
+ * chain of the cache-walk inner loop. Packing N independent runs into
+ * one thread lets their miss chains overlap — while lane A's walk
+ * stalls on DRAM, lane B's walk issues its own loads — converting
+ * memory-level parallelism across runs into throughput, exactly like
+ * SIMD lanes convert data parallelism (hence the name).
+ *
+ * Scheduling:
+ *  - exact-ticks mode: all lanes advance in lock-step rounds of
+ *    RunContext::advanceBegin(); every lane whose step needs a memory
+ *    walk contributes a MemSystem::WalkJob, the jobs run as ONE fused
+ *    cross-lane batch (MemSystem::tickSampleMany interleaves the
+ *    shared-L2 drain passes), then each lane completes with
+ *    advanceFinish(). Per-lane pass order is unchanged, so results are
+ *    bit-identical to running each lane alone.
+ *  - adaptive mode: per-lane macro-tick horizons differ, so fusion is
+ *    off; lanes advance round-robin, one quantum (one macro-tick
+ *    batch) each, until all retire. The quantum boundary is a pure
+ *    scheduling choice — per-lane arithmetic is untouched.
+ *
+ * Lanes retire independently (page complete, window wall, censor); the
+ * batch keeps advancing the survivors. lanes=1 is the exact legacy
+ * path: no batched walk, no fusion, identical instruction sequence.
+ */
+
+#ifndef DORA_SIM_LANE_BATCH_HH
+#define DORA_SIM_LANE_BATCH_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "runner/experiment.hh"
+#include "runner/run_context.hh"
+
+namespace dora
+{
+
+/**
+ * Owns N RunContexts and drives them to completion as one batch.
+ */
+class LaneBatchSimulator
+{
+  public:
+    /**
+     * Build one lane per spec. With more than one lane, each lane's
+     * MemSystem runs the batched walk (bit-identical to interleaved by
+     * the BatchedWalk contract tests); a single lane keeps the legacy
+     * interleaved walk so lanes=1 is byte-for-byte the serial path.
+     */
+    LaneBatchSimulator(const ExperimentConfig &config,
+                       std::vector<RunContext::Params> specs);
+
+    /** Number of lanes (live + retired). */
+    size_t size() const { return lanes_.size(); }
+
+    /** Lane access (tests snapshot/restore individual lanes). */
+    RunContext &lane(size_t i) { return *lanes_[i]; }
+
+    /** Advance every live lane until all have retired. */
+    void runAll();
+
+    /**
+     * One scheduling round: every live lane advances one quantum (one
+     * fused tick in exact mode, one macro-tick batch otherwise).
+     * Returns false when no lane is live (all retired).
+     */
+    bool tickAll();
+
+    /** Finish every lane and return the measurements in lane order. */
+    std::vector<RunMeasurement> finishAll();
+
+  private:
+    bool tickAllFused();
+
+    std::vector<std::unique_ptr<RunContext>> lanes_;
+    bool exact_ = false;
+
+    // Per-round scratch, reused across rounds (no steady-state
+    // allocation).
+    std::vector<MemSystem::WalkJob> jobs_;
+    std::vector<size_t> walkLanes_;
+    std::vector<size_t> stepLanes_;
+};
+
+} // namespace dora
+
+#endif // DORA_SIM_LANE_BATCH_HH

@@ -27,6 +27,14 @@ Simulator::bindTask(uint32_t core, Task *task)
 const TickTrace &
 Simulator::step()
 {
+    if (stepBegin())
+        soc_.tickWalkLocal();
+    return stepFinish();
+}
+
+bool
+Simulator::stepBegin()
+{
     auto &demands = demands_;
     demands.clear();
     demands.reserve(tasks_.size());
@@ -36,9 +44,14 @@ Simulator::step()
         demands.push_back(t.finished() ? idle_.demand(now)
                                        : t.demand(now));
     }
+    return soc_.tickBegin(demands, config_.dtSec);
+}
 
+const TickTrace &
+Simulator::stepFinish()
+{
     TickTrace &trace = trace_;
-    soc_.tick(demands, config_.dtSec, trace.soc);
+    soc_.tickFinish(config_.dtSec, trace.soc);
     trace.power = power_.step(trace.soc, config_.dtSec);
     trace.nowSec = soc_.elapsedSeconds();
     ++tickCount_;

@@ -1,7 +1,21 @@
 #include "sim/task.hh"
 
+#include "common/snapshot.hh"
+
 namespace dora
 {
+
+void
+Task::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("tsk0", 1);
+}
+
+bool
+Task::tryRestore(SnapshotReader &r)
+{
+    return r.beginSection("tsk0", 1);
+}
 
 IdleTask::IdleTask()
     : name_("idle")

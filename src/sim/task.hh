@@ -19,6 +19,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * Abstract task. Implementations own their address streams and phase
  * state; the simulator pulls a TaskDemand each tick and pushes back the
@@ -43,6 +46,18 @@ class Task
 
     /** Restart the task from the beginning (new experiment run). */
     virtual void reset() = 0;
+
+    /**
+     * Serialize mutable task state (streams, retired work, phase
+     * clocks) for mid-run checkpointing. The default writes an empty
+     * marker section, which is correct only for stateless tasks
+     * (IdleTask); stateful implementations must override both hooks or
+     * a restored run will diverge.
+     */
+    virtual void snapshot(SnapshotWriter &w) const;
+
+    /** Restore state written by snapshot(); false on mismatch. */
+    [[nodiscard]] virtual bool tryRestore(SnapshotReader &r);
 };
 
 /**

@@ -54,6 +54,14 @@ void
 Soc::tick(const std::vector<TaskDemand> &demands, double dt_sec,
           SocTickSummary &summary)
 {
+    if (tickBegin(demands, dt_sec))
+        tickWalkLocal();
+    tickFinish(dt_sec, summary);
+}
+
+bool
+Soc::tickBegin(const std::vector<TaskDemand> &demands, double dt_sec)
+{
     if (demands.size() != cores_.size())
         panic("Soc::tick: %zu demands for %zu cores", demands.size(),
               cores_.size());
@@ -87,14 +95,39 @@ Soc::tick(const std::vector<TaskDemand> &demands, double dt_sec,
     // Phase 2: interleaved shared-hierarchy walk — or, in adaptive
     // mode, reuse of the converged rates cached for this phase
     // signature (stream identities/generations + OPP + interleaving).
-    auto &sample_results = resultScratch_;
     if (sampling_.beginTick(requests, freqIndex_,
-                            mem_.config().interleaveChunk)) {
-        mem_.tickSample(requests, sample_results);
-        sampling_.store(sample_results);
-    } else {
-        sampling_.fill(sample_results);
-    }
+                            mem_.config().interleaveChunk))
+        return true;
+    sampling_.fill(resultScratch_);
+    return false;
+}
+
+void
+Soc::tickWalkLocal()
+{
+    mem_.tickSample(requestScratch_, resultScratch_);
+    sampling_.store(resultScratch_);
+}
+
+MemSystem::WalkJob
+Soc::walkJob()
+{
+    return MemSystem::WalkJob{&mem_, &requestScratch_, &resultScratch_,
+                              false};
+}
+
+void
+Soc::tickWalkStore()
+{
+    sampling_.store(resultScratch_);
+}
+
+void
+Soc::tickFinish(double dt_sec, SocTickSummary &summary)
+{
+    const OperatingPoint &opp = freqTable_.opp(freqIndex_);
+    const auto &effective = effectiveScratch_;
+    const auto &sample_results = resultScratch_;
 
     // Phase 3: timing + accounting.
     summary.perCore.clear();

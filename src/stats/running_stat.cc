@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/snapshot.hh"
+
 namespace dora
 {
 
@@ -58,6 +60,31 @@ double
 RunningStat::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+RunningStat::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("rstt", 1);
+    w.putU64(n_);
+    w.putDouble(mean_);
+    w.putDouble(m2_);
+    w.putDouble(min_);
+    w.putDouble(max_);
+}
+
+bool
+RunningStat::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("rstt", 1))
+        return false;
+    RunningStat s;
+    if (!r.getU64(&s.n_) || !r.getDouble(&s.mean_) ||
+        !r.getDouble(&s.m2_) || !r.getDouble(&s.min_) ||
+        !r.getDouble(&s.max_))
+        return false;
+    *this = s;
+    return true;
 }
 
 } // namespace dora

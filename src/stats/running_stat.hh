@@ -12,6 +12,9 @@
 namespace dora
 {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /**
  * Accumulates count/mean/variance/min/max of a stream of doubles in O(1)
  * space using Welford's numerically stable update.
@@ -48,6 +51,9 @@ class RunningStat
 
     /** Sum of all observations. */
     double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+    void snapshot(SnapshotWriter &w) const;
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
 
   private:
     uint64_t n_ = 0;

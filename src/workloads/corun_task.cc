@@ -1,6 +1,7 @@
 #include "workloads/corun_task.hh"
 
 #include "common/rng.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -45,6 +46,26 @@ CorunTask::advance(const TickResult &result, double dt_sec)
 {
     (void)dt_sec;
     instructions_ += result.instructions;
+}
+
+void
+CorunTask::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("crun", 1);
+    w.putDouble(instructions_);
+    stream_->snapshot(w);
+}
+
+bool
+CorunTask::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("crun", 1))
+        return false;
+    double instructions;
+    if (!r.getDouble(&instructions) || !stream_->tryRestore(r))
+        return false;
+    instructions_ = instructions;
+    return true;
 }
 
 } // namespace dora

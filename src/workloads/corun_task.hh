@@ -45,6 +45,9 @@ class CorunTask : public Task
     /** Instructions retired so far. */
     double instructionsRetired() const { return instructions_; }
 
+    void snapshot(SnapshotWriter &w) const override;
+    [[nodiscard]] bool tryRestore(SnapshotReader &r) override;
+
   private:
     KernelSpec spec_;
     uint64_t streamSalt_;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/snapshot.hh"
 
 namespace dora
 {
@@ -96,6 +97,33 @@ PhasedCorunTask::advance(const TickResult &result, double dt_sec)
 {
     (void)result;
     (void)dt_sec;
+}
+
+void
+PhasedCorunTask::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("pcrn", 1);
+    w.putDouble(startSec_);
+    w.putSize(streams_.size());
+    for (const auto &s : streams_)
+        s->snapshot(w);
+}
+
+bool
+PhasedCorunTask::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("pcrn", 1))
+        return false;
+    double start;
+    size_t count;
+    if (!r.getDouble(&start) || !r.getSize(&count) ||
+        count != streams_.size())
+        return false;
+    for (auto &s : streams_)
+        if (!s->tryRestore(r))
+            return false;
+    startSec_ = start;
+    return true;
 }
 
 } // namespace dora

@@ -58,6 +58,9 @@ class PhasedCorunTask : public Task
     /** The schedule. */
     const std::vector<CorunPhase> &phases() const { return phases_; }
 
+    void snapshot(SnapshotWriter &w) const override;
+    [[nodiscard]] bool tryRestore(SnapshotReader &r) override;
+
   private:
     std::vector<CorunPhase> phases_;
     uint64_t streamSalt_;

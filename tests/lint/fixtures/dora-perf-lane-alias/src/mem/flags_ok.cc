@@ -1,0 +1,3 @@
+// Fixture: std::vector<bool> is fine in files without lane kernels.
+#include <vector>
+std::vector<bool> palette() { return {}; }

@@ -1,0 +1,12 @@
+// Fixture: flat SoA indexing inside the region passes, and member
+// access outside any region is untouched.
+struct Stream { unsigned hits; };
+void drain(Stream *s, const unsigned *idx, unsigned *tags, unsigned n)
+{
+    unsigned hits = s->hits;
+    // dora:lane-kernel-begin
+    for (unsigned i = 0; i < n; ++i)
+        hits += tags[idx[i]];
+    // dora:lane-kernel-end
+    s->hits = hits;
+}

@@ -1,0 +1,9 @@
+// Fixture: suppressed by an inline justification.
+struct Stream { unsigned hits; };
+void bump(Stream *s)
+{
+    // dora:lane-kernel-begin
+    // NOLINTNEXTLINE(dora-perf-lane-alias): fixture
+    s->hits += 1;
+    // dora:lane-kernel-end
+}

@@ -122,7 +122,7 @@ TEST(LintRules, CatalogHasUniqueStableIds)
     for (const auto &rule : dora::lint::ruleCatalog())
         EXPECT_TRUE(ids.insert(rule.id).second)
             << "duplicate rule id " << rule.id;
-    EXPECT_EQ(ids.size(), 10u);
+    EXPECT_EQ(ids.size(), 11u);
 }
 
 TEST(LintRules, WallclockScopesToSimulationCode)
@@ -322,7 +322,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "dora-conc-global-state",
                       "dora-conc-mutex-unannotated", "dora-hyg-stream",
                       "dora-hyg-catch-all", "dora-hyg-assert",
-                      "dora-rob-unchecked-try"),
+                      "dora-rob-unchecked-try",
+                      "dora-perf-lane-alias"),
     [](const auto &info) {
         std::string name = info.param;
         std::replace(name.begin(), name.end(), '-', '_');

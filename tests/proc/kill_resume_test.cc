@@ -139,8 +139,11 @@ TEST(KillResume, WorkerCountsAreByteIdentical)
 {
     const auto baseline = campaignTexts(0, "");
     for (const unsigned workers : {1u, 4u}) {
-        const std::string stem =
-            uniqueStem(("w" + std::to_string(workers)).c_str());
+        // Append (not char* + string&& operator+) to dodge a GCC 12
+        // -Werror=restrict false positive in the inlined temporary.
+        std::string name = "w";
+        name += std::to_string(workers);
+        const std::string stem = uniqueStem(name.c_str());
         clearJournals(stem);
         const auto proc = campaignTexts(workers, stem);
         ASSERT_EQ(proc.size(), baseline.size());

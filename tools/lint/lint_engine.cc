@@ -79,9 +79,17 @@ scanSource(std::string path, const std::string &content)
     State state = State::Code;
     std::string code_line, comment_line, raw_delim;
     size_t line_idx = 0;
+    bool lane_region = false;
 
     auto flush_line = [&]() {
         applyNolintDirectives(comment_line, line_idx, file);
+        if (comment_line.find("dora:lane-kernel-begin") !=
+            std::string::npos)
+            lane_region = true;
+        file.laneKernel.push_back(lane_region ? 1 : 0);
+        if (comment_line.find("dora:lane-kernel-end") !=
+            std::string::npos)
+            lane_region = false;
         file.code.push_back(code_line);
         code_line.clear();
         comment_line.clear();
@@ -526,6 +534,53 @@ ruleRobUncheckedTry(const ScannedFile &f, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------- //
+// Performance rules                                                 //
+// ---------------------------------------------------------------- //
+
+/** dora-perf-lane-alias: cache-hostile access in lane kernels. */
+void
+rulePerfLaneAlias(const ScannedFile &f, std::vector<Finding> &out)
+{
+    if (!anyPrefix(f.path, {"src/", "bench/"}))
+        return;
+    const bool has_region =
+        std::find(f.laneKernel.begin(), f.laneKernel.end(), 1) !=
+        f.laneKernel.end();
+    if (!has_region)
+        return;
+    // Anywhere in a file with lane-kernel regions: std::vector<bool>
+    // is a bit-packed proxy container — its elements are not
+    // byte-addressable, which blocks vectorization and makes the
+    // per-lane scratch buffers alias-hostile.
+    static const std::regex vb_re(R"(std::vector<\s*bool\s*>)");
+    emitMatches(f, vb_re, "dora-perf-lane-alias",
+                "std::vector<bool> is bit-packed (proxy references, "
+                "no byte addressing); lane-kernel files must use "
+                "std::vector<uint8_t> or AlignedVec so the hot loops "
+                "stay vectorizable",
+                out);
+    // Inside the marked regions: pointer-chasing member access and
+    // bounds-checked indexing. The kernels must read flat SoA arrays
+    // hoisted into locals before the loop (DESIGN.md §5g) — an `->`
+    // re-loads through a pointer the compiler cannot prove
+    // loop-invariant, and `.at()` adds a branch per element.
+    static const std::regex alias_re(R"(->|\.\s*at\s*\()");
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        if (i >= f.laneKernel.size() || !f.laneKernel[i])
+            continue;
+        if (std::regex_search(f.code[i], alias_re))
+            out.push_back(Finding{
+                f.path, static_cast<int>(i + 1),
+                "dora-perf-lane-alias",
+                "member access through a pointer (->) or "
+                "bounds-checked indexing (.at) inside a lane-kernel "
+                "region; hoist the field into a flat local array "
+                "before the loop so the kernel stays alias-free and "
+                "vectorizable"});
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -557,6 +612,9 @@ ruleCatalog()
         {"dora-rob-unchecked-try",
          "no discarded try*() results (tryRestore/tryDeserialize "
          "report failure by return value)"},
+        {"dora-perf-lane-alias",
+         "no std::vector<bool> in lane-kernel files; no ->/.at() "
+         "inside dora:lane-kernel regions"},
     };
     return catalog;
 }
@@ -575,6 +633,7 @@ lintFile(const ScannedFile &file, std::vector<Finding> &out)
     ruleHygCatchAll(file, raw);
     ruleHygAssert(file, raw);
     ruleRobUncheckedTry(file, raw);
+    rulePerfLaneAlias(file, raw);
 
     for (auto &finding : raw) {
         const size_t idx = static_cast<size_t>(finding.line) - 1;

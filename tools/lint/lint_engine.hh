@@ -65,6 +65,14 @@ struct ScannedFile
     std::vector<std::string> code;
     /** Rule ids suppressed on each line; "*" suppresses all rules. */
     std::vector<std::set<std::string>> nolint;
+    /**
+     * Per-line flag: inside a `// dora:lane-kernel-begin` ..
+     * `// dora:lane-kernel-end` region (the SIMD-friendly hot loops
+     * of the lane-batched walk, DESIGN.md §5g). Marker lines are
+     * included. dora-perf-lane-alias scopes its access-pattern
+     * checks to these lines.
+     */
+    std::vector<char> laneKernel;
 };
 
 /**
