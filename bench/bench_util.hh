@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/lanes.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -52,27 +53,14 @@ benchWorkers(int argc, char **argv)
 {
     long workers = 0;
     const char *from = nullptr;
-    if (const char *env = std::getenv("DORA_WORKERS")) {
-        workers = std::strtol(env, nullptr, 10);
+    if (const char *env = envNonEmpty("DORA_WORKERS")) {
+        workers = cliParseInt(env, "$DORA_WORKERS", 0, 1024);
         from = "$DORA_WORKERS";
     }
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        std::string value;
-        if (arg == "--workers" && i + 1 < argc)
-            value = argv[i + 1];
-        else if (arg.rfind("--workers=", 0) == 0)
-            value = arg.substr(10);
-        else
-            continue;
-        char *end = nullptr;
-        workers = std::strtol(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0' || workers < 0)
-            fatal("--workers: malformed value '%s'", value.c_str());
+    if (const auto value = cliFlagValue(argc, argv, "--workers")) {
+        workers = cliParseInt(*value, "--workers", 0, 1024);
         from = "--workers";
     }
-    if (workers < 0)
-        workers = 0;
     if (workers > 0)
         std::cerr << "[bench] workers=" << workers << " (" << from
                   << "; process tier with checkpoint/resume)\n";

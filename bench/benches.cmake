@@ -29,6 +29,9 @@ dora_add_bench(abl_l2_replacement)
 dora_add_bench(ext_fault_resilience)
 dora_add_bench(ext_parallel_scaling)
 
+dora_add_bench(fleet_rollout)
+target_link_libraries(fleet_rollout PRIVATE dora_fleet)
+
 dora_add_bench(ovh_overhead)
 target_link_libraries(ovh_overhead PRIVATE benchmark::benchmark)
 

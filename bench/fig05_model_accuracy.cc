@@ -102,6 +102,8 @@ main(int argc, char **argv)
             s.x, s.busMhz, s.voltage, s.meanTempC);
         power_cdf.push(std::abs(pp - s.meanPowerW) / s.meanPowerW);
     }
+    time_cdf.seal();
+    power_cdf.seal();
 
     auto cdf_table = [](const EmpiricalCdf &cdf) {
         TextTable t({"error <=", "fraction of samples"});

@@ -85,6 +85,7 @@ main(int argc, char **argv)
             else
                 cdf.push(m.loadTimeSec);
         }
+        cdf.seal();
         b.beginRow();
         b.add(name);
         b.add(cdf.quantile(0.10), 3);

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Self-checking fleet rollout study: the paper's governor comparison
+ * evaluated the way policy actually ships — across a heterogeneous
+ * population of simulated devices, not one paper-fidelity phone.
+ *
+ * Runs a FleetSpec campaign (default 10k devices; trim with
+ * `--fleet-devices N` — CI uses 200) comparing paper-DORA against
+ * ondemand and the max-frequency governor, and self-checks the fleet
+ * engine's contracts:
+ *
+ *   1. the aggregate report is BYTE-IDENTICAL across the tier matrix
+ *      (jobs, workers, lanes) in {(1,0,1), (4,0,1), (1,2,4),
+ *      (4,2,8)} (fleetReportText renders every double as a hex
+ *      float, so any single-ULP divergence fails);
+ *   2. a campaign SIGKILLed mid-flight resumes from its journal to
+ *      the same bytes;
+ *   3. cohort device counts conserve the population.
+ *
+ * `--fleet-governors a,b,c` substitutes model-free governors so the
+ * check runs with no trained bundle (the default DORA arm trains or
+ * loads the cached one). Machine-readable FLEET lines are consumed by
+ * scripts/run_benches.sh.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench_util.hh"
+#include "fleet/campaign.hh"
+
+using namespace dora;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Governors that need a trained ModelBundle to run. */
+bool
+needsModels(const std::string &name)
+{
+    return name == "DORA" || name == "DORA_no_lkg" || name == "EE" ||
+        name == "DL";
+}
+
+std::vector<std::string>
+splitGovernors(const std::string &text)
+{
+    std::vector<std::string> names;
+    std::string current;
+    for (char c : text) {
+        if (c == ',') {
+            if (!current.empty())
+                names.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        names.push_back(current);
+    return names;
+}
+
+double
+wallSeconds(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+clearJournals(const std::string &stem)
+{
+    const fs::path dir = fs::path(stem).parent_path();
+    const std::string prefix = fs::path(stem).filename().string();
+    if (!fs::exists(dir))
+        return;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().filename().string().rfind(prefix, 0) == 0)
+            fs::remove(entry.path());
+}
+
+std::string
+findJournal(const std::string &stem)
+{
+    const fs::path dir = fs::path(stem).parent_path();
+    const std::string prefix = fs::path(stem).filename().string();
+    if (fs::exists(dir))
+        for (const auto &entry : fs::directory_iterator(dir))
+            if (entry.path().filename().string().rfind(prefix, 0) == 0)
+                return entry.path().string();
+    return "";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ObsGuard obs(argc, argv);
+
+    FleetCampaignConfig base;
+    base.spec.devices = 10000;
+    base.spec.faultIncidence = 0.05;
+    base.governors = {"DORA", "ondemand", "performance"};
+    if (const auto v = cliFlagValue(argc, argv, "--fleet-devices"))
+        base.spec.devices = static_cast<size_t>(
+            cliParseInt(*v, "--fleet-devices", 1, 10000000));
+    if (const auto v = cliFlagValue(argc, argv, "--fleet-seed"))
+        base.spec.seed = static_cast<uint64_t>(
+            cliParseInt(*v, "--fleet-seed", 0, 1000000000));
+    if (const auto v = cliFlagValue(argc, argv, "--fleet-governors")) {
+        base.governors = splitGovernors(*v);
+        if (base.governors.empty())
+            fatal("--fleet-governors: empty governor list");
+    }
+    // A short load wall keeps huge populations affordable (a censored
+    // page is still a deterministic measurement); the paper protocol
+    // is the 15 s default.
+    if (const auto v = cliFlagValue(argc, argv, "--fleet-max-load"))
+        base.base.maxLoadSec =
+            cliParseDouble(*v, "--fleet-max-load", 0.1, 60.0);
+
+    if (std::any_of(base.governors.begin(), base.governors.end(),
+                    needsModels))
+        base.models = benchBundle();
+
+    const size_t cells =
+        base.spec.devices * base.governors.size();
+    std::cerr << "[bench] fleet rollout: " << base.spec.devices
+              << " devices x " << base.governors.size()
+              << " governors = " << cells << " cells\n";
+
+    // --- Reference pass: serial, in-process, one lane. ---
+    FleetCampaignConfig ref_config = base;
+    ref_config.jobs = 1;
+    ref_config.workers = 0;
+    ref_config.lanes = 1;
+    FleetEngine ref_engine(ref_config);
+    auto t0 = std::chrono::steady_clock::now();
+    const FleetReport ref = ref_engine.run();
+    const double ref_sec = wallSeconds(t0);
+    const std::string ref_text = fleetReportText(ref);
+    const double devices_per_sec = ref_sec > 0.0
+        ? static_cast<double>(base.spec.devices) / ref_sec
+        : 0.0;
+    std::printf("FLEET jobs=1 workers=0 lanes=1 wall=%.3f "
+                "devices_per_sec=%.2f\n",
+                ref_sec, devices_per_sec);
+
+    std::cout << ref_text;
+
+    // --- 1. byte-identity across the tier matrix. ---
+    bool identical = true;
+    struct Combo
+    {
+        unsigned jobs, workers, lanes;
+    };
+    const Combo combos[] = {{4, 0, 1}, {1, 2, 4}, {4, 2, 8}};
+    for (const Combo &c : combos) {
+        FleetCampaignConfig config = base;
+        config.jobs = c.jobs;
+        config.workers = c.workers;
+        config.lanes = c.lanes;
+        FleetEngine engine(config);
+        t0 = std::chrono::steady_clock::now();
+        const FleetReport report = engine.run();
+        std::printf("FLEET jobs=%u workers=%u lanes=%u wall=%.3f\n",
+                    c.jobs, c.workers, c.lanes, wallSeconds(t0));
+        if (fleetReportText(report) != ref_text ||
+            report.populationDigest != ref.populationDigest) {
+            identical = false;
+            std::cerr << "MISMATCH at jobs=" << c.jobs
+                      << " workers=" << c.workers
+                      << " lanes=" << c.lanes << "\n";
+        }
+    }
+
+    // --- 2. SIGKILL mid-campaign, then journal resume. ---
+    const std::string stem =
+        (fs::temp_directory_path() / "fleet_rollout_resume").string();
+    clearJournals(stem);
+    FleetCampaignConfig resume_config = base;
+    resume_config.jobs = 1;
+    resume_config.workers = 2;
+    resume_config.lanes = 4;
+    resume_config.journalStem = stem;
+
+    const pid_t child = ::fork();
+    if (child < 0)
+        fatal("fleet_rollout: fork failed");
+    if (child == 0) {
+        FleetEngine engine(resume_config);
+        engine.run();
+        ::_exit(0);
+    }
+    // Kill once the journal holds at least one record (header is 36
+    // bytes), i.e. mid-campaign with real progress on disk.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::minutes(30);
+    std::string journal;
+    while (std::chrono::steady_clock::now() < deadline) {
+        journal = findJournal(stem);
+        std::error_code ec;
+        if (!journal.empty() && fs::file_size(journal, ec) > 36 && !ec)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (journal.empty())
+        fatal("fleet_rollout: campaign never journaled a record");
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+
+    FleetEngine resumed_engine(resume_config);
+    const FleetReport resumed = resumed_engine.run();
+    const bool resume_identical =
+        fleetReportText(resumed) == ref_text &&
+        resumed.populationDigest == ref.populationDigest;
+    if (!resume_identical)
+        std::cerr << "MISMATCH after SIGKILL + journal resume\n";
+    clearJournals(stem);
+
+    // --- 3. cohort counts conserve the population. ---
+    size_t cohort_devices = 0;
+    for (const FleetCohortStats &c : ref.cohorts)
+        cohort_devices += c.devices;
+    const bool cohorts_ok = cohort_devices == ref.devices &&
+        ref.cohorts.size() <= fleetCohortCount();
+    if (!cohorts_ok)
+        std::cerr << "FAIL: cohorts cover " << cohort_devices
+                  << " devices, population is " << ref.devices << "\n";
+
+    std::printf("FLEET identical=%d resume_identical=%d cohorts_ok=%d\n",
+                identical ? 1 : 0, resume_identical ? 1 : 0,
+                cohorts_ok ? 1 : 0);
+
+    if (!identical || !resume_identical || !cohorts_ok) {
+        std::cerr << "FAIL: fleet campaign is not byte-identical "
+                     "across tiers/resume\n";
+        return 1;
+    }
+    std::cout << "fleet rollout bit-identical across " << cells
+              << " cells x 4 tier combinations + journal resume\n";
+    return 0;
+}

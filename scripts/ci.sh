@@ -99,6 +99,16 @@ echo "== crash: process-tier resilience =="
 (cd "${build_dir}" && ctest --output-on-failure \
     -R 'ProcWire|ProcJournalTest|ProcSupervisorTest|KillResume|BundleCacheLockTest|ObsGuardSignal')
 
+echo "== fleet: campaign determinism + resume =="
+# 200-device rollout under model-free governors (no trained bundle
+# needed): byte-identity across the (jobs, workers, lanes) tier
+# matrix, mid-campaign SIGKILL + journal resume, and cohort-count
+# conservation. fleet_rollout exits non-zero on any violation; the
+# short load wall keeps the stage to minutes (a censored page is
+# still a deterministic measurement).
+"${build_dir}/bench/fleet_rollout" --fleet-devices 200 \
+    --fleet-governors interactive,ondemand --fleet-max-load 1.0
+
 if [[ "${DORA_CI_SKIP_NATIVE:-0}" -eq 1 ]]; then
     echo "== native codegen leg == (skipped: DORA_CI_SKIP_NATIVE=1)"
 else

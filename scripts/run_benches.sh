@@ -9,6 +9,8 @@
 #     the aggregate lane-ticks/sec of the lane-batched tier at
 #     N in {1,4,8,16} runs per batch in both modes
 #   - bench/ovh_memsample: ns per sampled cache access + per stream draw
+#   - bench/fleet_rollout: fleet campaign devices/s (serial reference
+#     pass) plus its tier byte-identity + journal-resume self-checks
 #   - fig01/fig03: serial wall-clock of the two cheapest paper figures
 #
 # Usage: scripts/run_benches.sh [--jobs N] [--build-dir DIR]
@@ -29,7 +31,7 @@ done
 
 cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" --target \
-    ext_parallel_scaling ovh_hotpath ovh_memsample \
+    ext_parallel_scaling ovh_hotpath ovh_memsample fleet_rollout \
     fig01_interference_loadtime fig03_fopt_tradeoff >/dev/null
 
 bench="${build_dir}/bench"
@@ -110,6 +112,30 @@ time_bench() {
     awk -v a="${start}" -v b="${end}" 'BEGIN{printf "%.3f", b - a}'
 }
 
+# Fleet campaign throughput: the serial reference pass's devices/s is
+# the tracked number; the bench also self-checks tier byte-identity,
+# SIGKILL + journal resume, and cohort conservation (exits non-zero
+# on any violation). Model-free governors + a short load wall keep
+# the recording to minutes.
+fleet_devices=120
+echo "== fleet_rollout (${fleet_devices} devices) =="
+fleet_log="$(mktemp)"
+"${bench}/fleet_rollout" --fleet-devices "${fleet_devices}" \
+    --fleet-governors interactive,ondemand --fleet-max-load 1.0 \
+    | tee "${fleet_log}"
+fleet_rate="$(awk '$1=="FLEET" && $2=="jobs=1" && $3=="workers=0" && \
+    $4=="lanes=1" {sub("devices_per_sec=","",$6); print $6}' \
+    "${fleet_log}")"
+fleet_identical="$(awk '/^FLEET identical=/{sub("identical=","",$2); \
+    print $2}' "${fleet_log}")"
+fleet_resume="$(awk '/^FLEET identical=/{sub("resume_identical=","",$3); \
+    print $3}' "${fleet_log}")"
+[[ "${fleet_identical}" == "1" ]] && fleet_identical=true \
+    || fleet_identical=false
+[[ "${fleet_resume}" == "1" ]] && fleet_resume=true \
+    || fleet_resume=false
+rm -f "${fleet_log}"
+
 echo "== fig01/fig03 wall-clock =="
 fig01_sec="$(time_bench fig01_interference_loadtime)"
 echo "fig01_interference_loadtime ${fig01_sec}s"
@@ -146,6 +172,12 @@ cat > "${out}" <<EOF
   "ovh_memsample": {
     "walk_ns_per_sample": ${walk_ns},
     "stream_next_ns": ${next_ns}
+  },
+  "fleet_rollout": {
+    "devices": ${fleet_devices},
+    "devices_per_sec": ${fleet_rate},
+    "identical": ${fleet_identical},
+    "resume_identical": ${fleet_resume}
   },
   "figures_serial": {
     "fig01_interference_loadtime_sec": ${fig01_sec},

@@ -61,8 +61,10 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 cd "${build_dir}"
 if [[ "${sanitize}" == "thread" && ${#ctest_args[@]} -eq 0 ]]; then
-    # Default TSan scope: the concurrency-bearing suites. Pass explicit
-    # ctest args to widen it.
+    # Default TSan scope: the concurrency-bearing suites. ParallelMap
+    # also matches ParallelMapCdf — the regression test for the old
+    # lazily-sorting-under-const EmpiricalCdf race (stats/cdf.hh).
+    # Pass explicit ctest args to widen it.
     ctest_args=(-R 'JobCount|ParallelFor|ParallelMap|ThreadPool|ParallelDeterminism|ProcSupervisorTest|KillResume')
 fi
 ctest --output-on-failure "${ctest_args[@]}"

@@ -1,0 +1,74 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace dora
+{
+
+std::optional<std::string>
+cliFlagValue(int argc, char **argv, const std::string &flag)
+{
+    std::optional<std::string> value;
+    const std::string inlinePrefix = flag + "=";
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (arg == nullptr)
+            continue;
+        if (std::strncmp(arg, inlinePrefix.c_str(),
+                         inlinePrefix.size()) == 0) {
+            value = arg + inlinePrefix.size();
+        } else if (flag == arg) {
+            if (i + 1 >= argc || argv[i + 1] == nullptr)
+                fatal("%s: missing value (want '%s <value>' or "
+                      "'%s=<value>')",
+                      flag.c_str(), flag.c_str(), flag.c_str());
+            value = argv[++i];
+        }
+    }
+    return value;
+}
+
+long
+cliParseInt(const std::string &text, const char *origin, long min,
+            long max)
+{
+    char *end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("%s: malformed integer '%s'", origin, text.c_str());
+    if (value < min || value > max)
+        fatal("%s: %ld out of range [%ld, %ld]", origin, value, min,
+              max);
+    return value;
+}
+
+double
+cliParseDouble(const std::string &text, const char *origin, double min,
+               double max)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        fatal("%s: malformed number '%s'", origin, text.c_str());
+    if (!(value >= min && value <= max))
+        fatal("%s: %g out of range [%g, %g]", origin, value, min, max);
+    return value;
+}
+
+const char *
+envNonEmpty(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return nullptr;
+    if (*env == '\0') {
+        warn("$%s is set but empty; treating it as unset", name);
+        return nullptr;
+    }
+    return env;
+}
+
+} // namespace dora

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared command-line and environment parsing helpers.
+ *
+ * Every binary in the tree accepts a small set of long flags
+ * (`--jobs`, `--workers`, `--lanes`, `--trace`, `--fleet-*`). Before
+ * this helper existed each parser open-coded the scan and silently
+ * ignored a trailing flag with a missing value (`dora-fleet --lanes`
+ * fell through to the default lane count). Routing every flag through
+ * cliFlagValue() makes a missing value a fatal diagnostic instead of
+ * a silent misconfiguration.
+ */
+
+#ifndef DORA_COMMON_CLI_HH
+#define DORA_COMMON_CLI_HH
+
+#include <optional>
+#include <string>
+
+namespace dora
+{
+
+/**
+ * Value of the last occurrence of @p flag in argv, accepting both the
+ * separated (`--flag value`) and inline (`--flag=value`) spellings.
+ *
+ * Returns std::nullopt when the flag never appears. A separated
+ * occurrence with no following argument (`... --flag`) is a user
+ * error and fatal()s — it used to be silently ignored. The last
+ * occurrence wins so wrapper scripts can append overrides.
+ */
+std::optional<std::string> cliFlagValue(int argc, char **argv,
+                                        const std::string &flag);
+
+/**
+ * Parse @p text as a decimal integer in [@p min, @p max]; fatal()s
+ * with @p origin (e.g. "--lanes" or "$DORA_LANES") in the diagnostic
+ * on malformed or out-of-range input.
+ */
+long cliParseInt(const std::string &text, const char *origin, long min,
+                 long max);
+
+/** Like cliParseInt but for a finite double in [@p min, @p max]. */
+double cliParseDouble(const std::string &text, const char *origin,
+                      double min, double max);
+
+/**
+ * getenv() that treats an empty-but-set variable as unset — loudly.
+ *
+ * `export DORA_LANES=` in a CI matrix used to behave exactly like the
+ * variable being absent, hiding the misconfiguration. This helper
+ * warns (rate-limited via warn()) the first few times an empty-but-set
+ * variable is consulted, then falls back to nullptr.
+ */
+const char *envNonEmpty(const char *name);
+
+} // namespace dora
+
+#endif // DORA_COMMON_CLI_HH

@@ -1,8 +1,9 @@
 #include "common/exact_ticks.hh"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
+
+#include "common/cli.hh"
 
 namespace dora
 {
@@ -16,7 +17,9 @@ std::atomic<int> g_exact{-1};
 int
 resolveFromEnv()
 {
-    const char *env = std::getenv("DORA_EXACT_TICKS");
+    // envNonEmpty warns when DORA_EXACT_TICKS is set-but-empty — a CI
+    // matrix that meant to select a mode but exported nothing.
+    const char *env = envNonEmpty("DORA_EXACT_TICKS");
     return (env && std::strcmp(env, "1") == 0) ? 1 : 0;
 }
 

@@ -1,9 +1,6 @@
 #include "common/lanes.hh"
 
-#include <cstdlib>
-#include <string>
-
-#include "common/logging.hh"
+#include "common/cli.hh"
 
 namespace dora
 {
@@ -11,40 +8,30 @@ namespace dora
 namespace
 {
 
-unsigned
-parseLanes(const char *text, const char *origin)
-{
-    char *end = nullptr;
-    const long lanes = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0' || lanes < 1)
-        fatal("%s: malformed lane count '%s' (want a positive integer)",
-              origin, text);
-    return static_cast<unsigned>(lanes);
-}
+// 4096 lanes is far beyond any useful batch on this simulator (lane
+// state is a whole RunContext); the cap exists to catch typo'd values
+// like a pasted seed, not to bound a real configuration.
+constexpr long kMaxLanes = 4096;
 
 } // namespace
 
 unsigned
 defaultLaneCount()
 {
-    const char *env = std::getenv("DORA_LANES");
-    if (env == nullptr || *env == '\0')
+    const char *env = envNonEmpty("DORA_LANES");
+    if (env == nullptr)
         return 1;
-    return parseLanes(env, "$DORA_LANES");
+    return static_cast<unsigned>(
+        cliParseInt(env, "$DORA_LANES", 1, kMaxLanes));
 }
 
 unsigned
 laneCountFromArgs(int argc, char **argv)
 {
-    unsigned lanes = defaultLaneCount();
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--lanes" && i + 1 < argc)
-            lanes = parseLanes(argv[i + 1], "--lanes");
-        else if (arg.rfind("--lanes=", 0) == 0)
-            lanes = parseLanes(arg.c_str() + 8, "--lanes");
-    }
-    return lanes;
+    if (const auto value = cliFlagValue(argc, argv, "--lanes"))
+        return static_cast<unsigned>(
+            cliParseInt(*value, "--lanes", 1, kMaxLanes));
+    return defaultLaneCount();
 }
 
 } // namespace dora

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 
@@ -39,7 +40,7 @@ hardwareJobs()
 unsigned
 defaultJobCount()
 {
-    if (const char *env = std::getenv("DORA_JOBS")) {
+    if (const char *env = envNonEmpty("DORA_JOBS")) {
         const unsigned jobs = parsePositive(env);
         if (jobs > 0)
             return jobs;
@@ -52,21 +53,12 @@ defaultJobCount()
 unsigned
 jobCountFromArgs(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        const char *value = nullptr;
-        if (std::strncmp(arg, "--jobs=", 7) == 0)
-            value = arg + 7;
-        else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc)
-            value = argv[i + 1];
-        else
-            continue;
-        const unsigned jobs = parsePositive(value);
-        if (jobs == 0)
-            fatal("--jobs wants a positive integer, got '%s'",
-                  value ? value : "");
-        return jobs;
-    }
+    // cliFlagValue fatal()s on a trailing bare `--jobs` (previously it
+    // silently fell through to the default) and makes the last
+    // occurrence win so wrapper scripts can append overrides.
+    if (const auto value = cliFlagValue(argc, argv, "--jobs"))
+        return static_cast<unsigned>(
+            cliParseInt(*value, "--jobs", 1, 1024));
     return defaultJobCount();
 }
 

@@ -1,0 +1,414 @@
+#include "fleet/campaign.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <map>
+
+#include "browser/page_corpus.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "exec/proc/supervisor.hh"
+#include "exec/thread_pool.hh"
+#include "fault/fault_injector.hh"
+#include "harness/comparison.hh"
+#include "obs/trace.hh"
+#include "runner/measurement_io.hh"
+#include "sim/lane_batch.hh"
+#include "workloads/corun_task.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+void
+appendHexDouble(std::string &text, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%a", value);
+    text += buf;
+}
+
+} // namespace
+
+uint64_t
+fleetCampaignHash(const FleetCampaignConfig &config)
+{
+    // "rev1": bump on any change to the cell grid layout or the unit
+    // payload format — the hash names resume journals.
+    std::string text = "fleet-campaign-rev1 " +
+        fleetSpecText(config.spec) + " protocol " +
+        hexU64(experimentConfigHash(config.base)) + " governors";
+    for (const auto &governor : config.governors)
+        text += " " + governor;
+    // The process-tier unit space is lane batches, so the lane width
+    // is part of the journal identity; lanes=1 hashes like the
+    // pre-lane layout (one unit per cell) by the same convention as
+    // the harness procCampaignHash.
+    if (config.lanes > 1)
+        text += " lanes " + std::to_string(config.lanes);
+    return hashLabel(text);
+}
+
+/** Owned per-cell objects — the cell's device in a box. */
+struct FleetEngine::DeviceCell
+{
+    ExperimentConfig config;
+    const WebPage *page = nullptr;
+    std::string label;
+    std::unique_ptr<CorunTask> corun;
+    std::unique_ptr<Governor> governor;
+    std::unique_ptr<FaultInjector> fault;
+};
+
+FleetEngine::FleetEngine(FleetCampaignConfig config)
+    : config_(std::move(config))
+{
+    validateFleetSpec(config_.spec);
+    if (config_.governors.empty())
+        fatal("FleetEngine: empty governor list");
+    if (config_.lanes == 0)
+        config_.lanes = 1;
+}
+
+FleetEngine::DeviceCell
+FleetEngine::makeCell(size_t cell_index) const
+{
+    const size_t gcount = config_.governors.size();
+    const size_t device = cell_index / gcount;
+    const std::string &governor = config_.governors[cell_index % gcount];
+    const DeviceSpec sampled = sampleDevice(config_.spec, device);
+
+    DeviceCell cell;
+    cell.config = config_.base;
+    cell.config.freqScale = sampled.freqScale;
+    cell.config.voltageScale = sampled.voltageScale;
+    cell.config.thermalResistanceScale = sampled.thermalResistanceScale;
+    cell.config.ambientC = sampled.ambientC;
+
+    cell.page = &PageCorpus::byName(sampled.page);
+    // The label omits the governor on purpose: it salts the page and
+    // co-runner RNG streams, and every governor must see the same
+    // device behaving the same way (exactly like the harness labels).
+    cell.label = sampled.label(config_.spec.seed);
+    if (sampled.corun != MemIntensity::None) {
+        const KernelSpec &kernel =
+            KernelCatalog::representative(sampled.corun);
+        // Same "corun:" decorrelation recipe as ExperimentRunner.
+        const uint64_t salt = hashLabel("corun:" + cell.label) % 4096;
+        cell.corun = std::make_unique<CorunTask>(kernel, salt);
+    }
+    cell.governor = makeNamedGovernor(governor, config_.models);
+    if (sampled.faulty)
+        cell.fault = std::make_unique<FaultInjector>(
+            FaultSchedule::combined(sampled.faultSeed));
+    return cell;
+}
+
+std::vector<RunMeasurement>
+FleetEngine::runBatch(size_t first, size_t count) const
+{
+    std::vector<DeviceCell> cells;
+    std::vector<LaneBatchSimulator::LaneSpec> specs;
+    cells.reserve(count);
+    specs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        cells.push_back(makeCell(first + i));
+        const DeviceCell &cell = cells.back();
+        LaneBatchSimulator::LaneSpec spec;
+        spec.config = cell.config;
+        spec.params.page = cell.page;
+        spec.params.corun = cell.corun.get();
+        spec.params.label = cell.label;
+        spec.params.governor = cell.governor.get();
+        spec.params.fault = cell.fault.get();
+        specs.push_back(std::move(spec));
+    }
+    // A single lane is the exact legacy per-run path, so one code
+    // path serves every tier; count > 1 overlaps the devices'
+    // memory-walk miss chains (bit-identical by the lane contract).
+    LaneBatchSimulator batch(specs);
+    return batch.finishAll();
+}
+
+std::vector<RunMeasurement>
+FleetEngine::runBatchesInProcess(size_t n) const
+{
+    const size_t lanes = config_.lanes;
+    const size_t batches = (n + lanes - 1) / lanes;
+    const auto run_batch = [&](size_t b) {
+        const size_t first = b * lanes;
+        return runBatch(first, std::min<size_t>(lanes, n - first));
+    };
+    std::vector<std::vector<RunMeasurement>> per_batch;
+    if (config_.jobs <= 1 || batches <= 1) {
+        per_batch.reserve(batches);
+        for (size_t b = 0; b < batches; ++b)
+            per_batch.push_back(run_batch(b));
+    } else {
+        per_batch = parallelMap<std::vector<RunMeasurement>>(
+            batches, run_batch, config_.jobs);
+    }
+    std::vector<RunMeasurement> results;
+    results.reserve(n);
+    for (auto &batch : per_batch)
+        for (auto &m : batch)
+            results.push_back(std::move(m));
+    return results;
+}
+
+std::vector<RunMeasurement>
+FleetEngine::runBatchesWithWorkers(size_t n) const
+{
+    const size_t lanes = config_.lanes;
+    const size_t batches = (n + lanes - 1) / lanes;
+    const auto run_batch = [&](size_t b) {
+        const size_t first = b * lanes;
+        return runBatch(first, std::min<size_t>(lanes, n - first));
+    };
+
+    ProcSweepConfig proc;
+    proc.workers = config_.workers;
+    proc.campaignHash = fleetCampaignHash(config_);
+    if (!config_.journalStem.empty())
+        proc.journalPath = config_.journalStem + "." +
+            hexU64(proc.campaignHash) + ".jrn";
+
+    const ProcSweepReport report = runProcSweep(
+        proc, batches, [&run_batch](uint64_t b) {
+            const std::vector<RunMeasurement> ms =
+                run_batch(static_cast<size_t>(b));
+            std::vector<std::string> payloads;
+            payloads.reserve(ms.size());
+            for (const RunMeasurement &m : ms)
+                payloads.push_back(serializeRunMeasurement(m));
+            return packPayloads(payloads);
+        });
+
+    if (report.drained) {
+        // Progress (if journaled) is durable; die by the original
+        // signal so scripts see the conventional status, and a rerun
+        // resumes from the journal.
+        warn("fleet: campaign interrupted by signal %d with %llu "
+             "batches journaled; re-run to resume",
+             report.drainSignal,
+             static_cast<unsigned long long>(report.unitsRun +
+                                             report.unitsResumed));
+        ::raise(report.drainSignal);
+        fatal("fleet: campaign interrupted"); // signal was ignored
+    }
+
+    std::vector<RunMeasurement> results(n);
+    for (size_t b = 0; b < batches; ++b) {
+        const size_t first = b * lanes;
+        const size_t count = std::min<size_t>(lanes, n - first);
+        if (!report.completed[b]) {
+            warn("fleet: batch %zu was quarantined by the process "
+                 "tier; recomputing in-process",
+                 b);
+            std::vector<RunMeasurement> ms = run_batch(b);
+            for (size_t i = 0; i < count; ++i)
+                results[first + i] = std::move(ms[i]);
+            continue;
+        }
+        std::vector<std::string> payloads;
+        if (!tryUnpackPayloads(report.results[b], &payloads) ||
+            payloads.size() != count)
+            fatal("fleet: batch %zu payload from the process tier "
+                  "does not unpack (journal from an older build or a "
+                  "different lane count?); delete the journal and "
+                  "re-run",
+                  b);
+        for (size_t i = 0; i < count; ++i)
+            if (!tryDeserializeRunMeasurement(payloads[i],
+                                              &results[first + i]))
+                fatal("fleet: batch %zu cell %zu payload from the "
+                      "process tier does not deserialize; delete the "
+                      "journal and re-run",
+                      b, i);
+    }
+    return results;
+}
+
+std::vector<RunMeasurement>
+FleetEngine::runAllCells() const
+{
+    const size_t n = config_.spec.devices * config_.governors.size();
+    if (config_.workers > 0)
+        return runBatchesWithWorkers(n);
+    return runBatchesInProcess(n);
+}
+
+FleetReport
+FleetEngine::aggregate(const std::vector<RunMeasurement> &cells) const
+{
+    const size_t gcount = config_.governors.size();
+    FleetReport report;
+    report.devices = config_.spec.devices;
+    report.byGovernor.resize(gcount);
+
+    // Order-sensitive digest chain over the grid: the cheap,
+    // byte-exact identity the determinism and resume checks compare.
+    uint64_t digest = hashLabel("fleet-population");
+    for (const RunMeasurement &m : cells)
+        digest = hashLabel(hexU64(digest) + ":" +
+                           hexU64(runMeasurementDigest(m)));
+    report.populationDigest = digest;
+
+    for (size_t g = 0; g < gcount; ++g) {
+        FleetGovernorStats &stats = report.byGovernor[g];
+        stats.governor = config_.governors[g];
+        stats.devices = report.devices;
+        for (size_t d = 0; d < report.devices; ++d) {
+            const RunMeasurement &m = cells[d * gcount + g];
+            if (m.censored) {
+                // A censored PPW of 0 is a flag, not a score: count
+                // it, never average it into the distribution.
+                ++stats.censored;
+            } else {
+                stats.ppwCdf.push(m.ppw);
+                stats.loadTimeCdf.push(m.loadTimeSec);
+            }
+            if (m.meetsDeadline)
+                ++stats.deadlineMet;
+        }
+        stats.ppwCdf.seal();
+        stats.loadTimeCdf.seal();
+        stats.meetRate = static_cast<double>(stats.deadlineMet) /
+            static_cast<double>(stats.devices);
+        if (stats.ppwCdf.count() > 0) {
+            stats.meanPpw = stats.ppwCdf.mean();
+            stats.p50Ppw = stats.ppwCdf.quantile(0.50);
+            stats.p95Ppw = stats.ppwCdf.quantile(0.95);
+            stats.p99Ppw = stats.ppwCdf.quantile(0.99);
+            stats.p50LoadSec = stats.loadTimeCdf.quantile(0.50);
+            stats.p95LoadSec = stats.loadTimeCdf.quantile(0.95);
+            stats.p99LoadSec = stats.loadTimeCdf.quantile(0.99);
+        }
+    }
+
+    // Cohort breakdown. Re-sampling a DeviceSpec is a hash plus a
+    // handful of draws — microseconds against the simulations behind
+    // each cell — and keeps the engine stateless.
+    struct CohortAcc
+    {
+        size_t devices = 0;
+        std::vector<double> ppwSum;
+        std::vector<size_t> uncensored;
+        std::vector<size_t> met;
+        std::vector<size_t> censored;
+    };
+    std::map<std::string, CohortAcc> cohorts;
+    for (size_t d = 0; d < report.devices; ++d) {
+        const DeviceSpec sampled = sampleDevice(config_.spec, d);
+        CohortAcc &acc = cohorts[sampled.cohort()];
+        if (acc.ppwSum.empty()) {
+            acc.ppwSum.resize(gcount, 0.0);
+            acc.uncensored.resize(gcount, 0);
+            acc.met.resize(gcount, 0);
+            acc.censored.resize(gcount, 0);
+        }
+        ++acc.devices;
+        for (size_t g = 0; g < gcount; ++g) {
+            const RunMeasurement &m = cells[d * gcount + g];
+            if (m.censored) {
+                ++acc.censored[g];
+            } else {
+                acc.ppwSum[g] += m.ppw;
+                ++acc.uncensored[g];
+            }
+            if (m.meetsDeadline)
+                ++acc.met[g];
+        }
+    }
+    report.cohorts.reserve(cohorts.size());
+    for (const auto &[name, acc] : cohorts) {
+        FleetCohortStats c;
+        c.cohort = name;
+        c.devices = acc.devices;
+        c.meanPpw.resize(gcount, 0.0);
+        c.meetRate.resize(gcount, 0.0);
+        c.censored.resize(gcount, 0);
+        for (size_t g = 0; g < gcount; ++g) {
+            if (acc.uncensored[g] > 0)
+                c.meanPpw[g] = acc.ppwSum[g] /
+                    static_cast<double>(acc.uncensored[g]);
+            c.meetRate[g] = static_cast<double>(acc.met[g]) /
+                static_cast<double>(acc.devices);
+            c.censored[g] = acc.censored[g];
+        }
+        report.cohorts.push_back(std::move(c));
+    }
+    return report;
+}
+
+FleetReport
+FleetEngine::run()
+{
+    return aggregate(runAllCells());
+}
+
+RunMeasurement
+FleetEngine::replayDevice(size_t device_index,
+                          const std::string &governor) const
+{
+    if (device_index >= config_.spec.devices)
+        fatal("FleetEngine::replayDevice: device %zu beyond "
+              "population of %zu",
+              device_index, config_.spec.devices);
+    const size_t gcount = config_.governors.size();
+    for (size_t g = 0; g < gcount; ++g)
+        if (config_.governors[g] == governor)
+            return runBatch(device_index * gcount + g, 1).front();
+    fatal("FleetEngine::replayDevice: governor '%s' is not in this "
+          "campaign",
+          governor.c_str());
+}
+
+std::string
+fleetReportText(const FleetReport &report)
+{
+    std::string text = "FLEET devices=" +
+        std::to_string(report.devices) +
+        " digest=" + hexU64(report.populationDigest) + "\n";
+    for (const FleetGovernorStats &g : report.byGovernor) {
+        text += "GOV " + g.governor +
+            " devices=" + std::to_string(g.devices) +
+            " censored=" + std::to_string(g.censored) +
+            " met=" + std::to_string(g.deadlineMet) + " meet=";
+        appendHexDouble(text, g.meetRate);
+        text += " mean_ppw=";
+        appendHexDouble(text, g.meanPpw);
+        text += " p50_ppw=";
+        appendHexDouble(text, g.p50Ppw);
+        text += " p95_ppw=";
+        appendHexDouble(text, g.p95Ppw);
+        text += " p99_ppw=";
+        appendHexDouble(text, g.p99Ppw);
+        text += " p50_load=";
+        appendHexDouble(text, g.p50LoadSec);
+        text += " p95_load=";
+        appendHexDouble(text, g.p95LoadSec);
+        text += " p99_load=";
+        appendHexDouble(text, g.p99LoadSec);
+        text += "\n";
+    }
+    for (const FleetCohortStats &c : report.cohorts) {
+        text += "COHORT [" + c.cohort +
+            "] devices=" + std::to_string(c.devices);
+        for (size_t g = 0; g < c.meanPpw.size(); ++g) {
+            text += " g" + std::to_string(g) + "_mean_ppw=";
+            appendHexDouble(text, c.meanPpw[g]);
+            text += " g" + std::to_string(g) + "_meet=";
+            appendHexDouble(text, c.meetRate[g]);
+            text += " g" + std::to_string(g) +
+                "_censored=" + std::to_string(c.censored[g]);
+        }
+        text += "\n";
+    }
+    return text;
+}
+
+} // namespace dora

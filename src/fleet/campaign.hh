@@ -1,0 +1,190 @@
+/**
+ * @file
+ * FleetEngine: expand a FleetSpec population into deterministic
+ * per-device work units, fan them out through every execution tier,
+ * and aggregate population statistics.
+ *
+ * Cell grid: cell = device * |governors| + governorIndex
+ * (device-major). Every cell is an independent simulation of one
+ * sampled device under one governor, keyed by its grid index, so
+ * results are byte-identical at any combination of
+ *
+ *   --jobs    thread tier (parallelMap over lane batches)
+ *   --workers process tier (exec/proc supervisor; crash recovery and
+ *             a checksummed resume journal bound to the campaign
+ *             hash)
+ *   --lanes   leaf tier (LaneBatchSimulator: N devices advanced
+ *             interleaved per thread/worker unit)
+ *
+ * and identical again after a mid-campaign kill + resume. The
+ * campaign hash covers the spec text, the base ExperimentConfig
+ * protocol hash, the governor list, and the lane width, so a stale
+ * journal from any other campaign is refused.
+ *
+ * Aggregation: per-governor PPW and load-time distributions
+ * (EmpiricalCdf, sealed before query), p50/p95/p99 tails,
+ * deadline-meet rate over the full population, censored-run counts
+ * (a censored device scores 0 PPW and is counted, never averaged),
+ * and per-cohort breakdowns.
+ */
+
+#ifndef DORA_FLEET_CAMPAIGN_HH
+#define DORA_FLEET_CAMPAIGN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dora/model_bundle.hh"
+#include "fleet/fleet_spec.hh"
+#include "runner/experiment.hh"
+#include "stats/cdf.hh"
+
+namespace dora
+{
+
+/** Everything that identifies and shapes one fleet campaign. */
+struct FleetCampaignConfig
+{
+    FleetSpec spec;
+
+    /**
+     * Governor registry names to roll out (see makeNamedGovernor).
+     * The predictive governors need @ref models; the kernel governors
+     * run model-free.
+     */
+    std::vector<std::string> governors = {"ondemand", "performance"};
+
+    /**
+     * Campaign-wide measurement protocol. Per-device heterogeneity
+     * (freqScale/voltageScale/thermalResistanceScale/ambientC) is
+     * overwritten from each DeviceSpec; everything else — deadline,
+     * tick, SoC geometry — is shared, which is also what keeps the
+     * fused cross-lane memory walk valid across devices.
+     */
+    ExperimentConfig base;
+
+    /** Trained bundle for predictive governors (may be null). */
+    std::shared_ptr<const ModelBundle> models;
+
+    unsigned jobs = 1;    //!< thread tier width (ignored when workers > 0)
+    unsigned workers = 0; //!< process tier width (0 = in-process)
+    unsigned lanes = 1;   //!< devices per lane batch
+
+    /**
+     * Resume-journal stem; completed units are journaled to
+     * `<stem>.<campaign-hash>.jrn` and a rerun resumes instead of
+     * recomputing. Empty disables journaling. Process tier only.
+     */
+    std::string journalStem;
+};
+
+/**
+ * Identity of a campaign's results: spec text, measurement protocol,
+ * governor list, and lane width (the process-tier unit is a lane
+ * batch, so the journal's unit space depends on it).
+ */
+uint64_t fleetCampaignHash(const FleetCampaignConfig &config);
+
+/** Population statistics of one governor across the whole fleet. */
+struct FleetGovernorStats
+{
+    std::string governor;
+    size_t devices = 0;     //!< population size (CDF + censored)
+    size_t censored = 0;    //!< loads that provably never finished
+    size_t deadlineMet = 0; //!< loads inside the deadline
+
+    /** Deadline-meet rate over ALL devices (censored = miss). */
+    double meetRate = 0.0;
+
+    /** Uncensored-only distributions, sealed and query-ready. */
+    EmpiricalCdf ppwCdf;
+    EmpiricalCdf loadTimeCdf;
+
+    /** Tail summaries of the distributions above (0 if all censored). */
+    double meanPpw = 0.0;
+    double p50Ppw = 0.0, p95Ppw = 0.0, p99Ppw = 0.0;
+    double p50LoadSec = 0.0, p95LoadSec = 0.0, p99LoadSec = 0.0;
+};
+
+/** Per-cohort breakdown (vectors index-align with the governors). */
+struct FleetCohortStats
+{
+    std::string cohort;
+    size_t devices = 0;
+    std::vector<double> meanPpw;
+    std::vector<double> meetRate;
+    std::vector<size_t> censored;
+};
+
+/** Aggregated result of one campaign. */
+struct FleetReport
+{
+    size_t devices = 0;
+    std::vector<FleetGovernorStats> byGovernor;
+    /** Non-empty cohorts only, sorted by cohort key. */
+    std::vector<FleetCohortStats> cohorts;
+    /**
+     * Order-sensitive FNV chain over every cell's measurement digest:
+     * two campaigns produced byte-identical populations iff the
+     * digests match. The determinism/resume self-checks compare this
+     * plus fleetReportText().
+     */
+    uint64_t populationDigest = 0;
+};
+
+/**
+ * Canonical bit-exact rendering of a report (hex-float doubles), for
+ * the byte-identity checks and machine consumption.
+ */
+std::string fleetReportText(const FleetReport &report);
+
+/**
+ * Runs fleet campaigns. Stateless between calls: run() and
+ * replayDevice() derive everything from the config, which is what
+ * makes any device replayable after the fact.
+ */
+class FleetEngine
+{
+  public:
+    explicit FleetEngine(FleetCampaignConfig config);
+
+    /** Run the whole campaign and aggregate. */
+    FleetReport run();
+
+    /**
+     * Re-run one (device, governor) cell alone. Bit-identical to the
+     * cell's in-campaign measurement at any tier combination (the
+     * lane-batch contract), which the fleet determinism suite
+     * enforces.
+     */
+    RunMeasurement replayDevice(size_t device_index,
+                                const std::string &governor) const;
+
+    /**
+     * Every cell's raw measurement in grid order (what run()
+     * aggregates). For the determinism suite and debugging tools;
+     * campaigns normally want the FleetReport.
+     */
+    std::vector<RunMeasurement> runAllCells() const;
+
+    const FleetCampaignConfig &config() const { return config_; }
+
+  private:
+    /** Owned per-cell objects — the cell's device in a box. */
+    struct DeviceCell;
+
+    DeviceCell makeCell(size_t cell_index) const;
+    std::vector<RunMeasurement> runBatch(size_t first,
+                                         size_t count) const;
+    std::vector<RunMeasurement> runBatchesInProcess(size_t n) const;
+    std::vector<RunMeasurement> runBatchesWithWorkers(size_t n) const;
+    FleetReport aggregate(
+        const std::vector<RunMeasurement> &cells) const;
+
+    FleetCampaignConfig config_;
+};
+
+} // namespace dora
+
+#endif // DORA_FLEET_CAMPAIGN_HH

@@ -1,0 +1,202 @@
+#include "fleet/fleet_spec.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "browser/page_corpus.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+void
+appendHexDouble(std::string &text, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%a ", value);
+    text += buf;
+}
+
+/**
+ * Binning clamps. Real speed bins spread a few percent around
+ * nominal; the clamps keep a fat-tailed draw from producing a
+ * physically silly device (and keep every scaled voltage inside the
+ * leakage model's fitted range).
+ */
+constexpr double kFreqScaleMin = 0.85, kFreqScaleMax = 1.20;
+constexpr double kVoltScaleMin = 0.90, kVoltScaleMax = 1.12;
+constexpr double kThermScaleMin = 0.60, kThermScaleMax = 1.80;
+
+double
+clampedPerturbation(Rng &rng, double sd, double lo, double hi)
+{
+    return std::clamp(1.0 + sd * rng.gaussian(), lo, hi);
+}
+
+const char *
+corunClassName(MemIntensity cls)
+{
+    switch (cls) {
+    case MemIntensity::None: return "none";
+    case MemIntensity::Low: return "low";
+    case MemIntensity::Medium: return "medium";
+    case MemIntensity::High: return "high";
+    }
+    return "?";
+}
+
+/** Ambient band edges for the cohort key (degC). */
+constexpr double kCoolBelowC = 15.0;
+constexpr double kHotAboveC = 30.0;
+
+const char *
+ambientBand(double ambient_c)
+{
+    if (ambient_c < kCoolBelowC)
+        return "cool";
+    if (ambient_c > kHotAboveC)
+        return "hot";
+    return "mild";
+}
+
+} // namespace
+
+std::string
+fleetSpecText(const FleetSpec &spec)
+{
+    // "rev1": bump whenever the sampler's draw order or any clamp
+    // changes — the text keys resume journals, so a silent change
+    // would mix incompatible populations.
+    std::string text = "fleet-spec-rev1 seed " +
+        std::to_string(spec.seed) + " devices " +
+        std::to_string(spec.devices) + " ";
+    appendHexDouble(text, spec.freqScaleSd);
+    appendHexDouble(text, spec.voltageScaleSd);
+    appendHexDouble(text, spec.thermalResistanceSd);
+    appendHexDouble(text, spec.ambientMinC);
+    appendHexDouble(text, spec.ambientMaxC);
+    appendHexDouble(text, spec.corunNoneWeight);
+    appendHexDouble(text, spec.corunLowWeight);
+    appendHexDouble(text, spec.corunMediumWeight);
+    appendHexDouble(text, spec.corunHighWeight);
+    appendHexDouble(text, spec.faultIncidence);
+    return text;
+}
+
+uint64_t
+fleetSpecHash(const FleetSpec &spec)
+{
+    return hashLabel(fleetSpecText(spec));
+}
+
+void
+validateFleetSpec(const FleetSpec &spec)
+{
+    if (spec.devices == 0)
+        fatal("FleetSpec: devices must be positive");
+    if (spec.freqScaleSd < 0.0 || spec.voltageScaleSd < 0.0 ||
+        spec.thermalResistanceSd < 0.0)
+        fatal("FleetSpec: perturbation sds must be non-negative");
+    if (spec.ambientMaxC < spec.ambientMinC)
+        fatal("FleetSpec: ambient range [%g, %g] is inverted",
+              spec.ambientMinC, spec.ambientMaxC);
+    const double weights[] = {spec.corunNoneWeight, spec.corunLowWeight,
+                              spec.corunMediumWeight,
+                              spec.corunHighWeight};
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("FleetSpec: co-runner weights must be non-negative");
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("FleetSpec: co-runner weights sum to zero");
+    if (spec.faultIncidence < 0.0 || spec.faultIncidence > 1.0)
+        fatal("FleetSpec: faultIncidence %g outside [0, 1]",
+              spec.faultIncidence);
+}
+
+std::string
+DeviceSpec::label(uint64_t campaign_seed) const
+{
+    return "fleet" + std::to_string(campaign_seed) + "-dev" +
+        std::to_string(index) + ":" + page + "+" +
+        corunClassName(corun);
+}
+
+std::string
+DeviceSpec::cohort() const
+{
+    return std::string("corun=") + corunClassName(corun) +
+        " ambient=" + ambientBand(ambientC) +
+        " faulty=" + (faulty ? "1" : "0");
+}
+
+size_t
+fleetCohortCount()
+{
+    return 4 /* corun classes */ * 3 /* ambient bands */ *
+        2 /* faulty */;
+}
+
+DeviceSpec
+sampleDevice(const FleetSpec &spec, size_t index)
+{
+    validateFleetSpec(spec);
+    if (index >= spec.devices)
+        fatal("sampleDevice: index %zu beyond population of %zu",
+              index, spec.devices);
+
+    // Per-device stream: the label carries only (seed, index), so the
+    // draw is independent of visit order, worker assignment, and every
+    // other device.
+    Rng rng("fleet:" + std::to_string(spec.seed) +
+            ":dev:" + std::to_string(index));
+
+    DeviceSpec d;
+    d.index = index;
+
+    // Draw order is part of the spec revision (see fleetSpecText).
+    const auto &pages = PageCorpus::all();
+    d.page = pages[rng.below(pages.size())].name;
+
+    const double weights[] = {spec.corunNoneWeight, spec.corunLowWeight,
+                              spec.corunMediumWeight,
+                              spec.corunHighWeight};
+    const double total =
+        weights[0] + weights[1] + weights[2] + weights[3];
+    const double pick = rng.uniform() * total;
+    double edge = 0.0;
+    d.corun = MemIntensity::High;
+    const MemIntensity classes[] = {MemIntensity::None,
+                                    MemIntensity::Low,
+                                    MemIntensity::Medium,
+                                    MemIntensity::High};
+    for (int c = 0; c < 4; ++c) {
+        edge += weights[c];
+        if (pick < edge) {
+            d.corun = classes[c];
+            break;
+        }
+    }
+
+    d.freqScale = clampedPerturbation(rng, spec.freqScaleSd,
+                                      kFreqScaleMin, kFreqScaleMax);
+    d.voltageScale = clampedPerturbation(rng, spec.voltageScaleSd,
+                                         kVoltScaleMin, kVoltScaleMax);
+    d.thermalResistanceScale = clampedPerturbation(
+        rng, spec.thermalResistanceSd, kThermScaleMin, kThermScaleMax);
+    d.ambientC = rng.uniform(spec.ambientMinC, spec.ambientMaxC);
+
+    d.faulty = rng.chance(spec.faultIncidence);
+    // Always drawn (not only when faulty) so flipping faultIncidence
+    // perturbs no later stream and the schedule seed stays stable.
+    d.faultSeed = rng.fork("fault").state().s[0];
+    return d;
+}
+
+} // namespace dora

@@ -143,6 +143,13 @@ ComparisonHarness::paperGovernors()
 std::unique_ptr<Governor>
 ComparisonHarness::makeGovernor(const std::string &governor) const
 {
+    return makeNamedGovernor(governor, models_);
+}
+
+std::unique_ptr<Governor>
+makeNamedGovernor(const std::string &governor,
+                  const std::shared_ptr<const ModelBundle> &models)
+{
     if (governor == "interactive")
         return std::make_unique<InteractiveGovernor>();
     if (governor == "performance")
@@ -152,15 +159,15 @@ ComparisonHarness::makeGovernor(const std::string &governor) const
     if (governor == "ondemand")
         return std::make_unique<OndemandGovernor>();
     if (governor == "DL")
-        return std::make_unique<PredictiveGovernor>(makeDl(models_));
+        return std::make_unique<PredictiveGovernor>(makeDl(models));
     if (governor == "EE")
-        return std::make_unique<PredictiveGovernor>(makeEe(models_));
+        return std::make_unique<PredictiveGovernor>(makeEe(models));
     if (governor == "DORA")
-        return std::make_unique<PredictiveGovernor>(makeDora(models_));
+        return std::make_unique<PredictiveGovernor>(makeDora(models));
     if (governor == "DORA_no_lkg")
         return std::make_unique<PredictiveGovernor>(
-            makeDoraNoLeakage(models_));
-    fatal("ComparisonHarness: unknown governor '%s'", governor.c_str());
+            makeDoraNoLeakage(models));
+    fatal("makeNamedGovernor: unknown governor '%s'", governor.c_str());
 }
 
 RunMeasurement

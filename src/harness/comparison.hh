@@ -43,6 +43,16 @@ size_t governorIndex(const std::string &name);
 /** Name of the governor with dense id @p index; fatal() out of range. */
 const std::string &governorName(size_t index);
 
+/**
+ * Fresh governor instance by registry name; fatal() on an unknown
+ * name. The predictive governors (DL, EE, DORA, DORA_no_lkg) require
+ * a trained @p models bundle; the kernel governors ignore it. Shared
+ * by the comparison harness and the fleet campaign engine.
+ */
+std::unique_ptr<Governor>
+makeNamedGovernor(const std::string &name,
+                  const std::shared_ptr<const ModelBundle> &models);
+
 /** Results of one workload under every compared governor. */
 struct ComparisonRecord
 {

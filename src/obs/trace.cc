@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/cli.hh"
 #include "common/exact_ticks.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -411,13 +412,8 @@ traceSignalHandler(int sig)
 std::string
 traceDirFromArgs(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i] ? argv[i] : "";
-        if (arg.rfind("--trace=", 0) == 0)
-            return arg.substr(8);
-        if (arg == "--trace" && i + 1 < argc && argv[i + 1])
-            return argv[i + 1];
-    }
+    if (const auto dir = cliFlagValue(argc, argv, "--trace"))
+        return *dir;
     if (const char *env = std::getenv("DORA_TRACE"))
         return env;
     return "";

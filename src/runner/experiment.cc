@@ -13,8 +13,28 @@
 namespace dora
 {
 
+FreqTable
+deviceFreqTable(const ExperimentConfig &config)
+{
+    if (config.freqScale == 1.0 && config.voltageScale == 1.0)
+        return FreqTable::msm8974();
+    const FreqTable stock = FreqTable::msm8974();
+    std::vector<OperatingPoint> opps;
+    opps.reserve(stock.size());
+    for (size_t i = 0; i < stock.size(); ++i) {
+        OperatingPoint opp = stock.opp(i);
+        // Positive scales preserve the ascending-frequency invariant
+        // the FreqTable constructor enforces.
+        opp.coreMhz *= config.freqScale;
+        opp.busMhz *= config.freqScale;
+        opp.voltage *= config.voltageScale;
+        opps.push_back(opp);
+    }
+    return FreqTable(std::move(opps));
+}
+
 ExperimentRunner::ExperimentRunner(const ExperimentConfig &config)
-    : config_(config), freqTable_(FreqTable::msm8974())
+    : config_(config), freqTable_(deviceFreqTable(config))
 {
 }
 
@@ -84,10 +104,12 @@ ExperimentRunner::idleCharacterization(
         const double ambient = ambients_c[cell / freqs];
         const size_t f = cell % freqs;
 
-        Soc soc = Soc::nexus5(config_.soc);
+        Soc soc(config_.soc, deviceFreqTable(config_));
         DevicePowerConfig power_config = config_.power;
         power_config.thermal.ambientC = ambient;
         power_config.thermal.initialC = ambient;
+        power_config.thermal.thermalResistance *=
+            config_.thermalResistanceScale;
         DevicePower power(power_config, LeakageModel::msm8974Truth());
         SimConfig sim_config;
         sim_config.dtSec = config_.dtSec;
@@ -226,6 +248,15 @@ experimentConfigHash(const ExperimentConfig &config)
         appendHexDouble(text, config.soc.sampling.warmCoverage);
     } else {
         text += "exact";
+    }
+    // Heterogeneity scales key only when non-default so that every
+    // pre-fleet campaign hash and cached bundle stays valid.
+    if (config.freqScale != 1.0 || config.voltageScale != 1.0 ||
+        config.thermalResistanceScale != 1.0) {
+        text += " hetero";
+        appendHexDouble(text, config.freqScale);
+        appendHexDouble(text, config.voltageScale);
+        appendHexDouble(text, config.thermalResistanceScale);
     }
     return hashLabel(text);
 }

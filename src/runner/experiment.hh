@@ -51,6 +51,21 @@ struct ExperimentConfig
      * paper's 58-65 degC range at high frequency and room ambient.
      */
     double warmDieDeltaC = 20.0;
+    /**
+     * Fleet heterogeneity (src/fleet): per-device perturbation of the
+     * stock Nexus 5. freqScale multiplies every OPP's core and bus
+     * clock (silicon speed binning), voltageScale multiplies every
+     * rail voltage (corner voltage binning — it shifts both dynamic
+     * CV^2f power and the exponential leakage term), and
+     * thermalResistanceScale multiplies the junction-to-ambient
+     * thermal resistance (case, skin-contact and cooling spread).
+     * All 1.0 (the default) is the paper-fidelity device; the scales
+     * fold into experimentConfigHash() only when non-default so every
+     * existing campaign hash and cached bundle is unaffected.
+     */
+    double freqScale = 1.0;
+    double voltageScale = 1.0;
+    double thermalResistanceScale = 1.0;
     SocConfig soc;
     DevicePowerConfig power;
 };
@@ -136,6 +151,13 @@ uint64_t runMeasurementDigest(const RunMeasurement &m);
  * trace manifests and folded into the training-cache key.
  */
 uint64_t experimentConfigHash(const ExperimentConfig &config);
+
+/**
+ * The DVFS table of the device @p config describes: the stock MSM8974
+ * table with every OPP scaled by freqScale/voltageScale. Returns the
+ * untouched stock table for the default (all-1.0) config.
+ */
+FreqTable deviceFreqTable(const ExperimentConfig &config);
 
 /**
  * Runs workloads on freshly constructed simulated devices.

@@ -293,9 +293,11 @@ RunContext::RunContext(const ExperimentConfig &config,
     if (params_.governor == nullptr)
         fatal("RunContext: null governor");
 
-    soc_ = std::make_unique<Soc>(Soc::nexus5(config_.soc));
+    soc_ = std::make_unique<Soc>(config_.soc, deviceFreqTable(config_));
     DevicePowerConfig power_config = config_.power;
     power_config.thermal.ambientC = config_.ambientC;
+    power_config.thermal.thermalResistance *=
+        config_.thermalResistanceScale;
     // Page loads are short next to the thermal time constant, so the
     // die temperature during a load is dominated by the *starting*
     // temperature. Measurements begin on a warm device (the phone has

@@ -13,6 +13,23 @@ LaneBatchSimulator::LaneBatchSimulator(
     lanes_.reserve(specs.size());
     for (const auto &spec : specs)
         lanes_.push_back(std::make_unique<RunContext>(config, spec));
+    finishInit();
+}
+
+LaneBatchSimulator::LaneBatchSimulator(const std::vector<LaneSpec> &specs)
+{
+    if (specs.empty())
+        fatal("LaneBatchSimulator: no lanes");
+    lanes_.reserve(specs.size());
+    for (const auto &spec : specs)
+        lanes_.push_back(
+            std::make_unique<RunContext>(spec.config, spec.params));
+    finishInit();
+}
+
+void
+LaneBatchSimulator::finishInit()
+{
     exact_ = lanes_.front()->exactTicks();
     if (lanes_.size() > 1)
         for (auto &lane : lanes_)

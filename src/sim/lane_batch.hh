@@ -49,6 +49,20 @@ class LaneBatchSimulator
 {
   public:
     /**
+     * One lane of a heterogeneous batch: its own device config (the
+     * fleet tier batches different simulated devices together) plus
+     * the usual run parameters. Configs may differ only in scalar
+     * device knobs — the memory geometry is shared by construction
+     * (SocConfig comes from the campaign base), which is what keeps
+     * the fused cross-lane walk valid.
+     */
+    struct LaneSpec
+    {
+        ExperimentConfig config;
+        RunContext::Params params;
+    };
+
+    /**
      * Build one lane per spec. With more than one lane, each lane's
      * MemSystem runs the batched walk (bit-identical to interleaved by
      * the BatchedWalk contract tests); a single lane keeps the legacy
@@ -56,6 +70,9 @@ class LaneBatchSimulator
      */
     LaneBatchSimulator(const ExperimentConfig &config,
                        std::vector<RunContext::Params> specs);
+
+    /** Same, with a per-lane device config (fleet campaigns). */
+    explicit LaneBatchSimulator(const std::vector<LaneSpec> &specs);
 
     /** Number of lanes (live + retired). */
     size_t size() const { return lanes_.size(); }
@@ -77,6 +94,7 @@ class LaneBatchSimulator
     std::vector<RunMeasurement> finishAll();
 
   private:
+    void finishInit();
     bool tickAllFused();
 
     std::vector<std::unique_ptr<RunContext>> lanes_;

@@ -12,23 +12,35 @@ void
 EmpiricalCdf::push(double x)
 {
     samples_.push_back(x);
-    sorted_ = false;
+    sealed_ = false;
 }
 
 void
 EmpiricalCdf::push(const std::vector<double> &xs)
 {
+    if (xs.empty())
+        return;
     samples_.insert(samples_.end(), xs.begin(), xs.end());
-    sorted_ = false;
+    sealed_ = false;
 }
 
 void
-EmpiricalCdf::ensureSorted() const
+EmpiricalCdf::seal()
 {
-    if (!sorted_) {
-        std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
-    }
+    if (sealed_)
+        return;
+    std::sort(samples_.begin(), samples_.end());
+    sealed_ = true;
+}
+
+void
+EmpiricalCdf::requireSealed(const char *op) const
+{
+    if (!sealed_)
+        panic("EmpiricalCdf::%s on an unsealed CDF — call seal() after "
+              "the last push() (queries must be pure reads so a CDF "
+              "can be shared across threads)",
+              op);
 }
 
 double
@@ -36,7 +48,7 @@ EmpiricalCdf::fractionAtOrBelow(double x) const
 {
     if (samples_.empty())
         return 0.0;
-    ensureSorted();
+    requireSealed("fractionAtOrBelow");
     auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
     return static_cast<double>(it - samples_.begin()) /
         static_cast<double>(samples_.size());
@@ -47,7 +59,7 @@ EmpiricalCdf::quantile(double q) const
 {
     if (samples_.empty())
         panic("EmpiricalCdf::quantile on empty sample set");
-    ensureSorted();
+    requireSealed("quantile");
     if (q <= 0.0)
         return samples_.front();
     if (q >= 1.0)
@@ -62,7 +74,7 @@ EmpiricalCdf::min() const
 {
     if (samples_.empty())
         panic("EmpiricalCdf::min on empty sample set");
-    ensureSorted();
+    requireSealed("min");
     return samples_.front();
 }
 
@@ -71,7 +83,7 @@ EmpiricalCdf::max() const
 {
     if (samples_.empty())
         panic("EmpiricalCdf::max on empty sample set");
-    ensureSorted();
+    requireSealed("max");
     return samples_.back();
 }
 
@@ -92,7 +104,7 @@ EmpiricalCdf::series(int points) const
     std::vector<std::pair<double, double>> out;
     if (samples_.empty() || points < 2)
         return out;
-    ensureSorted();
+    requireSealed("series");
     const double lo = samples_.front();
     const double hi = samples_.back();
     out.reserve(static_cast<size_t>(points));

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the shared CLI/env parsing helpers (common/cli.hh) and
+ * the silent-misconfiguration regressions they fix:
+ *
+ *  - a trailing flag with a missing value (`bench --lanes`) used to be
+ *    silently ignored by the --lanes/--jobs/--trace parsers; it must
+ *    now exit fatally with a diagnostic naming the flag;
+ *  - an empty-but-set environment variable (`export DORA_LANES=`) used
+ *    to behave exactly like an unset one; it must now warn (once,
+ *    rate-limited) and then fall back.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/lanes.hh"
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+#include "obs/trace.hh"
+
+namespace dora
+{
+namespace
+{
+
+/** Owns argv storage so tests can write literal command lines. */
+class Argv
+{
+  public:
+    explicit Argv(std::initializer_list<const char *> args)
+        : strings_(args.begin(), args.end())
+    {
+        for (auto &s : strings_)
+            pointers_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers_.size()); }
+    char **argv() { return pointers_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> pointers_;
+};
+
+/** Scoped setenv/unsetenv that restores the prior value on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            hadOld_ = true;
+            old_ = old;
+        }
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool hadOld_ = false;
+};
+
+TEST(CliFlagValue, AbsentFlagReturnsNullopt)
+{
+    Argv args({"bench", "--other", "7"});
+    EXPECT_FALSE(
+        cliFlagValue(args.argc(), args.argv(), "--lanes").has_value());
+}
+
+TEST(CliFlagValue, SeparatedAndInlineSpellings)
+{
+    Argv separated({"bench", "--lanes", "8"});
+    EXPECT_EQ(cliFlagValue(separated.argc(), separated.argv(),
+                           "--lanes"),
+              "8");
+
+    Argv inlined({"bench", "--lanes=16"});
+    EXPECT_EQ(cliFlagValue(inlined.argc(), inlined.argv(), "--lanes"),
+              "16");
+}
+
+TEST(CliFlagValue, LastOccurrenceWins)
+{
+    // Wrapper scripts append overrides, so later flags must shadow
+    // earlier ones in both spellings.
+    Argv args({"bench", "--lanes", "2", "--lanes=4", "--lanes", "6"});
+    EXPECT_EQ(cliFlagValue(args.argc(), args.argv(), "--lanes"), "6");
+}
+
+TEST(CliFlagValue, PrefixIsNotAMatch)
+{
+    // --lanes must not swallow --lanes-foo (and vice versa).
+    Argv args({"bench", "--lanes-foo", "3"});
+    EXPECT_FALSE(
+        cliFlagValue(args.argc(), args.argv(), "--lanes").has_value());
+}
+
+using CliDeath = ::testing::Test;
+
+TEST(CliDeath, TrailingFlagWithoutValueIsFatal)
+{
+    Argv args({"bench", "--lanes"});
+    EXPECT_EXIT(cliFlagValue(args.argc(), args.argv(), "--lanes"),
+                ::testing::ExitedWithCode(1), "--lanes: missing value");
+}
+
+// The three historical offenders: each parser silently ignored a
+// trailing flag before they were routed through cliFlagValue().
+
+TEST(CliDeath, TrailingLanesFlagIsFatal)
+{
+    Argv args({"bench", "--lanes"});
+    EXPECT_EXIT(laneCountFromArgs(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(1), "--lanes: missing value");
+}
+
+TEST(CliDeath, TrailingJobsFlagIsFatal)
+{
+    Argv args({"bench", "--jobs"});
+    EXPECT_EXIT(jobCountFromArgs(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(1), "--jobs: missing value");
+}
+
+TEST(CliDeath, TrailingTraceFlagIsFatal)
+{
+    Argv args({"bench", "--trace"});
+    EXPECT_EXIT(ObsGuard(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(1), "--trace: missing value");
+}
+
+TEST(CliDeath, MalformedIntIsFatal)
+{
+    EXPECT_EXIT(cliParseInt("4x", "--lanes", 1, 4096),
+                ::testing::ExitedWithCode(1), "--lanes");
+    EXPECT_EXIT(cliParseInt("", "--jobs", 1, 1024),
+                ::testing::ExitedWithCode(1), "--jobs");
+}
+
+TEST(CliDeath, OutOfRangeIntIsFatal)
+{
+    EXPECT_EXIT(cliParseInt("0", "--lanes", 1, 4096),
+                ::testing::ExitedWithCode(1), "--lanes");
+    EXPECT_EXIT(cliParseInt("5000", "--lanes", 1, 4096),
+                ::testing::ExitedWithCode(1), "--lanes");
+}
+
+TEST(CliDeath, MalformedDoubleIsFatal)
+{
+    EXPECT_EXIT(cliParseDouble("fast", "--fleet-fault-incidence", 0.0,
+                               1.0),
+                ::testing::ExitedWithCode(1), "--fleet-fault-incidence");
+    EXPECT_EXIT(cliParseDouble("1.5", "--fleet-fault-incidence", 0.0,
+                               1.0),
+                ::testing::ExitedWithCode(1), "--fleet-fault-incidence");
+}
+
+TEST(CliParse, AcceptsValuesInsideRange)
+{
+    EXPECT_EQ(cliParseInt("8", "--lanes", 1, 4096), 8);
+    EXPECT_EQ(cliParseInt("1", "--jobs", 1, 1024), 1);
+    EXPECT_DOUBLE_EQ(cliParseDouble("0.25", "--x", 0.0, 1.0), 0.25);
+}
+
+TEST(EnvNonEmpty, SetValuePassesThrough)
+{
+    ScopedEnv env("DORA_CLI_TEST_VAR", "17");
+    const char *value = envNonEmpty("DORA_CLI_TEST_VAR");
+    ASSERT_NE(value, nullptr);
+    EXPECT_STREQ(value, "17");
+}
+
+TEST(EnvNonEmpty, UnsetReturnsNullWithoutWarning)
+{
+    ScopedEnv env("DORA_CLI_TEST_VAR", nullptr);
+    resetWarnSuppression();
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(envNonEmpty("DORA_CLI_TEST_VAR"), nullptr);
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(EnvNonEmpty, EmptyButSetWarnsAndFallsBack)
+{
+    ScopedEnv env("DORA_CLI_TEST_VAR", "");
+    resetWarnSuppression();
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(envNonEmpty("DORA_CLI_TEST_VAR"), nullptr);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("DORA_CLI_TEST_VAR"), std::string::npos) << err;
+    EXPECT_NE(err.find("empty"), std::string::npos) << err;
+}
+
+TEST(EnvNonEmpty, EmptyWarningIsRateLimited)
+{
+    ScopedEnv env("DORA_CLI_TEST_VAR", "");
+    resetWarnSuppression();
+    ::testing::internal::CaptureStderr();
+    for (uint64_t i = 0; i < warnEmitLimit() + 10; ++i)
+        EXPECT_EQ(envNonEmpty("DORA_CLI_TEST_VAR"), nullptr);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    size_t lines = 0;
+    for (char c : err)
+        lines += (c == '\n');
+    // The sink prints warnEmitLimit() warnings plus one final
+    // "suppressing further repeats" notice.
+    EXPECT_LE(lines, warnEmitLimit() + 1);
+    EXPECT_GE(warnSuppressedTotal(), 10u);
+    resetWarnSuppression();
+}
+
+TEST(EnvNonEmpty, EmptyLanesVarFallsBackToOneLane)
+{
+    // End-to-end: `export DORA_LANES=` must behave like unset (one
+    // lane), not crash, not pick a stale value.
+    ScopedEnv env("DORA_LANES", "");
+    resetWarnSuppression();
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(defaultLaneCount(), 1u);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("DORA_LANES"), std::string::npos) << err;
+    resetWarnSuppression();
+}
+
+TEST(EnvNonEmpty, EmptyJobsVarFallsBackToHardware)
+{
+    ScopedEnv env("DORA_JOBS", "");
+    resetWarnSuppression();
+    ::testing::internal::CaptureStderr();
+    EXPECT_GE(defaultJobCount(), 1u);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("DORA_JOBS"), std::string::npos) << err;
+    resetWarnSuppression();
+}
+
+} // namespace
+} // namespace dora

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Fleet campaign determinism suite (DESIGN.md §5h):
+ *
+ *  - sampleDevice() is deterministic, order-independent, in-range,
+ *    and stable against faultIncidence flips;
+ *  - the same FleetSpec produces a byte-identical population and
+ *    aggregate report at every (jobs, workers, lanes) combination;
+ *  - replayDevice() reproduces an in-campaign cell bit-exactly;
+ *  - a supervisor SIGKILLed mid-campaign resumes from the journal to
+ *    a byte-identical report;
+ *  - cohort device counts conserve the population.
+ *
+ * Identity is checked through fleetReportText() and the population
+ * digest (hex-float rendering underneath), so any single-ULP
+ * divergence fails. The campaigns here are tiny (5 devices, short
+ * load wall); bench/fleet_rollout.cc runs the 10k-device version of
+ * the same checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fleet/campaign.hh"
+#include "fleet/fleet_spec.hh"
+#include "obs/metrics.hh"
+#include "runner/experiment.hh"
+
+namespace fs = std::filesystem;
+
+namespace dora
+{
+namespace
+{
+
+/**
+ * A tiny campaign: 5 devices x 2 model-free governors, a short load
+ * wall (a censored page is still a deterministic measurement), and a
+ * fault incidence high enough that the fault path is exercised.
+ */
+FleetCampaignConfig
+smallCampaign(unsigned jobs, unsigned workers, unsigned lanes,
+              const std::string &stem = "")
+{
+    FleetCampaignConfig config;
+    config.spec.seed = 7;
+    config.spec.devices = 5;
+    config.spec.faultIncidence = 0.4;
+    config.governors = {"interactive", "ondemand"};
+    config.base.maxLoadSec = 1.0;
+    config.jobs = jobs;
+    config.workers = workers;
+    config.lanes = lanes;
+    config.journalStem = stem;
+    return config;
+}
+
+/** Remove journal files left by a previous run of @p stem. */
+void
+clearJournals(const std::string &stem)
+{
+    const fs::path dir = fs::path(stem).parent_path();
+    const std::string prefix = fs::path(stem).filename().string();
+    if (!fs::exists(dir))
+        return;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().filename().string().rfind(prefix, 0) == 0)
+            fs::remove(entry.path());
+}
+
+/** The journal file for @p stem, or "" while none exists yet. */
+std::string
+findJournal(const std::string &stem)
+{
+    const fs::path dir = fs::path(stem).parent_path();
+    const std::string prefix = fs::path(stem).filename().string();
+    if (fs::exists(dir))
+        for (const auto &entry : fs::directory_iterator(dir))
+            if (entry.path().filename().string().rfind(prefix, 0) == 0)
+                return entry.path().string();
+    return "";
+}
+
+bool
+sameDevice(const DeviceSpec &a, const DeviceSpec &b)
+{
+    return a.index == b.index && a.page == b.page &&
+        a.corun == b.corun && a.freqScale == b.freqScale &&
+        a.voltageScale == b.voltageScale &&
+        a.thermalResistanceScale == b.thermalResistanceScale &&
+        a.ambientC == b.ambientC;
+}
+
+TEST(FleetSpec, SamplerIsDeterministicAndInRange)
+{
+    FleetSpec spec;
+    spec.devices = 64;
+    std::set<std::string> cohorts;
+    for (size_t i = 0; i < spec.devices; ++i) {
+        const DeviceSpec a = sampleDevice(spec, i);
+        const DeviceSpec b = sampleDevice(spec, i);
+        EXPECT_TRUE(sameDevice(a, b)) << "device " << i;
+        EXPECT_EQ(a.faulty, b.faulty);
+        EXPECT_EQ(a.faultSeed, b.faultSeed);
+
+        EXPECT_FALSE(a.page.empty());
+        EXPECT_GE(a.freqScale, 0.85);
+        EXPECT_LE(a.freqScale, 1.20);
+        EXPECT_GE(a.voltageScale, 0.90);
+        EXPECT_LE(a.voltageScale, 1.12);
+        EXPECT_GE(a.thermalResistanceScale, 0.60);
+        EXPECT_LE(a.thermalResistanceScale, 1.80);
+        EXPECT_GE(a.ambientC, spec.ambientMinC);
+        EXPECT_LE(a.ambientC, spec.ambientMaxC);
+        cohorts.insert(a.cohort());
+    }
+    // 64 devices across a 24-bucket space: expect real diversity.
+    EXPECT_GT(cohorts.size(), 3u);
+    EXPECT_LE(cohorts.size(), fleetCohortCount());
+}
+
+TEST(FleetSpec, SamplerIsOrderIndependent)
+{
+    // Guard against hidden global state: sampling backwards must
+    // reproduce the forward pass exactly (workers visit devices in
+    // arbitrary order).
+    FleetSpec spec;
+    spec.devices = 16;
+    std::vector<DeviceSpec> forward;
+    for (size_t i = 0; i < spec.devices; ++i)
+        forward.push_back(sampleDevice(spec, i));
+    for (size_t i = spec.devices; i-- > 0;)
+        EXPECT_TRUE(sameDevice(forward[i], sampleDevice(spec, i)))
+            << "device " << i;
+}
+
+TEST(FleetSpec, HashCoversEveryField)
+{
+    const FleetSpec base;
+    EXPECT_EQ(fleetSpecHash(base), fleetSpecHash(FleetSpec{}));
+
+    FleetSpec seed = base;
+    seed.seed = 2;
+    FleetSpec devices = base;
+    devices.devices = 5;
+    FleetSpec sd = base;
+    sd.freqScaleSd = 0.05;
+    FleetSpec fault = base;
+    fault.faultIncidence = 0.5;
+    const uint64_t h = fleetSpecHash(base);
+    EXPECT_NE(fleetSpecHash(seed), h);
+    EXPECT_NE(fleetSpecHash(devices), h);
+    EXPECT_NE(fleetSpecHash(sd), h);
+    EXPECT_NE(fleetSpecHash(fault), h);
+}
+
+TEST(FleetSpec, FaultIncidenceFlipPerturbsNoOtherDraw)
+{
+    // Turning faults on must only set the faulty bit: every other
+    // draw — and the schedule seed itself — stays stable, so fault
+    // studies compare the same underlying population.
+    FleetSpec off;
+    off.devices = 32;
+    off.faultIncidence = 0.0;
+    FleetSpec on = off;
+    on.faultIncidence = 1.0;
+    for (size_t i = 0; i < off.devices; ++i) {
+        const DeviceSpec a = sampleDevice(off, i);
+        const DeviceSpec b = sampleDevice(on, i);
+        EXPECT_TRUE(sameDevice(a, b)) << "device " << i;
+        EXPECT_FALSE(a.faulty);
+        EXPECT_TRUE(b.faulty);
+        EXPECT_EQ(a.faultSeed, b.faultSeed) << "device " << i;
+    }
+}
+
+TEST(FleetDeterminism, TierCombinationsAreByteIdentical)
+{
+    FleetEngine baseline(smallCampaign(1, 0, 1));
+    const FleetReport ref = baseline.run();
+    const std::string ref_text = fleetReportText(ref);
+    ASSERT_FALSE(ref_text.empty());
+
+    struct Combo
+    {
+        unsigned jobs, workers, lanes;
+    };
+    // Thread tier, lane tier, process tier, and an uneven tail batch
+    // (5 devices x 2 governors = 10 cells; lanes=3 leaves a rump).
+    const Combo combos[] = {{2, 0, 2}, {1, 0, 3}, {1, 2, 2}};
+    for (const Combo &c : combos) {
+        FleetEngine engine(smallCampaign(c.jobs, c.workers, c.lanes));
+        const FleetReport report = engine.run();
+        EXPECT_EQ(report.populationDigest, ref.populationDigest)
+            << "jobs=" << c.jobs << " workers=" << c.workers
+            << " lanes=" << c.lanes;
+        EXPECT_EQ(fleetReportText(report), ref_text)
+            << "jobs=" << c.jobs << " workers=" << c.workers
+            << " lanes=" << c.lanes;
+    }
+}
+
+TEST(FleetDeterminism, ReplayMatchesInCampaignCell)
+{
+    FleetEngine engine(smallCampaign(1, 0, 4));
+    const auto cells = engine.runAllCells();
+    const auto &governors = engine.config().governors;
+    ASSERT_EQ(cells.size(),
+              engine.config().spec.devices * governors.size());
+
+    // Replay a few devices under each governor; each must be
+    // bit-identical to its in-campaign cell even though the campaign
+    // ran them 4-to-a-batch and the replay runs them alone.
+    for (const size_t device : {size_t{0}, size_t{3}}) {
+        for (size_t g = 0; g < governors.size(); ++g) {
+            const RunMeasurement replayed =
+                engine.replayDevice(device, governors[g]);
+            const RunMeasurement &in_campaign =
+                cells[device * governors.size() + g];
+            EXPECT_EQ(runMeasurementText(replayed),
+                      runMeasurementText(in_campaign))
+                << "device " << device << " governor " << governors[g];
+        }
+    }
+}
+
+TEST(FleetDeterminism, CohortCountsConserveThePopulation)
+{
+    FleetEngine engine(smallCampaign(1, 0, 2));
+    const FleetReport report = engine.run();
+    ASSERT_EQ(report.byGovernor.size(), 2u);
+
+    size_t cohort_devices = 0;
+    for (const FleetCohortStats &c : report.cohorts) {
+        EXPECT_GT(c.devices, 0u) << c.cohort;
+        cohort_devices += c.devices;
+    }
+    EXPECT_EQ(cohort_devices, report.devices);
+    EXPECT_LE(report.cohorts.size(), fleetCohortCount());
+
+    for (const FleetGovernorStats &g : report.byGovernor) {
+        EXPECT_EQ(g.devices, report.devices);
+        EXPECT_EQ(g.ppwCdf.count() + g.censored, g.devices);
+        EXPECT_GE(g.meetRate, 0.0);
+        EXPECT_LE(g.meetRate, 1.0);
+    }
+}
+
+TEST(FleetDeterminism, CampaignHashSeparatesCampaigns)
+{
+    const FleetCampaignConfig a = smallCampaign(1, 0, 1);
+    FleetCampaignConfig b = a;
+    b.spec.seed = 8;
+    FleetCampaignConfig c = a;
+    c.governors = {"interactive"};
+    FleetCampaignConfig d = a;
+    d.lanes = 4;
+    // jobs/workers are pure throughput policy — never identity.
+    FleetCampaignConfig e = a;
+    e.jobs = 8;
+    e.workers = 3;
+    EXPECT_NE(fleetCampaignHash(a), fleetCampaignHash(b));
+    EXPECT_NE(fleetCampaignHash(a), fleetCampaignHash(c));
+    EXPECT_NE(fleetCampaignHash(a), fleetCampaignHash(d));
+    EXPECT_EQ(fleetCampaignHash(a), fleetCampaignHash(e));
+}
+
+TEST(FleetDeath, UnknownGovernorIsFatal)
+{
+    FleetCampaignConfig config = smallCampaign(1, 0, 1);
+    config.governors = {"warp-drive"};
+    FleetEngine engine(config);
+    EXPECT_EXIT(engine.replayDevice(0, "warp-drive"),
+                ::testing::ExitedWithCode(1), "unknown governor");
+}
+
+TEST(FleetKillResume, SupervisorSigkillThenResumeByteIdentical)
+{
+    const std::string stem =
+        ::testing::TempDir() + "fleet_resume_test";
+    clearJournals(stem);
+
+    FleetEngine baseline(smallCampaign(1, 0, 2));
+    const std::string ref_text = fleetReportText(baseline.run());
+
+    // First attempt runs in a forked child so SIGKILL models a hard
+    // supervisor death (no destructors, no drain).
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        FleetEngine engine(smallCampaign(1, 1, 2, stem));
+        engine.run();
+        ::_exit(0);
+    }
+
+    // Kill as soon as the journal holds at least one record (header
+    // is 36 bytes), i.e. mid-campaign with real progress on disk.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    std::string journal;
+    while (std::chrono::steady_clock::now() < deadline) {
+        journal = findJournal(stem);
+        std::error_code ec;
+        if (!journal.empty() && fs::file_size(journal, ec) > 36 && !ec)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_FALSE(journal.empty()) << "campaign never journaled";
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+    // Resume in-process: the journal must contribute completed
+    // batches and the resumed report must match the uninterrupted
+    // baseline byte-for-byte.
+    const uint64_t resumed_before =
+        MetricsRegistry::global().counter("proc.units_resumed").value();
+    FleetEngine resumed(smallCampaign(1, 1, 2, stem));
+    const std::string resumed_text = fleetReportText(resumed.run());
+    const uint64_t resumed_after =
+        MetricsRegistry::global().counter("proc.units_resumed").value();
+
+    EXPECT_GE(resumed_after, resumed_before + 1)
+        << "rerun recomputed everything instead of resuming";
+    EXPECT_EQ(resumed_text, ref_text);
+    clearJournals(stem);
+}
+
+} // namespace
+} // namespace dora

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/rng.hh"
+#include "exec/thread_pool.hh"
 #include "stats/cdf.hh"
 #include "stats/running_stat.hh"
 
@@ -82,6 +83,7 @@ TEST(EmpiricalCdf, FractionAtOrBelow)
 {
     EmpiricalCdf cdf;
     cdf.push({1.0, 2.0, 3.0, 4.0});
+    cdf.seal();
     EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0.5), 0.0);
     EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(1.0), 0.25);
     EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(2.5), 0.5);
@@ -94,6 +96,7 @@ TEST(EmpiricalCdf, Quantiles)
     EmpiricalCdf cdf;
     for (int i = 1; i <= 100; ++i)
         cdf.push(static_cast<double>(i));
+    cdf.seal();
     EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
     EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
     EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
@@ -109,6 +112,7 @@ TEST(EmpiricalCdf, SeriesIsMonotone)
     Rng rng(3);
     for (int i = 0; i < 500; ++i)
         cdf.push(rng.gaussian());
+    cdf.seal();
     const auto series = cdf.series(20);
     ASSERT_EQ(series.size(), 20u);
     for (size_t i = 1; i < series.size(); ++i) {
@@ -118,13 +122,56 @@ TEST(EmpiricalCdf, SeriesIsMonotone)
     EXPECT_DOUBLE_EQ(series.back().second, 1.0);
 }
 
-TEST(EmpiricalCdf, PushAfterQueryResorts)
+TEST(EmpiricalCdf, PushAfterSealUnsealsAndResealResorts)
+{
+    EmpiricalCdf cdf;
+    EXPECT_TRUE(cdf.sealed()); // an empty CDF is trivially sorted
+    cdf.push(2.0);
+    EXPECT_FALSE(cdf.sealed());
+    cdf.seal();
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(2.0), 1.0);
+    cdf.push(1.0);
+    EXPECT_FALSE(cdf.sealed());
+    cdf.seal();
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+}
+
+TEST(EmpiricalCdfDeath, UnsealedQueryPanics)
 {
     EmpiricalCdf cdf;
     cdf.push(2.0);
-    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(2.0), 1.0);
     cdf.push(1.0);
-    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(1.0), 0.5);
+    EXPECT_DEATH(cdf.quantile(0.5), "unsealed");
+    EXPECT_DEATH(cdf.min(), "unsealed");
+    EXPECT_DEATH(cdf.fractionAtOrBelow(1.5), "unsealed");
+    EXPECT_DEATH(cdf.series(4), "unsealed");
+}
+
+// TSan regression for the lazy-sort-under-const race this API replaced:
+// one sealed CDF queried concurrently from parallelMap workers must be
+// a pure read. (The test name matches the ParallelMap pattern in
+// scripts/run_sanitized_tests.sh so it runs in the TSan leg.)
+TEST(ParallelMapCdf, SealedSharedQueriesAreRaceFree)
+{
+    EmpiricalCdf cdf;
+    Rng rng(11);
+    for (int i = 0; i < 4096; ++i)
+        cdf.push(rng.gaussian());
+    cdf.seal();
+
+    const auto p95 = parallelMap<double>(
+        64,
+        [&](size_t i) {
+            const double q = static_cast<double>(i % 100) / 100.0;
+            (void)cdf.fractionAtOrBelow(q);
+            (void)cdf.min();
+            (void)cdf.max();
+            return cdf.quantile(0.95);
+        },
+        4);
+    for (double v : p95)
+        EXPECT_DOUBLE_EQ(v, cdf.quantile(0.95));
 }
 
 TEST(Histogram, BinningAndClamping)

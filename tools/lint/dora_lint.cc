@@ -33,7 +33,7 @@ usage(const char *argv0)
         "  --json FILE   also write findings as a JSON report\n"
         "  --list-rules  print the rule catalog and exit\n"
         "  subdirs       repo-relative roots (default: src tests "
-        "bench)\n",
+        "bench tools/fleet)\n",
         argv0);
     return 2;
 }
@@ -79,7 +79,7 @@ main(int argc, char **argv)
     }
 
     if (subdirs.empty())
-        subdirs = {"src", "tests", "bench"};
+        subdirs = {"src", "tests", "bench", "tools/fleet"};
 
     std::vector<std::string> scanned;
     const std::vector<dora::lint::Finding> findings =
