@@ -22,6 +22,11 @@
 #                            aggregate tick-rate ratio (default 1.5 —
 #                            the recorded ratio is ~2x, the floor is
 #                            set below the worst noise swing)
+#   DORA_CI_FLEET_TOL_PCT    allowed fleet devices/s regression vs
+#                            the BENCH_parallel.json baseline, percent
+#                            (default 10; the fleet stage is a single
+#                            short campaign, noisier than the hotpath
+#                            rate)
 #   DORA_CI_SKIP_NATIVE=1    skip the -march=native build leg
 set -euo pipefail
 
@@ -99,15 +104,50 @@ echo "== crash: process-tier resilience =="
 (cd "${build_dir}" && ctest --output-on-failure \
     -R 'ProcWire|ProcJournalTest|ProcSupervisorTest|KillResume|BundleCacheLockTest|ObsGuardSignal')
 
-echo "== fleet: campaign determinism + resume =="
-# 200-device rollout under model-free governors (no trained bundle
-# needed): byte-identity across the (jobs, workers, lanes) tier
-# matrix, mid-campaign SIGKILL + journal resume, and cohort-count
-# conservation. fleet_rollout exits non-zero on any violation; the
-# short load wall keeps the stage to minutes (a censored page is
-# still a deterministic measurement).
-"${build_dir}/bench/fleet_rollout" --fleet-devices 200 \
-    --fleet-governors interactive,ondemand --fleet-max-load 1.0
+echo "== fleet: campaign determinism + checkpoint resume =="
+# Rollout under model-free governors (no trained bundle needed):
+# byte-identity across the (jobs, workers, lanes) tier matrix,
+# mid-campaign SIGKILL + aggregate-checkpoint resume, cohort-count
+# conservation, and the bench's own peak-RSS ceiling. fleet_rollout
+# exits non-zero on any violation; the short load wall keeps the
+# stage to minutes (a censored page is still a deterministic
+# measurement). Device count matches the run_benches.sh recording so
+# the serial reference pass's devices/s is comparable to the
+# baseline, which gates throughput below.
+fleet_log="$(mktemp)"
+"${build_dir}/bench/fleet_rollout" --fleet-devices 120 \
+    --fleet-governors interactive,ondemand --fleet-max-load 1.0 \
+    | tee "${fleet_log}"
+
+echo "== fleet throughput gate =="
+# Same mechanism as the hot-path floor: the serial reference pass's
+# devices/s must stay within DORA_CI_FLEET_TOL_PCT of the recorded
+# BENCH_parallel.json baseline.
+fleet_baseline="$(sed -n \
+    '/"fleet_rollout"/,/}/s/.*"devices_per_sec": *\([0-9.]*\).*/\1/p' \
+    "${repo_root}/BENCH_parallel.json" 2>/dev/null || true)"
+if [[ -z "${fleet_baseline}" ]]; then
+    echo "warning: no fleet_rollout baseline in BENCH_parallel.json;" \
+         "skipping the fleet floor (run scripts/run_benches.sh)"
+else
+    fleet_tol_pct="${DORA_CI_FLEET_TOL_PCT:-10}"
+    fleet_rate="$(awk '$1=="FLEET" && $2=="jobs=1" && $3=="workers=0" && \
+        $4=="lanes=1" {sub("devices_per_sec=","",$6); print $6}' \
+        "${fleet_log}")"
+    fleet_floor="$(awk -v b="${fleet_baseline}" -v t="${fleet_tol_pct}" \
+        'BEGIN{printf "%.2f", b * (100 - t) / 100}')"
+    echo "fleet devices/s: measured ${fleet_rate}," \
+         "baseline ${fleet_baseline}, floor ${fleet_floor}" \
+         "(tolerance ${fleet_tol_pct}%)"
+    fleet_ok="$(awk -v r="${fleet_rate}" -v f="${fleet_floor}" \
+        'BEGIN{print (r >= f) ? 1 : 0}')"
+    if [[ "${fleet_ok}" -ne 1 ]]; then
+        echo "error: fleet devices/s regressed beyond" \
+             "${fleet_tol_pct}%" >&2
+        exit 1
+    fi
+fi
+rm -f "${fleet_log}"
 
 if [[ "${DORA_CI_SKIP_NATIVE:-0}" -eq 1 ]]; then
     echo "== native codegen leg == (skipped: DORA_CI_SKIP_NATIVE=1)"

@@ -10,7 +10,8 @@
 #     N in {1,4,8,16} runs per batch in both modes
 #   - bench/ovh_memsample: ns per sampled cache access + per stream draw
 #   - bench/fleet_rollout: fleet campaign devices/s (serial reference
-#     pass) plus its tier byte-identity + journal-resume self-checks
+#     pass) and peak RSS, plus its tier byte-identity +
+#     checkpoint-resume + bounded-memory self-checks
 #   - fig01/fig03: serial wall-clock of the two cheapest paper figures
 #
 # Usage: scripts/run_benches.sh [--jobs N] [--build-dir DIR]
@@ -114,9 +115,10 @@ time_bench() {
 
 # Fleet campaign throughput: the serial reference pass's devices/s is
 # the tracked number; the bench also self-checks tier byte-identity,
-# SIGKILL + journal resume, and cohort conservation (exits non-zero
-# on any violation). Model-free governors + a short load wall keep
-# the recording to minutes.
+# mid-campaign SIGKILL + checkpoint resume, cohort conservation, and
+# its own peak-RSS ceiling (exits non-zero on any violation).
+# Model-free governors + a short load wall keep the recording to
+# minutes.
 fleet_devices=120
 echo "== fleet_rollout (${fleet_devices} devices) =="
 fleet_log="$(mktemp)"
@@ -130,6 +132,8 @@ fleet_identical="$(awk '/^FLEET identical=/{sub("identical=","",$2); \
     print $2}' "${fleet_log}")"
 fleet_resume="$(awk '/^FLEET identical=/{sub("resume_identical=","",$3); \
     print $3}' "${fleet_log}")"
+fleet_rss_mb="$(awk '/^FLEET identical=/{sub("peak_rss_mb=","",$5); \
+    print $5}' "${fleet_log}")"
 [[ "${fleet_identical}" == "1" ]] && fleet_identical=true \
     || fleet_identical=false
 [[ "${fleet_resume}" == "1" ]] && fleet_resume=true \
@@ -176,6 +180,7 @@ cat > "${out}" <<EOF
   "fleet_rollout": {
     "devices": ${fleet_devices},
     "devices_per_sec": ${fleet_rate},
+    "peak_rss_mb": ${fleet_rss_mb},
     "identical": ${fleet_identical},
     "resume_identical": ${fleet_resume}
   },

@@ -20,12 +20,6 @@ splitMix64(uint64_t &state)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 uint64_t
@@ -51,27 +45,10 @@ Rng::Rng(std::string_view label)
 {
 }
 
-uint64_t
-Rng::next()
+void
+Rng::belowZeroPanic_()
 {
-    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
+    panic("Rng::below: n must be positive");
 }
 
 double
@@ -80,15 +57,6 @@ Rng::uniform(double lo, double hi)
     if (lo > hi)
         panic("Rng::uniform: lo (%g) > hi (%g)", lo, hi);
     return lo + (hi - lo) * uniform();
-}
-
-uint64_t
-Rng::below(uint64_t n)
-{
-    if (n == 0)
-        panic("Rng::below: n must be positive");
-    // Modulo bias is negligible for the simulator's n << 2^64.
-    return next() % n;
 }
 
 double
@@ -107,21 +75,6 @@ double
 Rng::gaussian(double mean, double sd)
 {
     return mean + sd * gaussian();
-}
-
-bool
-Rng::chance(double p)
-{
-    return uniform() < p;
-}
-
-uint64_t
-Rng::burstLength(double continue_prob, uint64_t cap)
-{
-    uint64_t len = 1;
-    while (len < cap && chance(continue_prob))
-        ++len;
-    return len;
 }
 
 Rng

@@ -33,17 +33,47 @@ class Rng
     /** Seed from a string label, e.g. "page:amazon/kernel:bfs". */
     explicit Rng(std::string_view label);
 
+    // The per-draw primitives are defined in the header: address-stream
+    // generation draws once or more per modeled cache access, so the
+    // sampled-walk hot path (DESIGN.md §5g) needs these inlined into
+    // its burst loops rather than paying a call per draw. The
+    // arithmetic is unchanged — draw sequences are bit-identical to
+    // the out-of-line versions.
+
     /** Next raw 64-bit draw. */
-    uint64_t next();
+    uint64_t next()
+    {
+        const uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl_(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 high bits -> double in [0, 1).
+        return (next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). Requires lo <= hi. */
     double uniform(double lo, double hi);
 
     /** Uniform integer in [0, n). Requires n > 0. */
-    uint64_t below(uint64_t n);
+    uint64_t below(uint64_t n)
+    {
+        if (n == 0)
+            belowZeroPanic_();
+        // Modulo bias is negligible for the simulator's n << 2^64.
+        return next() % n;
+    }
 
     /** Standard normal draw (Box-Muller, one value per call). */
     double gaussian();
@@ -52,13 +82,19 @@ class Rng
     double gaussian(double mean, double sd);
 
     /** Bernoulli draw with probability p of true. */
-    bool chance(double p);
+    bool chance(double p) { return uniform() < p; }
 
     /**
      * Geometric-ish burst length in [1, cap]: used by address stream
      * generators to model runs of sequential accesses.
      */
-    uint64_t burstLength(double continue_prob, uint64_t cap);
+    uint64_t burstLength(double continue_prob, uint64_t cap)
+    {
+        uint64_t len = 1;
+        while (len < cap && chance(continue_prob))
+            ++len;
+        return len;
+    }
 
     /** Derive a child generator from this one plus a salt label. */
     Rng fork(std::string_view salt);
@@ -81,6 +117,14 @@ class Rng
     void setState(const State &state);
 
   private:
+    static uint64_t rotl_(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Out-of-line failure path keeps logging out of this header. */
+    [[noreturn]] static void belowZeroPanic_();
+
     uint64_t s_[4];
 };
 

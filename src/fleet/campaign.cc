@@ -1,19 +1,24 @@
 #include "fleet/campaign.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <map>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "browser/page_corpus.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/snapshot.hh"
 #include "exec/proc/supervisor.hh"
 #include "exec/thread_pool.hh"
 #include "fault/fault_injector.hh"
 #include "harness/comparison.hh"
 #include "obs/trace.hh"
-#include "runner/measurement_io.hh"
 #include "sim/lane_batch.hh"
 #include "workloads/corun_task.hh"
 
@@ -31,24 +36,147 @@ appendHexDouble(std::string &text, double value)
     text += buf;
 }
 
+bool
+writeAllFd(int fd, const char *p, size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+/** Whole-file read; false when the file is absent or unreadable. */
+bool
+readFile(const std::string &path, std::string *out)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return false;
+    char buf[64 * 1024];
+    for (;;) {
+        const ssize_t r = ::read(fd, buf, sizeof(buf));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        if (r == 0)
+            break;
+        out->append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return true;
+}
+
+/** Temp + fsync + rename: a kill leaves the old file or the new one. */
+bool
+writeFileAtomic(const std::string &path, std::string_view bytes)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return false;
+    if (!writeAllFd(fd, bytes.data(), bytes.size()) ||
+        ::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Campaign aggregate checkpoint: the absorbed-prefix FleetShardAggregate
+ * plus enough identity (campaign hash, chunk geometry) to refuse a
+ * checkpoint from any other campaign. Versioned snapshot section.
+ */
+std::string
+checkpointBytes(uint64_t hash, uint64_t chunk_count,
+                uint32_t chunk_devices, uint64_t absorbed,
+                const FleetShardAggregate &campaign)
+{
+    SnapshotWriter w;
+    w.beginSection("fckp", 1);
+    w.putU64(hash);
+    w.putU64(chunk_count);
+    w.putU32(chunk_devices);
+    w.putU64(absorbed);
+    w.putString(campaign.serialize());
+    return w.finish();
+}
+
+bool
+tryLoadCheckpoint(const std::string &path, uint64_t hash,
+                  uint64_t chunk_count, uint32_t chunk_devices,
+                  uint64_t device_total, size_t gcount,
+                  uint64_t *absorbed, FleetShardAggregate *campaign)
+{
+    std::string bytes;
+    if (!readFile(path, &bytes))
+        return false;  // no checkpoint yet: a fresh campaign
+    SnapshotReader r(bytes);
+    uint64_t h = 0, chunks = 0, a = 0;
+    uint32_t cd = 0;
+    std::string agg;
+    if (!r.checksumOk() || !r.beginSection("fckp", 1) ||
+        !r.getU64(&h) || !r.getU64(&chunks) || !r.getU32(&cd) ||
+        !r.getU64(&a) || !r.getString(&agg) || !r.atEnd() ||
+        h != hash || chunks != chunk_count || cd != chunk_devices ||
+        a > chunk_count) {
+        warn("fleet: ignoring checkpoint %s (different campaign, "
+             "torn write, or newer format); the journal still covers "
+             "completed chunks",
+             path.c_str());
+        return false;
+    }
+    FleetShardAggregate loaded;
+    const uint64_t expect_cells =
+        std::min<uint64_t>(a * chunk_devices, device_total) * gcount;
+    if (!loaded.tryDeserialize(agg) || loaded.firstCell() != 0 ||
+        loaded.cellCount() != expect_cells) {
+        warn("fleet: ignoring checkpoint %s (aggregate does not match "
+             "the stated chunk prefix)",
+             path.c_str());
+        return false;
+    }
+    *absorbed = a;
+    *campaign = std::move(loaded);
+    return true;
+}
+
 } // namespace
 
 uint64_t
 fleetCampaignHash(const FleetCampaignConfig &config)
 {
-    // "rev1": bump on any change to the cell grid layout or the unit
-    // payload format — the hash names resume journals.
-    std::string text = "fleet-campaign-rev1 " +
+    // "rev2": bump on any change to the cell grid layout or the unit
+    // payload format — the hash names resume journals and checkpoints.
+    // rev2 units are chunk aggregates (rev1 shipped raw measurements
+    // in lane-batch units), so the chunk width is part of the
+    // identity and the lane width no longer is: the lane contract
+    // makes every cell's measurement lane-invariant, so one journal
+    // resumes at any lane count.
+    std::string text = "fleet-campaign-rev2 " +
         fleetSpecText(config.spec) + " protocol " +
         hexU64(experimentConfigHash(config.base)) + " governors";
     for (const auto &governor : config.governors)
         text += " " + governor;
-    // The process-tier unit space is lane batches, so the lane width
-    // is part of the journal identity; lanes=1 hashes like the
-    // pre-lane layout (one unit per cell) by the same convention as
-    // the harness procCampaignHash.
-    if (config.lanes > 1)
-        text += " lanes " + std::to_string(config.lanes);
+    text += " chunk " + std::to_string(config.chunkDevices);
     return hashLabel(text);
 }
 
@@ -71,15 +199,30 @@ FleetEngine::FleetEngine(FleetCampaignConfig config)
         fatal("FleetEngine: empty governor list");
     if (config_.lanes == 0)
         config_.lanes = 1;
+    if (config_.chunkDevices == 0)
+        config_.chunkDevices = 1;
+    if (config_.checkpointIntervalChunks == 0)
+        config_.checkpointIntervalChunks = 1;
+}
+
+size_t
+FleetEngine::cellCount() const
+{
+    return config_.spec.devices * config_.governors.size();
+}
+
+size_t
+FleetEngine::chunkCount() const
+{
+    const size_t per = config_.chunkDevices;
+    return (config_.spec.devices + per - 1) / per;
 }
 
 FleetEngine::DeviceCell
-FleetEngine::makeCell(size_t cell_index) const
+FleetEngine::makeCell(size_t cell_index, const DeviceSpec &sampled) const
 {
     const size_t gcount = config_.governors.size();
-    const size_t device = cell_index / gcount;
     const std::string &governor = config_.governors[cell_index % gcount];
-    const DeviceSpec sampled = sampleDevice(config_.spec, device);
 
     DeviceCell cell;
     cell.config = config_.base;
@@ -108,14 +251,19 @@ FleetEngine::makeCell(size_t cell_index) const
 }
 
 std::vector<RunMeasurement>
-FleetEngine::runBatch(size_t first, size_t count) const
+FleetEngine::runLaneBatch(size_t first, size_t count,
+                          const std::vector<DeviceSpec> &devices,
+                          size_t first_device) const
 {
+    const size_t gcount = config_.governors.size();
     std::vector<DeviceCell> cells;
     std::vector<LaneBatchSimulator::LaneSpec> specs;
     cells.reserve(count);
     specs.reserve(count);
     for (size_t i = 0; i < count; ++i) {
-        cells.push_back(makeCell(first + i));
+        const size_t cell_index = first + i;
+        cells.push_back(makeCell(
+            cell_index, devices[cell_index / gcount - first_device]));
         const DeviceCell &cell = cells.back();
         LaneBatchSimulator::LaneSpec spec;
         spec.config = cell.config;
@@ -134,8 +282,204 @@ FleetEngine::runBatch(size_t first, size_t count) const
 }
 
 std::vector<RunMeasurement>
-FleetEngine::runBatchesInProcess(size_t n) const
+FleetEngine::runBatch(size_t first, size_t count) const
 {
+    const size_t gcount = config_.governors.size();
+    const size_t first_device = first / gcount;
+    const size_t last_device = (first + count - 1) / gcount;
+    std::vector<DeviceSpec> devices;
+    devices.reserve(last_device - first_device + 1);
+    for (size_t d = first_device; d <= last_device; ++d)
+        devices.push_back(sampleDevice(config_.spec, d));
+    return runLaneBatch(first, count, devices, first_device);
+}
+
+FleetShardAggregate
+FleetEngine::runChunk(size_t chunk_index) const
+{
+    const size_t gcount = config_.governors.size();
+    const size_t chunk_cells =
+        static_cast<size_t>(config_.chunkDevices) * gcount;
+    const size_t n = cellCount();
+    const size_t first = chunk_index * chunk_cells;
+    const size_t count = std::min(chunk_cells, n - first);
+    const size_t first_device = first / gcount;
+    const size_t device_count = count / gcount;  // whole devices
+
+    // Per-cell setup amortization: sample each device ONCE per chunk
+    // (spec + cohort were previously re-derived for every governor
+    // cell and again at aggregation time) and reuse the spec for all
+    // of its cells.
+    std::vector<DeviceSpec> devices;
+    std::vector<std::string> cohorts;
+    devices.reserve(device_count);
+    cohorts.reserve(device_count);
+    for (size_t d = 0; d < device_count; ++d) {
+        devices.push_back(sampleDevice(config_.spec, first_device + d));
+        cohorts.push_back(devices.back().cohort());
+    }
+
+    FleetShardAggregate agg =
+        FleetShardAggregate::forChunk(gcount, first);
+    const size_t lanes = config_.lanes;
+    for (size_t done = 0; done < count;) {
+        const size_t batch = std::min(lanes, count - done);
+        const std::vector<RunMeasurement> ms =
+            runLaneBatch(first + done, batch, devices, first_device);
+        for (size_t i = 0; i < batch; ++i) {
+            const size_t cell = first + done + i;
+            const size_t g = cell % gcount;
+            agg.pushCell(g, cohorts[cell / gcount - first_device],
+                         g == 0, ms[i]);
+        }
+        done += batch;
+    }
+    return agg;
+}
+
+FleetShardAggregate
+FleetEngine::runCampaignInProcess() const
+{
+    const size_t chunks = chunkCount();
+    FleetShardAggregate campaign =
+        FleetShardAggregate::forCampaign(config_.governors.size());
+    if (config_.jobs <= 1 || chunks <= 1) {
+        // Pure streaming: one chunk of state live at a time.
+        for (size_t c = 0; c < chunks; ++c)
+            campaign.merge(runChunk(c));
+        return campaign;
+    }
+    // Thread tier: chunks evaluate in parallel, then fold in chunk
+    // order (the canonical fold). A chunk aggregate is fixed-size, so
+    // holding all of them is O(chunks), not O(devices).
+    const std::vector<FleetShardAggregate> per_chunk =
+        parallelMap<FleetShardAggregate>(
+            chunks, [this](size_t c) { return runChunk(c); },
+            config_.jobs);
+    for (const FleetShardAggregate &chunk : per_chunk)
+        campaign.merge(chunk);
+    return campaign;
+}
+
+FleetShardAggregate
+FleetEngine::runCampaignWithWorkers() const
+{
+    const size_t gcount = config_.governors.size();
+    const uint64_t chunks = chunkCount();
+    const uint64_t hash = fleetCampaignHash(config_);
+
+    ProcSweepConfig proc;
+    proc.workers = config_.workers;
+    proc.campaignHash = hash;
+    // The streaming hook below is the consumer: the supervisor keeps
+    // no per-unit payloads, so its memory is O(workers + reorder
+    // window), independent of the fleet size.
+    proc.discardResults = true;
+
+    std::string ckpt_path;
+    if (!config_.journalStem.empty()) {
+        const std::string stem =
+            config_.journalStem + "." + hexU64(hash);
+        proc.journalPath = stem + ".jrn";
+        ckpt_path = stem + ".ckpt";
+    }
+
+    FleetShardAggregate campaign =
+        FleetShardAggregate::forCampaign(gcount);
+    uint64_t absorbed = 0;      // chunks folded into the prefix
+    uint64_t durable_floor = 0; // chunks durable in the checkpoint
+    if (!ckpt_path.empty() &&
+        tryLoadCheckpoint(ckpt_path, hash, chunks,
+                          config_.chunkDevices, config_.spec.devices,
+                          gcount, &absorbed, &campaign)) {
+        durable_floor = absorbed;
+        inform("fleet: checkpoint %s covers %llu/%llu chunks; "
+               "resuming past them",
+               ckpt_path.c_str(),
+               static_cast<unsigned long long>(absorbed),
+               static_cast<unsigned long long>(chunks));
+    }
+    proc.precompletedPrefix = absorbed;
+
+    // Chunks complete in any order; fold stays canonical by parking
+    // out-of-order arrivals until the next-in-line chunk lands.
+    std::map<uint64_t, FleetShardAggregate> pending;
+    uint64_t since_ckpt = 0;
+    proc.onUnitComplete = [&](uint64_t unit,
+                              const std::string &payload) -> uint64_t {
+        FleetShardAggregate chunk;
+        if (!chunk.tryDeserialize(payload))
+            fatal("fleet: chunk %llu payload from the process tier "
+                  "does not deserialize (journal from an older "
+                  "build?); delete %s and re-run",
+                  static_cast<unsigned long long>(unit),
+                  proc.journalPath.c_str());
+        pending.emplace(unit, std::move(chunk));
+        while (!pending.empty() &&
+               pending.begin()->first == absorbed) {
+            campaign.merge(pending.begin()->second);
+            pending.erase(pending.begin());
+            ++absorbed;
+            ++since_ckpt;
+        }
+        if (!ckpt_path.empty() &&
+            since_ckpt >= config_.checkpointIntervalChunks) {
+            if (writeFileAtomic(
+                    ckpt_path,
+                    checkpointBytes(hash, chunks,
+                                    config_.chunkDevices, absorbed,
+                                    campaign)))
+                durable_floor = absorbed;
+            else
+                warn("fleet: checkpoint write to %s failed; the "
+                     "journal keeps the full history",
+                     ckpt_path.c_str());
+            since_ckpt = 0;
+        }
+        return durable_floor;
+    };
+
+    const ProcSweepReport report =
+        runProcSweep(proc, chunks, [this](uint64_t c) {
+            return runChunk(static_cast<size_t>(c)).serialize();
+        });
+
+    if (report.drained) {
+        // Progress (if journaled) is durable; die by the original
+        // signal so scripts see the conventional status, and a rerun
+        // resumes from the checkpoint + journal.
+        warn("fleet: campaign interrupted by signal %d with %llu "
+             "chunks durable; re-run to resume",
+             report.drainSignal,
+             static_cast<unsigned long long>(
+                 report.unitsRun + report.unitsResumed +
+                 report.unitsPrecompleted));
+        ::raise(report.drainSignal);
+        fatal("fleet: campaign interrupted"); // signal was ignored
+    }
+
+    // Quarantined chunks leave holes; recompute them in-process so
+    // the fold stays canonical and the campaign still completes.
+    while (absorbed < chunks) {
+        const auto it = pending.find(absorbed);
+        if (it != pending.end()) {
+            campaign.merge(it->second);
+            pending.erase(it);
+        } else {
+            warn("fleet: chunk %llu was quarantined by the process "
+                 "tier; recomputing in-process",
+                 static_cast<unsigned long long>(absorbed));
+            campaign.merge(runChunk(absorbed));
+        }
+        ++absorbed;
+    }
+    return campaign;
+}
+
+std::vector<RunMeasurement>
+FleetEngine::runAllCells() const
+{
+    const size_t n = cellCount();
     const size_t lanes = config_.lanes;
     const size_t batches = (n + lanes - 1) / lanes;
     const auto run_batch = [&](size_t b) {
@@ -159,172 +503,42 @@ FleetEngine::runBatchesInProcess(size_t n) const
     return results;
 }
 
-std::vector<RunMeasurement>
-FleetEngine::runBatchesWithWorkers(size_t n) const
-{
-    const size_t lanes = config_.lanes;
-    const size_t batches = (n + lanes - 1) / lanes;
-    const auto run_batch = [&](size_t b) {
-        const size_t first = b * lanes;
-        return runBatch(first, std::min<size_t>(lanes, n - first));
-    };
-
-    ProcSweepConfig proc;
-    proc.workers = config_.workers;
-    proc.campaignHash = fleetCampaignHash(config_);
-    if (!config_.journalStem.empty())
-        proc.journalPath = config_.journalStem + "." +
-            hexU64(proc.campaignHash) + ".jrn";
-
-    const ProcSweepReport report = runProcSweep(
-        proc, batches, [&run_batch](uint64_t b) {
-            const std::vector<RunMeasurement> ms =
-                run_batch(static_cast<size_t>(b));
-            std::vector<std::string> payloads;
-            payloads.reserve(ms.size());
-            for (const RunMeasurement &m : ms)
-                payloads.push_back(serializeRunMeasurement(m));
-            return packPayloads(payloads);
-        });
-
-    if (report.drained) {
-        // Progress (if journaled) is durable; die by the original
-        // signal so scripts see the conventional status, and a rerun
-        // resumes from the journal.
-        warn("fleet: campaign interrupted by signal %d with %llu "
-             "batches journaled; re-run to resume",
-             report.drainSignal,
-             static_cast<unsigned long long>(report.unitsRun +
-                                             report.unitsResumed));
-        ::raise(report.drainSignal);
-        fatal("fleet: campaign interrupted"); // signal was ignored
-    }
-
-    std::vector<RunMeasurement> results(n);
-    for (size_t b = 0; b < batches; ++b) {
-        const size_t first = b * lanes;
-        const size_t count = std::min<size_t>(lanes, n - first);
-        if (!report.completed[b]) {
-            warn("fleet: batch %zu was quarantined by the process "
-                 "tier; recomputing in-process",
-                 b);
-            std::vector<RunMeasurement> ms = run_batch(b);
-            for (size_t i = 0; i < count; ++i)
-                results[first + i] = std::move(ms[i]);
-            continue;
-        }
-        std::vector<std::string> payloads;
-        if (!tryUnpackPayloads(report.results[b], &payloads) ||
-            payloads.size() != count)
-            fatal("fleet: batch %zu payload from the process tier "
-                  "does not unpack (journal from an older build or a "
-                  "different lane count?); delete the journal and "
-                  "re-run",
-                  b);
-        for (size_t i = 0; i < count; ++i)
-            if (!tryDeserializeRunMeasurement(payloads[i],
-                                              &results[first + i]))
-                fatal("fleet: batch %zu cell %zu payload from the "
-                      "process tier does not deserialize; delete the "
-                      "journal and re-run",
-                      b, i);
-    }
-    return results;
-}
-
-std::vector<RunMeasurement>
-FleetEngine::runAllCells() const
-{
-    const size_t n = config_.spec.devices * config_.governors.size();
-    if (config_.workers > 0)
-        return runBatchesWithWorkers(n);
-    return runBatchesInProcess(n);
-}
-
 FleetReport
-FleetEngine::aggregate(const std::vector<RunMeasurement> &cells) const
+FleetEngine::buildReport(const FleetShardAggregate &campaign) const
 {
     const size_t gcount = config_.governors.size();
     FleetReport report;
     report.devices = config_.spec.devices;
+    report.populationDigest = campaign.digest();
     report.byGovernor.resize(gcount);
 
-    // Order-sensitive digest chain over the grid: the cheap,
-    // byte-exact identity the determinism and resume checks compare.
-    uint64_t digest = hashLabel("fleet-population");
-    for (const RunMeasurement &m : cells)
-        digest = hashLabel(hexU64(digest) + ":" +
-                           hexU64(runMeasurementDigest(m)));
-    report.populationDigest = digest;
-
     for (size_t g = 0; g < gcount; ++g) {
+        const FleetShardAggregate::GovernorAcc &acc =
+            campaign.governors()[g];
         FleetGovernorStats &stats = report.byGovernor[g];
         stats.governor = config_.governors[g];
-        stats.devices = report.devices;
-        for (size_t d = 0; d < report.devices; ++d) {
-            const RunMeasurement &m = cells[d * gcount + g];
-            if (m.censored) {
-                // A censored PPW of 0 is a flag, not a score: count
-                // it, never average it into the distribution.
-                ++stats.censored;
-            } else {
-                stats.ppwCdf.push(m.ppw);
-                stats.loadTimeCdf.push(m.loadTimeSec);
-            }
-            if (m.meetsDeadline)
-                ++stats.deadlineMet;
-        }
-        stats.ppwCdf.seal();
-        stats.loadTimeCdf.seal();
-        stats.meetRate = static_cast<double>(stats.deadlineMet) /
-            static_cast<double>(stats.devices);
-        if (stats.ppwCdf.count() > 0) {
-            stats.meanPpw = stats.ppwCdf.mean();
-            stats.p50Ppw = stats.ppwCdf.quantile(0.50);
-            stats.p95Ppw = stats.ppwCdf.quantile(0.95);
-            stats.p99Ppw = stats.ppwCdf.quantile(0.99);
-            stats.p50LoadSec = stats.loadTimeCdf.quantile(0.50);
-            stats.p95LoadSec = stats.loadTimeCdf.quantile(0.95);
-            stats.p99LoadSec = stats.loadTimeCdf.quantile(0.99);
+        stats.devices = acc.devices;
+        stats.censored = acc.censored;
+        stats.deadlineMet = acc.met;
+        if (acc.devices > 0)
+            stats.meetRate = static_cast<double>(acc.met) /
+                static_cast<double>(acc.devices);
+        stats.ppw = acc.ppw;
+        stats.loadTime = acc.loadTime;
+        if (acc.uncensored > 0) {
+            stats.meanPpw = acc.ppwSum.value() /
+                static_cast<double>(acc.uncensored);
+            stats.p50Ppw = stats.ppw.quantile(0.50);
+            stats.p95Ppw = stats.ppw.quantile(0.95);
+            stats.p99Ppw = stats.ppw.quantile(0.99);
+            stats.p50LoadSec = stats.loadTime.quantile(0.50);
+            stats.p95LoadSec = stats.loadTime.quantile(0.95);
+            stats.p99LoadSec = stats.loadTime.quantile(0.99);
         }
     }
 
-    // Cohort breakdown. Re-sampling a DeviceSpec is a hash plus a
-    // handful of draws — microseconds against the simulations behind
-    // each cell — and keeps the engine stateless.
-    struct CohortAcc
-    {
-        size_t devices = 0;
-        std::vector<double> ppwSum;
-        std::vector<size_t> uncensored;
-        std::vector<size_t> met;
-        std::vector<size_t> censored;
-    };
-    std::map<std::string, CohortAcc> cohorts;
-    for (size_t d = 0; d < report.devices; ++d) {
-        const DeviceSpec sampled = sampleDevice(config_.spec, d);
-        CohortAcc &acc = cohorts[sampled.cohort()];
-        if (acc.ppwSum.empty()) {
-            acc.ppwSum.resize(gcount, 0.0);
-            acc.uncensored.resize(gcount, 0);
-            acc.met.resize(gcount, 0);
-            acc.censored.resize(gcount, 0);
-        }
-        ++acc.devices;
-        for (size_t g = 0; g < gcount; ++g) {
-            const RunMeasurement &m = cells[d * gcount + g];
-            if (m.censored) {
-                ++acc.censored[g];
-            } else {
-                acc.ppwSum[g] += m.ppw;
-                ++acc.uncensored[g];
-            }
-            if (m.meetsDeadline)
-                ++acc.met[g];
-        }
-    }
-    report.cohorts.reserve(cohorts.size());
-    for (const auto &[name, acc] : cohorts) {
+    report.cohorts.reserve(campaign.cohorts().size());
+    for (const auto &[name, acc] : campaign.cohorts()) {
         FleetCohortStats c;
         c.cohort = name;
         c.devices = acc.devices;
@@ -333,10 +547,11 @@ FleetEngine::aggregate(const std::vector<RunMeasurement> &cells) const
         c.censored.resize(gcount, 0);
         for (size_t g = 0; g < gcount; ++g) {
             if (acc.uncensored[g] > 0)
-                c.meanPpw[g] = acc.ppwSum[g] /
+                c.meanPpw[g] = acc.ppwSum[g].value() /
                     static_cast<double>(acc.uncensored[g]);
-            c.meetRate[g] = static_cast<double>(acc.met[g]) /
-                static_cast<double>(acc.devices);
+            if (acc.devices > 0)
+                c.meetRate[g] = static_cast<double>(acc.met[g]) /
+                    static_cast<double>(acc.devices);
             c.censored[g] = acc.censored[g];
         }
         report.cohorts.push_back(std::move(c));
@@ -347,7 +562,10 @@ FleetEngine::aggregate(const std::vector<RunMeasurement> &cells) const
 FleetReport
 FleetEngine::run()
 {
-    return aggregate(runAllCells());
+    const FleetShardAggregate campaign = config_.workers > 0
+        ? runCampaignWithWorkers()
+        : runCampaignInProcess();
+    return buildReport(campaign);
 }
 
 RunMeasurement

@@ -2,30 +2,41 @@
  * @file
  * FleetEngine: expand a FleetSpec population into deterministic
  * per-device work units, fan them out through every execution tier,
- * and aggregate population statistics.
+ * and aggregate population statistics — streamingly (DESIGN.md §5i).
  *
  * Cell grid: cell = device * |governors| + governorIndex
  * (device-major). Every cell is an independent simulation of one
  * sampled device under one governor, keyed by its grid index, so
  * results are byte-identical at any combination of
  *
- *   --jobs    thread tier (parallelMap over lane batches)
+ *   --jobs    thread tier (parallelMap over chunks)
  *   --workers process tier (exec/proc supervisor; crash recovery and
  *             a checksummed resume journal bound to the campaign
  *             hash)
- *   --lanes   leaf tier (LaneBatchSimulator: N devices advanced
- *             interleaved per thread/worker unit)
+ *   --lanes   leaf tier (LaneBatchSimulator: N cells advanced
+ *             interleaved per lane batch)
  *
- * and identical again after a mid-campaign kill + resume. The
- * campaign hash covers the spec text, the base ExperimentConfig
- * protocol hash, the governor list, and the lane width, so a stale
- * journal from any other campaign is refused.
+ * and identical again after a mid-campaign kill + resume.
  *
- * Aggregation: per-governor PPW and load-time distributions
- * (EmpiricalCdf, sealed before query), p50/p95/p99 tails,
- * deadline-meet rate over the full population, censored-run counts
- * (a censored device scores 0 PPW and is counted, never averaged),
- * and per-cohort breakdowns.
+ * Aggregation is streaming: the campaign's cells are cut into
+ * fixed-size chunks (whole devices, chunkDevices per chunk), each
+ * chunk reduces into one fixed-memory FleetShardAggregate
+ * (fleet/aggregate.hh), and every tier folds chunk aggregates
+ * left-to-right in chunk-index order. The process tier ships one
+ * aggregate per chunk instead of per-device measurements
+ * (supervisor memory O(chunks in flight), not O(devices)), and the
+ * supervisor's streaming hook absorbs chunks into the campaign
+ * prefix as they land, writing a versioned aggregate checkpoint
+ * every checkpointIntervalChunks and truncating the journal below
+ * the checkpointed prefix — so resume after SIGKILL costs
+ * O(checkpoint interval), not O(journal replay).
+ *
+ * The campaign hash covers the spec text, the base ExperimentConfig
+ * protocol hash, the governor list, and the chunk width, so a stale
+ * journal/checkpoint from any other campaign is refused. Lane width
+ * is deliberately NOT in the hash: the lane contract makes every
+ * cell's measurement lane-invariant, so a journal written at one
+ * lane count resumes correctly at any other.
  */
 
 #ifndef DORA_FLEET_CAMPAIGN_HH
@@ -36,9 +47,10 @@
 #include <vector>
 
 #include "dora/model_bundle.hh"
+#include "fleet/aggregate.hh"
 #include "fleet/fleet_spec.hh"
 #include "runner/experiment.hh"
-#include "stats/cdf.hh"
+#include "stats/quantile_sketch.hh"
 
 namespace dora
 {
@@ -69,20 +81,36 @@ struct FleetCampaignConfig
 
     unsigned jobs = 1;    //!< thread tier width (ignored when workers > 0)
     unsigned workers = 0; //!< process tier width (0 = in-process)
-    unsigned lanes = 1;   //!< devices per lane batch
+    unsigned lanes = 1;   //!< cells per lane batch
 
     /**
-     * Resume-journal stem; completed units are journaled to
-     * `<stem>.<campaign-hash>.jrn` and a rerun resumes instead of
-     * recomputing. Empty disables journaling. Process tier only.
+     * Devices per aggregation chunk — the unit of the thread and
+     * process tiers and of checkpoint granularity. Part of the
+     * campaign hash (it defines the journal's unit space).
+     */
+    unsigned chunkDevices = 32;
+
+    /**
+     * Chunks absorbed into the campaign prefix between aggregate
+     * checkpoints (process tier with a journalStem only).
+     */
+    unsigned checkpointIntervalChunks = 1;
+
+    /**
+     * Resume stem; completed chunks are journaled to
+     * `<stem>.<campaign-hash>.jrn`, the campaign prefix aggregate is
+     * checkpointed to `<stem>.<campaign-hash>.ckpt`, and a rerun
+     * resumes instead of recomputing. Empty disables both. Process
+     * tier only.
      */
     std::string journalStem;
 };
 
 /**
  * Identity of a campaign's results: spec text, measurement protocol,
- * governor list, and lane width (the process-tier unit is a lane
- * batch, so the journal's unit space depends on it).
+ * governor list, and chunk width (the process-tier unit is a chunk,
+ * so the journal's unit space depends on it). Lane width is excluded
+ * on purpose — measurements are lane-invariant by the lane contract.
  */
 uint64_t fleetCampaignHash(const FleetCampaignConfig &config);
 
@@ -90,18 +118,22 @@ uint64_t fleetCampaignHash(const FleetCampaignConfig &config);
 struct FleetGovernorStats
 {
     std::string governor;
-    size_t devices = 0;     //!< population size (CDF + censored)
+    size_t devices = 0;     //!< population size (sketch + censored)
     size_t censored = 0;    //!< loads that provably never finished
     size_t deadlineMet = 0; //!< loads inside the deadline
 
     /** Deadline-meet rate over ALL devices (censored = miss). */
     double meetRate = 0.0;
 
-    /** Uncensored-only distributions, sealed and query-ready. */
-    EmpiricalCdf ppwCdf;
-    EmpiricalCdf loadTimeCdf;
+    /**
+     * Uncensored-only distributions as mergeable fixed-memory
+     * sketches (exact below QuantileSketch::kExactCap samples).
+     * Query any quantile via QuantileSketch::quantile().
+     */
+    QuantileSketch ppw;
+    QuantileSketch loadTime;
 
-    /** Tail summaries of the distributions above (0 if all censored). */
+    /** Tail summaries of the sketches above (0 if all censored). */
     double meanPpw = 0.0;
     double p50Ppw = 0.0, p95Ppw = 0.0, p99Ppw = 0.0;
     double p50LoadSec = 0.0, p95LoadSec = 0.0, p99LoadSec = 0.0;
@@ -125,10 +157,11 @@ struct FleetReport
     /** Non-empty cohorts only, sorted by cohort key. */
     std::vector<FleetCohortStats> cohorts;
     /**
-     * Order-sensitive FNV chain over every cell's measurement digest:
-     * two campaigns produced byte-identical populations iff the
-     * digests match. The determinism/resume self-checks compare this
-     * plus fleetReportText().
+     * Order-sensitive FNV chain over the chunk digests (each chunk's
+     * digest chains its cells' measurement digests): two campaigns
+     * produced byte-identical populations iff the digests match. The
+     * determinism/resume self-checks compare this plus
+     * fleetReportText().
      */
     uint64_t populationDigest = 0;
 };
@@ -162,25 +195,34 @@ class FleetEngine
                                 const std::string &governor) const;
 
     /**
-     * Every cell's raw measurement in grid order (what run()
-     * aggregates). For the determinism suite and debugging tools;
-     * campaigns normally want the FleetReport.
+     * Every cell's raw measurement in grid order — what run()
+     * reduces, materialized. For the determinism suite and debugging
+     * tools (O(devices) memory!); campaigns want the FleetReport.
      */
     std::vector<RunMeasurement> runAllCells() const;
 
     const FleetCampaignConfig &config() const { return config_; }
 
+    /** Cells per campaign and chunks per campaign (last may be short). */
+    size_t cellCount() const;
+    size_t chunkCount() const;
+
   private:
     /** Owned per-cell objects — the cell's device in a box. */
     struct DeviceCell;
 
-    DeviceCell makeCell(size_t cell_index) const;
+    DeviceCell makeCell(size_t cell_index,
+                        const DeviceSpec &sampled) const;
+    std::vector<RunMeasurement> runLaneBatch(
+        size_t first, size_t count,
+        const std::vector<DeviceSpec> &devices,
+        size_t first_device) const;
     std::vector<RunMeasurement> runBatch(size_t first,
                                          size_t count) const;
-    std::vector<RunMeasurement> runBatchesInProcess(size_t n) const;
-    std::vector<RunMeasurement> runBatchesWithWorkers(size_t n) const;
-    FleetReport aggregate(
-        const std::vector<RunMeasurement> &cells) const;
+    FleetShardAggregate runChunk(size_t chunk_index) const;
+    FleetShardAggregate runCampaignInProcess() const;
+    FleetShardAggregate runCampaignWithWorkers() const;
+    FleetReport buildReport(const FleetShardAggregate &campaign) const;
 
     FleetCampaignConfig config_;
 };

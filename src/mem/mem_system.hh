@@ -142,7 +142,9 @@ class MemSystem
      * prefetch (DESIGN.md §5g). Results are bit-identical to the
      * per-access walk; ticks fall back to it automatically whenever a
      * request shape or replacement policy the kernel does not cover
-     * shows up. Off by default (the legacy path is the reference).
+     * shows up. On by default (the per-access walk remains the
+     * reference implementation the bit-identity suite compares
+     * against); turn off to force the reference path.
      */
     void setBatchedWalk(bool on) { batchedWalk_ = on; }
 
@@ -237,7 +239,7 @@ class MemSystem
     DramModel dram_;
     std::vector<CoreMemCounters> counters_;
     std::vector<LiveStream> liveScratch_;  //!< reused across ticks
-    bool batchedWalk_ = false;
+    bool batchedWalk_ = true;
 
     // Batched-walk scratch, reused across ticks: the generated lines
     // and per-stream L1-miss index lists live in flat 64B-aligned

@@ -90,7 +90,8 @@ MissRateEstimator::beginConvergence(
 {
     entry.converged = false;
     entry.walks = 1;
-    entry.nextCheckWalks = std::max<uint32_t>(2, config_.convergeTicks);
+    entry.checkWindow = std::max<uint32_t>(2, config_.convergeTicks);
+    entry.nextCheckWalks = entry.checkWindow;
     entry.checkpoint = results;
     entry.results = results;
     entry.reusesSinceSample = 0;
@@ -206,7 +207,24 @@ MissRateEstimator::beginTick(const std::vector<MemSampleRequest> &requests,
         return false;
     }
 
-    // Unknown phase: sample, then store() installs a new entry.
+    // Unknown phase: sample, then store() installs a new entry. If a
+    // converged entry differs only in its OPP index, remember it — the
+    // install walk will double as a revalidation against its rates,
+    // and agreement converges the new phase immediately (cache
+    // contents, and hence miss rates, survive OPP switches).
+    seedFrom_ = kNoSeed;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &entry = entries_[i];
+        if (!entry.converged ||
+            entry.signature.interleaveChunk !=
+                scratchSig_.interleaveChunk ||
+            entry.signature.oppIndex == scratchSig_.oppIndex ||
+            !(entry.signature.cores == scratchSig_.cores))
+            continue;
+        if (seedFrom_ == kNoSeed ||
+            entry.lastUseTick > entries_[seedFrom_].lastUseTick)
+            seedFrom_ = i;
+    }
     pending_ = Pending::Install;
     pendingWarm_ = creditWalkProbes(requests);
     currentEntry_ = entries_.size();
@@ -223,6 +241,13 @@ MissRateEstimator::store(const std::vector<MemSampleResult> &results)
     pending_ = Pending::None;
 
     if (pending == Pending::Install) {
+        // OPP-sibling seeding: test agreement before the LRU eviction
+        // below can invalidate the candidate index. The warm-up floor
+        // still gates the verdict — a cold stream must take the dense
+        // ladder regardless of what a sibling claims.
+        const bool seeded = seedFrom_ != kNoSeed && pendingWarm_ &&
+            ratesAgree(entries_[seedFrom_].results, results);
+        seedFrom_ = kNoSeed;
         if (entries_.size() >= config_.maxEntries) {
             // Deterministic LRU eviction.
             size_t victim = 0;
@@ -237,6 +262,10 @@ MissRateEstimator::store(const std::vector<MemSampleResult> &results)
         entry.signature = scratchSig_;
         entry.lastUseTick = tickSerial_;
         beginConvergence(entry, results);
+        if (seeded) {
+            entry.converged = true;
+            ++seededPhases_;
+        }
         entries_.push_back(std::move(entry));
         currentEntry_ = entries_.size() - 1;
         return;
@@ -273,12 +302,16 @@ MissRateEstimator::store(const std::vector<MemSampleResult> &results)
         } else if (ratesAgree(entry.checkpoint, results)) {
             entry.converged = true;
         } else {
+            // Disagreement past the floor: double the checkpoint
+            // *spacing*. (Doubling the absolute walk count instead
+            // would inherit however many walks the warm-up already
+            // consumed and overshoot by a whole cold window.)
             entry.checkpoint = results;
-            if (entry.nextCheckWalks >
-                (1u << 30))  // overflow guard; effectively unreachable
-                entry.nextCheckWalks = 1u << 30;
+            if (entry.checkWindow > (1u << 30))  // overflow guard
+                entry.checkWindow = 1u << 30;
             else
-                entry.nextCheckWalks *= 2;
+                entry.checkWindow *= 2;
+            entry.nextCheckWalks = entry.walks + entry.checkWindow;
         }
     }
 }
@@ -298,6 +331,7 @@ MissRateEstimator::invalidate()
         return;
     entries_.clear();
     pending_ = Pending::None;
+    seedFrom_ = kNoSeed;
     ++invalidations_;
 }
 
@@ -308,12 +342,14 @@ MissRateEstimator::reset()
     warmth_.clear();
     pending_ = Pending::None;
     pendingWarm_ = false;
+    seedFrom_ = kNoSeed;
     currentEntry_ = 0;
     tickSerial_ = 0;
     reusedTicks_ = 0;
     sampledTicks_ = 0;
     demotions_ = 0;
     invalidations_ = 0;
+    seededPhases_ = 0;
 }
 
 namespace
@@ -353,7 +389,7 @@ getResults(SnapshotReader &r, std::vector<MemSampleResult> *out)
 void
 MissRateEstimator::snapshot(SnapshotWriter &w) const
 {
-    w.beginSection("mre ", 1);
+    w.beginSection("mre ", 2);
     w.putBool(enabled_);
     w.putU64(l2Lines_);
     w.putSize(entries_.size());
@@ -370,6 +406,7 @@ MissRateEstimator::snapshot(SnapshotWriter &w) const
         w.putBool(e.converged);
         w.putU32(e.walks);
         w.putU32(e.nextCheckWalks);
+        w.putU32(e.checkWindow);
         w.putU32(e.reusesSinceSample);
         w.putU64(e.lastUseTick);
     }
@@ -384,17 +421,19 @@ MissRateEstimator::snapshot(SnapshotWriter &w) const
     w.putSize(currentEntry_);
     w.putU8(static_cast<uint8_t>(pending_));
     w.putBool(pendingWarm_);
+    w.putSize(seedFrom_);
     w.putU64(tickSerial_);
     w.putU64(reusedTicks_);
     w.putU64(sampledTicks_);
     w.putU64(demotions_);
     w.putU64(invalidations_);
+    w.putU64(seededPhases_);
 }
 
 bool
 MissRateEstimator::tryRestore(SnapshotReader &r)
 {
-    if (!r.beginSection("mre ", 1))
+    if (!r.beginSection("mre ", 2))
         return false;
     bool enabled;
     uint64_t l2_lines;
@@ -416,6 +455,7 @@ MissRateEstimator::tryRestore(SnapshotReader &r)
             !getResults(r, &e.results) ||
             !getResults(r, &e.checkpoint) || !r.getBool(&e.converged) ||
             !r.getU32(&e.walks) || !r.getU32(&e.nextCheckWalks) ||
+            !r.getU32(&e.checkWindow) ||
             !r.getU32(&e.reusesSinceSample) ||
             !r.getU64(&e.lastUseTick))
             return false;
@@ -429,15 +469,20 @@ MissRateEstimator::tryRestore(SnapshotReader &r)
             !r.getDouble(&s.probes) || !r.getDouble(&s.targetProbes) ||
             !r.getU64(&s.lastUseTick))
             return false;
-    size_t current_entry;
+    size_t current_entry, seed_from;
     uint8_t pending;
     bool pending_warm;
     uint64_t tick_serial, reused, sampled, demotions, invalidations;
+    uint64_t seeded;
     if (!r.getSize(&current_entry) || !r.getU8(&pending) ||
         pending > static_cast<uint8_t>(Pending::Install) ||
-        !r.getBool(&pending_warm) || !r.getU64(&tick_serial) ||
+        !r.getBool(&pending_warm) || !r.getSize(&seed_from) ||
+        !r.getU64(&tick_serial) ||
         !r.getU64(&reused) || !r.getU64(&sampled) ||
-        !r.getU64(&demotions) || !r.getU64(&invalidations))
+        !r.getU64(&demotions) || !r.getU64(&invalidations) ||
+        !r.getU64(&seeded))
+        return false;
+    if (seed_from != kNoSeed && seed_from >= entries.size())
         return false;
     l2Lines_ = l2_lines;
     entries_ = std::move(entries);
@@ -445,11 +490,13 @@ MissRateEstimator::tryRestore(SnapshotReader &r)
     currentEntry_ = current_entry;
     pending_ = static_cast<Pending>(pending);
     pendingWarm_ = pending_warm;
+    seedFrom_ = seed_from;
     tickSerial_ = tick_serial;
     reusedTicks_ = reused;
     sampledTicks_ = sampled;
     demotions_ = demotions;
     invalidations_ = invalidations;
+    seededPhases_ = seeded;
     return true;
 }
 

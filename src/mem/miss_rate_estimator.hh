@@ -51,6 +51,21 @@
  * residual transients self-heal even if a checkpoint pair agreed by
  * chance.
  *
+ * OPP-sibling seeding: a governor decision renames the phase (the OPP
+ * index is part of the signature) without touching the cache contents
+ * — warmth is keyed on the stream, and the miss rates of a warmed
+ * phase do not depend on clock frequency. Forcing every OPP rename
+ * through the full dense-sampling ladder is therefore almost pure
+ * waste (profiles show it dominating sampled ticks under DVFS-heavy
+ * governors). When an unknown signature differs from a *converged*
+ * entry only in its OPP index, the install walk doubles as a
+ * revalidation against that sibling's rates: if the fresh walk agrees
+ * within the usual binomial noise (and the warm-up floor is met), the
+ * new phase converges immediately; if not, it falls back to the dense
+ * ladder. The gate is the same statistical test as a dormancy-return
+ * revalidation, so accuracy is never assumed — only transferred when
+ * measurement confirms it.
+ *
  * Determinism: all state is per-Soc (per experiment run), signatures
  * are compared only by equality, and eviction follows deterministic
  * tick counts — runs reproduce bit-identically at any --jobs count.
@@ -162,6 +177,9 @@ class MissRateEstimator
     /** Re-validation walks that demoted a converged phase. */
     uint64_t demotions() const { return demotions_; }
 
+    /** Phases converged instantly off an agreeing OPP sibling. */
+    uint64_t seededPhases() const { return seededPhases_; }
+
     /** Explicit invalidations since construction/reset(). */
     uint64_t invalidations() const { return invalidations_; }
 
@@ -224,6 +242,15 @@ class MissRateEstimator
         bool converged = false;
         uint32_t walks = 0;          //!< walks since (re-)convergence began
         uint32_t nextCheckWalks = 0; //!< walk count of the next checkpoint
+        /**
+         * Checkpoint spacing; doubles on each disagreement. Tracked
+         * separately from nextCheckWalks because the warm-up floor
+         * can consume arbitrarily many walks before the first real
+         * agreement test — doubling the absolute walk count there
+         * would schedule the next checkpoint a whole cold-window of
+         * dense walks past the point where the rates settled.
+         */
+        uint32_t checkWindow = 0;
         uint32_t reusesSinceSample = 0;  //!< drives the refresh
         uint64_t lastUseTick = 0;        //!< recency: LRU + dormancy
     };
@@ -269,15 +296,21 @@ class MissRateEstimator
     uint64_t l2Lines_ = (2u * 1024 * 1024) / 64;
     std::vector<Entry> entries_;
     std::vector<StreamWarmth> warmth_;
+    /** "No seed candidate" sentinel for seedFrom_. */
+    static constexpr size_t kNoSeed = static_cast<size_t>(-1);
+
     Signature scratchSig_;    //!< reused across ticks (no allocation)
     size_t currentEntry_ = 0; //!< entry selected by the last beginTick
     Pending pending_ = Pending::None;
     bool pendingWarm_ = false;  //!< warm-up floor met at the last walk
+    /** Converged OPP sibling to seed a pending Install from. */
+    size_t seedFrom_ = kNoSeed;
     uint64_t tickSerial_ = 0;
     uint64_t reusedTicks_ = 0;
     uint64_t sampledTicks_ = 0;
     uint64_t demotions_ = 0;
     uint64_t invalidations_ = 0;
+    uint64_t seededPhases_ = 0;
 };
 
 } // namespace dora

@@ -578,6 +578,8 @@ RunContext::finish()
         .add(sim_->macroBatchedTicks());
     reg.counter("mem.sample.walks").add(soc_->sampling().sampledTicks());
     reg.counter("mem.sample.reused").add(soc_->sampling().reusedTicks());
+    reg.counter("mem.sample.seeded_phases")
+        .add(soc_->sampling().seededPhases());
     if (m.censored)
         reg.counter("runner.censored_runs").add();
     if (params_.fault && params_.fault->enabled()) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "stats/neumaier.hh"
 
 namespace dora
 {
@@ -20,6 +21,7 @@ EmpiricalCdf::push(const std::vector<double> &xs)
 {
     if (xs.empty())
         return;
+    samples_.reserve(samples_.size() + xs.size());
     samples_.insert(samples_.end(), xs.begin(), xs.end());
     sealed_ = false;
 }
@@ -92,10 +94,15 @@ EmpiricalCdf::mean() const
 {
     if (samples_.empty())
         return 0.0;
-    double sum = 0.0;
+    // Neumaier-compensated: a naive accumulation loses low-order
+    // bits when samples span magnitudes (e.g. PPW outliers next to
+    // near-zero scores in a fleet population), and the mean then
+    // depends on sample order — which breaks byte-identity between
+    // aggregation orders that are otherwise equivalent.
+    NeumaierSum sum;
     for (double s : samples_)
-        sum += s;
-    return sum / static_cast<double>(samples_.size());
+        sum.add(s);
+    return sum.value() / static_cast<double>(samples_.size());
 }
 
 std::vector<std::pair<double, double>>

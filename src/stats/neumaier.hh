@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Neumaier-compensated summation.
+ *
+ * The improved Kahan–Babuška variant: the compensation term also
+ * absorbs the case where the incoming addend is larger in magnitude
+ * than the running sum, which plain Kahan loses. Used wherever a
+ * population-scale reduction must not drift (EmpiricalCdf::mean, the
+ * fleet shard aggregates) — and, because the compensated pair is
+ * just two doubles, the partial sums serialize and merge exactly.
+ */
+
+#ifndef DORA_STATS_NEUMAIER_HH
+#define DORA_STATS_NEUMAIER_HH
+
+#include <cmath>
+
+namespace dora
+{
+
+/** Running compensated sum: value() == sum + compensation. */
+struct NeumaierSum
+{
+    double sum = 0.0;
+    double compensation = 0.0;
+
+    void add(double x)
+    {
+        const double t = sum + x;
+        if (std::abs(sum) >= std::abs(x))
+            compensation += (sum - t) + x;
+        else
+            compensation += (x - t) + sum;
+        sum = t;
+    }
+
+    /**
+     * Fold another partial sum in (canonical left fold: @p next is
+     * the newly finished shard). Adds the shard's sum, then its
+     * compensation, through the compensated path.
+     */
+    void merge(const NeumaierSum &next)
+    {
+        add(next.sum);
+        add(next.compensation);
+    }
+
+    double value() const { return sum + compensation; }
+};
+
+} // namespace dora
+
+#endif // DORA_STATS_NEUMAIER_HH

@@ -1,0 +1,247 @@
+#include "stats/quantile_sketch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/snapshot.hh"
+
+namespace dora
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: the deterministic compaction-parity seed. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+QuantileSketch::QuantileSketch(uint32_t k) : k_(k)
+{
+    if (k_ < 8)
+        panic("QuantileSketch: k=%u below the minimum of 8", k_);
+}
+
+void
+QuantileSketch::compactLevel(size_t level)
+{
+    if (level + 1 >= levels_.size())
+        levels_.resize(level + 2);
+    Level &cur = levels_[level];
+    std::sort(cur.items.begin(), cur.items.end());
+
+    // Compact an even count; with an odd buffer the smallest item
+    // stays behind at its own weight so total weight is conserved.
+    const size_t start = cur.items.size() % 2;
+    const uint64_t seed =
+        (static_cast<uint64_t>(level) << 32) ^ cur.compactions;
+    const size_t parity = static_cast<size_t>(mix64(seed) & 1);
+    ++cur.compactions;
+
+    std::vector<double> &up = levels_[level + 1].items;
+    for (size_t i = start + parity; i < cur.items.size(); i += 2)
+        up.push_back(cur.items[i]);
+    cur.items.resize(start);
+}
+
+void
+QuantileSketch::compactExact()
+{
+    // Canonical compacted state: identical to having pushed every
+    // sample one at a time through the leveled machinery. merge()
+    // relies on this — folding an exact shard into a compacted
+    // prefix replays its samples, so the campaign-level state is a
+    // function of the global sample order alone.
+    exact_ = false;
+    levels_.assign(1, Level{});
+    std::vector<double> replay;
+    replay.swap(exactItems_);
+    for (const double x : replay) {
+        levels_[0].items.push_back(x);
+        for (size_t l = 0; l < levels_.size(); ++l)
+            while (levels_[l].items.size() >= k_)
+                compactLevel(l);
+    }
+}
+
+void
+QuantileSketch::push(double x)
+{
+    ++n_;
+    if (exact_) {
+        exactItems_.push_back(x);
+        if (exactItems_.size() > kExactCap)
+            compactExact();
+        return;
+    }
+    levels_[0].items.push_back(x);
+    for (size_t l = 0; l < levels_.size(); ++l)
+        while (levels_[l].items.size() >= k_)
+            compactLevel(l);
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &next)
+{
+    if (k_ != next.k_)
+        panic("QuantileSketch::merge: k mismatch (%u vs %u)", k_,
+              next.k_);
+    if (next.n_ == 0)
+        return;
+
+    if (exact_ && next.exact_) {
+        // Genuine concatenation: associative and split-invariant.
+        exactItems_.insert(exactItems_.end(), next.exactItems_.begin(),
+                           next.exactItems_.end());
+        n_ += next.n_;
+        if (exactItems_.size() > kExactCap)
+            compactExact();
+        return;
+    }
+    if (!exact_ && next.exact_) {
+        // Replay the shard's samples in arrival order — bit-identical
+        // to having pushed them directly into this sketch.
+        for (const double x : next.exactItems_)
+            push(x);
+        return;
+    }
+    if (exact_)
+        compactExact();
+
+    // compacted · compacted: append buffers level-wise then restore
+    // the capacity invariant. Deterministic, but the result depends
+    // on the fold shape — callers fold left-to-right in chunk order.
+    n_ += next.n_;
+    if (levels_.size() < next.levels_.size())
+        levels_.resize(next.levels_.size());
+    for (size_t l = 0; l < next.levels_.size(); ++l) {
+        const Level &other = next.levels_[l];
+        levels_[l].items.insert(levels_[l].items.end(),
+                                other.items.begin(), other.items.end());
+        levels_[l].compactions += other.compactions;
+    }
+    for (size_t l = 0; l < levels_.size(); ++l)
+        while (levels_[l].items.size() >= k_)
+            compactLevel(l);
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (n_ == 0)
+        panic("QuantileSketch::quantile on an empty sketch");
+
+    if (exact_) {
+        std::vector<double> sorted = exactItems_;
+        std::sort(sorted.begin(), sorted.end());
+        if (q <= 0.0)
+            return sorted.front();
+        if (q >= 1.0)
+            return sorted.back();
+        const size_t rank = static_cast<size_t>(std::ceil(
+                                q * static_cast<double>(sorted.size()))) -
+            1;
+        return sorted[std::min(rank, sorted.size() - 1)];
+    }
+
+    // Weighted nearest-rank over (item, 2^level) pairs. Total weight
+    // equals count(): compaction promotes 2j items of weight w into
+    // j of weight 2w and parks odd leftovers, never dropping weight.
+    std::vector<std::pair<double, uint64_t>> weighted;
+    weighted.reserve(storedItems());
+    for (size_t l = 0; l < levels_.size(); ++l)
+        for (const double x : levels_[l].items)
+            weighted.emplace_back(x, 1ull << l);
+    std::stable_sort(weighted.begin(), weighted.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    if (q <= 0.0)
+        return weighted.front().first;
+    if (q >= 1.0)
+        return weighted.back().first;
+    const double target_rank =
+        std::ceil(q * static_cast<double>(n_));
+    uint64_t cumulative = 0;
+    for (const auto &[x, w] : weighted) {
+        cumulative += w;
+        if (static_cast<double>(cumulative) >= target_rank)
+            return x;
+    }
+    return weighted.back().first;
+}
+
+size_t
+QuantileSketch::storedItems() const
+{
+    if (exact_)
+        return exactItems_.size();
+    size_t total = 0;
+    for (const Level &level : levels_)
+        total += level.items.size();
+    return total;
+}
+
+void
+QuantileSketch::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("qskt", 1);
+    w.putU32(k_);
+    w.putU64(n_);
+    w.putBool(exact_);
+    w.putDoubles(exactItems_);
+    w.putSize(levels_.size());
+    for (const Level &level : levels_) {
+        w.putDoubles(level.items);
+        w.putU64(level.compactions);
+    }
+}
+
+bool
+QuantileSketch::tryRestore(SnapshotReader &r)
+{
+    if (!r.beginSection("qskt", 1))
+        return false;
+    uint32_t k;
+    uint64_t n;
+    bool exact;
+    std::vector<double> exact_items;
+    size_t level_count;
+    if (!r.getU32(&k) || k < 8 || !r.getU64(&n) || !r.getBool(&exact) ||
+        !r.getDoubles(&exact_items) || !r.getSize(&level_count))
+        return false;
+    std::vector<Level> levels(level_count);
+    for (Level &level : levels)
+        if (!r.getDoubles(&level.items) ||
+            !r.getU64(&level.compactions))
+            return false;
+    if (exact && (level_count != 0 || exact_items.size() != n ||
+                  n > kExactCap))
+        return false;
+    if (!exact && (level_count == 0 || !exact_items.empty()))
+        return false;
+    k_ = k;
+    n_ = n;
+    exact_ = exact;
+    exactItems_ = std::move(exact_items);
+    levels_ = std::move(levels);
+    return true;
+}
+
+std::string
+QuantileSketch::stateBytes() const
+{
+    SnapshotWriter w;
+    snapshot(w);
+    return w.finish();
+}
+
+} // namespace dora

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <filesystem>
 #include <set>
@@ -78,16 +79,19 @@ clearJournals(const std::string &stem)
             fs::remove(entry.path());
 }
 
-/** The journal file for @p stem, or "" while none exists yet. */
+/** The @p stem file with @p ext ("jrn"/"ckpt"), or "" if absent. */
 std::string
-findJournal(const std::string &stem)
+findResumeFile(const std::string &stem, const std::string &ext)
 {
     const fs::path dir = fs::path(stem).parent_path();
     const std::string prefix = fs::path(stem).filename().string();
     if (fs::exists(dir))
-        for (const auto &entry : fs::directory_iterator(dir))
-            if (entry.path().filename().string().rfind(prefix, 0) == 0)
+        for (const auto &entry : fs::directory_iterator(dir)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind(prefix, 0) == 0 &&
+                entry.path().extension() == "." + ext)
                 return entry.path().string();
+        }
     return "";
 }
 
@@ -250,7 +254,7 @@ TEST(FleetDeterminism, CohortCountsConserveThePopulation)
 
     for (const FleetGovernorStats &g : report.byGovernor) {
         EXPECT_EQ(g.devices, report.devices);
-        EXPECT_EQ(g.ppwCdf.count() + g.censored, g.devices);
+        EXPECT_EQ(g.ppw.count() + g.censored, g.devices);
         EXPECT_GE(g.meetRate, 0.0);
         EXPECT_LE(g.meetRate, 1.0);
     }
@@ -263,16 +267,86 @@ TEST(FleetDeterminism, CampaignHashSeparatesCampaigns)
     b.spec.seed = 8;
     FleetCampaignConfig c = a;
     c.governors = {"interactive"};
+    // Lane width is throughput policy, not identity: the lane
+    // contract makes every measurement lane-invariant, so a journal
+    // written at one lane count must resume at any other.
     FleetCampaignConfig d = a;
     d.lanes = 4;
     // jobs/workers are pure throughput policy — never identity.
     FleetCampaignConfig e = a;
     e.jobs = 8;
     e.workers = 3;
+    // Chunk width defines the journal's unit space — identity.
+    FleetCampaignConfig f = a;
+    f.chunkDevices = 4;
     EXPECT_NE(fleetCampaignHash(a), fleetCampaignHash(b));
     EXPECT_NE(fleetCampaignHash(a), fleetCampaignHash(c));
-    EXPECT_NE(fleetCampaignHash(a), fleetCampaignHash(d));
+    EXPECT_EQ(fleetCampaignHash(a), fleetCampaignHash(d));
     EXPECT_EQ(fleetCampaignHash(a), fleetCampaignHash(e));
+    EXPECT_NE(fleetCampaignHash(a), fleetCampaignHash(f));
+}
+
+TEST(FleetDeterminism, ChunkWidthChangesIdentityNotStatistics)
+{
+    // Different chunk widths are different campaigns (digest chains
+    // chunk digests, compensated sums fold per chunk) but the same
+    // population: counts are equal outright and the sketches — whose
+    // compacted state is defined as "pushed one-by-one in global
+    // cell order" — agree on every quantile bit-for-bit.
+    FleetCampaignConfig wide = smallCampaign(1, 0, 2);
+    FleetCampaignConfig narrow = wide;
+    narrow.chunkDevices = 2;  // 5 devices -> 3 chunks, one short
+    const FleetReport a = FleetEngine(wide).run();
+    const FleetReport b = FleetEngine(narrow).run();
+    ASSERT_EQ(a.byGovernor.size(), b.byGovernor.size());
+    for (size_t g = 0; g < a.byGovernor.size(); ++g) {
+        const FleetGovernorStats &x = a.byGovernor[g];
+        const FleetGovernorStats &y = b.byGovernor[g];
+        EXPECT_EQ(x.devices, y.devices);
+        EXPECT_EQ(x.censored, y.censored);
+        EXPECT_EQ(x.deadlineMet, y.deadlineMet);
+        EXPECT_EQ(x.ppw.count(), y.ppw.count());
+        if (x.ppw.count() > 0) {
+            EXPECT_EQ(x.p50Ppw, y.p50Ppw);
+            EXPECT_EQ(x.p95Ppw, y.p95Ppw);
+            EXPECT_EQ(x.p99Ppw, y.p99Ppw);
+            EXPECT_EQ(x.p50LoadSec, y.p50LoadSec);
+            EXPECT_NEAR(x.meanPpw, y.meanPpw,
+                        1e-12 * std::abs(x.meanPpw));
+        }
+    }
+}
+
+TEST(FleetAggregate, SerializeRoundTripIsBitExact)
+{
+    FleetShardAggregate chunk = FleetShardAggregate::forChunk(2, 0);
+    for (size_t device = 0; device < 3; ++device)
+        for (size_t g = 0; g < 2; ++g) {
+            RunMeasurement m;
+            m.ppw = 1.5 + static_cast<double>(device) + 0.1 * g;
+            m.loadTimeSec = 0.5 + 0.25 * static_cast<double>(device);
+            m.meetsDeadline = (device + g) % 2 == 0;
+            m.censored = device == 2 && g == 1;
+            chunk.pushCell(g, device % 2 ? "hot/big" : "cool/small",
+                           g == 0, m);
+        }
+
+    const std::string bytes = chunk.serialize();
+    FleetShardAggregate restored;
+    ASSERT_TRUE(restored.tryDeserialize(bytes));
+    EXPECT_EQ(restored.serialize(), bytes);
+    EXPECT_EQ(restored.digest(), chunk.digest());
+    EXPECT_EQ(restored.cellCount(), 6u);
+    EXPECT_FALSE(restored.tryDeserialize("garbage"));
+
+    // Chunks fold into a campaign accumulator in cell order only:
+    // a gap (or out-of-order merge) is a campaign-logic bug.
+    FleetShardAggregate campaign =
+        FleetShardAggregate::forCampaign(2);
+    campaign.merge(chunk);
+    EXPECT_EQ(campaign.cellCount(), 6u);
+    FleetShardAggregate gap = FleetShardAggregate::forChunk(2, 8);
+    EXPECT_DEATH(campaign.merge(gap), "chunk-index order");
 }
 
 TEST(FleetDeath, UnknownGovernorIsFatal)
@@ -290,7 +364,17 @@ TEST(FleetKillResume, SupervisorSigkillThenResumeByteIdentical)
         ::testing::TempDir() + "fleet_resume_test";
     clearJournals(stem);
 
-    FleetEngine baseline(smallCampaign(1, 0, 2));
+    // One device per chunk (5 journal units) and an interval too
+    // large to ever checkpoint: this leg isolates the journal-replay
+    // resume path; the checkpoint path has its own test below.
+    const auto cfg = [&](unsigned workers, const std::string &s) {
+        FleetCampaignConfig config = smallCampaign(1, workers, 2, s);
+        config.chunkDevices = 1;
+        config.checkpointIntervalChunks = 1000;
+        return config;
+    };
+
+    FleetEngine baseline(cfg(0, ""));
     const std::string ref_text = fleetReportText(baseline.run());
 
     // First attempt runs in a forked child so SIGKILL models a hard
@@ -298,7 +382,7 @@ TEST(FleetKillResume, SupervisorSigkillThenResumeByteIdentical)
     const pid_t child = ::fork();
     ASSERT_GE(child, 0);
     if (child == 0) {
-        FleetEngine engine(smallCampaign(1, 1, 2, stem));
+        FleetEngine engine(cfg(1, stem));
         engine.run();
         ::_exit(0);
     }
@@ -309,7 +393,7 @@ TEST(FleetKillResume, SupervisorSigkillThenResumeByteIdentical)
         std::chrono::steady_clock::now() + std::chrono::seconds(120);
     std::string journal;
     while (std::chrono::steady_clock::now() < deadline) {
-        journal = findJournal(stem);
+        journal = findResumeFile(stem, "jrn");
         std::error_code ec;
         if (!journal.empty() && fs::file_size(journal, ec) > 36 && !ec)
             break;
@@ -321,17 +405,80 @@ TEST(FleetKillResume, SupervisorSigkillThenResumeByteIdentical)
     ASSERT_EQ(::waitpid(child, &status, 0), child);
 
     // Resume in-process: the journal must contribute completed
-    // batches and the resumed report must match the uninterrupted
+    // chunks and the resumed report must match the uninterrupted
     // baseline byte-for-byte.
     const uint64_t resumed_before =
         MetricsRegistry::global().counter("proc.units_resumed").value();
-    FleetEngine resumed(smallCampaign(1, 1, 2, stem));
+    FleetEngine resumed(cfg(1, stem));
     const std::string resumed_text = fleetReportText(resumed.run());
     const uint64_t resumed_after =
         MetricsRegistry::global().counter("proc.units_resumed").value();
 
     EXPECT_GE(resumed_after, resumed_before + 1)
         << "rerun recomputed everything instead of resuming";
+    EXPECT_EQ(resumed_text, ref_text);
+    clearJournals(stem);
+}
+
+TEST(FleetKillResume, CheckpointSigkillThenResumeByteIdentical)
+{
+    const std::string stem =
+        ::testing::TempDir() + "fleet_ckpt_test";
+    clearJournals(stem);
+
+    // One device per chunk, checkpoint after every chunk: the
+    // aggregate checkpoint (not journal replay) carries the resumed
+    // prefix, and the journal is truncated beneath it.
+    const auto cfg = [&](unsigned workers, unsigned lanes,
+                         const std::string &s) {
+        FleetCampaignConfig config =
+            smallCampaign(1, workers, lanes, s);
+        config.chunkDevices = 1;
+        config.checkpointIntervalChunks = 1;
+        return config;
+    };
+
+    FleetEngine baseline(cfg(0, 2, ""));
+    const std::string ref_text = fleetReportText(baseline.run());
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        FleetEngine engine(cfg(1, 2, stem));
+        engine.run();
+        ::_exit(0);
+    }
+
+    // Kill as soon as an aggregate checkpoint exists.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    std::string ckpt;
+    while (std::chrono::steady_clock::now() < deadline) {
+        ckpt = findResumeFile(stem, "ckpt");
+        if (!ckpt.empty())
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_FALSE(ckpt.empty()) << "campaign never checkpointed";
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+    // Resume at a DIFFERENT lane count — lane width is not part of
+    // the campaign identity, so the checkpoint + journal written at
+    // lanes=2 must resume at lanes=4 to the identical report.
+    const uint64_t pre_before = MetricsRegistry::global()
+                                    .counter("proc.units_precompleted")
+                                    .value();
+    FleetEngine resumed(cfg(1, 4, stem));
+    const std::string resumed_text = fleetReportText(resumed.run());
+    const uint64_t pre_after = MetricsRegistry::global()
+                                   .counter("proc.units_precompleted")
+                                   .value();
+
+    EXPECT_GE(pre_after, pre_before + 1)
+        << "rerun replayed the journal instead of loading the "
+           "checkpoint";
     EXPECT_EQ(resumed_text, ref_text);
     clearJournals(stem);
 }

@@ -138,6 +138,55 @@ TEST(MissRateEstimator, OppChangeStartsNewPhase)
     EXPECT_TRUE(est.beginTick(requestFor(stream), 0, 8));
 }
 
+TEST(MissRateEstimator, OppSiblingSeedsInstantConvergence)
+{
+    // A converged phase that reappears under a new OPP index with
+    // agreeing rates must converge off the sibling in ONE walk — the
+    // whole point of seeding (a DVFS decision does not cool caches).
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(tinySpec(), 0, Rng(12));
+    ASSERT_GT(driveToConvergence(est, stream, 0.30, 0.20), 0);
+    ASSERT_TRUE(est.beginTick(requestFor(stream), 1, 8));
+    est.store(resultsWith(0.30, 0.20));
+    EXPECT_EQ(est.seededPhases(), 1u);
+    // Seeded entry serves reuse on the very next tick.
+    EXPECT_FALSE(est.beginTick(requestFor(stream), 1, 8));
+}
+
+TEST(MissRateEstimator, OppSiblingDisagreementFallsBackToDense)
+{
+    // Rates far outside the sibling's noise: seeding must NOT adopt
+    // them — the new phase takes the ordinary dense-sampling ladder.
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(tinySpec(), 0, Rng(13));
+    ASSERT_GT(driveToConvergence(est, stream, 0.30, 0.20), 0);
+    ASSERT_TRUE(est.beginTick(requestFor(stream), 1, 8));
+    est.store(resultsWith(0.80, 0.70));
+    EXPECT_EQ(est.seededPhases(), 0u);
+    // Unconverged: the next tick must still walk.
+    EXPECT_TRUE(est.beginTick(requestFor(stream), 1, 8));
+}
+
+TEST(MissRateEstimator, ColdStreamNeverSeedsFromSibling)
+{
+    // The warm-up floor gates seeding exactly like ordinary
+    // convergence: a still-cold stream under a new OPP keeps walking
+    // even when its early rates happen to match the sibling's.
+    AddressStreamSpec big;
+    big.workingSetBytes = 32ull << 20;  // far beyond a few walks
+    MissRateEstimator est(fastConfig(), false);
+    AddressStream stream(big, 0, Rng(14));
+    ASSERT_TRUE(est.beginTick(requestFor(stream, 128), 0, 8));
+    est.store(resultsWith(0.5, 0.5, 128));
+    // Force-converge the opp-0 entry is impossible while cold, so
+    // fabricate the sibling scenario via a second cold install: no
+    // seed may fire in either direction.
+    ASSERT_TRUE(est.beginTick(requestFor(stream, 128), 1, 8));
+    est.store(resultsWith(0.5, 0.5, 128));
+    EXPECT_EQ(est.seededPhases(), 0u);
+    EXPECT_TRUE(est.beginTick(requestFor(stream, 128), 1, 8));
+}
+
 TEST(MissRateEstimator, ReshapeStartsNewPhase)
 {
     MissRateEstimator est(fastConfig(), false);

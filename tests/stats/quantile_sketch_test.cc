@@ -1,0 +1,232 @@
+/**
+ * @file
+ * QuantileSketch property suite (DESIGN.md §5i):
+ *
+ *  - exact mode reproduces EmpiricalCdf's nearest-rank quantiles
+ *    bit-for-bit;
+ *  - compacted mode keeps every quantile's rank error inside a small
+ *    fraction of N on assorted random distributions;
+ *  - merging exact shards — any contiguous split of one sample
+ *    stream — folds to bit-identical sketch state;
+ *  - the compacted campaign fold is canonical: folding exact chunks
+ *    of ANY width equals pushing every sample one at a time;
+ *  - snapshot round-trips restore bit-identical state (the aggregate
+ *    checkpoint path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/snapshot.hh"
+#include "stats/cdf.hh"
+#include "stats/quantile_sketch.hh"
+
+namespace dora
+{
+namespace
+{
+
+/** Assorted shapes: uniform, gaussian, heavy-tail, and clustered. */
+std::vector<double>
+drawSamples(uint64_t seed, size_t n, int shape)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        switch (shape) {
+          case 0:
+            xs.push_back(rng.uniform());
+            break;
+          case 1:
+            xs.push_back(rng.gaussian(5.0, 2.0));
+            break;
+          case 2:
+            xs.push_back(std::exp(rng.gaussian(0.0, 1.5)));
+            break;
+          default:
+            // Two tight clusters: quantiles jump across the gap.
+            xs.push_back((rng.uniform() < 0.7 ? 1.0 : 100.0) +
+                         0.01 * rng.uniform());
+            break;
+        }
+    }
+    return xs;
+}
+
+/** Rank of @p value in @p sorted (count of samples <= value). */
+size_t
+rankOf(const std::vector<double> &sorted, double value)
+{
+    return static_cast<size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), value) -
+        sorted.begin());
+}
+
+TEST(QuantileSketch, EmptyAndSingle)
+{
+    QuantileSketch s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(s.exact());
+    s.push(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.quantile(0.0), 42.0);
+    EXPECT_EQ(s.quantile(0.5), 42.0);
+    EXPECT_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(QuantileSketch, ExactModeMatchesEmpiricalCdf)
+{
+    for (int shape = 0; shape < 4; ++shape) {
+        const std::vector<double> xs =
+            drawSamples(11 + shape, 500, shape);
+        QuantileSketch sketch;
+        EmpiricalCdf cdf;
+        for (double x : xs) {
+            sketch.push(x);
+            cdf.push(x);
+        }
+        cdf.seal();
+        ASSERT_TRUE(sketch.exact());
+        for (double q :
+             {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0})
+            EXPECT_EQ(sketch.quantile(q), cdf.quantile(q))
+                << "shape " << shape << " q " << q;
+    }
+}
+
+TEST(QuantileSketch, RankErrorBoundedOnRandomDistributions)
+{
+    const size_t n = 20000;
+    for (int shape = 0; shape < 4; ++shape) {
+        std::vector<double> xs = drawSamples(29 + shape, n, shape);
+        QuantileSketch sketch;
+        for (double x : xs)
+            sketch.push(x);
+        EXPECT_FALSE(sketch.exact());
+        EXPECT_EQ(sketch.count(), n);
+
+        std::vector<double> sorted = xs;
+        std::sort(sorted.begin(), sorted.end());
+        // MRL-style analysis for k=200, n=20k gives ~1.7% worst-case
+        // rank error; 4% leaves slack without losing the property.
+        const double tol = 0.04 * static_cast<double>(n);
+        for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+            const double v = sketch.quantile(q);
+            const double target = q * static_cast<double>(n);
+            const double got =
+                static_cast<double>(rankOf(sorted, v));
+            EXPECT_NEAR(got, target, tol)
+                << "shape " << shape << " q " << q;
+        }
+    }
+}
+
+TEST(QuantileSketch, ExactShardSplitsMergeBitIdentically)
+{
+    const std::vector<double> xs = drawSamples(47, 800, 1);
+    QuantileSketch whole;
+    for (double x : xs)
+        whole.push(x);
+    ASSERT_TRUE(whole.exact());
+
+    Rng splits(13);
+    for (int trial = 0; trial < 8; ++trial) {
+        QuantileSketch folded;
+        size_t at = 0;
+        while (at < xs.size()) {
+            const size_t len = 1 +
+                static_cast<size_t>(splits.uniform() * 200.0);
+            QuantileSketch shard;
+            for (size_t i = at; i < std::min(at + len, xs.size()); ++i)
+                shard.push(xs[i]);
+            folded.merge(shard);
+            at += len;
+        }
+        EXPECT_EQ(folded.stateBytes(), whole.stateBytes())
+            << "trial " << trial;
+    }
+}
+
+TEST(QuantileSketch, CompactedFoldIsCanonical)
+{
+    // The campaign invariant: folding exact chunks of ANY width into
+    // a (compacting) prefix equals pushing every sample one at a
+    // time — the state is a pure function of the global sample order.
+    const std::vector<double> xs = drawSamples(59, 5000, 2);
+    QuantileSketch one_by_one;
+    for (double x : xs)
+        one_by_one.push(x);
+    EXPECT_FALSE(one_by_one.exact());
+
+    for (const size_t width : {137u, 512u, 1000u}) {
+        QuantileSketch folded;
+        for (size_t at = 0; at < xs.size(); at += width) {
+            QuantileSketch chunk;
+            for (size_t i = at; i < std::min(at + width, xs.size());
+                 ++i)
+                chunk.push(xs[i]);
+            ASSERT_TRUE(chunk.exact());
+            folded.merge(chunk);
+        }
+        EXPECT_EQ(folded.stateBytes(), one_by_one.stateBytes())
+            << "chunk width " << width;
+    }
+}
+
+TEST(QuantileSketch, SnapshotRoundTripPreservesState)
+{
+    for (const size_t n : {10u, 5000u}) {  // exact and compacted
+        const std::vector<double> xs = drawSamples(71, n, 3);
+        QuantileSketch sketch;
+        for (double x : xs)
+            sketch.push(x);
+
+        SnapshotWriter w;
+        sketch.snapshot(w);
+        const std::string bytes = w.finish();
+        SnapshotReader r(bytes);
+        ASSERT_TRUE(r.checksumOk());
+        QuantileSketch restored;
+        ASSERT_TRUE(restored.tryRestore(r));
+        EXPECT_EQ(restored.stateBytes(), sketch.stateBytes());
+
+        // The checkpoint-resume shape: a restored prefix must keep
+        // folding new exact chunks exactly like the original.
+        QuantileSketch tail;
+        for (double x : drawSamples(73, 100, 0))
+            tail.push(x);
+        sketch.merge(tail);
+        restored.merge(tail);
+        EXPECT_EQ(restored.stateBytes(), sketch.stateBytes());
+    }
+}
+
+TEST(QuantileSketchDeath, BadConfigAndEmptyQuantilePanic)
+{
+    EXPECT_DEATH(QuantileSketch(4), "k");
+    QuantileSketch s;
+    EXPECT_DEATH(s.quantile(0.5), "empty");
+}
+
+TEST(EmpiricalCdf, MeanSurvivesAdversarialMagnitudes)
+{
+    // Regression: mean() used naive left-to-right summation; with a
+    // huge/tiny magnitude mix the small terms vanished entirely
+    // (catastrophic absorption), so the mean came back 0. The
+    // Neumaier-compensated sum keeps them.
+    EmpiricalCdf cdf;
+    cdf.push(1e16);
+    for (int i = 0; i < 100; ++i)
+        cdf.push(1.0);
+    cdf.push(-1e16);
+    cdf.seal();
+    EXPECT_DOUBLE_EQ(cdf.mean(), 100.0 / 102.0);
+}
+
+} // namespace
+} // namespace dora

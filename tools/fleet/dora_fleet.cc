@@ -5,14 +5,21 @@
  *   dora-fleet [--fleet-devices N] [--fleet-seed N]
  *              [--fleet-governors a,b,c] [--fleet-fault-incidence X]
  *              [--fleet-max-load S] [--fleet-journal STEM]
+ *              [--fleet-checkpoint-interval N]
+ *              [--fleet-report-quantiles q1,q2,...]
  *              [--fleet-replay DEV [--fleet-replay-governor NAME]]
  *              [--jobs N] [--workers N] [--lanes N] [--trace DIR]
  *
  * Prints the canonical fleetReportText() (hex-float, byte-comparable
  * across tier settings and resumes) followed by a human-readable
- * summary. With --fleet-replay it instead re-runs one device of the
- * campaign alone and prints the cell's measurement — bit-identical to
- * what the full campaign produced for that device.
+ * summary. --fleet-checkpoint-interval sets how many completed chunks
+ * the supervisor absorbs between aggregate checkpoints (journaled
+ * campaigns only); --fleet-report-quantiles appends one QUANTILES
+ * line per governor with the requested PPW and load-time quantiles
+ * straight from the campaign sketches. With --fleet-replay it instead
+ * re-runs one device of the campaign alone and prints the cell's
+ * measurement — bit-identical to what the full campaign produced for
+ * that device.
  *
  * Every flag is routed through common/cli.hh, so a trailing flag with
  * a missing value is a fatal diagnostic, never silently ignored.
@@ -91,6 +98,19 @@ main(int argc, char **argv)
             cliParseDouble(*v, "--fleet-max-load", 0.1, 60.0);
     if (const auto v = cliFlagValue(argc, argv, "--fleet-journal"))
         config.journalStem = *v;
+    if (const auto v =
+            cliFlagValue(argc, argv, "--fleet-checkpoint-interval"))
+        config.checkpointIntervalChunks = static_cast<unsigned>(
+            cliParseInt(*v, "--fleet-checkpoint-interval", 1, 1000000));
+    std::vector<double> report_quantiles;
+    if (const auto v =
+            cliFlagValue(argc, argv, "--fleet-report-quantiles")) {
+        for (const std::string &piece : splitGovernors(*v))
+            report_quantiles.push_back(cliParseDouble(
+                piece, "--fleet-report-quantiles", 0.0, 1.0));
+        if (report_quantiles.empty())
+            fatal("--fleet-report-quantiles: empty quantile list");
+    }
 
     if (std::any_of(config.governors.begin(), config.governors.end(),
                     needsModels))
@@ -133,5 +153,14 @@ main(int argc, char **argv)
                     "p95 load %.3fs  censored %zu/%zu\n",
                     g.governor.c_str(), 100.0 * g.meetRate, g.meanPpw,
                     g.p95LoadSec, g.censored, g.devices);
+    for (const FleetGovernorStats &g : report.byGovernor) {
+        if (report_quantiles.empty())
+            break;
+        std::printf("QUANTILES governor=%s", g.governor.c_str());
+        for (double q : report_quantiles)
+            std::printf(" ppw_q%g=%.6g load_q%g=%.6g", q,
+                        g.ppw.quantile(q), q, g.loadTime.quantile(q));
+        std::printf("\n");
+    }
     return 0;
 }
