@@ -176,6 +176,7 @@ printLaneRate(unsigned lanes)
     for (unsigned i = 0; i < lanes; ++i) {
         const WorkloadSpec spec = WorkloadSets::kernelOnly(kernel);
         const uint64_t salt =
+            // dora:stream-tag-shared(same workload, same corun stream)
             hashLabel("corun:" + spec.label()) % 4096;
         coruns.push_back(
             std::make_unique<CorunTask>(*spec.kernel, salt));

@@ -12,6 +12,10 @@
 # Environment:
 #   DORA_SKIP_LINT=1         skip the whole lint stage (dora-lint,
 #                            clang-tidy, thread-safety build)
+#   DORA_SKIP_ANALYZE=1      skip the dora-analyze stage (structural
+#                            cross-TU gate: hash/snapshot coverage,
+#                            stream-tag uniqueness, serialized-layout
+#                            versioning, CLI-flag parsing)
 #   DORA_CI_HOTPATH_TOL_PCT  allowed ticks/sec regression vs the
 #                            baseline, percent (default 5; wall-clock
 #                            measurements on shared hosts are noisy,
@@ -88,6 +92,22 @@ else
         echo "being checked. Install clang to restore this gate."
         echo "**********************************************************"
     fi
+fi
+
+if [[ "${DORA_SKIP_ANALYZE:-0}" -eq 1 ]]; then
+    echo "== analyze == (skipped: DORA_SKIP_ANALYZE=1)"
+else
+    echo "== analyze: dora-analyze =="
+    # Zero-findings gate over the cross-TU structural rules
+    # (DESIGN.md §5j): config-hash coverage, snapshot/restore member
+    # coverage, RNG stream-tag uniqueness, serialized-layout version
+    # freshness against tools/analyze/serialized_layouts.json, and
+    # CLI-flag parsing locality. Annotate intentional exceptions
+    # inline (// dora:<rule-annotation>(<reason>)) or bless layout
+    # bumps with `dora-analyze --regen-manifest`, never here. The
+    # --json artifact is kept for build-log consumers.
+    "${build_dir}/tools/analyze/dora-analyze" --repo "${repo_root}" \
+        --json "${build_dir}/analyze-findings.json"
 fi
 
 echo "== tests =="

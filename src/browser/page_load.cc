@@ -67,6 +67,7 @@ PageLoad::rebuildStreams()
     const uint64_t base_line = (1 + streamSalt_) << 28;
     const AddressStreamSpec &spec = phases_[std::min(
         phase_, phases_.size() - 1)].stream;
+    // dora:stream-tag-shared(page: namespace shared with the salt)
     Rng seed("page:" + page_.name + "/salt:" +
              std::to_string(streamSalt_));
     mainStream_ = std::make_unique<AddressStream>(spec, base_line,

@@ -125,9 +125,10 @@ class PageLoad
     void maybeAdvancePhase();
     void rebuildStreams();
 
-    const WebPage &page_;
-    RenderCostModel cost_;
-    uint64_t streamSalt_;
+    const WebPage &page_;  // dora:snapshot-exclude(construction identity)
+    RenderCostModel cost_;  // dora:snapshot-exclude(derived from page spec)
+    uint64_t streamSalt_;  // dora:snapshot-exclude(construction identity)
+    // dora:snapshot-exclude(fixed phase table from the page spec)
     std::vector<RenderPhase> phases_;
 
     size_t phase_ = 0;
@@ -135,14 +136,16 @@ class PageLoad
     std::vector<double> remainHelper_;
     double elapsedSec_ = 0.0;
 
+    // dora:snapshot-exclude(observer hook, rebound by the harness)
     RunTrace *trace_ = nullptr;  //!< null when tracing is disabled
+    // dora:snapshot-exclude(observer hook, rebound by the harness)
     double traceBaseSec_ = 0.0;
 
     std::unique_ptr<AddressStream> mainStream_;
     std::unique_ptr<AddressStream> helperStream_;
 
-    RenderThreadTask main_;
-    RenderThreadTask helper_;
+    RenderThreadTask main_;  // dora:snapshot-exclude(stateless facade)
+    RenderThreadTask helper_;  // dora:snapshot-exclude(stateless facade)
 
     static const std::string kDoneName;
 };

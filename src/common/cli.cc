@@ -31,6 +31,24 @@ cliFlagValue(int argc, char **argv, const std::string &flag)
     return value;
 }
 
+bool
+cliHasFlag(int argc, char **argv, const std::string &flag)
+{
+    bool present = false;
+    const std::string inlinePrefix = flag + "=";
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (arg == nullptr)
+            continue;
+        if (flag == arg)
+            present = true;
+        else if (std::strncmp(arg, inlinePrefix.c_str(),
+                              inlinePrefix.size()) == 0)
+            fatal("%s: takes no value (got '%s')", flag.c_str(), arg);
+    }
+    return present;
+}
+
 long
 cliParseInt(const std::string &text, const char *origin, long min,
             long max)

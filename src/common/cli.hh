@@ -33,6 +33,14 @@ std::optional<std::string> cliFlagValue(int argc, char **argv,
                                         const std::string &flag);
 
 /**
+ * True when boolean @p flag appears in argv (exact match — a value
+ * spelling like `--flag=x` is a user error and fatal()s, because a
+ * boolean flag that silently accepted `--exact-ticks=0` would read as
+ * disabling the mode while actually enabling it).
+ */
+bool cliHasFlag(int argc, char **argv, const std::string &flag);
+
+/**
  * Parse @p text as a decimal integer in [@p min, @p max]; fatal()s
  * with @p origin (e.g. "--lanes" or "$DORA_LANES") in the diagnostic
  * on malformed or out-of-range input.

@@ -52,13 +52,10 @@ setExactTicksMode(bool exact)
 bool
 parseExactTicksFlag(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (argv[i] && std::strcmp(argv[i], "--exact-ticks") == 0) {
-            setExactTicksMode(true);
-            return true;
-        }
-    }
-    return false;
+    if (!cliHasFlag(argc, argv, "--exact-ticks"))
+        return false;
+    setExactTicksMode(true);
+    return true;
 }
 
 } // namespace dora

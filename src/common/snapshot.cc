@@ -257,6 +257,13 @@ SnapshotReader::getString(std::string *out)
         pos_ = saved;
         return false;
     }
+    // Bound the length against the bytes actually present before
+    // allocating: a corrupted length field must fail the read, not
+    // attempt a multi-gigabyte allocation.
+    if (len > bytes_.size() - kChecksumBytes - pos_) {
+        pos_ = saved;
+        return false;
+    }
     std::string s(static_cast<size_t>(len), '\0');
     if (!take(s.data(), s.size())) {
         pos_ = saved;
@@ -274,6 +281,11 @@ SnapshotReader::getDoubles(std::vector<double> *out)
     uint64_t len;
     if (!take(&marker, 1) || marker != kTagDoubles ||
         !take(&len, sizeof(len))) {
+        pos_ = saved;
+        return false;
+    }
+    // See getString(): reject corrupted lengths before allocating.
+    if (len > (bytes_.size() - kChecksumBytes - pos_) / sizeof(double)) {
         pos_ = saved;
         return false;
     }
@@ -301,6 +313,12 @@ SnapshotReader::getU64s(std::vector<uint64_t> *out)
         pos_ = saved;
         return false;
     }
+    // See getString(): reject corrupted lengths before allocating.
+    if (len >
+        (bytes_.size() - kChecksumBytes - pos_) / sizeof(uint64_t)) {
+        pos_ = saved;
+        return false;
+    }
     std::vector<uint64_t> v(static_cast<size_t>(len));
     if (!take(v.data(), v.size() * sizeof(uint64_t))) {
         pos_ = saved;
@@ -318,6 +336,12 @@ SnapshotReader::getU32s(std::vector<uint32_t> *out)
     uint64_t len;
     if (!take(&marker, 1) || marker != kTagU32s ||
         !take(&len, sizeof(len))) {
+        pos_ = saved;
+        return false;
+    }
+    // See getString(): reject corrupted lengths before allocating.
+    if (len >
+        (bytes_.size() - kChecksumBytes - pos_) / sizeof(uint32_t)) {
         pos_ = saved;
         return false;
     }

@@ -127,9 +127,12 @@ class PredictiveGovernor : public Governor
                                   PredictiveMode mode, size_t max_index);
 
   private:
+    // Usability is verified on restore via modelsUsable_.
+    // dora:snapshot-exclude(construction identity)
     std::shared_ptr<const ModelBundle> models_;
-    PredictiveConfig config_;
-    std::string name_;
+    PredictiveConfig config_;  // dora:snapshot-exclude(construction config)
+    std::string name_;  // dora:snapshot-exclude(construction identity)
+    // dora:snapshot-exclude(bench/debug surface; cleared on restore)
     std::vector<CandidateEval> lastEval_;
     /**
      * Utilization-tracking fallback for page-less intervals, and the

@@ -140,6 +140,7 @@ Trainer::collectSamples(const std::vector<WorkloadSpec> &workloads,
             p.page = workload.page;
             if (workload.kernel) {
                 const uint64_t salt =
+                    // dora:stream-tag-shared(same corun stream)
                     hashLabel("corun:" + workload.label()) % 4096;
                 coruns.push_back(std::make_unique<CorunTask>(
                     *workload.kernel, salt));

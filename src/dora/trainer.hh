@@ -70,7 +70,7 @@ struct TrainerConfig
      * excluded from trainingConfigHash(): a bundle trained at any
      * parallelism stays cache-valid.
      */
-    unsigned jobs = 0;
+    unsigned jobs = 0;  // dora:hash-exclude(bit-identical at any job count)
 
     /**
      * Route the measurement campaign through the crash-resilient
@@ -78,7 +78,7 @@ struct TrainerConfig
      * (0 = in-process thread pool, the default). Bit-identical to
      * workers=0 and, like jobs, excluded from trainingConfigHash().
      */
-    unsigned workers = 0;
+    unsigned workers = 0;  // dora:hash-exclude(bit-identical to workers=0)
 
     /**
      * Lane batching (sim/lane_batch.hh) for the measurement campaign:
@@ -89,13 +89,14 @@ struct TrainerConfig
      * per-cell path. Bit-identical at every lane count and, like jobs,
      * excluded from trainingConfigHash().
      */
-    unsigned lanes = 0;
+    unsigned lanes = 0;  // dora:hash-exclude(bit-identical at any lane count)
 
     /**
      * Journal stem for process-tier campaigns: completed cells land in
      * `<stem>.<campaign-hash>.jrn` and a rerun resumes from them.
      * Empty disables journaling. Excluded from trainingConfigHash().
      */
+    // dora:hash-exclude(resume aid, not part of the protocol)
     std::string procJournalStem;
 };
 

@@ -71,6 +71,27 @@ writeAll(int fd, const char *p, size_t n)
 // ---------------------------------------------------------------- //
 
 /**
+ * Write side of the worker->supervisor pipe. Result frames (main
+ * loop) and heartbeat frames (beat thread) interleave on the same fd,
+ * so a frame must never be written without holding mutex — sendLocked
+ * carries REQUIRES(mutex), making an unguarded write a compile error
+ * under -Wthread-safety instead of a rare interleaved-frame
+ * corruption at runtime.
+ */
+struct WorkerPipe
+{
+    Mutex mutex;
+    const int fd;
+
+    explicit WorkerPipe(int write_fd) : fd(write_fd) {}
+
+    bool sendLocked(const std::string &bytes) REQUIRES(mutex)
+    {
+        return writeAll(fd, bytes.data(), bytes.size());
+    }
+};
+
+/**
  * Child-process main: read dispatches, evaluate units, stream back
  * results, and keep a heartbeat flowing while a unit is running.
  * Exits via _exit() only — the child must never unwind into the
@@ -80,7 +101,7 @@ writeAll(int fd, const char *p, size_t n)
 workerMain(int rfd, int wfd, const ProcUnitFn &run_unit,
            const ProcSweepConfig &config)
 {
-    Mutex write_mutex;  // result writes vs. heartbeat writes
+    WorkerPipe pipe(wfd);
     std::atomic<bool> working{false};
     std::atomic<uint64_t> working_unit{0};
     std::atomic<uint32_t> working_attempt{0};
@@ -99,8 +120,8 @@ workerMain(int rfd, int wfd, const ProcUnitFn &run_unit,
             hb.attempt =
                 working_attempt.load(std::memory_order_relaxed);
             const std::string bytes = encodeFrame(hb);
-            MutexLock lock(write_mutex);
-            if (!writeAll(wfd, bytes.data(), bytes.size()))
+            MutexLock lock(pipe.mutex);
+            if (!pipe.sendLocked(bytes))
                 return;  // supervisor gone; main loop will see EOF/EPIPE
         }
     });
@@ -156,8 +177,8 @@ workerMain(int rfd, int wfd, const ProcUnitFn &run_unit,
             working.store(false, std::memory_order_relaxed);
 
             const std::string bytes = encodeFrame(reply);
-            MutexLock lock(write_mutex);
-            if (!writeAll(wfd, bytes.data(), bytes.size())) {
+            MutexLock lock(pipe.mutex);
+            if (!pipe.sendLocked(bytes)) {
                 done = true;
                 break;
             }

@@ -240,6 +240,7 @@ FleetEngine::makeCell(size_t cell_index, const DeviceSpec &sampled) const
         const KernelSpec &kernel =
             KernelCatalog::representative(sampled.corun);
         // Same "corun:" decorrelation recipe as ExperimentRunner.
+        // dora:stream-tag-shared(same workload, same corun stream)
         const uint64_t salt = hashLabel("corun:" + cell.label) % 4096;
         cell.corun = std::make_unique<CorunTask>(kernel, salt);
     }

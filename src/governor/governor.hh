@@ -130,7 +130,7 @@ class FixedGovernor : public Governor
 
   private:
     size_t freqIndex_;
-    std::string name_;
+    std::string name_;  // dora:snapshot-exclude(construction identity)
 };
 
 /** Tunables of the interactive-governor reimplementation. */
@@ -168,8 +168,8 @@ class InteractiveGovernor : public Governor
     const InteractiveConfig &config() const { return config_; }
 
   private:
-    InteractiveConfig config_;
-    std::string name_;
+    InteractiveConfig config_;  // dora:snapshot-exclude(construction config)
+    std::string name_;  // dora:snapshot-exclude(construction identity)
     double lastHighLoadSec_ = -1.0;  //!< last time load was above target
 };
 

@@ -190,6 +190,7 @@ ComparisonHarness::makeLaneCell(const WorkloadSpec &workload,
         // tag decorrelates the co-runner streams from the PageLoad
         // salt ("page:" + the same label).
         const uint64_t salt =
+            // dora:stream-tag-shared(same workload, same corun stream)
             hashLabel("corun:" + workload.label()) % 4096;
         cell.corun = std::make_unique<CorunTask>(*workload.kernel, salt);
     }
@@ -208,6 +209,7 @@ ComparisonHarness::makeLaneCell(const WorkloadSpec &workload,
     cell.page = workload.page;
     if (workload.kernel) {
         const uint64_t salt =
+            // dora:stream-tag-shared(same workload, same corun stream)
             hashLabel("corun:" + workload.label()) % 4096;
         cell.corun = std::make_unique<CorunTask>(*workload.kernel, salt);
     }

@@ -148,7 +148,7 @@ class CacheModel
     void touch(uint32_t set, uint32_t way);
 
     CacheConfig config_;
-    uint32_t numSets_;
+    uint32_t numSets_;  // dora:snapshot-exclude(derived from config)
     /**
      * Way state, split by access pattern (all numSets_*associativity,
      * row-major by set): the probe loop reads tags_ only; lastUse_ is

@@ -95,7 +95,7 @@ class DramModel
     const DramConfig &config() const { return config_; }
 
   private:
-    DramConfig config_;
+    DramConfig config_;  // dora:snapshot-exclude(construction config)
     double pendingBytes_ = 0.0;
     double utilization_ = 0.0;
     double effectiveLatencyNs_;

@@ -233,22 +233,25 @@ class MemSystem
     void fillResults(const std::vector<MemSampleRequest> &requests,
                      std::vector<MemSampleResult> &results) const;
 
-    MemSystemConfig config_;
+    MemSystemConfig config_;  // dora:snapshot-exclude(construction config)
     std::vector<CacheModel> l1s_;
     CacheModel l2_;
     DramModel dram_;
     std::vector<CoreMemCounters> counters_;
+    // dora:snapshot-exclude(per-tick scratch, reused across ticks)
     std::vector<LiveStream> liveScratch_;  //!< reused across ticks
+    // dora:snapshot-exclude(mode flag; both walk paths bit-identical)
     bool batchedWalk_ = true;
 
     // Batched-walk scratch, reused across ticks: the generated lines
     // and per-stream L1-miss index lists live in flat 64B-aligned
     // buffers sliced by walkOffsets_.
-    AlignedVec<uint64_t> walkLines_;
-    AlignedVec<uint32_t> walkMiss_;
-    std::vector<size_t> walkOffsets_;
-    std::vector<uint32_t> walkMissCount_;
-    std::vector<uint32_t> walkCursor_;
+    AlignedVec<uint64_t> walkLines_;  // dora:snapshot-exclude(scratch)
+    AlignedVec<uint32_t> walkMiss_;  // dora:snapshot-exclude(scratch)
+    std::vector<size_t> walkOffsets_;  // dora:snapshot-exclude(scratch)
+    std::vector<uint32_t> walkMissCount_;  // dora:snapshot-exclude(scratch)
+    std::vector<uint32_t> walkCursor_;  // dora:snapshot-exclude(scratch)
+    // dora:snapshot-exclude(scratch sizing, recomputed by prepare)
     uint64_t walkPasses_ = 0;  //!< drain passes sized by prepare
 };
 

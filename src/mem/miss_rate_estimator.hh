@@ -291,7 +291,7 @@ class MissRateEstimator
     static bool ratesAgree(const std::vector<MemSampleResult> &a,
                            const std::vector<MemSampleResult> &b);
 
-    MissRateEstimatorConfig config_;
+    MissRateEstimatorConfig config_;  // dora:snapshot-exclude(construction config)
     bool enabled_;
     uint64_t l2Lines_ = (2u * 1024 * 1024) / 64;
     std::vector<Entry> entries_;
@@ -299,6 +299,7 @@ class MissRateEstimator
     /** "No seed candidate" sentinel for seedFrom_. */
     static constexpr size_t kNoSeed = static_cast<size_t>(-1);
 
+    // dora:snapshot-exclude(per-tick scratch, reused across ticks)
     Signature scratchSig_;    //!< reused across ticks (no allocation)
     size_t currentEntry_ = 0; //!< entry selected by the last beginTick
     Pending pending_ = Pending::None;

@@ -110,8 +110,10 @@ class DevicePower
     const DevicePowerConfig &config() const { return config_; }
 
   private:
-    DevicePowerConfig config_;
+    DevicePowerConfig config_;  // dora:snapshot-exclude(construction config)
+    // dora:snapshot-exclude(stateless evaluator over config)
     DynamicPowerModel dynamic_;
+    // dora:snapshot-exclude(stateless evaluator over config)
     LeakageModel leakage_;
     ThermalModel thermal_;
     double lastPower_ = 0.0;

@@ -49,6 +49,7 @@ ExperimentRunner::run(const WorkloadSpec &workload, Governor &governor,
         // with a shared salt the browser and the co-runner drew
         // correlated address/phase streams.
         const uint64_t salt =
+            // dora:stream-tag-shared(same workload, same corun stream)
             hashLabel("corun:" + workload.label()) % 4096;
         corun = std::make_unique<CorunTask>(*workload.kernel, salt);
     }
@@ -257,6 +258,40 @@ experimentConfigHash(const ExperimentConfig &config)
         appendHexDouble(text, config.freqScale);
         appendHexDouble(text, config.voltageScale);
         appendHexDouble(text, config.thermalResistanceScale);
+    }
+    // The power model keys only when it departs from the stock
+    // Nexus 5 parameters, again so pre-existing hashes stay valid.
+    // thermal.ambientC and thermal.initialC are overwritten per run
+    // from ambientC / warmDieDeltaC (folded above) and are therefore
+    // not part of the protocol.
+    const DevicePowerConfig stock_power;
+    const bool stock_dynamic =
+        config.power.dynamic.coreCeff ==
+            stock_power.dynamic.coreCeff &&
+        config.power.dynamic.idleActivity ==
+            stock_power.dynamic.idleActivity &&
+        config.power.dynamic.l2AccessEnergyJ ==
+            stock_power.dynamic.l2AccessEnergyJ &&
+        config.power.dynamic.uncoreCeff ==
+            stock_power.dynamic.uncoreCeff;
+    const bool stock_thermal =
+        config.power.thermal.thermalResistance ==
+            stock_power.thermal.thermalResistance &&
+        config.power.thermal.heatCapacity ==
+            stock_power.thermal.heatCapacity &&
+        config.power.thermal.maxJunctionC ==
+            stock_power.thermal.maxJunctionC;
+    if (!stock_dynamic || !stock_thermal ||
+        config.power.baselineW != stock_power.baselineW) {
+        text += " power";
+        appendHexDouble(text, config.power.dynamic.coreCeff);
+        appendHexDouble(text, config.power.dynamic.idleActivity);
+        appendHexDouble(text, config.power.dynamic.l2AccessEnergyJ);
+        appendHexDouble(text, config.power.dynamic.uncoreCeff);
+        appendHexDouble(text, config.power.thermal.thermalResistance);
+        appendHexDouble(text, config.power.thermal.heatCapacity);
+        appendHexDouble(text, config.power.thermal.maxJunctionC);
+        appendHexDouble(text, config.power.baselineW);
     }
     return hashLabel(text);
 }

@@ -315,6 +315,7 @@ RunContext::RunContext(const ExperimentConfig &config,
         config_.warmupSec + config_.maxLoadSec + config_.measureSec + 5.0;
     sim_ = std::make_unique<Simulator>(*soc_, *power_, sim_config);
 
+    // dora:stream-tag-shared(page: namespace shared with the seed)
     salt_ = hashLabel("page:" + params_.label) % 4096;
     if (params_.corun) {
         params_.corun->reset();

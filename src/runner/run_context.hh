@@ -103,12 +103,13 @@ class GovernorDriver
     void maybeRetryActuator(double now);
     void applyThermalEmergency(double now);
 
-    Simulator &sim_;
-    Governor &governor_;
-    double deadlineSec_;
+    Simulator &sim_;  // dora:snapshot-exclude(snapshotted by the owner)
+    Governor &governor_;  // dora:snapshot-exclude(snapshotted by the owner)
+    double deadlineSec_;  // dora:snapshot-exclude(construction config)
     PerfSnapshot prev_;
+    // dora:snapshot-exclude(snapshots refuse fault-injected runs)
     FaultInjector *fault_;          //!< null when fault-free
-    double baseAmbientC_;
+    double baseAmbientC_;  // dora:snapshot-exclude(derived at construction)
     double appliedAmbientDeltaC_ = 0.0;
     bool havePendingWrite_ = false;
     size_t pendingTarget_ = 0;
@@ -116,10 +117,12 @@ class GovernorDriver
     double retryBackoffSec_ = 0.0;
     double nextRetrySec_ = 0.0;
     bool warnedOutOfRange_ = false;
+    // dora:snapshot-exclude(same-object restore: binding must match)
     const WebPageFeatures *page_ = nullptr;
     double loadStartSec_ = 0.0;
     double lastDecisionSec_ = 0.0;
     bool decided_ = false;
+    // dora:snapshot-exclude(snapshots refuse traced runs)
     RunTrace *trace_ = nullptr;  //!< null when tracing is disabled
     std::vector<DecisionRecord> decisions_;
 };
@@ -213,20 +216,21 @@ class RunContext
     void enterWindow();
     void accumulate(const TickTrace &trace);
 
-    ExperimentConfig config_;
+    ExperimentConfig config_;  // dora:snapshot-exclude(construction config)
     Params params_;
 
-    std::unique_ptr<Soc> soc_;
-    std::unique_ptr<DevicePower> power_;
+    std::unique_ptr<Soc> soc_;  // dora:snapshot-exclude(state inside sim_)
+    std::unique_ptr<DevicePower> power_;  // dora:snapshot-exclude(in sim_)
     std::unique_ptr<Simulator> sim_;
-    uint64_t salt_ = 0;
+    uint64_t salt_ = 0;  // dora:snapshot-exclude(derived from the label)
     std::unique_ptr<GovernorDriver> driver_;
+    // dora:snapshot-exclude(snapshots refuse traced runs)
     std::unique_ptr<RunTrace> trace_;
-    bool exact_ = false;
+    bool exact_ = false;  // dora:snapshot-exclude(construction mode flag)
 
     Phase phase_ = Phase::Warmup;
     std::unique_ptr<PageLoad> page_;
-    RenderCostModel cost_;
+    RenderCostModel cost_;  // dora:snapshot-exclude(construction config)
 
     // Window accumulators (legacy loop locals).
     double t0_ = 0.0;
@@ -242,9 +246,11 @@ class RunContext
     double windowWall_ = 0.0;
     double windowEnd_ = 0.0;
 
-    // advanceBegin()/advanceFinish() handshake.
-    bool stepInWindow_ = false;
-    double stepMhz_ = 0.0;
+    // advanceBegin()/advanceFinish() handshake: live only inside one
+    // split step, rewritten by every advanceBegin(); snapshots are
+    // taken between whole steps.
+    bool stepInWindow_ = false;  // dora:snapshot-exclude(per-step scratch)
+    double stepMhz_ = 0.0;  // dora:snapshot-exclude(per-step scratch)
 
     bool reported_ = false;  //!< metrics/trace emitted by finish()
 };

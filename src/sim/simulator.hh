@@ -171,11 +171,13 @@ class Simulator
   private:
     Soc &soc_;
     DevicePower &power_;
-    SimConfig config_;
+    SimConfig config_;  // dora:snapshot-exclude(construction config)
+    // dora:snapshot-exclude(task bindings, re-established by the owner)
     std::vector<Task *> tasks_;  //!< per core; nullptr = idle
-    IdleTask idle_;
+    IdleTask idle_;  // dora:snapshot-exclude(stateless placeholder task)
     /** Per-tick scratch, reused across ticks (see step()). */
-    std::vector<TaskDemand> demands_;
+    std::vector<TaskDemand> demands_;  // dora:snapshot-exclude(scratch)
+    // dora:snapshot-exclude(per-tick trace, rewritten by every step)
     TickTrace trace_;
     uint64_t tickCount_ = 0;
     uint64_t macroBatches_ = 0;

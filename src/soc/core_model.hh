@@ -127,7 +127,7 @@ class CoreModel
     double clampToSamples(double scaled) const;
 
     uint32_t id_;
-    CoreTimingConfig config_;
+    CoreTimingConfig config_;  // dora:snapshot-exclude(construction config)
     double lastCpi_ = 1.0;
     double totalInstructions_ = 0.0;
     double totalBusySeconds_ = 0.0;

@@ -196,7 +196,8 @@ class Soc
     const SocConfig &config() const { return config_; }
 
   private:
-    SocConfig config_;
+    SocConfig config_;  // dora:snapshot-exclude(construction config)
+    // dora:snapshot-exclude(construction table; shape verified on restore)
     FreqTable freqTable_;
     MemSystem mem_;
     MissRateEstimator sampling_;
@@ -208,9 +209,9 @@ class Soc
     double switchStallSeconds_ = 0.0;
     double elapsedSeconds_ = 0.0;
     /** Per-tick scratch buffers, reused across ticks. */
-    std::vector<TaskDemand> effectiveScratch_;
-    std::vector<MemSampleRequest> requestScratch_;
-    std::vector<MemSampleResult> resultScratch_;
+    std::vector<TaskDemand> effectiveScratch_;  // dora:snapshot-exclude(scratch)
+    std::vector<MemSampleRequest> requestScratch_;  // dora:snapshot-exclude(scratch)
+    std::vector<MemSampleResult> resultScratch_;  // dora:snapshot-exclude(scratch)
 };
 
 } // namespace dora

@@ -218,6 +218,11 @@ QuantileSketch::tryRestore(SnapshotReader &r)
     if (!r.getU32(&k) || k < 8 || !r.getU64(&n) || !r.getBool(&exact) ||
         !r.getDoubles(&exact_items) || !r.getSize(&level_count))
         return false;
+    // Levels grow as log2(n / k): 64 covers any physical n. A larger
+    // count is a corrupted blob, not a bigger sketch — reject it
+    // before sizing the vector by it.
+    if (level_count > 64)
+        return false;
     std::vector<Level> levels(level_count);
     for (Level &level : levels)
         if (!r.getDoubles(&level.items) ||

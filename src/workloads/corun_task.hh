@@ -49,8 +49,8 @@ class CorunTask : public Task
     [[nodiscard]] bool tryRestore(SnapshotReader &r) override;
 
   private:
-    KernelSpec spec_;
-    uint64_t streamSalt_;
+    KernelSpec spec_;  // dora:snapshot-exclude(construction config)
+    uint64_t streamSalt_;  // dora:snapshot-exclude(construction identity)
     std::unique_ptr<AddressStream> stream_;
     double instructions_ = 0.0;
 };

@@ -62,9 +62,10 @@ class PhasedCorunTask : public Task
     [[nodiscard]] bool tryRestore(SnapshotReader &r) override;
 
   private:
+    // dora:snapshot-exclude(fixed phase table from the spec)
     std::vector<CorunPhase> phases_;
-    uint64_t streamSalt_;
-    std::string name_;
+    uint64_t streamSalt_;  // dora:snapshot-exclude(construction identity)
+    std::string name_;  // dora:snapshot-exclude(construction identity)
     /** One stream per segment (kernels own distinct address spaces). */
     std::vector<std::unique_ptr<AddressStream>> streams_;
     double startSec_ = -1.0;

@@ -1,0 +1,19 @@
+// Fixture: the helpers themselves live here; flag comparisons inside
+// src/common/cli.* are the implementation, not a violation.
+#include <cstring>
+#include <string>
+
+bool
+cliHasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (argv[i] && flag == argv[i])
+            return true;
+    return false;
+}
+
+bool
+helperScan(int argc, char **argv)
+{
+    return cliHasFlag(argc, argv, "--exact-ticks");
+}

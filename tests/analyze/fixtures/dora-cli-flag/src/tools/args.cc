@@ -1,0 +1,24 @@
+// Fixture: hand-parsed flags (strcmp and ==) are findings; a
+// NOLINT-suppressed site and a non-comparison label use are clean.
+#include <cstring>
+#include <string>
+
+void fatal(const char *msg);
+
+bool
+parseArgs(int argc, char **argv)
+{
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--verbose") == 0)
+            verbose = true;
+        const std::string arg = argv[i];
+        if (arg == "--fast")
+            fatal("unsupported");
+        if (arg == "--legacy")  // NOLINT(dora-cli-flag)
+            fatal("legacy");
+    }
+    const std::string origin = "--jobs";  // label, not a comparison
+    (void)origin;
+    return verbose;
+}

@@ -1,0 +1,10 @@
+#include "experiment.hh"
+
+unsigned long
+experimentConfigHash(const ExperimentConfig &config)
+{
+    unsigned long h = 1469598103934665603ul;
+    h ^= static_cast<unsigned long>(config.deadlineSec * 1e6);
+    h ^= static_cast<unsigned long>(config.dtSec * 1e9);
+    return h;
+}

@@ -1,0 +1,18 @@
+// Fixture: ExperimentConfig with one un-hashed field (finding), one
+// annotated exclusion, one NOLINT-suppressed field, and hashed fields.
+#ifndef FIXTURE_EXPERIMENT_HH
+#define FIXTURE_EXPERIMENT_HH
+
+struct ExperimentConfig
+{
+    double deadlineSec = 3.0;
+    double dtSec = 1e-3;
+    // dora:hash-exclude(observability only, never changes results)
+    int traceLevel = 0;
+    int workers = 0;  // NOLINT(dora-cov-hash)
+    double forgottenKnob = 1.0;
+};
+
+unsigned long experimentConfigHash(const ExperimentConfig &config);
+
+#endif

@@ -1,0 +1,15 @@
+#include "widget.hh"
+
+void
+Widget::snapshot(SnapshotWriter &w) const
+{
+    writeDouble(w, position_);
+}
+
+bool
+Widget::tryRestore(SnapshotReader &r)
+{
+    if (!readDouble(r, &position_) || !readDouble(r, &restoreOnly_))
+        return false;
+    return true;
+}

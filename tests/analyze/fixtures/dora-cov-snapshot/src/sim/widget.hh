@@ -1,0 +1,26 @@
+// Fixture: a class with snapshot()/tryRestore() where one member is
+// serialized in both (clean), one is missing from both (finding), one
+// is missing from snapshot() only (finding), one is annotated, and
+// one is NOLINT-suppressed.
+#ifndef FIXTURE_WIDGET_HH
+#define FIXTURE_WIDGET_HH
+
+class SnapshotReader;
+class SnapshotWriter;
+
+class Widget
+{
+  public:
+    void snapshot(SnapshotWriter &w) const;
+    [[nodiscard]] bool tryRestore(SnapshotReader &r);
+
+  private:
+    double position_ = 0.0;
+    double forgotten_ = 0.0;
+    double restoreOnly_ = 0.0;
+    // dora:snapshot-exclude(construction config)
+    double tuning_ = 1.0;
+    double scratch_ = 0.0;  // NOLINT(dora-cov-snapshot)
+};
+
+#endif

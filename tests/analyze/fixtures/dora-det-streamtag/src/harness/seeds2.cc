@@ -1,0 +1,16 @@
+#include <string>
+
+unsigned long hashLabel(const std::string &text);
+
+unsigned long
+seedB(const std::string &label)
+{
+    return hashLabel("dup:" + label);
+}
+
+unsigned long
+seedBlessedB(const std::string &label)
+{
+    // dora:stream-tag-shared(same workload draws the same stream)
+    return hashLabel("blessed:" + label);
+}

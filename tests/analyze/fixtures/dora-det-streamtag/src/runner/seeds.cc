@@ -1,0 +1,25 @@
+// Fixture: "dup:" is seeded here and in src/harness/seeds2.cc with no
+// annotation (two findings); "blessed:" is shared but annotated at
+// both sites; "solo:" has a single site (clean).
+#include <string>
+
+unsigned long hashLabel(const std::string &text);
+
+unsigned long
+seedA(const std::string &label)
+{
+    return hashLabel("dup:" + label);
+}
+
+unsigned long
+seedBlessedA(const std::string &label)
+{
+    // dora:stream-tag-shared(same workload draws the same stream)
+    return hashLabel("blessed:" + label);
+}
+
+unsigned long
+seedSolo(const std::string &label)
+{
+    return hashLabel("solo:" + label);
+}

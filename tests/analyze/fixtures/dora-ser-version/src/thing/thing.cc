@@ -1,0 +1,46 @@
+// Fixture: two snapshot-section writers. "drft" gained a field while
+// the manifest still records the old layout under the same version
+// token (finding); "okay" matches its manifest entry (clean). The
+// manifest also records a "gone" format no writer produces any more
+// (stale-entry finding).
+class SnapshotWriter
+{
+  public:
+    void beginSection(const char *tag, int version);
+    void putU64(unsigned long v);
+    void putDouble(double v);
+};
+
+class Thing
+{
+  public:
+    void snapshot(SnapshotWriter &w) const;
+
+  private:
+    unsigned long ticks_ = 0;
+    double phase_ = 0.0;
+};
+
+class Other
+{
+  public:
+    void snapshot(SnapshotWriter &w) const;
+
+  private:
+    double value_ = 0.0;
+};
+
+void
+Thing::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("drft", 1);
+    w.putU64(ticks_);
+    w.putDouble(phase_);
+}
+
+void
+Other::snapshot(SnapshotWriter &w) const
+{
+    w.beginSection("okay", 1);
+    w.putDouble(value_);
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * dora-analyze: a cross-TU structural analyzer for the DORA tree.
+ *
+ * dora-lint (tools/lint) matches single lines against regexes; a
+ * whole class of past bugs is invisible at that granularity: a config
+ * field added but never folded into the config hash (PR 3, PR 8), a
+ * snapshot() member missing from tryRestore() (breaks proc-tier
+ * resume bit-identity), two RNG streams accidentally seeded from the
+ * same tag (the PR 3 page/corun correlation), and a serialized layout
+ * edited without bumping its version token (the PR 9 "mre " bug
+ * class). Proving those invariants needs a *structural* model of the
+ * tree — which classes exist, which members they have, what each
+ * function body references — joined across translation units.
+ *
+ * This engine builds exactly that model: each source file is scanned
+ * comment/string-aware into parallel code/text views (scanUnit), then
+ * a brace-tracking pass extracts struct/class declarations with data-
+ * member lists and function definitions with captured bodies
+ * (buildModel). Five rules run over the joined model:
+ *
+ *   dora-cov-hash      every field of ExperimentConfig / FleetSpec /
+ *                      TrainerConfig is referenced by its hash
+ *                      function or annotated
+ *                      `// dora:hash-exclude(<reason>)`.
+ *   dora-cov-snapshot  every data member of a class defining both
+ *                      snapshot() and tryRestore() appears in both
+ *                      bodies or is annotated
+ *                      `// dora:snapshot-exclude(<reason>)`.
+ *   dora-det-streamtag an RNG stream tag literal used at more than
+ *                      one call site is a correlation hazard; each
+ *                      deliberate share carries
+ *                      `// dora:stream-tag-shared(<reason>)`.
+ *   dora-ser-version   serialized layouts (snapshot sections, wire
+ *                      frames, journal records, model-bundle text)
+ *                      are recomputed and diffed against the
+ *                      checked-in manifest
+ *                      tools/analyze/serialized_layouts.json; a
+ *                      layout change without a version-token change
+ *                      is a finding. `--regen-manifest` blesses
+ *                      intentional bumps.
+ *   dora-cli-flag      a `--flag` literal compared outside the
+ *                      common/cli.hh helpers re-opens the silent-
+ *                      misconfiguration class PR 8 closed.
+ *
+ * Ergonomics follow dora-lint: stable rule ids, NOLINT(NEXTLINE)
+ * suppression, `path:line: [rule] message` text plus `--json`
+ * reports, exit 1 on findings, and a zero-findings self-scan in
+ * tests/analyze. Like lint_engine, this library has no dependency on
+ * dora_common so the binary and the golden tests share it.
+ */
+
+#ifndef DORA_TOOLS_ANALYZE_ENGINE_HH
+#define DORA_TOOLS_ANALYZE_ENGINE_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dora::analyze
+{
+
+/** One rule violation at a specific source line. */
+struct Finding
+{
+    std::string path;     //!< repo-relative, '/'-separated
+    int line = 0;         //!< 1-based
+    std::string rule;     //!< rule id, e.g. "dora-cov-hash"
+    std::string message;  //!< human-readable explanation
+};
+
+/** Catalog entry for --list-rules and the docs table. */
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+/** Every rule the engine knows, in stable (documentation) order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** A string literal with its position (for tags and layout args). */
+struct StringLit
+{
+    int line = 0;       //!< 1-based
+    size_t col = 0;     //!< 0-based column of the opening quote
+    std::string value;  //!< raw source chars between the delimiters
+};
+
+/** A `dora:<name>(<arg>)` annotation found in a comment. */
+struct Annotation
+{
+    std::string name;  //!< e.g. "hash-exclude"
+    std::string arg;   //!< the reason text inside the parentheses
+};
+
+/**
+ * A source file prepared for structural parsing: parallel per-line
+ * views (identical lengths by construction) where `code` blanks both
+ * comments and string contents while `text` blanks only comments —
+ * rules that must *read* literals (stream tags, section tags) use
+ * `text`, everything else matches against `code`. String literals and
+ * comment annotations are indexed per line.
+ */
+struct ScannedUnit
+{
+    std::string path;
+    std::vector<std::string> code;
+    std::vector<std::string> text;
+    std::vector<std::vector<StringLit>> strings;
+    std::vector<std::vector<Annotation>> notes;
+    /** Rule ids suppressed on each line; "*" suppresses all rules. */
+    std::vector<std::set<std::string>> nolint;
+
+    /**
+     * True when @p line (1-based) carries annotation @p name with a
+     * non-empty reason, on the line itself or the line above — the
+     * two documented placements (trailing comment / preceding line).
+     */
+    bool hasAnnotation(int line, const std::string &name) const;
+};
+
+/** Scan one file. @p path must be repo-relative (rules scope by it). */
+ScannedUnit scanUnit(std::string path, const std::string &content);
+
+/** One data member of a struct/class declaration. */
+struct MemberDecl
+{
+    std::string name;
+    int line = 0;     //!< first line of the declaration statement
+    int endLine = 0;  //!< line of the terminating ';'
+};
+
+/** One struct/class declaration with its member list. */
+struct StructDecl
+{
+    std::string name;  //!< nesting-qualified, e.g. "Outer::Inner"
+    std::string path;
+    int line = 0;
+    std::vector<MemberDecl> members;
+    /** Names of member functions declared or defined in-class. */
+    std::set<std::string> methods;
+};
+
+/** One function definition with its captured body. */
+struct FunctionDef
+{
+    std::string className;  //!< "" for free functions
+    std::string name;
+    std::string path;
+    int line = 0;          //!< line of the opening brace's statement
+    std::string body;      //!< code view: strings blanked
+    std::string bodyText;  //!< text view: strings preserved
+};
+
+/** The joined cross-TU model the rules run over. */
+struct TreeModel
+{
+    std::vector<ScannedUnit> units;
+    std::vector<StructDecl> structs;
+    std::vector<FunctionDef> functions;
+};
+
+/** Parse every scanned unit into the cross-TU structural model. */
+TreeModel buildModel(std::vector<ScannedUnit> units);
+
+/**
+ * One serialized format's recorded shape: the ordered serialization
+ * calls (or statements, for function-anchored formats) plus the
+ * version token guarding them. `name` is the stable manifest key.
+ */
+struct LayoutRecord
+{
+    std::string name;      //!< "section:<tag>" or a format name
+    std::string file;
+    std::string function;  //!< qualified writer function
+    std::string version;   //!< version token text (e.g. "1", "0x...")
+    std::vector<std::string> layout;  //!< normalized ordered ops
+    int line = 0;  //!< writer anchor in the current tree (not stored)
+};
+
+/**
+ * Recompute every serialized layout in the model: snapshot-section
+ * writers are auto-discovered (a function that calls
+ * beginSection("tag", v) and at least one put*), and the wire-frame /
+ * journal / model-bundle writers are anchored by a built-in table.
+ * Records are sorted by name; table anchors that no longer resolve
+ * append findings to @p problems.
+ */
+std::vector<LayoutRecord> computeLayouts(const TreeModel &model,
+                                         std::vector<Finding> *problems);
+
+/** Render records as the canonical serialized_layouts.json text. */
+std::string renderManifest(const std::vector<LayoutRecord> &records);
+
+/**
+ * Parse a manifest previously written by renderManifest (a strict
+ * JSON subset). Returns false and sets @p error on malformed input.
+ */
+bool parseManifest(const std::string &json,
+                   std::vector<LayoutRecord> *records,
+                   std::string *error);
+
+/**
+ * Run all five rules over the model. @p manifestJson is the content
+ * of serialized_layouts.json, or nullptr when the file is absent
+ * (only a finding if the tree actually contains serialized formats).
+ * Findings are NOLINT-filtered and sorted by (path, line, rule).
+ */
+std::vector<Finding> analyzeModel(const TreeModel &model,
+                                  const std::string *manifestJson);
+
+/**
+ * Walk @p subdirs (repo-relative) under @p repoRoot and scan every
+ * *.cc / *.hh file into a model. Paths containing a `fixtures`
+ * component are skipped — they are deliberate violations used by the
+ * golden tests. When @p scannedPaths is non-null the repo-relative
+ * path of every scanned file is appended (sorted).
+ */
+TreeModel loadTree(const std::string &repoRoot,
+                   const std::vector<std::string> &subdirs,
+                   std::vector<std::string> *scannedPaths = nullptr);
+
+/** Default scan roots: {"src", "bench", "tools"}. */
+const std::vector<std::string> &defaultSubdirs();
+
+/** Repo-relative manifest location. */
+const char *manifestRelPath();
+
+/**
+ * loadTree + manifest load + analyzeModel: the whole gate in one
+ * call, as scripts/ci.sh and the self-scan test run it.
+ */
+std::vector<Finding>
+analyzeTree(const std::string &repoRoot,
+            const std::vector<std::string> &subdirs,
+            std::vector<std::string> *scannedPaths = nullptr);
+
+/** `path:line: [rule] message` lines, one per finding. */
+std::string renderText(const std::vector<Finding> &findings);
+
+/** Machine-readable report: a JSON array of finding objects. */
+std::string renderJson(const std::vector<Finding> &findings);
+
+} // namespace dora::analyze
+
+#endif // DORA_TOOLS_ANALYZE_ENGINE_HH
